@@ -1,0 +1,55 @@
+// Figure 8 reproduction: I/V curve fitting at one characterization grid
+// point — golden samples against the linear (saturation) and quadratic
+// (triode) least-squares fits, plus aggregate fit quality over the grid.
+//
+// Paper: 7 parameters per (Vs, Vg) pair; the fits visually overlay the
+// device samples. Expected shape: the fitted curve tracks the samples to
+// within a few percent of the full-scale current, with R^2 near 1 on
+// conducting grid points.
+#include <cstdio>
+
+#include "common.h"
+#include "qwm/device/characterize.h"
+
+int main() {
+  using namespace qwm;
+  using namespace qwm::bench;
+
+  const auto& proc = models().proc;
+  const device::MosfetPhysics nmos(device::MosType::nmos, proc.nmos,
+                                   proc.temp_vt);
+
+  std::printf("Figure 8: I/V curve fitting (NMOS, Vs=0, Vg=VDD)\n");
+  const auto curve = device::sample_iv_fit(nmos, proc.vdd, 0.0, proc.vdd);
+  std::printf("vth=%.3f V, vdsat=%.3f V\n", curve.vth, curve.vdsat);
+  std::printf("# Vds[V]  Ids_data[uA]  Ids_fit[uA]  region\n");
+  for (std::size_t i = 0; i < curve.vds.size(); ++i) {
+    std::printf("%7.3f %12.2f %12.2f  %s\n", curve.vds[i],
+                curve.ids_data[i] * 1e6, curve.ids_fit[i] * 1e6,
+                curve.vds[i] <= curve.vdsat ? "triode(+)" : "sat(*)");
+  }
+
+  double full_scale = 0.0, worst = 0.0;
+  for (std::size_t i = 0; i < curve.vds.size(); ++i)
+    full_scale = std::max(full_scale, std::abs(curve.ids_data[i]));
+  for (std::size_t i = 0; i < curve.vds.size(); ++i)
+    worst = std::max(worst, std::abs(curve.ids_fit[i] - curve.ids_data[i]));
+  std::printf("\nWorst fit error: %.2f%% of full scale\n",
+              100.0 * worst / full_scale);
+
+  // A second bias point with body effect (paper stores vth per point).
+  const auto curve2 = device::sample_iv_fit(nmos, proc.vdd, 1.0, 2.5);
+  std::printf("\nSecond point (Vs=1.0, Vg=2.5): vth=%.3f (body effect), "
+              "vdsat=%.3f\n", curve2.vth, curve2.vdsat);
+
+  // Aggregate grid statistics (the full characterization table).
+  const auto grid = models().tab_n.grid();
+  const auto s = grid.stats();
+  std::printf("\nGrid: %zu points (%zux%zu), active %zu\n", s.grid_points,
+              grid.vs_axis.n, grid.vg_axis.n, s.active_points);
+  std::printf("Mean R^2 (active points): triode %.4f, saturation %.4f\n",
+              s.mean_r2_triode, s.mean_r2_sat);
+  std::printf("Worst RMS residual: triode %.3g A, saturation %.3g A\n",
+              s.worst_rms_triode, s.worst_rms_sat);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 9 reproduction: 6-NMOS-stack node voltage waveforms — the QWM
+// result (straight lines connecting the critical points, exactly as the
+// paper plots it) against the SPICE baseline.
+//
+// Expected shape: the QWM polylines track the baseline closely at every
+// node, and the per-node 50% crossings stagger bottom-to-top.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "qwm/circuit/path.h"
+
+int main() {
+  using namespace qwm;
+  using namespace qwm::bench;
+
+  const auto& proc = models().proc;
+  // The paper takes this stack from the Manchester carry chain's longest
+  // path; the equivalent series pulldown is built directly.
+  const auto stage = circuit::make_nmos_stack(
+      proc, std::vector<double>(6, 1.0e-6), 30e-15);
+  const auto inputs = step_inputs(stage);
+  const auto ms = models().set();
+
+  const auto st = core::evaluate_stage(stage, inputs, ms);
+  if (!st.ok) {
+    std::fprintf(stderr, "QWM failed: %s\n", st.error.c_str());
+    return 1;
+  }
+
+  spice::StageSim sim = make_spice_sim(stage, inputs);
+  spice::TransientOptions opt;
+  opt.t_stop = 600e-12;
+  opt.dt = 1e-12;
+  const auto ref = spice::simulate_transient(sim.circuit, opt);
+
+  std::printf("Figure 9: 6-NMOS stack waveforms, QWM (critical-point "
+              "polyline) vs SPICE\n");
+  std::printf("# t[ps]  then per node k=1..6: V_qwm[V] V_spice[V]\n");
+  for (double t = 0.0; t <= 500e-12; t += 10e-12) {
+    std::printf("%6.0f", t * 1e12);
+    for (int k = 0; k < 6; ++k) {
+      const auto poly = st.qwm.node_waveforms[k].critical_point_polyline();
+      const double vq = poly.eval(t);
+      const double vs =
+          ref.waveforms[sim.node_of[st.problem.nodes[k]]].eval(t);
+      std::printf("  %6.3f %6.3f", vq, vs);
+    }
+    std::printf("\n");
+  }
+
+  // Deviation metrics per node.
+  std::printf("\nMax |QWM - SPICE| per node over the transition [mV]:\n");
+  double worst = 0.0;
+  for (int k = 0; k < 6; ++k) {
+    const auto poly = st.qwm.node_waveforms[k].to_pwl(16);
+    const auto& w = ref.waveforms[sim.node_of[st.problem.nodes[k]]];
+    const double t1 = std::min(poly.last_time(), 500e-12);
+    const double d = numeric::PwlWaveform::max_difference(poly, w, 0.0, t1);
+    std::printf("  node %d: %7.1f\n", k + 1, d * 1e3);
+    worst = std::max(worst, d);
+  }
+  std::printf("Worst-node deviation: %.1f mV (%.1f%% of VDD)\n", worst * 1e3,
+              100.0 * worst / proc.vdd);
+
+  // Output delay comparison.
+  const auto t_in = inputs[0].crossing(0.5 * proc.vdd, 0.0, true);
+  const auto t_q = st.qwm.output_waveform().crossing(0.5 * proc.vdd);
+  const auto t_s = ref.waveforms[sim.node_of[stage.output]].crossing(
+      0.5 * proc.vdd, *t_in, false);
+  if (t_q && t_s) {
+    const double dq = *t_q - *t_in, ds = *t_s - *t_in;
+    std::printf("50%% delay: QWM %.2f ps vs SPICE %.2f ps (%.2f%% error)\n",
+                dq * 1e12, ds * 1e12, 100.0 * (dq - ds) / ds);
+  }
+  return 0;
+}

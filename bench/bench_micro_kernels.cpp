@@ -1,0 +1,126 @@
+// Google-benchmark microbenchmarks of the numerical kernels behind both
+// engines: device-model evaluation (tabular vs analytic), the tridiagonal
+// and Sherman-Morrison solvers vs dense LU, and a full SPICE step vs a
+// full QWM region solve.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "common.h"
+#include "qwm/numeric/matrix.h"
+#include "qwm/numeric/sherman_morrison.h"
+#include "qwm/numeric/tridiagonal.h"
+
+namespace {
+
+using namespace qwm;
+
+void BM_TabularIvEval(benchmark::State& state) {
+  auto& m = bench::models();
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<double> d(0.0, 3.3);
+  device::TerminalVoltages tv{d(rng), d(rng), d(rng)};
+  for (auto _ : state) {
+    tv.src = tv.src < 3.29 ? tv.src + 0.01 : 0.0;  // vary the query
+    benchmark::DoNotOptimize(m.tab_n.iv_eval(1e-6, 0.35e-6, tv));
+  }
+}
+BENCHMARK(BM_TabularIvEval);
+
+void BM_AnalyticIvEval(benchmark::State& state) {
+  auto& m = bench::models();
+  device::TerminalVoltages tv{2.2, 1.7, 0.4};
+  for (auto _ : state) {
+    tv.src = tv.src < 3.29 ? tv.src + 0.01 : 0.0;
+    benchmark::DoNotOptimize(m.golden_n.iv_eval(1e-6, 0.35e-6, tv));
+  }
+}
+BENCHMARK(BM_AnalyticIvEval);
+
+void BM_ThomasSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937 rng(2);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  numeric::Tridiagonal a(n);
+  std::vector<double> b(n), x;
+  for (int i = 0; i < n; ++i) {
+    a.diag[i] = 4.0 + d(rng);
+    if (i > 0) a.lower[i] = d(rng);
+    if (i + 1 < n) a.upper[i] = d(rng);
+    b[i] = d(rng);
+  }
+  for (auto _ : state) {
+    numeric::thomas_solve(a, b, x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_ThomasSolve)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ShermanMorrison(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  numeric::Tridiagonal a(n);
+  std::vector<double> u(n), v(n, 0.0), b(n), x;
+  for (int i = 0; i < n; ++i) {
+    a.diag[i] = 4.0 + d(rng);
+    if (i > 0) a.lower[i] = d(rng);
+    if (i + 1 < n) a.upper[i] = d(rng);
+    u[i] = d(rng);
+    b[i] = d(rng);
+  }
+  v[n - 1] = 1.0;
+  for (auto _ : state) {
+    numeric::sherman_morrison_solve(a, u, v, b, x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_ShermanMorrison)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  numeric::Matrix a(n, n);
+  numeric::Vector b(n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a(r, c) = d(rng);
+    a(r, r) += 4.0;
+    b[r] = d(rng);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(numeric::lu_solve(a, b));
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_QwmStackEval(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto& m = bench::models();
+  const auto stage = circuit::make_nmos_stack(
+      m.proc, std::vector<double>(k, 1.2e-6),
+      circuit::fanout_load_cap(m.proc));
+  const auto inputs = bench::step_inputs(stage);
+  const auto ms = m.set();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::evaluate_stage(stage, inputs, ms));
+}
+BENCHMARK(BM_QwmStackEval)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_SpiceStackTransient(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto& m = bench::models();
+  const auto stage = circuit::make_nmos_stack(
+      m.proc, std::vector<double>(k, 1.2e-6),
+      circuit::fanout_load_cap(m.proc));
+  const auto inputs = bench::step_inputs(stage);
+  auto sim = bench::make_spice_sim(stage, inputs);
+  spice::TransientOptions opt;
+  opt.t_stop = 500e-12;
+  opt.dt = 1e-12;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(spice::simulate_transient(sim.circuit, opt));
+}
+BENCHMARK(BM_SpiceStackTransient)->Arg(2)->Arg(6)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

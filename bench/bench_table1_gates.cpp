@@ -1,0 +1,42 @@
+// Table I reproduction: QWM vs the SPICE baseline for minimum-size logic
+// gates (inv, nand2, nand3, nand4).
+//
+// Paper: speedups of roughly 6-60x (1 ps steps) and 3.7-8x (10 ps steps)
+// with delay errors around 1% (0.35%-2.37%). The expected *shape* here:
+// QWM beats the 1 ps baseline by well over an order of magnitude on every
+// gate, still beats the 10 ps baseline, and the delay error stays in low
+// single digits.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace qwm;
+  using namespace qwm::bench;
+
+  const auto& proc = models().proc;
+  const double load = circuit::fanout_load_cap(proc);
+
+  std::printf("Table I: QWM vs SPICE baseline for logic gates\n");
+  std::printf("(min-size gates, FO4 load, step input; times are medians)\n\n");
+  print_comparison_header("Circuit");
+
+  double err_sum = 0.0, err_worst = 0.0;
+  int n = 0;
+  std::vector<std::pair<std::string, circuit::BuiltStage>> gates;
+  gates.emplace_back("inv", circuit::make_inverter(proc, load));
+  gates.emplace_back("nand2", circuit::make_nand(proc, 2, load));
+  gates.emplace_back("nand3", circuit::make_nand(proc, 3, load));
+  gates.emplace_back("nand4", circuit::make_nand(proc, 4, load));
+
+  for (const auto& [name, stage] : gates) {
+    const ComparisonRow row = compare_stage(name, stage, 500e-12);
+    print_comparison_row(row);
+    err_sum += std::abs(row.delay_error_pct);
+    err_worst = std::max(err_worst, std::abs(row.delay_error_pct));
+    ++n;
+  }
+  std::printf("\nAverage |delay error| %.2f%%, worst %.2f%%\n", err_sum / n,
+              err_worst);
+  return 0;
+}

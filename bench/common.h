@@ -1,0 +1,182 @@
+// Shared support for the paper-reproduction benchmark harnesses: model
+// construction, wall-clock timing, and the QWM-vs-SPICE comparison runner
+// every table uses.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qwm/circuit/builders.h"
+#include "qwm/core/stage_eval.h"
+#include "qwm/device/analytic_model.h"
+#include "qwm/device/model_set.h"
+#include "qwm/device/tabular_model.h"
+#include "qwm/spice/from_stage.h"
+#include "qwm/spice/transient.h"
+
+namespace qwm::bench {
+
+/// Device models shared by both engines (the paper's setup: QWM and the
+/// baseline consume the same characterized tabular model).
+struct Models {
+  device::Process proc = device::Process::cmosp35();
+  device::TabularDeviceModel tab_n{device::MosType::nmos, proc};
+  device::TabularDeviceModel tab_p{device::MosType::pmos, proc};
+  device::AnalyticDeviceModel golden_n = device::AnalyticDeviceModel::nmos(proc);
+  device::AnalyticDeviceModel golden_p = device::AnalyticDeviceModel::pmos(proc);
+
+  device::ModelSet set() const {
+    return device::ModelSet{&tab_n, &tab_p, &proc};
+  }
+  device::ModelSet golden_set() const {
+    return device::ModelSet{&golden_n, &golden_p, &proc};
+  }
+};
+
+inline Models& models() {
+  static Models m;
+  return m;
+}
+
+/// Median wall-clock seconds of `fn` over enough repetitions to be stable.
+inline double time_seconds(const std::function<void()>& fn,
+                           double min_total = 0.05, int min_reps = 3) {
+  using clock = std::chrono::steady_clock;
+  std::vector<double> samples;
+  double total = 0.0;
+  while (static_cast<int>(samples.size()) < min_reps || total < min_total) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    samples.push_back(s);
+    total += s;
+    if (samples.size() > 2000) break;
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Worst-case stimulus for a built stage: the switching input steps at
+/// t_step, everything else sits at its non-controlling level.
+inline std::vector<numeric::PwlWaveform> step_inputs(
+    const circuit::BuiltStage& b, double t_step = 5e-12) {
+  const double vdd = models().proc.vdd;
+  std::vector<numeric::PwlWaveform> in;
+  for (std::size_t i = 0; i < b.stage.input_count(); ++i) {
+    if (static_cast<int>(i) == b.switching_input)
+      in.push_back(b.output_falls
+                       ? numeric::PwlWaveform::step(t_step, 0.0, vdd)
+                       : numeric::PwlWaveform::step(t_step, vdd, 0.0));
+    else
+      in.push_back(numeric::PwlWaveform::constant(b.output_falls ? vdd : 0.0));
+  }
+  return in;
+}
+
+/// One row of a Table I/II-style comparison.
+struct ComparisonRow {
+  std::string name;
+  double spice_1ps_s = 0.0;   ///< baseline transient wall time, 1 ps steps
+  double spice_10ps_s = 0.0;  ///< baseline transient wall time, 10 ps steps
+  double qwm_s = 0.0;         ///< QWM wall time
+  double speedup_1ps = 0.0;
+  double speedup_10ps = 0.0;
+  double qwm_delay = 0.0;
+  double spice_delay = 0.0;  ///< reference: 1 ps baseline
+  double delay_error_pct = 0.0;
+};
+
+/// Builds the SPICE simulation of a stage with worst-case precharge ICs.
+inline spice::StageSim make_spice_sim(
+    const circuit::BuiltStage& b,
+    const std::vector<numeric::PwlWaveform>& inputs) {
+  spice::StageSim sim =
+      spice::circuit_from_stage(b.stage, models().set(), inputs);
+  const double pre = b.output_falls ? models().proc.vdd : 0.0;
+  for (std::size_t n = 0; n < b.stage.node_count(); ++n) {
+    const auto id = static_cast<circuit::NodeId>(n);
+    if (b.stage.is_rail(id)) continue;
+    sim.circuit.set_ic(sim.node_of[n], pre);
+  }
+  return sim;
+}
+
+/// Runs the full comparison for one stage: QWM and the SPICE baseline at
+/// 1 ps and 10 ps fixed steps over the same window. `t_stop` <= 0 sizes
+/// the window automatically from the QWM transition.
+inline ComparisonRow compare_stage(const std::string& name,
+                                   const circuit::BuiltStage& b,
+                                   double t_stop = -1.0,
+                                   const core::QwmOptions& qwm_opt = {}) {
+  ComparisonRow row;
+  row.name = name;
+  const auto inputs = step_inputs(b);
+  const auto ms = models().set();
+  const double vdd = models().proc.vdd;
+
+  // QWM result + timing. The timed quantity is the waveform evaluation on
+  // the prebuilt path problem — the analog of the paper comparing "only
+  // the transient time reported by Hspice to ensure fairness" (setup and
+  // model building excluded on both sides).
+  core::StageTiming st = core::evaluate_stage(b, inputs, ms, qwm_opt);
+  if (!st.ok) {
+    std::fprintf(stderr, "QWM failed on %s: %s\n", name.c_str(),
+                 st.error.c_str());
+    return row;
+  }
+  row.qwm_delay = st.delay.value_or(0.0);
+  row.qwm_s = time_seconds(
+      [&] { core::evaluate_path(st.problem, inputs, qwm_opt); });
+
+  if (t_stop <= 0.0)
+    t_stop = std::max(2.0 * st.qwm.critical_times.back(), 500e-12);
+
+  // SPICE baseline at both step sizes.
+  spice::StageSim sim = make_spice_sim(b, inputs);
+  spice::TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.dt = 1e-12;
+  const spice::TransientResult ref = spice::simulate_transient(sim.circuit, opt);
+  row.spice_1ps_s = time_seconds(
+      [&] { spice::simulate_transient(sim.circuit, opt); }, 0.05, 2);
+  spice::TransientOptions opt10 = opt;
+  opt10.dt = 10e-12;
+  row.spice_10ps_s = time_seconds(
+      [&] { spice::simulate_transient(sim.circuit, opt10); }, 0.02, 2);
+
+  // Reference delay from the 1 ps run.
+  const auto& w_in = inputs[b.switching_input];
+  const auto& w_out = ref.waveforms[sim.node_of[b.output]];
+  const auto t_in = w_in.crossing(0.5 * vdd, 0.0, b.output_falls);
+  const auto t_out =
+      t_in ? w_out.crossing(0.5 * vdd, *t_in, !b.output_falls) : std::nullopt;
+  if (t_in && t_out) row.spice_delay = *t_out - *t_in;
+
+  row.speedup_1ps = row.qwm_s > 0 ? row.spice_1ps_s / row.qwm_s : 0.0;
+  row.speedup_10ps = row.qwm_s > 0 ? row.spice_10ps_s / row.qwm_s : 0.0;
+  row.delay_error_pct =
+      row.spice_delay > 0
+          ? 100.0 * (row.qwm_delay - row.spice_delay) / row.spice_delay
+          : 0.0;
+  return row;
+}
+
+inline void print_comparison_header(const char* label) {
+  std::printf("%-10s %12s %9s %12s %9s %12s %9s\n", label, "SPICE(1ps)",
+              "Speedup", "SPICE(10ps)", "Speedup", "QWM", "Error");
+}
+
+inline void print_comparison_row(const ComparisonRow& r) {
+  std::printf("%-10s %10.3fms %8.1fx %10.3fms %8.1fx %10.4fms %8.2f%%\n",
+              r.name.c_str(), r.spice_1ps_s * 1e3, r.speedup_1ps,
+              r.spice_10ps_s * 1e3, r.speedup_10ps, r.qwm_s * 1e3,
+              r.delay_error_pct);
+}
+
+}  // namespace qwm::bench

@@ -1,0 +1,77 @@
+// Memory decoder tree with long wires (paper Fig. 3 / Example 3).
+//
+// The decoder's wire lengths double with each tree level, so the
+// interconnect cannot be ignored: the wires are reduced to
+// O'Brien/Savarino pi macro-models (built from AWE-style circuit
+// moments) before QWM evaluates the selected root->leaf path. This
+// example sweeps tree depth and wire resistivity, showing when the wire
+// RC starts dominating the decode time, and prints the AWE view of the
+// longest wire for comparison.
+#include <cstdio>
+
+#include "qwm/circuit/builders.h"
+#include "qwm/circuit/path.h"
+#include "qwm/core/stage_eval.h"
+#include "qwm/device/tabular_model.h"
+#include "qwm/interconnect/awe.h"
+#include "qwm/interconnect/moments.h"
+#include "qwm/interconnect/pi_model.h"
+
+int main() {
+  using namespace qwm;
+
+  const device::Process base = device::Process::cmosp35();
+  const device::TabularDeviceModel nmos(device::MosType::nmos, base);
+  const device::TabularDeviceModel pmos(device::MosType::pmos, base);
+
+  std::printf("Decoder tree decode time vs depth and wire resistivity\n");
+  std::printf("(base wire 100 um, doubling per level)\n\n");
+  std::printf("%7s", "levels");
+  for (double rs : {0.075, 0.5, 2.0, 8.0}) std::printf("  rs=%-5.3g", rs);
+  std::printf("   [ohm/sq]\n");
+
+  for (int levels : {1, 2, 3, 4}) {
+    std::printf("%7d", levels);
+    for (double rs : {0.075, 0.5, 2.0, 8.0}) {
+      device::Process proc = base;
+      proc.wire.r_sheet = rs;
+      const device::ModelSet models{&nmos, &pmos, &proc};
+      const circuit::BuiltStage tree = circuit::make_decoder_tree(
+          proc, levels, circuit::fanout_load_cap(proc), 100e-6);
+      std::vector<numeric::PwlWaveform> inputs(
+          tree.stage.input_count(),
+          numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd));
+      const core::StageTiming t = core::evaluate_stage(tree, inputs, models);
+      if (t.ok && t.delay)
+        std::printf(" %7.1fps", *t.delay * 1e12);
+      else
+        std::printf(" %9s", "fail");
+    }
+    std::printf("\n");
+  }
+
+  // AWE view of the deepest wire: Elmore vs multi-pole 50% delay.
+  std::printf("\nLongest wire (level 3: 800 um) as an RC line, "
+              "resistive layer:\n");
+  device::WireParams wp = base.wire;
+  wp.r_sheet = 2.0;
+  int far = -1;
+  const auto tree = interconnect::RcTree::from_wire(wp, 0.6e-6, 800e-6, 100,
+                                                    &far);
+  const auto elmore = interconnect::elmore_delays(tree);
+  const auto m = interconnect::voltage_moments(tree, 6);
+  std::vector<double> mom{1.0};
+  for (int k = 1; k <= 5; ++k) mom.push_back(m[k][far]);
+  const auto awe = interconnect::awe_reduce(mom, 3);
+  std::printf("  Elmore delay: %.2f ps\n", elmore[far] * 1e12);
+  if (awe) {
+    const auto t50 = awe->step_crossing(0.5);
+    std::printf("  AWE %d-pole 50%% delay: %.2f ps (Elmore overestimates "
+                "by %.0f%%)\n", awe->order, t50.value_or(0) * 1e12,
+                100.0 * (elmore[far] / t50.value_or(1e9) - 1.0));
+  }
+  const auto pi = interconnect::reduce_to_pi(tree);
+  std::printf("  pi-model: C_near %.1f fF | R %.1f ohm | C_far %.1f fF\n",
+              pi.c_near * 1e15, pi.r, pi.c_far * 1e15);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Manchester carry chain analysis (paper Fig. 2 / Example 2).
+//
+// The carry chain is the paper's motivating case for transistor-level
+// analysis: each bit-slice's output is channel-connected to the next
+// slice, so the cells do not map to pre-characterizable gates — the
+// worst-case carry ripple is a long NMOS path that must be evaluated
+// on the fly. This example evaluates the generate-at-bit-0 ripple for
+// increasing chain lengths and prints per-carry-node timing.
+#include <cstdio>
+
+#include "qwm/circuit/builders.h"
+#include "qwm/circuit/path.h"
+#include "qwm/core/stage_eval.h"
+#include "qwm/device/tabular_model.h"
+
+int main() {
+  using namespace qwm;
+
+  const device::Process proc = device::Process::cmosp35();
+  const device::TabularDeviceModel nmos(device::MosType::nmos, proc);
+  const device::TabularDeviceModel pmos(device::MosType::pmos, proc);
+  const device::ModelSet models{&nmos, &pmos, &proc};
+
+  std::printf("Manchester carry chain: worst-case ripple (G0 fires, all "
+              "P_i high)\n\n");
+  std::printf("%6s %12s %14s %12s\n", "bits", "path FETs", "carry-out "
+              "delay", "regions");
+  for (int bits : {2, 4, 6, 8}) {
+    const circuit::BuiltStage chain = circuit::make_manchester_chain(
+        proc, bits, circuit::fanout_load_cap(proc));
+    std::vector<numeric::PwlWaveform> inputs(
+        chain.stage.input_count(),
+        numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd));
+    const core::StageTiming t = core::evaluate_stage(chain, inputs, models);
+    if (!t.ok) {
+      std::printf("%6d  FAILED: %s\n", bits, t.error.c_str());
+      continue;
+    }
+    std::printf("%6d %12zu %11.2f ps %12zu\n", bits,
+                t.problem.transistor_count(),
+                t.delay.value_or(0) * 1e12, t.qwm.stats.regions);
+  }
+
+  // Detailed per-node view of the 5-bit chain: every carry node's 50%
+  // crossing (the per-bit carry arrival).
+  std::printf("\n5-bit chain, per-carry-node 50%% arrivals:\n");
+  const circuit::BuiltStage chain = circuit::make_manchester_chain(
+      proc, 5, circuit::fanout_load_cap(proc));
+  std::vector<numeric::PwlWaveform> inputs(
+      chain.stage.input_count(),
+      numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd));
+  const core::StageTiming t = core::evaluate_stage(chain, inputs, models);
+  if (!t.ok) {
+    std::fprintf(stderr, "evaluation failed: %s\n", t.error.c_str());
+    return 1;
+  }
+  for (std::size_t k = 0; k < t.qwm.node_waveforms.size(); ++k) {
+    const auto cross = t.qwm.node_waveforms[k].crossing(0.5 * proc.vdd);
+    std::printf("  %-4s : %8.2f ps\n",
+                chain.stage.node(t.problem.nodes[k]).name.c_str(),
+                cross.value_or(-1) * 1e12);
+  }
+  std::printf("\nThe staggered arrivals are the paper's critical-point "
+              "cascade:\neach pass transistor turns on when the carry node "
+              "below it falls\nto VDD - Vth.\n");
+  return 0;
+}

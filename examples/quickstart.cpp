@@ -1,0 +1,95 @@
+// Quickstart: evaluate one logic stage with QWM and cross-check it
+// against the bundled SPICE-class baseline.
+//
+//   1. Build device models for the CMOSP35-class process (the tabular
+//      model characterizes itself from the golden physics on
+//      construction — the paper's curve-fit table).
+//   2. Build a NAND3 stage and give its latest input a rising step.
+//   3. Run QWM: the output waveform comes back as piecewise-quadratic
+//      regions separated by the critical points.
+//   4. Run the transient baseline on the same stage and compare.
+#include <cstdio>
+
+#include "qwm/circuit/builders.h"
+#include "qwm/core/stage_eval.h"
+#include "qwm/device/model_set.h"
+#include "qwm/device/tabular_model.h"
+#include "qwm/spice/from_stage.h"
+#include "qwm/spice/transient.h"
+
+int main() {
+  using namespace qwm;
+
+  // --- 1. Process and device models -------------------------------------
+  const device::Process proc = device::Process::cmosp35();
+  const device::TabularDeviceModel nmos(device::MosType::nmos, proc);
+  const device::TabularDeviceModel pmos(device::MosType::pmos, proc);
+  const device::ModelSet models{&nmos, &pmos, &proc};
+  std::printf("Process: VDD=%.1f V, Lmin=%.2f um\n", proc.vdd,
+              proc.l_min * 1e6);
+
+  // --- 2. A NAND3 stage with a fanout-of-4 load --------------------------
+  const circuit::BuiltStage nand3 =
+      circuit::make_nand(proc, 3, circuit::fanout_load_cap(proc));
+  std::vector<numeric::PwlWaveform> inputs;
+  for (std::size_t i = 0; i < nand3.stage.input_count(); ++i) {
+    if (static_cast<int>(i) == nand3.switching_input)
+      inputs.push_back(numeric::PwlWaveform::ramp(10e-12, 40e-12, 0.0,
+                                                  proc.vdd));
+    else
+      inputs.push_back(numeric::PwlWaveform::constant(proc.vdd));
+  }
+
+  // --- 3. QWM evaluation --------------------------------------------------
+  const core::StageTiming timing =
+      core::evaluate_stage(nand3, inputs, models);
+  if (!timing.ok) {
+    std::fprintf(stderr, "QWM failed: %s\n", timing.error.c_str());
+    return 1;
+  }
+  std::printf("\nQWM: %zu regions, %zu Newton iterations, "
+              "%zu device-model queries\n",
+              timing.qwm.stats.regions, timing.qwm.stats.newton_iterations,
+              timing.qwm.stats.device_evals);
+  std::printf("Critical points [ps]:");
+  for (std::size_t i = 0; i < timing.qwm.critical_times.size() && i < 3; ++i)
+    std::printf(" %.1f", timing.qwm.critical_times[i] * 1e12);
+  std::printf(" ... (%zu total)\n", timing.qwm.critical_times.size());
+  std::printf("Delay (50%%-50%%): %.2f ps, output slew (90-10): %.2f ps\n",
+              timing.delay.value_or(0) * 1e12,
+              timing.output_slew.value_or(0) * 1e12);
+
+  // --- 4. Cross-check against the SPICE baseline --------------------------
+  spice::StageSim sim =
+      spice::circuit_from_stage(nand3.stage, models, inputs);
+  for (std::size_t n = 0; n < nand3.stage.node_count(); ++n) {
+    const auto id = static_cast<circuit::NodeId>(n);
+    if (!nand3.stage.is_rail(id))
+      sim.circuit.set_ic(sim.node_of[n], proc.vdd);  // precharged worst case
+  }
+  spice::TransientOptions opt;
+  opt.t_stop = 600e-12;
+  opt.dt = 1e-12;
+  const spice::TransientResult ref =
+      spice::simulate_transient(sim.circuit, opt);
+
+  const auto t_in =
+      inputs[nand3.switching_input].crossing(0.5 * proc.vdd, 0.0, true);
+  const auto t_out = ref.waveforms[sim.node_of[nand3.output]].crossing(
+      0.5 * proc.vdd, *t_in, false);
+  const double ref_delay = *t_out - *t_in;
+  std::printf("\nSPICE baseline (1 ps steps, %zu steps, %zu NR iterations): "
+              "delay %.2f ps\n", ref.stats.steps, ref.stats.nr_iterations,
+              ref_delay * 1e12);
+  std::printf("QWM delay error vs baseline: %.2f%%\n",
+              100.0 * (timing.delay.value_or(0) - ref_delay) / ref_delay);
+
+  // Sampled waveform comparison at a few instants.
+  std::printf("\n  t[ps]   QWM[V]  SPICE[V]\n");
+  for (double t : {50e-12, 100e-12, 150e-12, 200e-12, 300e-12}) {
+    std::printf("%7.0f %8.3f %9.3f\n", t * 1e12,
+                timing.qwm.output_waveform().eval(t),
+                ref.waveforms[sim.node_of[nand3.output]].eval(t));
+  }
+  return 0;
+}

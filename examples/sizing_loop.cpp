@@ -1,0 +1,109 @@
+// Transistor sizing with incremental STA in the loop — the use case the
+// paper motivates: fast on-the-fly stage evaluation makes transistor-
+// level timing cheap enough to sit inside an optimizer's inner loop.
+//
+// A greedy sizing pass over an inverter chain driving a large load:
+// repeatedly upsize the device whose widening improves the worst arrival
+// most per unit of added width, re-timing only the affected cone each
+// trial (incremental update).
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "qwm/circuit/partition.h"
+#include "qwm/device/tabular_model.h"
+#include "qwm/netlist/parser.h"
+#include "qwm/sta/sta.h"
+
+namespace {
+
+std::string chain_deck(int stages) {
+  std::ostringstream os;
+  os << "sizing chain\nvdd vdd 0 3.3\nvin n0 0 0\n";
+  for (int i = 0; i < stages; ++i) {
+    os << "mp" << i << " n" << i + 1 << " n" << i
+       << " vdd vdd pmos w=2u l=0.35u\n";
+    os << "mn" << i << " n" << i + 1 << " n" << i
+       << " 0 0 nmos w=1u l=0.35u\n";
+  }
+  os << "cl n" << stages << " 0 400f\n";  // heavy output load
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace qwm;
+
+  const device::Process proc = device::Process::cmosp35();
+  const device::TabularDeviceModel nmos(device::MosType::nmos, proc);
+  const device::TabularDeviceModel pmos(device::MosType::pmos, proc);
+  const device::ModelSet models{&nmos, &pmos, &proc};
+
+  const int stages = 4;
+  const auto parsed = netlist::parse_spice(chain_deck(stages));
+  if (!parsed.ok()) return 1;
+  auto design = circuit::partition_netlist(parsed.netlist, models);
+  sta::StaEngine sta(std::move(design), models);
+  sta.run();
+  double worst = sta.worst_arrival();
+  std::printf("4-stage chain into 400 fF: initial worst arrival %.1f ps\n\n",
+              worst * 1e12);
+
+  // Candidate edits: every transistor, width multipliers applied greedily.
+  struct Candidate {
+    int stage;
+    circuit::EdgeId edge;
+    double width;
+  };
+  std::vector<Candidate> cands;
+  for (std::size_t s = 0; s < sta.design().stages.size(); ++s)
+    for (std::size_t e = 0; e < sta.design().stages[s].stage.edge_count(); ++e)
+      cands.push_back({static_cast<int>(s), static_cast<circuit::EdgeId>(e),
+                       sta.design().stages[s].stage
+                           .edge(static_cast<circuit::EdgeId>(e)).w});
+
+  const double kMaxWidth = 40e-6;
+  std::size_t total_evals = 0;
+  std::printf("%5s %-28s %12s %12s %8s\n", "iter", "edit", "arrival",
+              "improvement", "evals");
+  for (int iter = 1; iter <= 12; ++iter) {
+    int best = -1;
+    double best_gain_per_um = 0.0, best_arrival = worst;
+    // Trial loop: each trial is an incremental re-time of the edited cone.
+    for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+      Candidate& c = cands[ci];
+      const double new_w = c.width * 1.6;
+      if (new_w > kMaxWidth) continue;
+      sta.resize_transistor(c.stage, c.edge, new_w);
+      total_evals += sta.update();
+      const double arr = sta.worst_arrival();
+      // Revert.
+      sta.resize_transistor(c.stage, c.edge, c.width);
+      total_evals += sta.update();
+      const double gain = worst - arr;
+      const double gain_per_um = gain / ((new_w - c.width) * 1e6);
+      if (gain_per_um > best_gain_per_um) {
+        best_gain_per_um = gain_per_um;
+        best = static_cast<int>(ci);
+        best_arrival = arr;
+      }
+    }
+    if (best < 0 || worst - best_arrival < 0.5e-12) break;
+    Candidate& c = cands[best];
+    const double new_w = c.width * 1.6;
+    sta.resize_transistor(c.stage, c.edge, new_w);
+    total_evals += sta.update();
+    std::printf("%5d stage %d edge %d: %4.1fu -> %4.1fu %9.1f ps %10.1f ps "
+                "%8zu\n", iter, c.stage, c.edge, c.width * 1e6, new_w * 1e6,
+                best_arrival * 1e12, (worst - best_arrival) * 1e12,
+                total_evals);
+    c.width = new_w;
+    worst = best_arrival;
+  }
+  std::printf("\nFinal worst arrival: %.1f ps, using %zu incremental QWM "
+              "stage evaluations in total.\n", worst * 1e12, total_evals);
+  std::printf("(Every trial re-timed only the edited fanout cone — the\n"
+              "transistor-level speed that makes sizing loops practical.)\n");
+  return 0;
+}

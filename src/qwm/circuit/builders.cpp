@@ -1,0 +1,289 @@
+#include "qwm/circuit/builders.h"
+
+#include <cassert>
+
+#include "qwm/device/device_model.h"
+
+namespace qwm::circuit {
+
+namespace {
+
+double def_wn(const device::Process& p, double wn) {
+  return wn > 0.0 ? wn : p.w_min;
+}
+double def_wp(const device::Process& p, double wp) {
+  return wp > 0.0 ? wp : 2.0 * p.w_min;
+}
+
+}  // namespace
+
+double fanout_load_cap(const device::Process& proc, double fanout) {
+  const double cn = device::gate_input_cap(proc.nmos, proc.w_min, proc.l_min);
+  const double cp =
+      device::gate_input_cap(proc.pmos, 2.0 * proc.w_min, proc.l_min);
+  return fanout * (cn + cp);
+}
+
+BuiltStage make_inverter(const device::Process& proc, double load_cap,
+                         double wn, double wp) {
+  BuiltStage b(proc.vdd);
+  LogicStage& s = b.stage;
+  const NodeId out = s.add_node("out");
+  const InputId in = s.add_input("a");
+  const EdgeId mp =
+      s.add_edge(DeviceKind::pmos, s.source(), out, def_wp(proc, wp), proc.l_min);
+  const EdgeId mn =
+      s.add_edge(DeviceKind::nmos, out, s.sink(), def_wn(proc, wn), proc.l_min);
+  s.set_gate_input(mp, in);
+  s.set_gate_input(mn, in);
+  s.add_output(out);
+  s.set_load_cap(out, load_cap);
+  b.output = out;
+  b.switching_input = in;
+  b.output_falls = true;  // rising input discharges the output
+  return b;
+}
+
+BuiltStage make_nand(const device::Process& proc, int n, double load_cap,
+                     double wn, double wp) {
+  assert(n >= 2);
+  BuiltStage b(proc.vdd);
+  LogicStage& s = b.stage;
+  const NodeId out = s.add_node("out");
+  std::vector<InputId> ins;
+  for (int i = 0; i < n; ++i) ins.push_back(s.add_input("a" + std::to_string(i)));
+
+  // Parallel PMOS pull-ups.
+  for (int i = 0; i < n; ++i) {
+    const EdgeId mp = s.add_edge(DeviceKind::pmos, s.source(), out,
+                                 def_wp(proc, wp), proc.l_min);
+    s.set_gate_input(mp, ins[i]);
+  }
+  // Series NMOS pulldown stack: out = top, GND at the bottom. Input a0
+  // gates the bottom device (the worst-case late arrival in the paper's
+  // longest-path analysis).
+  NodeId below = s.sink();
+  for (int i = 0; i < n; ++i) {
+    const NodeId above =
+        (i == n - 1) ? out : s.add_node("n" + std::to_string(i + 1));
+    const EdgeId mn =
+        s.add_edge(DeviceKind::nmos, above, below, def_wn(proc, wn), proc.l_min);
+    s.set_gate_input(mn, ins[i]);
+    below = above;
+  }
+  s.add_output(out);
+  s.set_load_cap(out, load_cap);
+  b.output = out;
+  b.switching_input = ins[0];
+  b.output_falls = true;
+  return b;
+}
+
+BuiltStage make_nor(const device::Process& proc, int n, double load_cap,
+                    double wn, double wp) {
+  assert(n >= 2);
+  BuiltStage b(proc.vdd);
+  LogicStage& s = b.stage;
+  const NodeId out = s.add_node("out");
+  std::vector<InputId> ins;
+  for (int i = 0; i < n; ++i) ins.push_back(s.add_input("a" + std::to_string(i)));
+
+  // Parallel NMOS pulldowns.
+  for (int i = 0; i < n; ++i) {
+    const EdgeId mn = s.add_edge(DeviceKind::nmos, out, s.sink(),
+                                 def_wn(proc, wn), proc.l_min);
+    s.set_gate_input(mn, ins[i]);
+  }
+  // Series PMOS pull-up stack; a0 gates the top (VDD-adjacent) device.
+  NodeId above = s.source();
+  for (int i = 0; i < n; ++i) {
+    const NodeId below =
+        (i == n - 1) ? out : s.add_node("p" + std::to_string(i + 1));
+    const EdgeId mp = s.add_edge(DeviceKind::pmos, above, below,
+                                 def_wp(proc, wp), proc.l_min);
+    s.set_gate_input(mp, ins[i]);
+    above = below;
+  }
+  s.add_output(out);
+  s.set_load_cap(out, load_cap);
+  b.output = out;
+  b.switching_input = ins[0];
+  b.output_falls = false;
+  return b;
+}
+
+BuiltStage make_nmos_stack(const device::Process& proc,
+                           const std::vector<double>& widths, double load_cap,
+                           double l) {
+  assert(!widths.empty());
+  if (l <= 0.0) l = proc.l_min;
+  BuiltStage b(proc.vdd);
+  LogicStage& s = b.stage;
+  const InputId in = s.add_input("g0");
+
+  NodeId below = s.sink();
+  NodeId top = -1;
+  const int k = static_cast<int>(widths.size());
+  for (int i = 0; i < k; ++i) {
+    const NodeId above = s.add_node("n" + std::to_string(i + 1));
+    const EdgeId m = s.add_edge(DeviceKind::nmos, above, below, widths[i], l);
+    if (i == 0)
+      s.set_gate_input(m, in);
+    else
+      s.set_gate_static(m, proc.vdd);
+    below = above;
+    top = above;
+  }
+  s.add_output(top);
+  s.set_load_cap(top, load_cap);
+  b.output = top;
+  b.switching_input = in;
+  b.output_falls = true;
+  return b;
+}
+
+BuiltStage make_pmos_stack(const device::Process& proc,
+                           const std::vector<double>& widths, double load_cap,
+                           double l) {
+  assert(!widths.empty());
+  if (l <= 0.0) l = proc.l_min;
+  BuiltStage b(proc.vdd);
+  LogicStage& s = b.stage;
+  const InputId in = s.add_input("g0");
+
+  NodeId above = s.source();
+  NodeId bottom = -1;
+  const int k = static_cast<int>(widths.size());
+  for (int i = 0; i < k; ++i) {
+    const NodeId below = s.add_node("p" + std::to_string(i + 1));
+    const EdgeId m = s.add_edge(DeviceKind::pmos, above, below, widths[i], l);
+    if (i == 0)
+      s.set_gate_input(m, in);  // VDD-adjacent device switches (falls)
+    else
+      s.set_gate_static(m, 0.0);
+    above = below;
+    bottom = below;
+  }
+  s.add_output(bottom);
+  s.set_load_cap(bottom, load_cap);
+  b.output = bottom;
+  b.switching_input = in;
+  b.output_falls = false;
+  return b;
+}
+
+BuiltStage make_manchester_chain(const device::Process& proc, int bits,
+                                 double load_cap) {
+  assert(bits >= 1);
+  BuiltStage b(proc.vdd);
+  LogicStage& s = b.stage;
+  const double wn = proc.w_min;
+  const double wp = 2.0 * proc.w_min;
+
+  const InputId g0 = s.add_input("G0");
+  // Carry nodes C0..C_{bits-1}; C0 is pulled down by the generate device
+  // of bit 0, then the carry ripples through the propagate pass chain.
+  NodeId prev = -1;
+  for (int i = 0; i < bits; ++i) {
+    const NodeId c = s.add_node("C" + std::to_string(i));
+    // Precharge PMOS, clock phi held high (off) during evaluation.
+    const EdgeId mp = s.add_edge(DeviceKind::pmos, s.source(), c, wp, proc.l_min);
+    s.set_gate_static(mp, proc.vdd);
+    if (i == 0) {
+      // Generate pulldown of bit 0: the switching device.
+      const EdgeId mg = s.add_edge(DeviceKind::nmos, c, s.sink(), wn, proc.l_min);
+      s.set_gate_input(mg, g0);
+    } else {
+      // Propagate pass transistor from the previous carry node, P_i = 1.
+      const EdgeId mpass = s.add_edge(DeviceKind::nmos, c, prev, wn, proc.l_min);
+      s.set_gate_static(mpass, proc.vdd);
+      // Generate pulldown of this bit, G_i = 0 (off) in the ripple case.
+      const EdgeId mg = s.add_edge(DeviceKind::nmos, c, s.sink(), wn, proc.l_min);
+      s.set_gate_static(mg, 0.0);
+    }
+    s.add_output(c);
+    prev = c;
+  }
+  s.set_load_cap(prev, load_cap);
+  b.output = prev;
+  b.switching_input = g0;
+  b.output_falls = true;
+  return b;
+}
+
+BuiltStage make_decoder_tree(const device::Process& proc, int levels,
+                             double load_cap, double wire_l0, double wire_w) {
+  assert(levels >= 1);
+  BuiltStage b(proc.vdd);
+  LogicStage& s = b.stage;
+  const double wn = proc.w_min;
+
+  const InputId phi = s.add_input("phi");
+  // Root pulldown (the word-line evaluation device).
+  const NodeId root = s.add_node("root");
+  const EdgeId mroot = s.add_edge(DeviceKind::nmos, root, s.sink(), wn, proc.l_min);
+  s.set_gate_input(mroot, phi);
+
+  // One root->leaf path is selected; at each level the selected pass
+  // transistor (gate at VDD) conducts and its sibling (gate at 0) hangs
+  // off the same wire end as a junction load.
+  NodeId below = root;
+  double wl = wire_l0;
+  for (int lev = 0; lev < levels; ++lev) {
+    const std::string tag = std::to_string(lev);
+    const NodeId wire_far = s.add_node("w" + tag);
+    s.add_edge(DeviceKind::wire, wire_far, below, wire_w, wl);
+    const NodeId sel = s.add_node("a" + tag);
+    const EdgeId msel = s.add_edge(DeviceKind::nmos, sel, wire_far, wn, proc.l_min);
+    s.set_gate_static(msel, proc.vdd);
+    const NodeId sib = s.add_node("b" + tag);
+    const EdgeId msib = s.add_edge(DeviceKind::nmos, sib, wire_far, wn, proc.l_min);
+    s.set_gate_static(msib, 0.0);
+    below = sel;
+    wl *= 2.0;  // wire length doubles with the tree level (paper Fig. 3)
+  }
+  s.add_output(below);
+  s.set_load_cap(below, load_cap);
+  b.output = below;
+  b.switching_input = phi;
+  b.output_falls = true;
+  return b;
+}
+
+BuiltStage make_nand_pass_stage(const device::Process& proc, double load_cap,
+                                double wire_l, double wire_w) {
+  BuiltStage b(proc.vdd);
+  LogicStage& s = b.stage;
+  const double wn = proc.w_min;
+  const double wp = 2.0 * proc.w_min;
+
+  const InputId a = s.add_input("a");
+  const InputId bin = s.add_input("b");
+  const NodeId y = s.add_node("y");  // NAND output / pass input
+  // NAND2: parallel PMOS, series NMOS.
+  const EdgeId mpa = s.add_edge(DeviceKind::pmos, s.source(), y, wp, proc.l_min);
+  const EdgeId mpb = s.add_edge(DeviceKind::pmos, s.source(), y, wp, proc.l_min);
+  const NodeId mid = s.add_node("m");
+  const EdgeId mna = s.add_edge(DeviceKind::nmos, y, mid, wn, proc.l_min);
+  const EdgeId mnb = s.add_edge(DeviceKind::nmos, mid, s.sink(), wn, proc.l_min);
+  s.set_gate_input(mpa, a);
+  s.set_gate_input(mpb, bin);
+  s.set_gate_input(mna, a);
+  s.set_gate_input(mnb, bin);
+
+  // Pass transistor M1 (gate enabled) and wire W1 to the stage output.
+  const NodeId py = s.add_node("py");
+  const EdgeId mpass = s.add_edge(DeviceKind::nmos, y, py, wn, proc.l_min);
+  s.set_gate_static(mpass, proc.vdd);
+  const NodeId out = s.add_node("out");
+  s.add_edge(DeviceKind::wire, py, out, wire_w, wire_l);
+
+  s.add_output(out);
+  s.set_load_cap(out, load_cap);
+  b.output = out;
+  b.switching_input = a;
+  b.output_falls = true;
+  return b;
+}
+
+}  // namespace qwm::circuit

@@ -1,0 +1,82 @@
+// Programmatic constructors for the circuits used throughout the paper:
+// standard gates (Table I), NMOS stacks with per-transistor widths
+// (Table II, Figs. 6/7/9), the Manchester carry chain (Fig. 2), the
+// memory decoder tree with exponentially growing wires (Figs. 3/10), and
+// the motivating NAND + pass-transistor stage (Fig. 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qwm/circuit/stage.h"
+#include "qwm/device/process.h"
+
+namespace qwm::circuit {
+
+/// A constructed stage plus the bookkeeping the analyses need.
+struct BuiltStage {
+  LogicStage stage;
+  NodeId output = -1;           ///< primary output node
+  InputId switching_input = -1; ///< the worst-case switching input
+  bool output_falls = true;     ///< worst-case event direction at `output`
+
+  explicit BuiltStage(double vdd) : stage(vdd) {}
+};
+
+/// Capacitance of a fanout-of-`fanout` minimum inverter input — the
+/// default load attached to gate outputs.
+double fanout_load_cap(const device::Process& proc, double fanout = 4.0);
+
+/// Static CMOS inverter; worst case = rising input discharging the output.
+BuiltStage make_inverter(const device::Process& proc, double load_cap,
+                         double wn = 0.0, double wp = 0.0);
+
+/// n-input NAND: n series NMOS, n parallel PMOS. The switching input is
+/// the gate of the bottom-most series transistor (longest discharge path).
+BuiltStage make_nand(const device::Process& proc, int n, double load_cap,
+                     double wn = 0.0, double wp = 0.0);
+
+/// n-input NOR: n series PMOS, n parallel NMOS. The switching input is the
+/// gate of the top-most series transistor (longest charge path).
+BuiltStage make_nor(const device::Process& proc, int n, double load_cap,
+                    double wn = 0.0, double wp = 0.0);
+
+/// A stack of `widths.size()` NMOS transistors from GND to the output
+/// (paper Fig. 6). widths[0] is the bottom (GND-adjacent) device, whose
+/// gate is the switching input; every other gate is static at VDD.
+BuiltStage make_nmos_stack(const device::Process& proc,
+                           const std::vector<double>& widths, double load_cap,
+                           double l = 0.0);
+
+/// Dual stack of PMOS transistors from VDD to the output; worst-case
+/// charge event, switching input at the top (VDD-adjacent) device.
+BuiltStage make_pmos_stack(const device::Process& proc,
+                           const std::vector<double>& widths, double load_cap,
+                           double l = 0.0);
+
+/// Manchester carry chain (paper Fig. 2): per bit a precharge PMOS
+/// (gate phi), a generate pulldown NMOS (gate G_i), and a propagate pass
+/// NMOS (gate P_i) to the next carry node. The worst case is generate at
+/// bit 0 rippling through every pass transistor — a (bits+1)-transistor
+/// NMOS path. The switching input is G_0; outputs are all carry nodes.
+BuiltStage make_manchester_chain(const device::Process& proc, int bits,
+                                 double load_cap);
+
+/// Memory decoder tree (paper Fig. 3): `levels` levels of pass NMOS
+/// fanning out binary; the wire between level j and j+1 doubles in length
+/// each level (base length `wire_l0`, width `wire_w`). One root->leaf path
+/// is selected (static gates at VDD); sibling devices are off and hang as
+/// junction loads. The switching input is the root pulldown gate (phi);
+/// the output is the selected leaf.
+BuiltStage make_decoder_tree(const device::Process& proc, int levels,
+                             double load_cap, double wire_l0 = 50e-6,
+                             double wire_w = 0.6e-6);
+
+/// Fig. 1 motivating stage: a NAND2 whose output drives a pass NMOS and a
+/// wire segment before reaching the stage output. Demonstrates a cell
+/// boundary that is not a stage boundary.
+BuiltStage make_nand_pass_stage(const device::Process& proc, double load_cap,
+                                double wire_l = 100e-6,
+                                double wire_w = 0.6e-6);
+
+}  // namespace qwm::circuit

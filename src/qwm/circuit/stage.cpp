@@ -1,0 +1,123 @@
+#include "qwm/circuit/stage.h"
+
+#include <cassert>
+#include <queue>
+
+namespace qwm::circuit {
+
+LogicStage::LogicStage(double vdd) : vdd_(vdd) {
+  source_ = add_node("VDD");
+  sink_ = add_node("GND");
+}
+
+NodeId LogicStage::add_node(const std::string& name) {
+  nodes_.push_back(Node{name, {}, {}, 0.0});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+EdgeId LogicStage::add_edge(DeviceKind kind, NodeId src, NodeId snk, double w,
+                            double l) {
+  assert(src >= 0 && src < static_cast<NodeId>(nodes_.size()));
+  assert(snk >= 0 && snk < static_cast<NodeId>(nodes_.size()));
+  Edge e;
+  e.kind = kind;
+  e.src = src;
+  e.snk = snk;
+  e.w = w;
+  e.l = l;
+  edges_.push_back(e);
+  const EdgeId id = static_cast<EdgeId>(edges_.size() - 1);
+  nodes_[src].outgoing.push_back(id);
+  nodes_[snk].incoming.push_back(id);
+  return id;
+}
+
+InputId LogicStage::add_input(const std::string& name) {
+  input_names_.push_back(name);
+  return static_cast<InputId>(input_names_.size() - 1);
+}
+
+void LogicStage::set_gate_input(EdgeId e, InputId input) {
+  assert(edges_[e].kind != DeviceKind::wire);
+  edges_[e].input = input;
+}
+
+void LogicStage::set_gate_static(EdgeId e, double voltage) {
+  assert(edges_[e].kind != DeviceKind::wire);
+  edges_[e].input = -1;
+  edges_[e].static_gate_voltage = voltage;
+}
+
+void LogicStage::add_output(NodeId n) { outputs_.push_back(n); }
+
+void LogicStage::set_load_cap(NodeId n, double cap) {
+  nodes_[n].load_cap = cap;
+}
+
+std::vector<EdgeId> LogicStage::incident_edges(NodeId n) const {
+  std::vector<EdgeId> out = nodes_[n].incoming;
+  out.insert(out.end(), nodes_[n].outgoing.begin(), nodes_[n].outgoing.end());
+  return out;
+}
+
+NodeId LogicStage::other_end(EdgeId e, NodeId n) const {
+  const Edge& edge = edges_[e];
+  return edge.src == n ? edge.snk : edge.src;
+}
+
+std::vector<std::string> LogicStage::validate() const {
+  std::vector<std::string> problems;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    const std::string tag = "edge " + std::to_string(i);
+    if (e.src < 0 || e.src >= static_cast<NodeId>(nodes_.size()) || e.snk < 0 ||
+        e.snk >= static_cast<NodeId>(nodes_.size()))
+      problems.push_back(tag + ": endpoint out of range");
+    if (e.src == e.snk) problems.push_back(tag + ": self loop");
+    if (!(e.w > 0.0) || !(e.l > 0.0))
+      problems.push_back(tag + ": non-positive geometry");
+    if (e.kind != DeviceKind::wire && e.input < 0 &&
+        (e.static_gate_voltage < -0.5 || e.static_gate_voltage > vdd_ + 0.5))
+      problems.push_back(tag + ": implausible static gate voltage");
+    if (e.kind != DeviceKind::wire && e.input >= 0 &&
+        e.input >= static_cast<InputId>(input_names_.size()))
+      problems.push_back(tag + ": gate bound to unknown input");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeId n = static_cast<NodeId>(i);
+    if (is_rail(n)) continue;
+    if (nodes_[i].incoming.empty() && nodes_[i].outgoing.empty())
+      problems.push_back("node " + nodes_[i].name + ": disconnected");
+  }
+  // Outputs must be reachable from a rail through the undirected graph.
+  std::vector<char> reach(nodes_.size(), 0);
+  std::queue<NodeId> q;
+  q.push(source_);
+  q.push(sink_);
+  reach[source_] = reach[sink_] = 1;
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop();
+    for (EdgeId e : incident_edges(n)) {
+      const NodeId m = other_end(e, n);
+      if (!reach[m]) {
+        reach[m] = 1;
+        q.push(m);
+      }
+    }
+  }
+  for (NodeId o : outputs_) {
+    if (o < 0 || o >= static_cast<NodeId>(nodes_.size()))
+      problems.push_back("output id out of range");
+    else if (!reach[o])
+      problems.push_back("output " + nodes_[o].name + ": unreachable from rails");
+  }
+  return problems;
+}
+
+device::MosType mos_type_of(DeviceKind k) {
+  assert(k != DeviceKind::wire);
+  return k == DeviceKind::nmos ? device::MosType::nmos : device::MosType::pmos;
+}
+
+}  // namespace qwm::circuit

@@ -1,0 +1,106 @@
+// CMOS logic stage as a polar directed graph (paper Definition 1).
+//
+// A stage is the unit of transistor-level timing analysis: a set of
+// channel-connected transistors and wire segments between the power rails.
+// Vertices are circuit nodes; edges are NMOS/PMOS transistors or wire
+// segments, oriented from the supply side (graph source = VDD) toward
+// ground (graph sink = GND). Stage inputs attach to transistor gates;
+// stage outputs are nodes observed by downstream stages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qwm/device/mosfet_physics.h"
+
+namespace qwm::circuit {
+
+using NodeId = int;
+using EdgeId = int;
+using InputId = int;
+
+enum class DeviceKind { nmos, pmos, wire };
+
+struct Node {
+  std::string name;
+  std::vector<EdgeId> incoming;
+  std::vector<EdgeId> outgoing;
+  double load_cap = 0.0;  ///< external load C_L attached at this node [F]
+};
+
+struct Edge {
+  DeviceKind kind = DeviceKind::nmos;
+  NodeId src = -1;  ///< supply-side endpoint
+  NodeId snk = -1;  ///< ground-side endpoint
+  double w = 0.0;   ///< transistor width or wire width [m]
+  double l = 0.0;   ///< transistor length or wire length [m]
+  /// Gate connection for transistors: an input index, or -1 when the gate
+  /// is held at `static_gate_voltage` for the whole analysis (the paper's
+  /// single-switching-input worst case keeps all other gates static).
+  InputId input = -1;
+  double static_gate_voltage = 0.0;
+  /// Wire edges only: explicit electrical values (e.g. from a parsed
+  /// netlist's R cards). Negative = derive from geometry and the process
+  /// wire parameters.
+  double explicit_r = -1.0;
+  double explicit_c = -1.0;
+};
+
+/// Polar directed graph <N, E, s, t, I, O>.
+class LogicStage {
+ public:
+  /// Creates the stage with its two polar terminals; `vdd` records the
+  /// supply value the rails represent.
+  explicit LogicStage(double vdd);
+
+  NodeId source() const { return source_; }  ///< the VDD rail node
+  NodeId sink() const { return sink_; }      ///< the GND rail node
+  double vdd() const { return vdd_; }
+
+  NodeId add_node(const std::string& name);
+  /// Adds a transistor or wire edge oriented src (supply side) -> snk.
+  EdgeId add_edge(DeviceKind kind, NodeId src, NodeId snk, double w, double l);
+
+  InputId add_input(const std::string& name);
+  void set_gate_input(EdgeId e, InputId input);
+  void set_gate_static(EdgeId e, double voltage);
+  void add_output(NodeId n);
+  void set_load_cap(NodeId n, double cap);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  const Node& node(NodeId n) const { return nodes_[n]; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  Edge& edge_mut(EdgeId e) { return edges_[e]; }
+  std::size_t input_count() const { return input_names_.size(); }
+  const std::string& input_name(InputId i) const { return input_names_[i]; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  bool is_rail(NodeId n) const { return n == source_ || n == sink_; }
+
+  /// All edges incident to node n (incoming then outgoing).
+  std::vector<EdgeId> incident_edges(NodeId n) const;
+  /// The endpoint of edge e that is not node n.
+  NodeId other_end(EdgeId e, NodeId n) const;
+
+  /// Structural validation: every edge endpoint exists, transistor gates
+  /// are bound, widths/lengths positive, every non-rail node connects to
+  /// at least one edge, and every output is reachable from a rail through
+  /// the undirected edge set. Returns human-readable problems (empty =
+  /// valid).
+  std::vector<std::string> validate() const;
+
+ private:
+  double vdd_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::string> input_names_;
+  std::vector<NodeId> outputs_;
+  NodeId source_;
+  NodeId sink_;
+};
+
+/// device::MosType of a transistor edge kind (nmos/pmos only).
+device::MosType mos_type_of(DeviceKind k);
+
+}  // namespace qwm::circuit

@@ -1,0 +1,64 @@
+#include "qwm/core/elmore_eval.h"
+
+#include <cmath>
+
+namespace qwm::core {
+
+double effective_resistance(const device::DeviceModel& model, double w,
+                            double l, double vdd) {
+  // Mid-swing chord in the event frame. For NMOS: gate at VDD, source at
+  // 0, drain at VDD/2. PMOS mirrors through the model's own polarity
+  // handling (source at VDD, gate 0, drain at VDD/2).
+  device::TerminalVoltages tv;
+  double i;
+  if (model.mos_type() == device::MosType::nmos) {
+    tv.input = vdd;
+    tv.src = 0.5 * vdd;  // drain (edge src = supply side)
+    tv.snk = 0.0;
+    i = model.iv(w, l, tv);
+  } else {
+    tv.input = 0.0;
+    tv.src = vdd;         // source at the supply
+    tv.snk = 0.5 * vdd;   // drain half-swing
+    i = model.iv(w, l, tv);
+  }
+  const double i_abs = std::abs(i);
+  if (i_abs < 1e-15) return 1e15;  // effectively non-conducting
+  return 0.5 * vdd / i_abs;
+}
+
+ElmoreTiming evaluate_stage_elmore(const circuit::LogicStage& stage,
+                                   circuit::NodeId output, bool output_falls,
+                                   const device::ModelSet& models) {
+  ElmoreTiming out;
+  const auto path = circuit::extract_worst_path(stage, output, output_falls);
+  if (path.elements.empty()) {
+    out.error = "no conducting path from output to the event rail";
+    return out;
+  }
+  const auto prob = circuit::build_path_problem(stage, path, models);
+
+  // Per-element resistance, rail -> output.
+  for (const auto& el : prob.elements) {
+    if (el.kind == circuit::PathProblem::Element::Kind::resistor)
+      out.resistances.push_back(el.resistance);
+    else
+      out.resistances.push_back(
+          effective_resistance(*el.model, el.w, el.l, prob.vdd));
+  }
+
+  // Elmore at the output of a chain: sum over nodes of (cumulative
+  // resistance from the rail) * node cap.
+  double r_cum = 0.0;
+  double tau = 0.0;
+  for (std::size_t k = 0; k < prob.node_caps.size(); ++k) {
+    r_cum += out.resistances[k];
+    tau += r_cum * prob.node_caps[k];
+  }
+  out.elmore = tau;
+  out.delay = std::log(2.0) * tau;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace qwm::core

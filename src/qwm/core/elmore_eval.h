@@ -1,0 +1,42 @@
+// Switch-level (Elmore) stage evaluation: the Crystal/IRSIM-class
+// baseline of the paper's related work (§II). Each conducting transistor
+// becomes an effective resistance, the charge/discharge path becomes an
+// RC chain, and the delay is ln(2) times the output's Elmore time
+// constant. Fast and simple — and systematically cruder than QWM, which
+// is precisely the paper's motivation for waveform matching.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "qwm/circuit/path.h"
+#include "qwm/circuit/stage.h"
+#include "qwm/device/model_set.h"
+
+namespace qwm::core {
+
+struct ElmoreTiming {
+  bool ok = false;
+  std::string error;
+  /// Elmore time constant at the output [s].
+  double elmore = 0.0;
+  /// 50% delay estimate, ln(2) * elmore [s].
+  double delay = 0.0;
+  /// Per-element effective resistances, rail -> output [ohm].
+  std::vector<double> resistances;
+};
+
+/// Effective switching resistance of a transistor at full gate drive:
+/// R_eff = (VDD/2) / I(Vgs = VDD, Vds = VDD/2) — the classic mid-swing
+/// chord resistance used by switch-level timing analyzers.
+double effective_resistance(const device::DeviceModel& model, double w,
+                            double l, double vdd);
+
+/// Evaluates the worst-case event at `output` with the switch-level
+/// model. Uses the same path extraction and capacitance lumping as QWM,
+/// so differences against QWM isolate the evaluation model itself.
+ElmoreTiming evaluate_stage_elmore(const circuit::LogicStage& stage,
+                                   circuit::NodeId output, bool output_falls,
+                                   const device::ModelSet& models);
+
+}  // namespace qwm::core

@@ -1,0 +1,70 @@
+#include "qwm/core/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace qwm::core {
+
+ThresholdTable threshold_crossings(const PiecewiseQuadWaveform& w, double vdd,
+                                   bool falling,
+                                   const std::vector<double>& fractions) {
+  ThresholdTable t;
+  t.fractions = fractions;
+  for (double f : fractions) {
+    (void)falling;  // the analytic crossing search is direction-free; the
+                    // fractions themselves encode which edge is probed
+    t.times.push_back(w.crossing(f * vdd));
+  }
+  return t;
+}
+
+WaveformComparison compare_waveforms(const PiecewiseQuadWaveform& evaluated,
+                                     const numeric::PwlWaveform& ref,
+                                     double vdd, bool falling, double t0,
+                                     double t1,
+                                     const std::vector<double>& fractions,
+                                     int samples) {
+  WaveformComparison out;
+  out.fractions = fractions;
+
+  double sum_sq = 0.0;
+  for (int i = 0; i <= samples; ++i) {
+    const double t = t0 + (t1 - t0) * i / samples;
+    const double e = evaluated.eval(t) - ref.eval(t);
+    out.max_abs_error = std::max(out.max_abs_error, std::abs(e));
+    sum_sq += e * e;
+  }
+  out.rms_error = std::sqrt(sum_sq / (samples + 1));
+
+  for (double f : fractions) {
+    const double level = f * vdd;
+    const auto te = evaluated.crossing(level, t0);
+    const auto tr = ref.crossing(level, t0, falling ? std::optional<bool>(false)
+                                                    : std::optional<bool>(true));
+    if (te && tr) {
+      const double skew = *te - *tr;
+      out.crossing_skew.push_back(skew);
+      out.worst_skew = std::max(out.worst_skew, std::abs(skew));
+    } else {
+      out.crossing_skew.push_back(std::nullopt);
+    }
+  }
+  return out;
+}
+
+std::string format_comparison(const WaveformComparison& c) {
+  std::ostringstream os;
+  os << "max |error| " << c.max_abs_error * 1e3 << " mV, rms "
+     << c.rms_error * 1e3 << " mV\n";
+  for (std::size_t i = 0; i < c.fractions.size(); ++i) {
+    os << "  " << c.fractions[i] * 100 << "% crossing skew: ";
+    if (c.crossing_skew[i])
+      os << *c.crossing_skew[i] * 1e12 << " ps\n";
+    else
+      os << "n/a\n";
+  }
+  os << "worst skew " << c.worst_skew * 1e12 << " ps\n";
+  return os.str();
+}
+
+}  // namespace qwm::core

@@ -1,0 +1,111 @@
+#include "qwm/core/waveform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "qwm/numeric/roots.h"
+
+namespace qwm::core {
+
+void PiecewiseQuadWaveform::add_piece(double t0, double v0, double slope0,
+                                      double accel) {
+  assert(!finished_);
+  assert(pieces_.empty() || t0 >= pieces_.back().t0);
+  pieces_.push_back(Piece{t0, v0, slope0, accel});
+}
+
+void PiecewiseQuadWaveform::finish(double t_end, double v_end) {
+  assert(!finished_);
+  t_end_ = t_end;
+  v_end_ = v_end;
+  finished_ = true;
+}
+
+namespace {
+double piece_eval(const PiecewiseQuadWaveform::Piece& p, double t) {
+  const double dt = t - p.t0;
+  return p.v0 + (p.slope0 + p.accel * dt) * dt;
+}
+}  // namespace
+
+double PiecewiseQuadWaveform::eval(double t) const {
+  if (pieces_.empty()) return v_end_;
+  if (t <= pieces_.front().t0) return pieces_.front().v0;
+  if (finished_ && t >= t_end_) return v_end_;
+  // Find the piece containing t.
+  std::size_t i = 0;
+  while (i + 1 < pieces_.size() && pieces_[i + 1].t0 <= t) ++i;
+  return piece_eval(pieces_[i], t);
+}
+
+double PiecewiseQuadWaveform::slope(double t) const {
+  if (pieces_.empty() || t < pieces_.front().t0 || (finished_ && t > t_end_))
+    return 0.0;
+  std::size_t i = 0;
+  while (i + 1 < pieces_.size() && pieces_[i + 1].t0 <= t) ++i;
+  const double dt = t - pieces_[i].t0;
+  return pieces_[i].slope0 + 2.0 * pieces_[i].accel * dt;
+}
+
+std::optional<double> PiecewiseQuadWaveform::crossing(double level,
+                                                      double t_from) const {
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    const Piece& p = pieces_[i];
+    const double t1 =
+        (i + 1 < pieces_.size()) ? pieces_[i + 1].t0 : t_end_;
+    if (t1 < t_from || t1 <= p.t0) continue;
+    // Solve accel*dt^2 + slope0*dt + (v0 - level) = 0 within [0, t1-t0].
+    const auto roots =
+        numeric::quadratic_roots(p.accel, p.slope0, p.v0 - level);
+    for (double r : roots) {
+      const double t = p.t0 + r;
+      const double hi = t1 + 1e-18;
+      if (r >= -1e-18 && t <= hi && t >= t_from) return std::min(t, t1);
+    }
+  }
+  return std::nullopt;
+}
+
+numeric::PwlWaveform PiecewiseQuadWaveform::to_pwl(
+    int samples_per_piece) const {
+  numeric::PwlWaveform out;
+  if (pieces_.empty()) return out;
+  double last_t = -std::numeric_limits<double>::infinity();
+  const auto push = [&](double t, double v) {
+    if (t > last_t) {
+      out.append(t, v);
+      last_t = t;
+    }
+  };
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    const Piece& p = pieces_[i];
+    const double t1 = (i + 1 < pieces_.size()) ? pieces_[i + 1].t0 : t_end_;
+    if (t1 <= p.t0) {
+      push(p.t0, p.v0);
+      continue;
+    }
+    for (int k = 0; k < samples_per_piece; ++k) {
+      const double t =
+          p.t0 + (t1 - p.t0) * static_cast<double>(k) / samples_per_piece;
+      push(t, piece_eval(p, t));
+    }
+  }
+  push(t_end_, v_end_);
+  return out;
+}
+
+numeric::PwlWaveform PiecewiseQuadWaveform::critical_point_polyline() const {
+  numeric::PwlWaveform out;
+  double last_t = -std::numeric_limits<double>::infinity();
+  for (const Piece& p : pieces_) {
+    if (p.t0 > last_t) {
+      out.append(p.t0, p.v0);
+      last_t = p.t0;
+    }
+  }
+  if (t_end_ > last_t) out.append(t_end_, v_end_);
+  return out;
+}
+
+}  // namespace qwm::core

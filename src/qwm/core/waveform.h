@@ -1,0 +1,57 @@
+// Piecewise-quadratic waveforms: QWM's output representation.
+//
+// Each region contributes one quadratic piece per node,
+//   v(t) = v0 + s0 (t - t0) + a (t - t0)^2,   t0 <= t < t_next,
+// exactly the paper's Equation (6) with s0 = I(tau)/C and a = alpha/(2C).
+// Crossings are solved analytically per piece, so delay extraction does
+// not depend on any sampling grid.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "qwm/numeric/pwl.h"
+
+namespace qwm::core {
+
+class PiecewiseQuadWaveform {
+ public:
+  struct Piece {
+    double t0 = 0.0;
+    double v0 = 0.0;
+    double slope0 = 0.0;  ///< dv/dt at t0
+    double accel = 0.0;   ///< quadratic coefficient (0.5 * alpha / C)
+  };
+
+  /// Appends a piece starting at t0 (must be >= the previous start).
+  void add_piece(double t0, double v0, double slope0, double accel);
+  /// Marks the end of the last piece; the waveform holds `v_end` after.
+  void finish(double t_end, double v_end);
+
+  bool empty() const { return pieces_.empty(); }
+  std::size_t piece_count() const { return pieces_.size(); }
+  const Piece& piece(std::size_t i) const { return pieces_[i]; }
+  double end_time() const { return t_end_; }
+  double end_value() const { return v_end_; }
+
+  double eval(double t) const;
+  /// dv/dt at t (0 outside the defined range).
+  double slope(double t) const;
+
+  /// Earliest analytic crossing of `level` at or after t_from.
+  std::optional<double> crossing(double level, double t_from = 0.0) const;
+
+  /// Dense piecewise-linear sampling (n points per piece).
+  numeric::PwlWaveform to_pwl(int samples_per_piece = 8) const;
+  /// The paper's Fig. 9 rendering: straight lines connecting the region
+  /// boundary (critical point) values only.
+  numeric::PwlWaveform critical_point_polyline() const;
+
+ private:
+  std::vector<Piece> pieces_;
+  double t_end_ = 0.0;
+  double v_end_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace qwm::core

@@ -1,0 +1,71 @@
+#include "qwm/device/analytic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qwm::device {
+
+AnalyticDeviceModel::AnalyticDeviceModel(MosType type,
+                                         const MosfetParams& params,
+                                         double vdd, double temp_vt)
+    : physics_(type, params, temp_vt),
+      bulk_(type == MosType::nmos ? 0.0 : vdd) {}
+
+AnalyticDeviceModel AnalyticDeviceModel::nmos(const Process& p) {
+  return AnalyticDeviceModel(MosType::nmos, p.nmos, p.vdd, p.temp_vt);
+}
+
+AnalyticDeviceModel AnalyticDeviceModel::pmos(const Process& p) {
+  return AnalyticDeviceModel(MosType::pmos, p.pmos, p.vdd, p.temp_vt);
+}
+
+double AnalyticDeviceModel::iv(double w, double l,
+                               const TerminalVoltages& v) const {
+  return physics_.ids(w, l, v.input, v.src, v.snk, bulk_);
+}
+
+IvEval AnalyticDeviceModel::iv_eval(double w, double l,
+                                    const TerminalVoltages& v) const {
+  const MosfetEval e = physics_.eval(w, l, v.input, v.src, v.snk, bulk_);
+  return IvEval{e.ids, e.d_vg, e.d_va, e.d_vb};
+}
+
+double AnalyticDeviceModel::threshold(const TerminalVoltages& v) const {
+  // The conducting source is the lower channel terminal for NMOS, the
+  // higher for PMOS; vsb is measured source-to-bulk in the device frame.
+  double vsource, vsb;
+  if (physics_.type() == MosType::nmos) {
+    vsource = std::min(v.src, v.snk);
+    vsb = vsource - bulk_;
+  } else {
+    vsource = std::max(v.src, v.snk);
+    vsb = bulk_ - vsource;
+  }
+  return physics_.threshold(vsb);
+}
+
+double AnalyticDeviceModel::vdsat(double l, const TerminalVoltages& v) const {
+  double vgt;
+  if (physics_.type() == MosType::nmos) {
+    const double vs = std::min(v.src, v.snk);
+    vgt = v.input - vs - physics_.threshold(vs - bulk_);
+  } else {
+    const double vs = std::max(v.src, v.snk);
+    vgt = vs - v.input - physics_.threshold(bulk_ - vs);
+  }
+  return physics_.vdsat(std::max(vgt, 0.0), l);
+}
+
+double AnalyticDeviceModel::src_cap(double w, double l) const {
+  return channel_terminal_cap(physics_.params(), w, l);
+}
+
+double AnalyticDeviceModel::snk_cap(double w, double l) const {
+  return channel_terminal_cap(physics_.params(), w, l);
+}
+
+double AnalyticDeviceModel::input_cap(double w, double l) const {
+  return gate_input_cap(physics_.params(), w, l);
+}
+
+}  // namespace qwm::device

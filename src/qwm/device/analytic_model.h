@@ -1,0 +1,39 @@
+// DeviceModel backed directly by the golden analytical physics.
+//
+// This is the "no compression" reference implementation: every iv() query
+// evaluates the full MOSFET equations. The SPICE baseline uses it as its
+// ground-truth device model; the tabular model is validated against it.
+#pragma once
+
+#include "qwm/device/device_model.h"
+
+namespace qwm::device {
+
+class AnalyticDeviceModel : public DeviceModel {
+ public:
+  /// `vdd` sets the PMOS well bias (bulk voltage); NMOS bulk is ground.
+  AnalyticDeviceModel(MosType type, const MosfetParams& params, double vdd,
+                      double temp_vt);
+
+  /// Convenience constructor from a full process description.
+  static AnalyticDeviceModel nmos(const Process& p);
+  static AnalyticDeviceModel pmos(const Process& p);
+
+  MosType mos_type() const override { return physics_.type(); }
+  double iv(double w, double l, const TerminalVoltages& v) const override;
+  IvEval iv_eval(double w, double l, const TerminalVoltages& v) const override;
+  double threshold(const TerminalVoltages& v) const override;
+  double vdsat(double l, const TerminalVoltages& v) const override;
+  double src_cap(double w, double l) const override;
+  double snk_cap(double w, double l) const override;
+  double input_cap(double w, double l) const override;
+
+  const MosfetPhysics& physics() const { return physics_; }
+  double bulk_voltage() const { return bulk_; }
+
+ private:
+  MosfetPhysics physics_;
+  double bulk_;
+};
+
+}  // namespace qwm::device

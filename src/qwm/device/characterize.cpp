@@ -1,0 +1,144 @@
+#include "qwm/device/characterize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qwm::device {
+
+namespace {
+
+/// Golden channel current in the NMOS-normalized frame. For PMOS physics
+/// the query is mirrored (v -> VDD - v, bulk at VDD) and the current
+/// negated, so the sampled surface matches what TabularDeviceModel's
+/// mirrored lookups expect.
+double frame_ids(const MosfetPhysics& physics, double vdd, double w, double l,
+                 double vg, double vd, double vs) {
+  if (physics.type() == MosType::nmos)
+    return physics.ids(w, l, vg, vd, vs, 0.0);
+  return -physics.ids(w, l, vdd - vg, vdd - vd, vdd - vs, vdd);
+}
+
+/// Fits one grid point: samples the golden current over the triode and
+/// saturation Vds ranges and runs the two least-squares fits.
+CharacterizedPoint fit_point(const MosfetPhysics& physics, double vdd,
+                             double vs, double vg,
+                             const CharacterizationOptions& opt) {
+  CharacterizedPoint pt;
+  // vsb in the NMOS frame is vs (frame bulk sits at frame ground); the
+  // same value is the PMOS source-to-well bias after mirroring.
+  pt.vth = physics.threshold(vs);
+  const double vgt = std::max(vg - vs - pt.vth, 0.0);
+  pt.vdsat = physics.vdsat(vgt, opt.l_ref);
+
+  auto golden = [&](double u) {
+    // Channel current with drain at vs + u, source at vs, gate at vg.
+    return frame_ids(physics, vdd, opt.w_ref, opt.l_ref, vg, vs + u, vs);
+  };
+
+  const double u_top = std::max(vdd - vs, pt.vdsat) + opt.sat_margin;
+
+  // Triode fit: quadratic over [0, vdsat]. A device that is off (or whose
+  // triode region is negligible) keeps zero triode coefficients.
+  if (pt.vdsat > 1e-3) {
+    std::vector<double> us(opt.triode_samples), is(opt.triode_samples);
+    for (int k = 0; k < opt.triode_samples; ++k) {
+      us[k] = pt.vdsat * static_cast<double>(k) /
+              static_cast<double>(opt.triode_samples - 1);
+      is[k] = golden(us[k]);
+    }
+    const numeric::Polynomial p = numeric::polyfit(us, is, 2);
+    if (!p.coeffs.empty()) {
+      pt.t0 = p.coeffs[0];
+      pt.t1 = p.coeffs[1];
+      pt.t2 = p.coeffs[2];
+      pt.triode_fit = numeric::fit_quality(p, us, is);
+    }
+  }
+
+  // Saturation fit: linear over [vdsat, u_top].
+  {
+    std::vector<double> us(opt.sat_samples), is(opt.sat_samples);
+    const double u_lo = pt.vdsat;
+    const double u_hi = std::max(u_top, u_lo + 0.05);
+    for (int k = 0; k < opt.sat_samples; ++k) {
+      us[k] = u_lo + (u_hi - u_lo) * static_cast<double>(k) /
+                         static_cast<double>(opt.sat_samples - 1);
+      is[k] = golden(us[k]);
+    }
+    const numeric::Polynomial p = numeric::polyfit(us, is, 1);
+    if (!p.coeffs.empty()) {
+      pt.s0 = p.coeffs[0];
+      pt.s1 = p.coeffs[1];
+      pt.sat_fit = numeric::fit_quality(p, us, is);
+    }
+  }
+  return pt;
+}
+
+}  // namespace
+
+CharacterizationGrid::Stats CharacterizationGrid::stats(
+    double active_current) const {
+  Stats s;
+  s.grid_points = points.size();
+  if (points.empty()) return s;
+  const double u_probe = vs_axis.dx * static_cast<double>(vs_axis.n);
+  for (const auto& p : points) {
+    s.worst_rms_triode = std::max(s.worst_rms_triode, p.triode_fit.rms_error);
+    s.worst_rms_sat = std::max(s.worst_rms_sat, p.sat_fit.rms_error);
+    if (std::abs(p.eval(u_probe)) < active_current) continue;
+    ++s.active_points;
+    s.mean_r2_triode += p.triode_fit.r_squared;
+    s.mean_r2_sat += p.sat_fit.r_squared;
+  }
+  if (s.active_points > 0) {
+    s.mean_r2_triode /= static_cast<double>(s.active_points);
+    s.mean_r2_sat /= static_cast<double>(s.active_points);
+  }
+  return s;
+}
+
+CharacterizationGrid characterize(const MosfetPhysics& physics, double vdd,
+                                  const CharacterizationOptions& options) {
+  assert(options.grid_step > 0.0 && vdd > 0.0);
+  CharacterizationGrid grid;
+  const std::size_t n =
+      static_cast<std::size_t>(std::round(vdd / options.grid_step)) + 1;
+  grid.vs_axis = numeric::UniformAxis{0.0, options.grid_step, n};
+  grid.vg_axis = numeric::UniformAxis{0.0, options.grid_step, n};
+  grid.w_ref = options.w_ref;
+  grid.l_ref = options.l_ref;
+  grid.points.reserve(n * n);
+  for (std::size_t ivs = 0; ivs < n; ++ivs) {
+    const double vs = grid.vs_axis.coord(ivs);
+    for (std::size_t ivg = 0; ivg < n; ++ivg) {
+      const double vg = grid.vg_axis.coord(ivg);
+      grid.points.push_back(fit_point(physics, vdd, vs, vg, options));
+    }
+  }
+  return grid;
+}
+
+IvFitCurve sample_iv_fit(const MosfetPhysics& physics, double vdd, double vs,
+                         double vg, const CharacterizationOptions& options,
+                         int plot_samples) {
+  IvFitCurve curve;
+  curve.vs = vs;
+  curve.vg = vg;
+  const CharacterizedPoint pt = fit_point(physics, vdd, vs, vg, options);
+  curve.vth = pt.vth;
+  curve.vdsat = pt.vdsat;
+  const double u_top = std::max(vdd - vs, pt.vdsat) + options.sat_margin;
+  for (int k = 0; k < plot_samples; ++k) {
+    const double u = u_top * static_cast<double>(k) /
+                     static_cast<double>(plot_samples - 1);
+    curve.vds.push_back(u);
+    curve.ids_data.push_back(
+        frame_ids(physics, vdd, options.w_ref, options.l_ref, vg, vs + u, vs));
+    curve.ids_fit.push_back(pt.eval(u));
+  }
+  return curve;
+}
+
+}  // namespace qwm::device

@@ -1,0 +1,105 @@
+// Device characterization: builds the compressed tabular I/V model.
+//
+// Paper §V-A: sweep Vs and Vg over [0, VDD] with a 0.1 V step; at each
+// (Vs, Vg) pair, fit the channel current's dependence on Vds with a
+// quadratic polynomial in the triode region and a linear polynomial in
+// the saturation region, and store the fits together with the threshold
+// and saturation voltages — 7 parameters per grid point. Queries off the
+// grid bilinearly interpolate the four neighbouring points.
+//
+// The paper samples Hspice/BSIM3; we sample the in-repo golden physics
+// (see DESIGN.md substitution table) through exactly the same flow.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qwm/device/mosfet_physics.h"
+#include "qwm/numeric/interp.h"
+#include "qwm/numeric/polyfit.h"
+
+namespace qwm::device {
+
+struct CharacterizationOptions {
+  double grid_step = 0.1;    ///< Vs/Vg grid pitch [V] (paper: 0.1 V)
+  double w_ref = 1.0e-6;     ///< reference width the table is built at [m]
+  double l_ref = 0.35e-6;    ///< channel length the table is built at [m]
+  int triode_samples = 16;   ///< golden-model samples per triode fit
+  int sat_samples = 16;      ///< golden-model samples per saturation fit
+  double sat_margin = 0.3;   ///< extend the saturation sweep this far past
+                             ///< VDD so extrapolated queries stay sane [V]
+};
+
+/// The 7 stored parameters of one (Vs, Vg) grid point, plus fit quality.
+/// Current is parameterized by u = Vds:
+///   triode    (0 <= u <= vdsat): I = t2*u^2 + t1*u + t0
+///   saturation     (u >= vdsat): I = s1*u + s0
+struct CharacterizedPoint {
+  double s1 = 0.0, s0 = 0.0;
+  double t2 = 0.0, t1 = 0.0, t0 = 0.0;
+  double vth = 0.0;
+  double vdsat = 0.0;
+  numeric::FitQuality triode_fit;
+  numeric::FitQuality sat_fit;
+
+  /// Fitted current at Vds = u (>= 0) for the reference geometry.
+  double eval(double u) const {
+    if (u <= vdsat) return (t2 * u + t1) * u + t0;
+    return s1 * u + s0;
+  }
+  /// dI/dVds of the fit at u.
+  double deriv(double u) const {
+    if (u <= vdsat) return 2.0 * t2 * u + t1;
+    return s1;
+  }
+};
+
+/// The full characterized grid (always in the NMOS-normalized frame; PMOS
+/// devices are mirrored into this frame before lookup).
+struct CharacterizationGrid {
+  numeric::UniformAxis vs_axis;
+  numeric::UniformAxis vg_axis;
+  std::vector<CharacterizedPoint> points;  ///< vs-major, vg-minor
+  double w_ref = 0.0;
+  double l_ref = 0.0;
+
+  const CharacterizedPoint& at(std::size_t ivs, std::size_t ivg) const {
+    return points[ivs * vg_axis.n + ivg];
+  }
+  std::size_t size() const { return points.size(); }
+
+  /// Aggregate fit statistics. R-squared means are taken over *active*
+  /// grid points only (device meaningfully conducting): an off device has
+  /// near-zero current with no variance to explain, which makes R-squared
+  /// meaningless even though the absolute fit error is negligible.
+  struct Stats {
+    double mean_r2_triode = 0.0;   ///< over active points
+    double mean_r2_sat = 0.0;      ///< over active points
+    double worst_rms_triode = 0.0;  ///< over all points [A]
+    double worst_rms_sat = 0.0;     ///< over all points [A]
+    std::size_t grid_points = 0;
+    std::size_t active_points = 0;  ///< |I| above the activity threshold
+  };
+  Stats stats(double active_current = 1e-6) const;
+};
+
+/// Runs the characterization sweep against the golden physics. `physics`
+/// must be in the NMOS frame (for PMOS pass the PMOS physics — voltages
+/// are frame-local, so the sweep itself is polarity-agnostic).
+CharacterizationGrid characterize(const MosfetPhysics& physics, double vdd,
+                                  const CharacterizationOptions& options = {});
+
+/// One (Vs, Vg) point expanded for plotting (Fig. 8): raw golden samples
+/// against the two fitted polynomials.
+struct IvFitCurve {
+  double vs = 0.0, vg = 0.0, vth = 0.0, vdsat = 0.0;
+  std::vector<double> vds;       ///< sample abscissae
+  std::vector<double> ids_data;  ///< golden currents
+  std::vector<double> ids_fit;   ///< fitted currents
+};
+
+IvFitCurve sample_iv_fit(const MosfetPhysics& physics, double vdd, double vs,
+                         double vg, const CharacterizationOptions& options = {},
+                         int plot_samples = 64);
+
+}  // namespace qwm::device

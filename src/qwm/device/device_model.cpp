@@ -1,0 +1,24 @@
+#include "qwm/device/device_model.h"
+
+#include <algorithm>
+
+namespace qwm::device {
+
+double channel_terminal_cap(const MosfetParams& p, double w, double l) {
+  const double leff = std::max(l - 2.0 * p.l_overlap, 0.1 * l);
+  const double area = w * p.l_diff;
+  const double perim = 2.0 * (w + p.l_diff);
+  const double junction = p.cj * area + p.cjsw * perim;
+  // Overlap Miller-doubled; half the channel capacitance is attributed to
+  // each channel terminal (triode charge partition).
+  const double overlap = 2.0 * p.cgdo * w;
+  const double channel = 0.5 * p.cox * w * leff;
+  return junction + overlap + 0.5 * channel;
+}
+
+double gate_input_cap(const MosfetParams& p, double w, double l) {
+  const double leff = std::max(l - 2.0 * p.l_overlap, 0.1 * l);
+  return p.cox * w * leff + (p.cgso + p.cgdo) * w;
+}
+
+}  // namespace qwm::device

@@ -1,0 +1,84 @@
+// The paper's DeviceModel abstraction (Definition 2).
+//
+// A device model maps an edge's geometry and terminal-voltage
+// configuration to the current flowing from the edge's source node to its
+// sink node, plus the threshold/saturation data and the parasitic
+// capacitance contributions QWM needs. Two implementations exist:
+//
+//  * AnalyticDeviceModel — calls the golden physics directly (the
+//    "no model-compression" reference),
+//  * TabularDeviceModel  — the paper's characterized table of per-(Vs,Vg)
+//    curve fits with interpolation (fast, and what QWM/TETA-class engines
+//    actually run on).
+//
+// Edge orientation convention: edges point from the supply side toward
+// ground (the polar graph runs VDD -> GND), so a positive iv() is a
+// pulldown/discharge current for NMOS edges and a pullup/charge current
+// for PMOS edges.
+#pragma once
+
+#include "qwm/device/mosfet_physics.h"
+#include "qwm/device/process.h"
+
+namespace qwm::device {
+
+/// Terminal voltage configuration of a circuit edge (paper Def. 2):
+/// `input` is the gate voltage (transistors only), `src`/`snk` the edge
+/// endpoint node voltages.
+struct TerminalVoltages {
+  double input = 0.0;
+  double src = 0.0;
+  double snk = 0.0;
+};
+
+/// Current and partial derivatives w.r.t. the terminal voltages.
+struct IvEval {
+  double i = 0.0;
+  double d_input = 0.0;
+  double d_src = 0.0;
+  double d_snk = 0.0;
+};
+
+class DeviceModel {
+ public:
+  virtual ~DeviceModel() = default;
+
+  virtual MosType mos_type() const = 0;
+
+  /// Current flowing src -> snk for a device of drawn size w x l [A].
+  virtual double iv(double w, double l, const TerminalVoltages& v) const = 0;
+
+  /// iv() plus analytic partial derivatives (used to assemble Jacobians in
+  /// both the SPICE and QWM engines).
+  virtual IvEval iv_eval(double w, double l,
+                         const TerminalVoltages& v) const = 0;
+
+  /// Effective threshold voltage magnitude for the present bias, including
+  /// body effect at the conducting source terminal. The QWM critical-point
+  /// condition "gate drive equals threshold" is written with this value:
+  /// NMOS turns on when  input >= source + threshold,
+  /// PMOS turns on when  input <= source - threshold.
+  virtual double threshold(const TerminalVoltages& v) const = 0;
+
+  /// Saturation voltage for the present bias (used by characterization and
+  /// region classification).
+  virtual double vdsat(double l, const TerminalVoltages& v) const = 0;
+
+  /// Parasitic capacitance contributed by the device to its src-side node,
+  /// snk-side node, and gate input [F]. Junction plus overlap terms; the
+  /// overlap is Miller-doubled on the channel nodes (worst-case coupling,
+  /// the standard STA treatment).
+  virtual double src_cap(double w, double l) const = 0;
+  virtual double snk_cap(double w, double l) const = 0;
+  virtual double input_cap(double w, double l) const = 0;
+};
+
+/// Junction + Miller-doubled overlap capacitance of one channel terminal
+/// for a device of the given geometry [F]. Shared by both model
+/// implementations so their capacitive loading is identical.
+double channel_terminal_cap(const MosfetParams& p, double w, double l);
+
+/// Gate input capacitance (channel + both overlaps) [F].
+double gate_input_cap(const MosfetParams& p, double w, double l);
+
+}  // namespace qwm::device

@@ -1,0 +1,68 @@
+#include "qwm/device/grid_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace qwm::device {
+
+namespace {
+constexpr const char* kMagic = "qwm-grid-v1";
+}
+
+void save_grid(const CharacterizationGrid& grid, std::ostream& os) {
+  os << kMagic << "\n";
+  os << std::setprecision(17);
+  os << grid.vs_axis.x0 << " " << grid.vs_axis.dx << " " << grid.vs_axis.n
+     << "\n";
+  os << grid.vg_axis.x0 << " " << grid.vg_axis.dx << " " << grid.vg_axis.n
+     << "\n";
+  os << grid.w_ref << " " << grid.l_ref << "\n";
+  for (const CharacterizedPoint& p : grid.points) {
+    os << p.s1 << " " << p.s0 << " " << p.t2 << " " << p.t1 << " " << p.t0
+       << " " << p.vth << " " << p.vdsat << " " << p.triode_fit.rms_error
+       << " " << p.triode_fit.r_squared << " " << p.sat_fit.rms_error << " "
+       << p.sat_fit.r_squared << "\n";
+  }
+}
+
+bool save_grid_file(const CharacterizationGrid& grid,
+                    const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  save_grid(grid, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<CharacterizationGrid> load_grid(std::istream& is) {
+  std::string magic;
+  if (!(is >> magic) || magic != kMagic) return std::nullopt;
+  CharacterizationGrid grid;
+  if (!(is >> grid.vs_axis.x0 >> grid.vs_axis.dx >> grid.vs_axis.n))
+    return std::nullopt;
+  if (!(is >> grid.vg_axis.x0 >> grid.vg_axis.dx >> grid.vg_axis.n))
+    return std::nullopt;
+  if (!(is >> grid.w_ref >> grid.l_ref)) return std::nullopt;
+  if (grid.vs_axis.n == 0 || grid.vg_axis.n == 0 ||
+      grid.vs_axis.n > 100000 || grid.vg_axis.n > 100000)
+    return std::nullopt;
+  const std::size_t count = grid.vs_axis.n * grid.vg_axis.n;
+  grid.points.resize(count);
+  for (CharacterizedPoint& p : grid.points) {
+    if (!(is >> p.s1 >> p.s0 >> p.t2 >> p.t1 >> p.t0 >> p.vth >> p.vdsat >>
+          p.triode_fit.rms_error >> p.triode_fit.r_squared >>
+          p.sat_fit.rms_error >> p.sat_fit.r_squared))
+      return std::nullopt;
+  }
+  return grid;
+}
+
+std::optional<CharacterizationGrid> load_grid_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return load_grid(is);
+}
+
+}  // namespace qwm::device

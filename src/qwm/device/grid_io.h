@@ -1,0 +1,29 @@
+// Characterization-grid persistence.
+//
+// The paper's tabular model compresses the device data to 7 parameters
+// per (Vs, Vg) point precisely so it can be stored and reused across runs
+// instead of re-sweeping the golden model (or, in the paper's flow,
+// re-running Hspice). This module saves/loads the grid in a small
+// versioned text format.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "qwm/device/characterize.h"
+
+namespace qwm::device {
+
+/// Serializes the grid; stable across platforms (decimal text, full
+/// double precision).
+void save_grid(const CharacterizationGrid& grid, std::ostream& os);
+bool save_grid_file(const CharacterizationGrid& grid,
+                    const std::string& path);
+
+/// Parses a grid written by save_grid. nullopt on malformed input or
+/// version mismatch.
+std::optional<CharacterizationGrid> load_grid(std::istream& is);
+std::optional<CharacterizationGrid> load_grid_file(const std::string& path);
+
+}  // namespace qwm::device

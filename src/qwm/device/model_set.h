@@ -1,0 +1,24 @@
+// A matched pair of device models plus the process they were built for.
+//
+// Every engine (SPICE baseline, QWM, STA) consumes devices through a
+// ModelSet so that accuracy comparisons always run both engines on
+// identical device data.
+#pragma once
+
+#include "qwm/device/device_model.h"
+#include "qwm/device/process.h"
+
+namespace qwm::device {
+
+struct ModelSet {
+  const DeviceModel* nmos = nullptr;
+  const DeviceModel* pmos = nullptr;
+  const Process* process = nullptr;
+
+  const DeviceModel& model_for(MosType t) const {
+    return t == MosType::nmos ? *nmos : *pmos;
+  }
+  double vdd() const { return process->vdd; }
+};
+
+}  // namespace qwm::device

@@ -1,0 +1,134 @@
+#include "qwm/device/mosfet_physics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qwm::device {
+
+MosfetPhysics::MosfetPhysics(MosType type, const MosfetParams& params,
+                             double temp_vt)
+    : type_(type), params_(params), temp_vt_(temp_vt) {}
+
+double MosfetPhysics::l_eff(double l) const {
+  return std::max(l - 2.0 * params_.l_overlap, 0.1 * l);
+}
+
+double MosfetPhysics::threshold(double vsb) const {
+  const double vsb_c = std::max(vsb, -0.5 * params_.phi);
+  return params_.vth0 +
+         params_.gamma * (std::sqrt(params_.phi + vsb_c) - std::sqrt(params_.phi));
+}
+
+double MosfetPhysics::vdsat(double vgt, double l) const {
+  if (vgt <= 0.0) return 0.0;
+  const double esatl = params_.esat * l_eff(l);
+  return vgt * esatl / (vgt + esatl);
+}
+
+MosfetPhysics::CoreEval MosfetPhysics::core(double w, double l, double vgs,
+                                            double vds, double vsb) const {
+  assert(vds >= 0.0);
+  CoreEval out{0.0, 0.0, 0.0, 0.0};
+  const double leff = l_eff(l);
+  const double beta = params_.kp * w / leff;
+
+  // Body effect (clamped forward bias keeps the sqrt real).
+  const double vsb_c = std::max(vsb, -0.5 * params_.phi);
+  const double root = std::sqrt(params_.phi + vsb_c);
+  const double vth = params_.vth0 + params_.gamma * (root - std::sqrt(params_.phi));
+  const double dvth_dvsb = (vsb > -0.5 * params_.phi)
+                               ? params_.gamma / (2.0 * root)
+                               : 0.0;
+
+  // Softplus-smoothed overdrive: vgte -> vgt for vgt >> ss, exponential
+  // tail below threshold. Keeps I and dI continuous at the boundary.
+  const double ss = params_.n_sub * temp_vt_;
+  const double vgt = vgs - vth;
+  const double t = vgt / ss;
+  double vgte, sig;
+  if (t > 40.0) {
+    vgte = vgt;
+    sig = 1.0;
+  } else if (t < -40.0) {
+    vgte = ss * std::exp(t);
+    sig = std::exp(t);
+  } else {
+    vgte = ss * std::log1p(std::exp(t));
+    sig = 1.0 / (1.0 + std::exp(-t));
+  }
+
+  // Velocity-saturated Vdsat.
+  const double esatl = params_.esat * leff;
+  const double vdsat_v = vgte * esatl / (vgte + esatl);
+  const double dvdsat_dvgte =
+      (esatl / (vgte + esatl)) * (esatl / (vgte + esatl));
+
+  const double clm = 1.0 + params_.lambda * vds;
+  double i, di_dvds, di_dvgte;
+  if (vds < vdsat_v) {
+    // Triode.
+    i = beta * (vgte - 0.5 * vds) * vds * clm;
+    di_dvds = beta * ((vgte - vds) * clm +
+                      (vgte - 0.5 * vds) * vds * params_.lambda);
+    di_dvgte = beta * vds * clm;
+  } else {
+    // Saturation (velocity-limited).
+    i = beta * (vgte - 0.5 * vdsat_v) * vdsat_v * clm;
+    di_dvds = beta * (vgte - 0.5 * vdsat_v) * vdsat_v * params_.lambda;
+    di_dvgte = beta * clm *
+               (vdsat_v + (vgte - vdsat_v) * dvdsat_dvgte);
+  }
+
+  out.i = i;
+  out.d_vgs = di_dvgte * sig;
+  out.d_vds = di_dvds;
+  out.d_vsb = -di_dvgte * sig * dvth_dvsb;
+  return out;
+}
+
+MosfetEval MosfetPhysics::eval(double w, double l, double vg, double va,
+                               double vb, double vbulk) const {
+  // Normalize PMOS to the NMOS frame by negating every voltage; the
+  // current and each derivative map back with no sign change because both
+  // the current and the voltages flip.
+  double svg = vg, sva = va, svb = vb, svbk = vbulk;
+  if (type_ == MosType::pmos) {
+    svg = -vg;
+    sva = -va;
+    svb = -vb;
+    svbk = -vbulk;
+  }
+
+  MosfetEval out;
+  if (sva >= svb) {
+    // a is the drain, b the source.
+    const CoreEval c = core(w, l, svg - svb, sva - svb, svb - svbk);
+    out.ids = c.i;
+    out.d_vg = c.d_vgs;
+    out.d_va = c.d_vds;
+    out.d_vb = -c.d_vgs - c.d_vds + c.d_vsb;
+  } else {
+    // b is the drain, a the source; current a->b is the negative channel
+    // current.
+    const CoreEval c = core(w, l, svg - sva, svb - sva, sva - svbk);
+    out.ids = -c.i;
+    out.d_vg = -c.d_vgs;
+    out.d_vb = -c.d_vds;
+    out.d_va = c.d_vgs + c.d_vds - c.d_vsb;
+  }
+  if (type_ == MosType::pmos) {
+    // I_p(v) = -I_core(-v): the value flips sign; each derivative picks up
+    // two sign flips (outer minus, inner dv'/dv = -1) and carries over
+    // unchanged.
+    out.ids = -out.ids;
+  }
+  return out;
+}
+
+double MosfetPhysics::ids(double w, double l, double vg, double va, double vb,
+                          double vbulk) const {
+  return eval(w, l, vg, va, vb, vbulk).ids;
+}
+
+}  // namespace qwm::device

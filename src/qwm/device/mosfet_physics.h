@@ -1,0 +1,69 @@
+// Golden analytical MOSFET model.
+//
+// Stands in for the BSIM3 V3.1 model the paper characterizes against: a
+// velocity-saturated "unified" long/short-channel DC model (square-law
+// triode, velocity-saturated Vdsat, channel-length modulation, body
+// effect) with a softplus-smoothed gate overdrive so the current and its
+// derivatives stay continuous through the subthreshold boundary — a
+// property both Newton-based engines (SPICE and QWM) rely on.
+//
+// The model is channel-symmetric: terminals a/b are interchangeable and
+// the source is inferred from the voltage ordering, so pass-transistor
+// and stack topologies where the "drain" changes sides work unmodified.
+#pragma once
+
+#include "qwm/device/process.h"
+
+namespace qwm::device {
+
+/// Drain current and its partial derivatives w.r.t. the terminal voltages.
+struct MosfetEval {
+  double ids = 0.0;   ///< current flowing terminal a -> terminal b [A]
+  double d_vg = 0.0;  ///< d ids / d vg
+  double d_va = 0.0;  ///< d ids / d va
+  double d_vb = 0.0;  ///< d ids / d vb
+};
+
+enum class MosType { nmos, pmos };
+
+/// DC I/V physics of one MOSFET polarity.
+class MosfetPhysics {
+ public:
+  MosfetPhysics(MosType type, const MosfetParams& params, double temp_vt);
+
+  MosType type() const { return type_; }
+  const MosfetParams& params() const { return params_; }
+
+  /// Channel current a -> b with analytic derivatives. `w`/`l` are drawn
+  /// width and length [m]; `vbulk` is the body voltage (0 for NMOS on
+  /// grounded substrate, VDD for PMOS in an n-well).
+  MosfetEval eval(double w, double l, double vg, double va, double vb,
+                  double vbulk) const;
+
+  /// Channel current a -> b (value only).
+  double ids(double w, double l, double vg, double va, double vb,
+             double vbulk) const;
+
+  /// Effective threshold magnitude at source-to-bulk bias `vsb` (>= 0 in
+  /// normal operation; clamped below -phi/2 to keep the sqrt real).
+  double threshold(double vsb) const;
+
+  /// Velocity-saturated Vdsat for gate overdrive `vgt` (>=0) at length l.
+  double vdsat(double vgt, double l) const;
+
+  /// Effective electrical channel length.
+  double l_eff(double l) const;
+
+ private:
+  struct CoreEval {
+    double i, d_vgs, d_vds, d_vsb;
+  };
+  /// Current for the NMOS-normalized frame, vds >= 0 assumed.
+  CoreEval core(double w, double l, double vgs, double vds, double vsb) const;
+
+  MosType type_;
+  MosfetParams params_;
+  double temp_vt_;
+};
+
+}  // namespace qwm::device

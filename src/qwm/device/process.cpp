@@ -1,0 +1,59 @@
+#include "qwm/device/process.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qwm::device {
+
+Process Process::cmosp35() {
+  Process p;
+  p.vdd = 3.3;
+  p.l_min = 0.35e-6;
+  p.w_min = 1.0e-6;
+
+  p.nmos.vth0 = 0.55;
+  p.nmos.kp = 190e-6;
+  p.nmos.gamma = 0.58;
+  p.nmos.phi = 0.84;
+  p.nmos.lambda = 0.06;
+  p.nmos.esat = 4.0e6;
+
+  p.pmos.vth0 = 0.75;
+  p.pmos.kp = 55e-6;
+  p.pmos.gamma = 0.42;
+  p.pmos.phi = 0.80;
+  p.pmos.lambda = 0.10;
+  // Holes velocity-saturate at much higher fields.
+  p.pmos.esat = 1.5e7;
+  p.pmos.cj = 11.0e-4;
+  p.pmos.cjsw = 3.1e-10;
+
+  return p;
+}
+
+Process Process::at_corner(Corner corner) const {
+  Process p = *this;
+  if (corner == Corner::typical) return p;
+  const double kp_scale = corner == Corner::fast ? 1.12 : 0.88;
+  const double vth_scale = corner == Corner::fast ? 0.92 : 1.08;
+  for (MosfetParams* m : {&p.nmos, &p.pmos}) {
+    m->kp *= kp_scale;
+    m->vth0 *= vth_scale;
+  }
+  return p;
+}
+
+Process Process::at_temperature(double kelvin) const {
+  Process p = *this;
+  const double t_ratio = kelvin / 300.0;
+  p.temp_vt = 0.02585 * t_ratio;
+  const double mobility = std::pow(t_ratio, -1.5);
+  const double dvth = -1.0e-3 * (kelvin - 300.0);
+  for (MosfetParams* m : {&p.nmos, &p.pmos}) {
+    m->kp *= mobility;
+    m->vth0 = std::max(m->vth0 + dvth, 0.05);
+  }
+  return p;
+}
+
+}  // namespace qwm::device

@@ -1,0 +1,69 @@
+// Process (technology) parameters.
+//
+// The paper characterizes devices for the CMOSP35 0.35 um / 3.3 V process
+// against BSIM3 V3.1. We stand in for BSIM3 with an analytical golden model
+// (mosfet_physics.h) parameterized by these constants; the default values
+// below are representative of a 0.35 um generation.
+//
+// Units are SI throughout: volts, amperes, seconds, farads, meters.
+#pragma once
+
+namespace qwm::device {
+
+/// Per-polarity MOSFET model card.
+struct MosfetParams {
+  double vth0 = 0.55;     ///< zero-bias threshold voltage magnitude [V]
+  double kp = 190e-6;     ///< transconductance u*Cox [A/V^2]
+  double gamma = 0.58;    ///< body-effect coefficient [sqrt(V)]
+  double phi = 0.84;      ///< surface potential 2*phi_F [V]
+  double lambda = 0.06;   ///< channel-length modulation [1/V]
+  double esat = 4.0e6;    ///< velocity-saturation critical field [V/m]
+  double n_sub = 1.5;     ///< subthreshold slope factor
+  double cox = 4.6e-3;    ///< gate-oxide capacitance per area [F/m^2]
+  double cgso = 2.1e-10;  ///< gate-source overlap cap per width [F/m]
+  double cgdo = 2.1e-10;  ///< gate-drain overlap cap per width [F/m]
+  double cj = 9.0e-4;     ///< junction area cap at zero bias [F/m^2]
+  double cjsw = 2.8e-10;  ///< junction sidewall cap at zero bias [F/m]
+  double pb = 0.9;        ///< junction built-in potential [V]
+  double mj = 0.36;       ///< junction grading coefficient
+  double l_diff = 0.85e-6;  ///< source/drain diffusion extent [m]
+  double l_overlap = 0.0;   ///< channel-length reduction (Leff = L - 2*lo) [m]
+};
+
+/// Wire parasitics for a mid-level metal layer.
+struct WireParams {
+  double r_sheet = 0.075;      ///< sheet resistance [ohm/sq]
+  double c_area = 3.0e-5;      ///< area capacitance to substrate [F/m^2]
+  double c_fringe = 8.0e-11;   ///< fringe capacitance per edge length [F/m]
+};
+
+/// Process corner selector for derived technology variants.
+enum class Corner {
+  typical,
+  fast,  ///< strong devices: higher mobility, lower threshold
+  slow,  ///< weak devices: lower mobility, higher threshold
+};
+
+/// The full technology description shared by every engine in the repo.
+struct Process {
+  double vdd = 3.3;        ///< supply voltage [V]
+  double temp_vt = 0.02585;  ///< thermal voltage kT/q at ~300 K [V]
+  double l_min = 0.35e-6;  ///< minimum drawn channel length [m]
+  double w_min = 1.0e-6;   ///< minimum drawn width used for "min-size" gates [m]
+  MosfetParams nmos;
+  MosfetParams pmos;
+  WireParams wire;
+
+  /// Default CMOSP35-class technology (the paper's target process family).
+  static Process cmosp35();
+
+  /// Derived corner: +-12% transconductance and -+8% threshold on both
+  /// polarities (textbook 3-sigma-ish spread).
+  Process at_corner(Corner corner) const;
+
+  /// Derived temperature variant [K]: mobility scales as (T/300)^-1.5 and
+  /// thresholds drop ~1 mV/K; the thermal voltage tracks kT/q.
+  Process at_temperature(double kelvin) const;
+};
+
+}  // namespace qwm::device

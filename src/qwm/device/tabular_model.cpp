@@ -1,0 +1,179 @@
+#include "qwm/device/tabular_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qwm::device {
+
+namespace {
+
+/// Bilinear blend of a per-point quantity extracted by `field`.
+template <typename F>
+double blend(const CharacterizationGrid& g, std::size_t i0, std::size_t i1,
+             double f0, double f1, F field) {
+  const double v00 = field(g.at(i0, i1));
+  const double v01 = field(g.at(i0, i1 + 1));
+  const double v10 = field(g.at(i0 + 1, i1));
+  const double v11 = field(g.at(i0 + 1, i1 + 1));
+  return v00 * (1 - f0) * (1 - f1) + v01 * (1 - f0) * f1 +
+         v10 * f0 * (1 - f1) + v11 * f0 * f1;
+}
+
+}  // namespace
+
+TabularDeviceModel::TabularDeviceModel(MosType type, const Process& proc,
+                                       const CharacterizationOptions& options)
+    : physics_(type, type == MosType::nmos ? proc.nmos : proc.pmos,
+               proc.temp_vt),
+      vdd_(proc.vdd),
+      bulk_(type == MosType::nmos ? 0.0 : proc.vdd),
+      grid_(characterize(physics_, proc.vdd, options)) {}
+
+TabularDeviceModel::TabularDeviceModel(MosType type, const Process& proc,
+                                       CharacterizationGrid grid)
+    : physics_(type, type == MosType::nmos ? proc.nmos : proc.pmos,
+               proc.temp_vt),
+      vdd_(proc.vdd),
+      bulk_(type == MosType::nmos ? 0.0 : proc.vdd),
+      grid_(std::move(grid)) {}
+
+TabularDeviceModel::FrameEval TabularDeviceModel::eval_frame(double vg,
+                                                             double vs,
+                                                             double vd) const {
+  assert(vd >= vs);
+  const double u = vd - vs;
+  std::size_t i0, i1;
+  double f0, f1;
+  grid_.vs_axis.locate(vs, i0, f0);
+  grid_.vg_axis.locate(vg, i1, f1);
+
+  // Corner evaluations, computed once and reused for the value and both
+  // table-axis derivatives (hot path: called per device per Newton
+  // iteration in both engines).
+  const double e00 = grid_.at(i0, i1).eval(u);
+  const double e01 = grid_.at(i0, i1 + 1).eval(u);
+  const double e10 = grid_.at(i0 + 1, i1).eval(u);
+  const double e11 = grid_.at(i0 + 1, i1 + 1).eval(u);
+  const double i = e00 * (1 - f0) * (1 - f1) + e01 * (1 - f0) * f1 +
+                   e10 * f0 * (1 - f1) + e11 * f0 * f1;
+  const double di_du =
+      blend(grid_, i0, i1, f0, f1,
+            [u](const CharacterizedPoint& p) { return p.deriv(u); });
+
+  // Interpolant derivative along the vs table axis (u held fixed).
+  const double lo_vs = e00 * (1 - f1) + e01 * f1;
+  const double hi_vs = e10 * (1 - f1) + e11 * f1;
+  const double di_dvs_axis = (hi_vs - lo_vs) / grid_.vs_axis.dx;
+
+  // Interpolant derivative along the vg table axis.
+  const double lo_vg = e00 * (1 - f0) + e10 * f0;
+  const double hi_vg = e01 * (1 - f0) + e11 * f0;
+  const double di_dvg_axis = (hi_vg - lo_vg) / grid_.vg_axis.dx;
+
+  FrameEval out;
+  out.i = i;
+  out.d_vd = di_du;
+  // vs enters both the table axis and u = vd - vs.
+  out.d_vs = di_dvs_axis - di_du;
+  out.d_vg = di_dvg_axis;
+  return out;
+}
+
+IvEval TabularDeviceModel::iv_eval(double w, double l,
+                                   const TerminalVoltages& v) const {
+  ++query_count_;
+  // Map to the NMOS-normalized frame (PMOS: v' = VDD - v; the well bias
+  // maps to frame ground, matching how the grid was characterized).
+  double fg = v.input, fa = v.src, fb = v.snk;
+  const bool pmos = physics_.type() == MosType::pmos;
+  if (pmos) {
+    fg = vdd_ - v.input;
+    fa = vdd_ - v.src;
+    fb = vdd_ - v.snk;
+  }
+
+  IvEval out;
+  if (fa >= fb) {
+    const FrameEval e = eval_frame(fg, fb, fa);
+    out.i = e.i;
+    out.d_input = e.d_vg;
+    out.d_src = e.d_vd;
+    out.d_snk = e.d_vs;
+  } else {
+    const FrameEval e = eval_frame(fg, fa, fb);
+    out.i = -e.i;
+    out.d_input = -e.d_vg;
+    out.d_src = -e.d_vs;
+    out.d_snk = -e.d_vd;
+  }
+
+  // Geometry scaling relative to the characterized reference device.
+  const double scale = (w / grid_.w_ref) * (grid_.l_ref / l);
+  out.i *= scale;
+  out.d_input *= scale;
+  out.d_src *= scale;
+  out.d_snk *= scale;
+
+  if (pmos) {
+    // Value flips sign mapping back from the mirrored frame; derivatives
+    // pick up two sign flips and carry over.
+    out.i = -out.i;
+  }
+  return out;
+}
+
+double TabularDeviceModel::iv(double w, double l,
+                              const TerminalVoltages& v) const {
+  return iv_eval(w, l, v).i;
+}
+
+double TabularDeviceModel::threshold(const TerminalVoltages& v) const {
+  // Frame-local source voltage.
+  double vs, vg;
+  if (physics_.type() == MosType::nmos) {
+    vs = std::min(v.src, v.snk);
+    vg = v.input;
+  } else {
+    vs = vdd_ - std::max(v.src, v.snk);
+    vg = vdd_ - v.input;
+  }
+  std::size_t i0, i1;
+  double f0, f1;
+  grid_.vs_axis.locate(vs, i0, f0);
+  grid_.vg_axis.locate(vg, i1, f1);
+  return blend(grid_, i0, i1, f0, f1,
+               [](const CharacterizedPoint& p) { return p.vth; });
+}
+
+double TabularDeviceModel::vdsat(double l, const TerminalVoltages& v) const {
+  (void)l;  // the grid is characterized at l_ref
+  double vs, vg;
+  if (physics_.type() == MosType::nmos) {
+    vs = std::min(v.src, v.snk);
+    vg = v.input;
+  } else {
+    vs = vdd_ - std::max(v.src, v.snk);
+    vg = vdd_ - v.input;
+  }
+  std::size_t i0, i1;
+  double f0, f1;
+  grid_.vs_axis.locate(vs, i0, f0);
+  grid_.vg_axis.locate(vg, i1, f1);
+  return blend(grid_, i0, i1, f0, f1,
+               [](const CharacterizedPoint& p) { return p.vdsat; });
+}
+
+double TabularDeviceModel::src_cap(double w, double l) const {
+  return channel_terminal_cap(physics_.params(), w, l);
+}
+
+double TabularDeviceModel::snk_cap(double w, double l) const {
+  return channel_terminal_cap(physics_.params(), w, l);
+}
+
+double TabularDeviceModel::input_cap(double w, double l) const {
+  return gate_input_cap(physics_.params(), w, l);
+}
+
+}  // namespace qwm::device

@@ -1,0 +1,61 @@
+// Tabular DeviceModel: characterized grid + interpolation.
+//
+// The paper's fast device model (§V-A): currents come from the 7-parameter
+// per-(Vs, Vg) curve fits, bilinearly interpolated between grid points.
+// Because the fits are polynomials, dIds/dVd and dIds/dVs are available in
+// closed form — the property the paper highlights for fast Jacobian
+// assembly in the QWM Newton iterations.
+//
+// The grid always lives in the NMOS-normalized frame; PMOS queries are
+// mirrored (v -> VDD - v) before lookup, and channel-terminal swaps handle
+// reverse conduction, so a single table serves every bias configuration.
+#pragma once
+
+#include <memory>
+
+#include "qwm/device/characterize.h"
+#include "qwm/device/device_model.h"
+
+namespace qwm::device {
+
+class TabularDeviceModel : public DeviceModel {
+ public:
+  /// Characterizes `type` devices of process `proc` on construction.
+  TabularDeviceModel(MosType type, const Process& proc,
+                     const CharacterizationOptions& options = {});
+
+  /// Wraps a pre-built grid (e.g. deserialized or shared across engines).
+  TabularDeviceModel(MosType type, const Process& proc,
+                     CharacterizationGrid grid);
+
+  MosType mos_type() const override { return physics_.type(); }
+  double iv(double w, double l, const TerminalVoltages& v) const override;
+  IvEval iv_eval(double w, double l, const TerminalVoltages& v) const override;
+  double threshold(const TerminalVoltages& v) const override;
+  double vdsat(double l, const TerminalVoltages& v) const override;
+  double src_cap(double w, double l) const override;
+  double snk_cap(double w, double l) const override;
+  double input_cap(double w, double l) const override;
+
+  const CharacterizationGrid& grid() const { return grid_; }
+  /// Number of iv()/iv_eval() queries served (table usage accounting).
+  std::size_t query_count() const { return query_count_; }
+
+ private:
+  struct FrameEval {
+    double i = 0.0;      ///< channel current drain -> source, ref geometry
+    double d_vg = 0.0;   ///< partials w.r.t. gate, source, drain voltage
+    double d_vs = 0.0;
+    double d_vd = 0.0;
+  };
+  /// Interpolated table lookup in the NMOS frame with vd >= vs.
+  FrameEval eval_frame(double vg, double vs, double vd) const;
+
+  MosfetPhysics physics_;  ///< retained for threshold/vdsat queries and caps
+  double vdd_;
+  double bulk_;
+  CharacterizationGrid grid_;
+  mutable std::size_t query_count_ = 0;
+};
+
+}  // namespace qwm::device

@@ -1,0 +1,31 @@
+// Asymptotic Waveform Evaluation: low-order Padé pole/residue extraction
+// from circuit moments (Pillage & Rohrer; paper §II).
+//
+// Given voltage moments m_0..m_{2q-1} of a node, finds q real stable
+// poles/residues whose series matches the moments. Falls back to lower
+// order when the requested order produces complex or unstable poles —
+// the standard AWE stability workaround for RC-dominated nets.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace qwm::interconnect {
+
+struct AweApprox {
+  std::vector<double> poles;     ///< all negative (stable)
+  std::vector<double> residues;  ///< matching k_i of sum k_i/(s - p_i)
+  int order = 0;
+
+  /// Normalized step response value at time t (0 -> 1 rise).
+  double step_value(double t) const;
+  /// Earliest time where the step response crosses `level` in (0, 1).
+  std::optional<double> step_crossing(double level) const;
+};
+
+/// Reduces moments (m[0] = 1, m[1], ...; at least 2q entries) to at most
+/// q poles. Returns nullopt only when even the 1-pole fallback fails
+/// (e.g. non-negative m1).
+std::optional<AweApprox> awe_reduce(const std::vector<double>& moments, int q);
+
+}  // namespace qwm::interconnect

@@ -1,0 +1,74 @@
+#include "qwm/interconnect/from_netlist.h"
+
+#include <map>
+#include <queue>
+
+namespace qwm::interconnect {
+
+std::optional<int> NetlistTree::node_of(netlist::NetId net) const {
+  for (std::size_t i = 0; i < net_of_node.size(); ++i)
+    if (net_of_node[i] == net) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+std::optional<NetlistTree> rc_tree_from_netlist(
+    const netlist::FlatNetlist& nl, netlist::NetId root,
+    std::vector<std::string>* warnings) {
+  NetlistTree out;
+  out.net_of_node.push_back(root);
+
+  // Adjacency over resistors (ground does not conduct the tree).
+  std::multimap<netlist::NetId, const netlist::Resistor*> adj;
+  for (const auto& r : nl.resistors) {
+    if (r.a != netlist::kGroundNet && r.b != netlist::kGroundNet) {
+      adj.emplace(r.a, &r);
+      adj.emplace(r.b, &r);
+    } else if (warnings) {
+      warnings->push_back("resistor " + r.name +
+                          " to ground ignored (leak, not tree branch)");
+    }
+  }
+
+  std::map<netlist::NetId, int> node_of{{root, 0}};
+  std::queue<netlist::NetId> frontier;
+  frontier.push(root);
+  std::map<const netlist::Resistor*, bool> used;
+  while (!frontier.empty()) {
+    const netlist::NetId at = frontier.front();
+    frontier.pop();
+    const auto [lo, hi] = adj.equal_range(at);
+    for (auto it = lo; it != hi; ++it) {
+      const netlist::Resistor* r = it->second;
+      if (used[r]) continue;
+      used[r] = true;
+      const netlist::NetId next = (r->a == at) ? r->b : r->a;
+      if (node_of.count(next)) return std::nullopt;  // resistor loop
+      const int parent = node_of.at(at);
+      const int id = out.tree.add_node(parent, r->value, 0.0,
+                                       nl.net_name(next));
+      node_of[next] = id;
+      out.net_of_node.push_back(next);
+      frontier.push(next);
+    }
+  }
+
+  // Grounded (or effectively grounded) caps attach as node loads.
+  for (const auto& c : nl.capacitors) {
+    const bool a_in = node_of.count(c.a) > 0;
+    const bool b_in = node_of.count(c.b) > 0;
+    if (a_in && b_in) {
+      if (warnings)
+        warnings->push_back("coupling capacitor " + c.name +
+                            " split to ground at both ends");
+      out.tree.add_cap(node_of.at(c.a), 0.5 * c.value);
+      out.tree.add_cap(node_of.at(c.b), 0.5 * c.value);
+    } else if (a_in) {
+      out.tree.add_cap(node_of.at(c.a), c.value);
+    } else if (b_in) {
+      out.tree.add_cap(node_of.at(c.b), c.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace qwm::interconnect

@@ -1,0 +1,34 @@
+// Builds an RcTree from the R/C cards of a parsed netlist, rooted at a
+// chosen net — the bridge that lets extracted parasitic decks flow into
+// Elmore/AWE/pi analysis.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qwm/interconnect/rc_tree.h"
+#include "qwm/netlist/flat.h"
+
+namespace qwm::interconnect {
+
+struct NetlistTree {
+  RcTree tree;
+  /// Net of each tree node (index aligned with tree nodes; [0] = root).
+  std::vector<netlist::NetId> net_of_node;
+
+  /// Tree node for a net, if the net is part of the tree.
+  std::optional<int> node_of(netlist::NetId net) const;
+};
+
+/// Traverses the resistor graph from `root`, attaching grounded
+/// capacitors as node caps. Returns nullopt when the resistive structure
+/// reachable from root is not a tree (a resistor loop), or when a
+/// resistor touches a non-ground-referenced capacitor network the tree
+/// model cannot represent. Floating caps to nets outside the tree are
+/// treated as grounded (worst-case loading).
+std::optional<NetlistTree> rc_tree_from_netlist(
+    const netlist::FlatNetlist& nl, netlist::NetId root,
+    std::vector<std::string>* warnings = nullptr);
+
+}  // namespace qwm::interconnect

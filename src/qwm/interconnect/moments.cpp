@@ -1,0 +1,53 @@
+#include "qwm/interconnect/moments.h"
+
+#include <cassert>
+
+namespace qwm::interconnect {
+
+std::vector<std::vector<double>> voltage_moments(const RcTree& tree,
+                                                 int order) {
+  const std::size_t n = tree.size();
+  const auto ch = tree.children();
+  std::vector<std::vector<double>> m(order + 1, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) m[0][i] = 1.0;
+
+  // Topological orders: children() indices are always > parent (nodes are
+  // appended under existing parents), so a simple forward/backward sweep
+  // works.
+  for (int k = 1; k <= order; ++k) {
+    // Subtree "moment current": S(i) = sum_{j in subtree(i)} c_j m_{k-1}(j).
+    std::vector<double> s(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+      s[i] += tree.node(static_cast<int>(i)).c * m[k - 1][i];
+      if (tree.node(static_cast<int>(i)).parent >= 0)
+        s[tree.node(static_cast<int>(i)).parent] += s[i];
+    }
+    m[k][0] = 0.0;  // ideal source at the root
+    for (std::size_t i = 1; i < n; ++i) {
+      const auto& nd = tree.node(static_cast<int>(i));
+      m[k][i] = m[k][nd.parent] - nd.r * s[i];
+    }
+  }
+  return m;
+}
+
+std::vector<double> elmore_delays(const RcTree& tree) {
+  const auto m = voltage_moments(tree, 1);
+  std::vector<double> d(tree.size());
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = -m[1][i];
+  return d;
+}
+
+AdmittanceMoments admittance_moments(const RcTree& tree) {
+  const auto m = voltage_moments(tree, 2);
+  AdmittanceMoments y;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const double c = tree.node(static_cast<int>(i)).c;
+    y.y1 += c;               // c_i * m0
+    y.y2 += c * m[1][i];
+    y.y3 += c * m[2][i];
+  }
+  return y;
+}
+
+}  // namespace qwm::interconnect

@@ -1,0 +1,29 @@
+// Circuit moments of RC trees by path tracing.
+//
+// The k-th voltage moment of each node (coefficients of the transfer
+// function's Maclaurin expansion, m0 = 1 for an ideal step at the root)
+// is computed with the classic linear-time tree recurrence. Elmore delay
+// is -m1; AWE consumes higher moments; the O'Brien/Savarino pi-model
+// consumes the driving-point admittance moments y1..y3.
+#pragma once
+
+#include <vector>
+
+#include "qwm/interconnect/rc_tree.h"
+
+namespace qwm::interconnect {
+
+/// moments[k][i] = m_k at node i, for k = 0..order (m_0 = 1 everywhere).
+std::vector<std::vector<double>> voltage_moments(const RcTree& tree, int order);
+
+/// Elmore delay of every node (= -m_1) [s].
+std::vector<double> elmore_delays(const RcTree& tree);
+
+/// First three driving-point admittance moments seen at the root:
+/// Y(s) = y[0]*s + y[1]*s^2 + y[2]*s^3 + ...
+struct AdmittanceMoments {
+  double y1 = 0.0, y2 = 0.0, y3 = 0.0;
+};
+AdmittanceMoments admittance_moments(const RcTree& tree);
+
+}  // namespace qwm::interconnect

@@ -1,0 +1,36 @@
+#include "qwm/interconnect/pi_model.h"
+
+#include <cmath>
+
+namespace qwm::interconnect {
+
+PiModel reduce_to_pi(const RcTree& tree) {
+  const AdmittanceMoments y = admittance_moments(tree);
+  PiModel pi;
+  // y2 = -R C_far^2 (negative), y3 = R^2 C_far^3 (positive).
+  if (std::abs(y.y2) < 1e-40 || y.y3 <= 1e-60) {
+    pi.c_near = y.y1;
+    pi.r = 0.0;
+    pi.c_far = 0.0;
+    return pi;
+  }
+  const double c_far = y.y2 * y.y2 / y.y3;
+  const double r = -y.y3 * y.y3 / (y.y2 * y.y2 * y.y2);
+  PiModel out;
+  out.c_far = c_far;
+  out.r = r;
+  out.c_near = y.y1 - c_far;
+  if (out.c_near < 0.0) {
+    // Heavily distributed load: keep total cap, shift the excess far.
+    out.c_far += out.c_near;
+    out.c_near = 0.0;
+  }
+  return out;
+}
+
+PiModel wire_pi_model(const device::WireParams& p, double width,
+                      double length) {
+  return reduce_to_pi(RcTree::from_wire(p, width, length, 10));
+}
+
+}  // namespace qwm::interconnect

@@ -1,0 +1,34 @@
+// O'Brien/Savarino pi-model reduction.
+//
+// Reduces an RC tree to the 3-element pi that matches the first three
+// driving-point admittance moments — the "macro pi model for the wire"
+// the paper builds with AWE machinery before running QWM on the decoder
+// tree (paper §V-C, Fig. 10).
+//
+//   driving point o--+----[ R ]----+
+//                    |             |
+//                  C_near        C_far
+#pragma once
+
+#include "qwm/interconnect/moments.h"
+#include "qwm/interconnect/rc_tree.h"
+
+namespace qwm::interconnect {
+
+struct PiModel {
+  double c_near = 0.0;  ///< at the driving point [F]
+  double r = 0.0;       ///< series resistance [ohm]
+  double c_far = 0.0;   ///< behind the resistance [F]
+
+  double total_cap() const { return c_near + c_far; }
+};
+
+/// Matches Y(s) = s(C_near + C_far) - s^2 R C_far^2 + s^3 R^2 C_far^3.
+/// Degenerate trees (negligible resistance) collapse to a lumped cap.
+PiModel reduce_to_pi(const RcTree& tree);
+
+/// Pi-model of a uniform wire (convenience; 10-segment discretization).
+PiModel wire_pi_model(const device::WireParams& p, double width,
+                      double length);
+
+}  // namespace qwm::interconnect

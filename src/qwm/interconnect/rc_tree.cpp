@@ -1,0 +1,50 @@
+#include "qwm/interconnect/rc_tree.h"
+
+#include <cassert>
+
+namespace qwm::interconnect {
+
+int RcTree::add_node(int parent, double r, double c, const std::string& name) {
+  assert(parent >= 0 && parent < static_cast<int>(nodes_.size()));
+  assert(r >= 0.0 && c >= 0.0);
+  nodes_.push_back(Node{parent, r, c, name});
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+std::vector<std::vector<int>> RcTree::children() const {
+  std::vector<std::vector<int>> ch(nodes_.size());
+  for (std::size_t i = 1; i < nodes_.size(); ++i)
+    ch[nodes_[i].parent].push_back(static_cast<int>(i));
+  return ch;
+}
+
+double RcTree::total_cap() const {
+  double c = 0.0;
+  for (const auto& n : nodes_) c += n.c;
+  return c;
+}
+
+RcTree RcTree::uniform_line(double total_r, double total_c, int segments,
+                            int* far_node) {
+  assert(segments >= 1);
+  RcTree t;
+  const double rs = total_r / segments;
+  const double cs = total_c / segments;
+  t.add_cap(0, 0.5 * cs);
+  int at = 0;
+  for (int k = 0; k < segments; ++k) {
+    const double c = (k == segments - 1) ? 0.5 * cs : cs;
+    at = t.add_node(at, rs, c);
+  }
+  if (far_node) *far_node = at;
+  return t;
+}
+
+RcTree RcTree::from_wire(const device::WireParams& p, double width,
+                         double length, int segments, int* far_node) {
+  const double r = p.r_sheet * length / width;
+  const double c = p.c_area * width * length + p.c_fringe * 2.0 * length;
+  return uniform_line(r, c, segments, far_node);
+}
+
+}  // namespace qwm::interconnect

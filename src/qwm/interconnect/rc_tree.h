@@ -1,0 +1,56 @@
+// RC tree model of interconnect.
+//
+// Node 0 is the root (the driving point); every other node hangs off its
+// parent through a resistance and carries a capacitance to ground. This
+// is the classic structure Elmore/AWE analysis operates on (paper §II).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qwm/device/process.h"
+
+namespace qwm::interconnect {
+
+class RcTree {
+ public:
+  struct Node {
+    int parent = -1;   ///< -1 for the root
+    double r = 0.0;    ///< resistance from the parent [ohm]
+    double c = 0.0;    ///< capacitance to ground [F]
+    std::string name;
+  };
+
+  RcTree() { nodes_.push_back(Node{-1, 0.0, 0.0, "root"}); }
+
+  /// Adds a node under `parent` through resistance r, carrying cap c.
+  int add_node(int parent, double r, double c, const std::string& name = "");
+
+  /// Adds cap at an existing node (e.g. a receiver pin load).
+  void add_cap(int node, double c) { nodes_[node].c += c; }
+
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(int i) const { return nodes_[i]; }
+
+  /// Children lists (computed on demand).
+  std::vector<std::vector<int>> children() const;
+
+  /// Total capacitance of the tree.
+  double total_cap() const;
+
+  /// Builds a uniform RC line of `segments` sections with total R and C
+  /// (a distributed-wire discretization). Returns the tree and the index
+  /// of the far-end node.
+  static RcTree uniform_line(double total_r, double total_c, int segments,
+                             int* far_node = nullptr);
+
+  /// Uniform line from wire geometry and process wire parameters.
+  static RcTree from_wire(const device::WireParams& p, double width,
+                          double length, int segments, int* far_node = nullptr);
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace qwm::interconnect

@@ -1,0 +1,55 @@
+#include "qwm/netlist/apply_models.h"
+
+#include <cmath>
+
+namespace qwm::netlist {
+
+std::vector<std::string> apply_model_cards(const FlatNetlist& nl,
+                                           device::Process* proc) {
+  std::vector<std::string> warnings;
+  for (const ModelCard& card : nl.model_cards) {
+    device::MosfetParams& p =
+        card.type == device::MosType::nmos ? proc->nmos : proc->pmos;
+    for (const auto& [key, value] : card.params) {
+      if (key == "vto" || key == "vth0") {
+        p.vth0 = std::abs(value);  // PMOS cards conventionally negative
+      } else if (key == "kp" || key == "u0cox") {
+        p.kp = value;
+      } else if (key == "gamma") {
+        p.gamma = value;
+      } else if (key == "phi") {
+        p.phi = value;
+      } else if (key == "lambda") {
+        p.lambda = value;
+      } else if (key == "cj") {
+        p.cj = value;
+      } else if (key == "cjsw") {
+        p.cjsw = value;
+      } else if (key == "pb" || key == "pbsw") {
+        p.pb = value;
+      } else if (key == "mj") {
+        p.mj = value;
+      } else if (key == "cgso") {
+        p.cgso = value;
+      } else if (key == "cgdo") {
+        p.cgdo = value;
+      } else if (key == "nsub" || key == "nfactor") {
+        p.n_sub = value;
+      } else if (key == "esat") {
+        p.esat = value;
+      } else if (key == "ld") {
+        p.l_diff = value;
+      } else if (key == "cox") {
+        p.cox = value;
+      } else if (key == "tox") {
+        p.cox = 3.45e-11 / value;  // eps_SiO2 / tox
+      } else {
+        warnings.push_back(".model " + card.name + ": parameter '" + key +
+                           "' not supported; ignored");
+      }
+    }
+  }
+  return warnings;
+}
+
+}  // namespace qwm::netlist

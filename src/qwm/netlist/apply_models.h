@@ -1,0 +1,22 @@
+// Applies .model cards from a parsed deck onto a Process description, so
+// decks can carry their own device parameters instead of relying on the
+// built-in CMOSP35 defaults.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qwm/device/process.h"
+#include "qwm/netlist/flat.h"
+
+namespace qwm::netlist {
+
+/// Folds every recognized .model parameter into `proc` (NMOS cards update
+/// proc.nmos, PMOS cards proc.pmos). Unknown parameter names are returned
+/// as warnings. Supported names (SPICE level-1 style + extensions):
+///   vto/vth0, kp, gamma, phi, lambda, cj, cjsw, pb/pbsw, mj,
+///   cgso, cgdo, nsub->n (subthreshold slope), esat, ld (l_diff).
+std::vector<std::string> apply_model_cards(const FlatNetlist& nl,
+                                           device::Process* proc);
+
+}  // namespace qwm::netlist

@@ -1,0 +1,60 @@
+#include "qwm/netlist/flat.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace qwm::netlist {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+namespace {
+bool is_ground_alias(const std::string& lower) {
+  return lower == "0" || lower == "gnd" || lower == "vss";
+}
+}  // namespace
+
+FlatNetlist::FlatNetlist() {
+  net_names_.push_back("0");
+  net_ids_["0"] = kGroundNet;
+}
+
+NetId FlatNetlist::net(const std::string& name) {
+  std::string key = to_lower(name);
+  if (is_ground_alias(key)) return kGroundNet;
+  const auto it = net_ids_.find(key);
+  if (it != net_ids_.end()) return it->second;
+  const NetId id = static_cast<NetId>(net_names_.size());
+  net_names_.push_back(key);
+  net_ids_[key] = id;
+  return id;
+}
+
+std::optional<NetId> FlatNetlist::find_net(const std::string& name) const {
+  std::string key = to_lower(name);
+  if (is_ground_alias(key)) return kGroundNet;
+  const auto it = net_ids_.find(key);
+  if (it == net_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+NetId FlatNetlist::find_vdd_net(double* vdd_value) const {
+  NetId best = -1;
+  double best_v = 0.0;
+  for (const auto& v : vsources) {
+    if (v.neg != kGroundNet) continue;
+    // A supply is a constant source; take its t=0 value.
+    const double val = v.waveform.eval(0.0);
+    if (v.waveform.size() == 1 && val > best_v) {
+      best_v = val;
+      best = v.pos;
+    }
+  }
+  if (vdd_value) *vdd_value = best_v;
+  return best;
+}
+
+}  // namespace qwm::netlist

@@ -1,0 +1,107 @@
+// Flat transistor-level netlist: the parser's output and the partitioner's
+// input. Nets are interned to dense integer ids; net 0 is always ground
+// (aliases "0", "gnd", "vss").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qwm/device/mosfet_physics.h"
+#include "qwm/numeric/pwl.h"
+
+namespace qwm::netlist {
+
+using NetId = int;
+constexpr NetId kGroundNet = 0;
+
+struct Mosfet {
+  std::string name;
+  device::MosType type = device::MosType::nmos;
+  NetId drain = -1, gate = -1, source = -1, bulk = -1;
+  double w = 0.0, l = 0.0;
+};
+
+struct Resistor {
+  std::string name;
+  NetId a = -1, b = -1;
+  double value = 0.0;
+};
+
+struct Capacitor {
+  std::string name;
+  NetId a = -1, b = -1;
+  double value = 0.0;
+};
+
+/// Voltage source with its stimulus waveform (DC/PULSE/PWL are all
+/// normalized to a PwlWaveform at parse time).
+struct VSource {
+  std::string name;
+  NetId pos = -1, neg = -1;
+  numeric::PwlWaveform waveform;
+};
+
+/// Current source: injects waveform(t) amps flowing pos -> neg through
+/// the source (i.e. pulled out of `pos`, pushed into `neg`).
+struct ISource {
+  std::string name;
+  NetId pos = -1, neg = -1;
+  numeric::PwlWaveform waveform;
+};
+
+/// Analysis directives recorded from the deck (consumed by tools).
+struct TranDirective {
+  bool present = false;
+  double tstep = 1e-12;
+  double tstop = 1e-9;
+};
+
+struct InitialCondition {
+  NetId net = -1;
+  double voltage = 0.0;
+};
+
+/// A .model card: named device-parameter overrides from the deck.
+struct ModelCard {
+  std::string name;
+  device::MosType type = device::MosType::nmos;
+  std::unordered_map<std::string, double> params;
+};
+
+class FlatNetlist {
+ public:
+  FlatNetlist();
+
+  /// Interns a net name (case-insensitive); ground aliases map to net 0.
+  NetId net(const std::string& name);
+  /// Lookup without interning.
+  std::optional<NetId> find_net(const std::string& name) const;
+  const std::string& net_name(NetId id) const { return net_names_[id]; }
+  std::size_t net_count() const { return net_names_.size(); }
+
+  std::vector<Mosfet> mosfets;
+  std::vector<Resistor> resistors;
+  std::vector<Capacitor> capacitors;
+  std::vector<VSource> vsources;
+  std::vector<ISource> isources;
+  std::vector<ModelCard> model_cards;
+  TranDirective tran;
+  std::vector<InitialCondition> initial_conditions;
+  /// Nets named in .print/.plot cards, in order.
+  std::vector<NetId> print_nets;
+
+  /// The supply net: the positive terminal of a DC source tied to ground
+  /// whose value is the largest in the deck. -1 when no such source exists.
+  NetId find_vdd_net(double* vdd_value = nullptr) const;
+
+ private:
+  std::vector<std::string> net_names_;
+  std::unordered_map<std::string, NetId> net_ids_;
+};
+
+/// Lower-cases a name (SPICE is case-insensitive).
+std::string to_lower(std::string s);
+
+}  // namespace qwm::netlist

@@ -1,0 +1,69 @@
+#include "qwm/netlist/writer.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace qwm::netlist {
+
+namespace {
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (c == '.') c = '_';
+  return out;
+}
+}  // namespace
+
+std::string write_spice(const FlatNetlist& nl, const std::string& title) {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  os << title << "\n";
+  for (const auto& card : nl.model_cards) {
+    os << ".model " << card.name << " "
+       << (card.type == device::MosType::nmos ? "nmos" : "pmos");
+    for (const auto& [key, value] : card.params)
+      os << " " << key << "=" << value;
+    os << "\n";
+  }
+  for (const auto& m : nl.mosfets) {
+    os << sanitize(m.name) << " " << nl.net_name(m.drain) << " "
+       << nl.net_name(m.gate) << " " << nl.net_name(m.source) << " "
+       << nl.net_name(m.bulk) << " "
+       << (m.type == device::MosType::nmos ? "nmos" : "pmos") << " w=" << m.w
+       << " l=" << m.l << "\n";
+  }
+  for (const auto& r : nl.resistors)
+    os << sanitize(r.name) << " " << nl.net_name(r.a) << " " << nl.net_name(r.b)
+       << " " << r.value << "\n";
+  for (const auto& c : nl.capacitors)
+    os << sanitize(c.name) << " " << nl.net_name(c.a) << " " << nl.net_name(c.b)
+       << " " << c.value << "\n";
+  const auto write_source = [&os, &nl](const std::string& name,
+                                       netlist::NetId pos, netlist::NetId neg,
+                                       const numeric::PwlWaveform& w) {
+    os << sanitize(name) << " " << nl.net_name(pos) << " " << nl.net_name(neg);
+    if (w.size() == 1) {
+      os << " dc " << w.value(0);
+    } else {
+      os << " pwl(";
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        if (i) os << " ";
+        os << w.time(i) << " " << w.value(i);
+      }
+      os << ")";
+    }
+    os << "\n";
+  };
+  for (const auto& v : nl.vsources)
+    write_source(v.name, v.pos, v.neg, v.waveform);
+  for (const auto& i : nl.isources)
+    write_source(i.name, i.pos, i.neg, i.waveform);
+  if (nl.tran.present)
+    os << ".tran " << nl.tran.tstep << " " << nl.tran.tstop << "\n";
+  for (const auto& ic : nl.initial_conditions)
+    os << ".ic v(" << nl.net_name(ic.net) << ")=" << ic.voltage << "\n";
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace qwm::netlist

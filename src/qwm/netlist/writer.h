@@ -1,0 +1,16 @@
+// Emits a FlatNetlist back to SPICE deck text (round-trip support and a
+// convenient way to hand circuits to an external simulator for
+// cross-checking).
+#pragma once
+
+#include <string>
+
+#include "qwm/netlist/flat.h"
+
+namespace qwm::netlist {
+
+/// Serializes the netlist as a SPICE deck. `title` becomes the first line.
+std::string write_spice(const FlatNetlist& netlist,
+                        const std::string& title = "qwm deck");
+
+}  // namespace qwm::netlist

@@ -1,0 +1,85 @@
+#include "qwm/numeric/interp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qwm::numeric {
+
+void UniformAxis::locate(double x, std::size_t& idx, double& frac) const {
+  assert(n >= 2);
+  const double t = (x - x0) / dx;
+  if (t <= 0.0) {
+    idx = 0;
+    frac = 0.0;
+    return;
+  }
+  if (t >= static_cast<double>(n - 1)) {
+    idx = n - 2;
+    frac = 1.0;
+    return;
+  }
+  idx = static_cast<std::size_t>(t);
+  if (idx > n - 2) idx = n - 2;
+  frac = t - static_cast<double>(idx);
+}
+
+LinearTable1D::LinearTable1D(UniformAxis axis, std::vector<double> values)
+    : axis_(axis), values_(std::move(values)) {
+  assert(values_.size() == axis_.n);
+}
+
+double LinearTable1D::eval(double x) const {
+  std::size_t i;
+  double f;
+  axis_.locate(x, i, f);
+  return values_[i] * (1.0 - f) + values_[i + 1] * f;
+}
+
+double LinearTable1D::deriv(double x) const {
+  const double t = (x - axis_.x0) / axis_.dx;
+  if (t < 0.0 || t > static_cast<double>(axis_.n - 1)) return 0.0;
+  std::size_t i;
+  double f;
+  axis_.locate(x, i, f);
+  return (values_[i + 1] - values_[i]) / axis_.dx;
+}
+
+BilinearTable2D::BilinearTable2D(UniformAxis a0, UniformAxis a1,
+                                 std::vector<double> values)
+    : a0_(a0), a1_(a1), values_(std::move(values)) {
+  assert(values_.size() == a0_.n * a1_.n);
+}
+
+double BilinearTable2D::eval(double x0, double x1) const {
+  std::size_t i0, i1;
+  double f0, f1;
+  a0_.locate(x0, i0, f0);
+  a1_.locate(x1, i1, f1);
+  const double v00 = at(i0, i1), v01 = at(i0, i1 + 1);
+  const double v10 = at(i0 + 1, i1), v11 = at(i0 + 1, i1 + 1);
+  return v00 * (1 - f0) * (1 - f1) + v01 * (1 - f0) * f1 + v10 * f0 * (1 - f1) +
+         v11 * f0 * f1;
+}
+
+double BilinearTable2D::deriv0(double x0, double x1) const {
+  std::size_t i0, i1;
+  double f0, f1;
+  a0_.locate(x0, i0, f0);
+  a1_.locate(x1, i1, f1);
+  const double lo = at(i0, i1) * (1 - f1) + at(i0, i1 + 1) * f1;
+  const double hi = at(i0 + 1, i1) * (1 - f1) + at(i0 + 1, i1 + 1) * f1;
+  return (hi - lo) / a0_.dx;
+}
+
+double BilinearTable2D::deriv1(double x0, double x1) const {
+  std::size_t i0, i1;
+  double f0, f1;
+  a0_.locate(x0, i0, f0);
+  a1_.locate(x1, i1, f1);
+  const double lo = at(i0, i1) * (1 - f0) + at(i0 + 1, i1) * f0;
+  const double hi = at(i0, i1 + 1) * (1 - f0) + at(i0 + 1, i1 + 1) * f0;
+  return (hi - lo) / a1_.dx;
+}
+
+}  // namespace qwm::numeric

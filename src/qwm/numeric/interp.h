@@ -1,0 +1,67 @@
+// Uniform-grid interpolation (1-D linear, 2-D bilinear).
+//
+// The tabular device model stores per-(Vs, Vg) fit parameters on a uniform
+// 0.1 V grid (paper §V-A); queries off the grid are interpolated from the
+// neighbouring points.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qwm::numeric {
+
+/// A uniform sample axis: n points x0, x0+dx, ..., x0+(n-1)dx.
+struct UniformAxis {
+  double x0 = 0.0;
+  double dx = 1.0;
+  std::size_t n = 0;
+
+  double coord(std::size_t i) const { return x0 + dx * static_cast<double>(i); }
+  double max() const { return coord(n - 1); }
+
+  /// Cell index and fractional position for x, clamped to the grid.
+  /// After the call, 0 <= idx <= n-2 and 0 <= frac <= 1 (n >= 2 required).
+  void locate(double x, std::size_t& idx, double& frac) const;
+};
+
+/// Linear interpolation over a uniform axis. Clamps outside the range.
+class LinearTable1D {
+ public:
+  LinearTable1D() = default;
+  LinearTable1D(UniformAxis axis, std::vector<double> values);
+
+  double eval(double x) const;
+  /// d(eval)/dx (piecewise constant; clamped to 0 outside the range).
+  double deriv(double x) const;
+  const UniformAxis& axis() const { return axis_; }
+
+ private:
+  UniformAxis axis_;
+  std::vector<double> values_;
+};
+
+/// Bilinear interpolation over a uniform 2-D grid; values stored row-major
+/// with the first axis as the slow index. Clamps outside the range.
+class BilinearTable2D {
+ public:
+  BilinearTable2D() = default;
+  BilinearTable2D(UniformAxis a0, UniformAxis a1, std::vector<double> values);
+
+  double eval(double x0, double x1) const;
+  /// Partial derivatives of the interpolant.
+  double deriv0(double x0, double x1) const;
+  double deriv1(double x0, double x1) const;
+
+  const UniformAxis& axis0() const { return a0_; }
+  const UniformAxis& axis1() const { return a1_; }
+  double& at(std::size_t i0, std::size_t i1) { return values_[i0 * a1_.n + i1]; }
+  double at(std::size_t i0, std::size_t i1) const {
+    return values_[i0 * a1_.n + i1];
+  }
+
+ private:
+  UniformAxis a0_, a1_;
+  std::vector<double> values_;
+};
+
+}  // namespace qwm::numeric

@@ -1,0 +1,120 @@
+#include "qwm/numeric/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qwm::numeric {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+LuFactorization::LuFactorization(const Matrix& a)
+    : n_(a.rows()), lu_(a), perm_(a.rows()) {
+  assert(a.rows() == a.cols());
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+  ok_ = true;
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (!(best > 0.0) || !std::isfinite(best)) {
+      ok_ = false;
+      return;
+    }
+    if (piv != k) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(k, c), lu_(piv, c));
+      std::swap(perm_[k], perm_[piv]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double m = lu_(r, k) / pivot;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  assert(ok_);
+  assert(b.size() == n_);
+  Vector x(n_);
+  // Forward substitution with permutation applied: L y = P b.
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Back substitution: U x = y.
+  for (std::size_t ri = n_; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n_; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  if (!ok_) return 0.0;
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector lu_solve(const Matrix& a, const Vector& b) {
+  LuFactorization lu(a);
+  if (!lu.ok()) return {};
+  return lu.solve(b);
+}
+
+double inf_norm(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double norm2(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace qwm::numeric

@@ -1,0 +1,85 @@
+// Dense matrix with LU factorization (partial pivoting).
+//
+// Sized for the small systems that appear in transistor-level timing
+// analysis: MNA matrices of logic stages (tens of nodes) and QWM region
+// Jacobians (stack depth + 1). Row-major storage, no expression templates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qwm::numeric {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Reset every entry to `v` without changing the shape.
+  void fill(double v);
+  /// Resize to rows x cols, zero-filled (previous contents discarded).
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// y = A * x. Requires x.size() == cols().
+  Vector multiply(const Vector& x) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vector data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix.
+///
+/// Factors PA = LU once; `solve` then costs O(n^2) per right-hand side.
+/// Used as the general-purpose linear solver for MNA systems and as the
+/// reference ("slow") solver in the QWM tridiagonal-vs-LU ablation.
+class LuFactorization {
+ public:
+  /// Factors `a`. Check `ok()` before calling solve(); a singular (to
+  /// machine precision) matrix leaves ok() false.
+  explicit LuFactorization(const Matrix& a);
+
+  bool ok() const { return ok_; }
+  std::size_t size() const { return n_; }
+
+  /// Solves A x = b. Requires ok() and b.size() == size().
+  Vector solve(const Vector& b) const;
+
+  /// det(A); meaningful only when ok().
+  double determinant() const;
+
+ private:
+  std::size_t n_ = 0;
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  bool ok_ = false;
+  int perm_sign_ = 1;
+};
+
+/// Convenience: solve A x = b with a fresh LU factorization.
+/// Returns empty vector if A is singular.
+Vector lu_solve(const Matrix& a, const Vector& b);
+
+/// Infinity norm of a vector (0 for empty).
+double inf_norm(const Vector& v);
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+}  // namespace qwm::numeric

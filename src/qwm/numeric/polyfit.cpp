@@ -1,0 +1,78 @@
+#include "qwm/numeric/polyfit.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "qwm/numeric/matrix.h"
+
+namespace qwm::numeric {
+
+double Polynomial::eval(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+double Polynomial::deriv(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 1;)
+    acc = acc * x + coeffs[i] * static_cast<double>(i);
+  return acc;
+}
+
+Polynomial polyfit(const std::vector<double>& x, const std::vector<double>& y,
+                   std::size_t degree) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  const std::size_t m = degree + 1;
+  if (n < m) return {};
+
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V. Fine for the
+  // low degrees (<= 3) used in device characterization.
+  Matrix a(m, m);
+  Vector b(m, 0.0);
+  // Precompute power sums sum x^k for k = 0..2*degree.
+  std::vector<double> psum(2 * degree + 1, 0.0);
+  for (double xi : x) {
+    double p = 1.0;
+    for (std::size_t k = 0; k < psum.size(); ++k) {
+      psum[k] += p;
+      p *= xi;
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < m; ++c) a(r, c) = psum[r + c];
+  for (std::size_t i = 0; i < n; ++i) {
+    double p = 1.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      b[r] += p * y[i];
+      p *= x[i];
+    }
+  }
+  Vector c = lu_solve(a, b);
+  if (c.empty()) return {};
+  return Polynomial{std::move(c)};
+}
+
+FitQuality fit_quality(const Polynomial& p, const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  FitQuality q;
+  if (x.empty()) return q;
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = p.eval(x[i]) - y[i];
+    ss_res += e * e;
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+    q.max_error = std::max(q.max_error, std::abs(e));
+  }
+  q.rms_error = std::sqrt(ss_res / static_cast<double>(x.size()));
+  q.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : (ss_res == 0.0 ? 1.0 : 0.0);
+  return q;
+}
+
+}  // namespace qwm::numeric

@@ -1,0 +1,42 @@
+// Least-squares polynomial fitting.
+//
+// Used by device characterization (paper §V-A): at each (Vs, Vg) grid
+// point the channel current Ids(Vd) is fit with a linear polynomial in
+// the saturation region and a quadratic in the triode region.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qwm::numeric {
+
+/// A polynomial sum_i c[i] * x^i with fast evaluation and derivative.
+struct Polynomial {
+  std::vector<double> coeffs;  ///< coeffs[i] multiplies x^i
+
+  double eval(double x) const;
+  /// d/dx at x.
+  double deriv(double x) const;
+  std::size_t degree() const { return coeffs.empty() ? 0 : coeffs.size() - 1; }
+};
+
+struct FitQuality {
+  double rms_error = 0.0;
+  double max_error = 0.0;
+  /// Coefficient of determination (1 = perfect fit). 1 when the data has
+  /// zero variance and the fit is exact.
+  double r_squared = 1.0;
+};
+
+/// Least-squares fit of a degree-`degree` polynomial to the points
+/// (x[i], y[i]) via normal equations. Requires x.size() == y.size() and at
+/// least degree+1 points; returns an empty polynomial otherwise or when the
+/// normal equations are singular (e.g. duplicate abscissae).
+Polynomial polyfit(const std::vector<double>& x, const std::vector<double>& y,
+                   std::size_t degree);
+
+/// Residual statistics of `p` against the points.
+FitQuality fit_quality(const Polynomial& p, const std::vector<double>& x,
+                       const std::vector<double>& y);
+
+}  // namespace qwm::numeric

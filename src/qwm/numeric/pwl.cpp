@@ -1,0 +1,127 @@
+#include "qwm/numeric/pwl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qwm::numeric {
+
+PwlWaveform::PwlWaveform(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  assert(times_.size() == values_.size());
+  for (std::size_t i = 1; i < times_.size(); ++i)
+    assert(times_[i] > times_[i - 1]);
+}
+
+PwlWaveform PwlWaveform::constant(double value) {
+  return PwlWaveform({0.0}, {value});
+}
+
+PwlWaveform PwlWaveform::step(double t_step, double v0, double v1) {
+  // An ideal step is represented with a 1 fs ramp so the waveform stays a
+  // function of time.
+  const double eps = 1e-15;
+  if (t_step <= 0.0) return PwlWaveform({0.0}, {v1});
+  return PwlWaveform({0.0, t_step, t_step + eps}, {v0, v0, v1});
+}
+
+PwlWaveform PwlWaveform::ramp(double t0, double t_rise, double v0, double v1) {
+  assert(t_rise > 0.0);
+  if (t0 <= 0.0) return PwlWaveform({0.0, t_rise}, {v0, v1});
+  return PwlWaveform({0.0, t0, t0 + t_rise}, {v0, v0, v1});
+}
+
+void PwlWaveform::append(double t, double v) {
+  assert(times_.empty() || t > times_.back());
+  times_.push_back(t);
+  values_.push_back(v);
+}
+
+double PwlWaveform::eval(double t) const {
+  assert(!times_.empty());
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return values_[lo] + f * (values_[hi] - values_[lo]);
+}
+
+double PwlWaveform::slope(double t) const {
+  assert(!times_.empty());
+  if (t < times_.front() || t >= times_.back()) return 0.0;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  return (values_[hi] - values_[lo]) / (times_[hi] - times_[lo]);
+}
+
+std::optional<double> PwlWaveform::crossing(double level, double t_from,
+                                            std::optional<bool> rising) const {
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (times_[i] < t_from) continue;
+    const double v0 = values_[i - 1], v1 = values_[i];
+    const bool seg_rising = v1 > v0;
+    if (rising && *rising != seg_rising) continue;
+    const double lo = std::min(v0, v1), hi = std::max(v0, v1);
+    if (level < lo || level > hi || v0 == v1) continue;
+    const double f = (level - v0) / (v1 - v0);
+    const double t = times_[i - 1] + f * (times_[i] - times_[i - 1]);
+    if (t >= t_from) return t;
+  }
+  return std::nullopt;
+}
+
+PwlWaveform PwlWaveform::resample(double t0, double t1, std::size_t n) const {
+  assert(n >= 2 && t1 > t0);
+  std::vector<double> ts(n), vs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ts[i] = t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(n - 1);
+    vs[i] = eval(ts[i]);
+  }
+  return PwlWaveform(std::move(ts), std::move(vs));
+}
+
+double PwlWaveform::max_difference(const PwlWaveform& a, const PwlWaveform& b,
+                                   double t0, double t1) {
+  std::vector<double> ts;
+  ts.reserve(a.size() + b.size() + 2);
+  ts.push_back(t0);
+  ts.push_back(t1);
+  for (double t : a.times())
+    if (t >= t0 && t <= t1) ts.push_back(t);
+  for (double t : b.times())
+    if (t >= t0 && t <= t1) ts.push_back(t);
+  double m = 0.0;
+  for (double t : ts) m = std::max(m, std::abs(a.eval(t) - b.eval(t)));
+  return m;
+}
+
+std::optional<double> propagation_delay(const PwlWaveform& in,
+                                        const PwlWaveform& out, double v_mid,
+                                        bool in_rising, bool out_rising) {
+  const auto t_in = in.crossing(v_mid, 0.0, in_rising);
+  if (!t_in) return std::nullopt;
+  const auto t_out = out.crossing(v_mid, *t_in, out_rising);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+std::optional<double> transition_time(const PwlWaveform& w, double v_low,
+                                      double v_high, bool rising) {
+  if (rising) {
+    const auto t0 = w.crossing(v_low, 0.0, true);
+    if (!t0) return std::nullopt;
+    const auto t1 = w.crossing(v_high, *t0, true);
+    if (!t1) return std::nullopt;
+    return *t1 - *t0;
+  }
+  const auto t0 = w.crossing(v_high, 0.0, false);
+  if (!t0) return std::nullopt;
+  const auto t1 = w.crossing(v_low, *t0, false);
+  if (!t1) return std::nullopt;
+  return *t1 - *t0;
+}
+
+}  // namespace qwm::numeric

@@ -1,0 +1,77 @@
+// Piecewise-linear waveforms: the lingua franca between engines.
+//
+// SPICE transient results, stimulus definitions, and sampled QWM output
+// waveforms are all exchanged as (time, value) breakpoint lists with
+// linear interpolation between breakpoints — exactly how the paper plots
+// QWM results as "straight solid lines connecting the critical points".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace qwm::numeric {
+
+/// A waveform sampled at strictly increasing time points, linear between
+/// samples and constant-extrapolated outside them.
+class PwlWaveform {
+ public:
+  PwlWaveform() = default;
+  PwlWaveform(std::vector<double> times, std::vector<double> values);
+
+  /// Constant waveform (single breakpoint at t = 0).
+  static PwlWaveform constant(double value);
+  /// Step from v0 to v1 at time t_step (ideal; zero rise time).
+  static PwlWaveform step(double t_step, double v0, double v1);
+  /// Ramp from v0 starting at t0 reaching v1 at t0 + t_rise.
+  static PwlWaveform ramp(double t0, double t_rise, double v0, double v1);
+
+  bool empty() const { return times_.empty(); }
+  std::size_t size() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+  double time(std::size_t i) const { return times_[i]; }
+  double value(std::size_t i) const { return values_[i]; }
+  double first_time() const { return times_.front(); }
+  double last_time() const { return times_.back(); }
+  double last_value() const { return values_.back(); }
+
+  /// Appends a breakpoint; t must exceed the current last time.
+  void append(double t, double v);
+
+  /// Value at time t (constant extrapolation outside the samples).
+  double eval(double t) const;
+  /// Slope at time t (0 outside the samples; right-slope at breakpoints).
+  double slope(double t) const;
+
+  /// Earliest time >= t_from where the waveform crosses `level`.
+  /// `rising` restricts the crossing direction; nullopt = either.
+  std::optional<double> crossing(double level, double t_from = 0.0,
+                                 std::optional<bool> rising = {}) const;
+
+  /// Resamples onto a uniform grid of `n` points spanning [t0, t1].
+  PwlWaveform resample(double t0, double t1, std::size_t n) const;
+
+  /// Maximum |a(t) - b(t)| over the union of both breakpoint sets within
+  /// [t0, t1].
+  static double max_difference(const PwlWaveform& a, const PwlWaveform& b,
+                               double t0, double t1);
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// 50%-to-50% propagation delay from `in` crossing v_mid to `out` crossing
+/// v_mid (the standard delay metric used in the paper's error columns).
+/// nullopt when either waveform never crosses.
+std::optional<double> propagation_delay(const PwlWaveform& in,
+                                        const PwlWaveform& out, double v_mid,
+                                        bool in_rising, bool out_rising);
+
+/// 10%-90% (rising) or 90%-10% (falling) transition time of `w` between
+/// levels v_low and v_high.
+std::optional<double> transition_time(const PwlWaveform& w, double v_low,
+                                      double v_high, bool rising);
+
+}  // namespace qwm::numeric

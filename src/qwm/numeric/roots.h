@@ -1,0 +1,27 @@
+// Scalar root finding and small polynomial roots.
+//
+// Used for critical-point location on input waveforms (gate voltage
+// crossing a threshold) and for the cubic/quadratic characteristic
+// polynomials of low-order AWE pole extraction.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace qwm::numeric {
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) of opposite sign
+/// (or one of them zero). Returns nullopt when the bracket is invalid.
+std::optional<double> bisect(const std::function<double(double)>& f, double lo,
+                             double hi, double x_tol = 1e-15,
+                             int max_iterations = 200);
+
+/// Real roots of a*x^2 + b*x + c = 0, ascending. Degenerates gracefully to
+/// the linear case when |a| is negligible.
+std::vector<double> quadratic_roots(double a, double b, double c);
+
+/// Real roots of x^3 + a*x^2 + b*x + c = 0, ascending (Cardano, trig form).
+std::vector<double> cubic_roots_monic(double a, double b, double c);
+
+}  // namespace qwm::numeric

@@ -1,0 +1,33 @@
+#include "qwm/numeric/sherman_morrison.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qwm::numeric {
+
+bool sherman_morrison_solve(const Tridiagonal& a, const std::vector<double>& u,
+                            const std::vector<double>& v,
+                            const std::vector<double>& b,
+                            std::vector<double>& x) {
+  const std::size_t n = a.size();
+  assert(u.size() == n && v.size() == n && b.size() == n);
+
+  std::vector<double> y, z;
+  if (!thomas_solve(a, b, y)) return false;
+  if (!thomas_solve(a, u, z)) return false;
+
+  double vy = 0.0, vz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    vy += v[i] * y[i];
+    vz += v[i] * z[i];
+  }
+  const double denom = 1.0 + vz;
+  if (std::abs(denom) < 1e-300 || !std::isfinite(denom)) return false;
+  const double scale = vy / denom;
+
+  x.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i] = y[i] - scale * z[i];
+  return true;
+}
+
+}  // namespace qwm::numeric

@@ -1,0 +1,27 @@
+// Rank-one-updated tridiagonal solves via the Sherman–Morrison formula.
+//
+// The QWM region Jacobian has the form  Â = A + u v^T  where A is
+// tridiagonal (current-matching rows vs. the alpha parameters) and u v^T
+// carries the dense last column (sensitivities to the region end time).
+// Sherman–Morrison reduces Â x = b to two O(n) tridiagonal solves:
+//
+//   A y = b,  A z = u,  x = y - v·y / (1 + v·z) * z
+//
+// (paper §IV-B, citing Numerical Recipes).
+#pragma once
+
+#include <vector>
+
+#include "qwm/numeric/tridiagonal.h"
+
+namespace qwm::numeric {
+
+/// Solves (A + u v^T) x = b. Returns false when A is numerically singular
+/// or the Sherman–Morrison denominator (1 + v·z) vanishes; the caller
+/// should fall back to a dense LU of the full matrix.
+bool sherman_morrison_solve(const Tridiagonal& a, const std::vector<double>& u,
+                            const std::vector<double>& v,
+                            const std::vector<double>& b,
+                            std::vector<double>& x);
+
+}  // namespace qwm::numeric

@@ -1,0 +1,65 @@
+#include "qwm/numeric/tridiagonal.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qwm::numeric {
+
+void Tridiagonal::resize(std::size_t n) {
+  lower.assign(n, 0.0);
+  diag.assign(n, 0.0);
+  upper.assign(n, 0.0);
+}
+
+void Tridiagonal::fill(double v) {
+  for (auto& x : lower) x = v;
+  for (auto& x : diag) x = v;
+  for (auto& x : upper) x = v;
+}
+
+std::vector<double> Tridiagonal::multiply(const std::vector<double>& x) const {
+  const std::size_t n = size();
+  assert(x.size() == n);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = diag[i] * x[i];
+    if (i > 0) acc += lower[i] * x[i - 1];
+    if (i + 1 < n) acc += upper[i] * x[i + 1];
+    y[i] = acc;
+  }
+  return y;
+}
+
+bool thomas_solve(const Tridiagonal& t, const std::vector<double>& b,
+                  std::vector<double>& x) {
+  const std::size_t n = t.size();
+  assert(b.size() == n);
+  if (n == 0) {
+    x.clear();
+    return true;
+  }
+  std::vector<double> cp(n, 0.0);  // modified super-diagonal
+  x.assign(n, 0.0);
+
+  double piv = t.diag[0];
+  if (piv == 0.0 || !std::isfinite(piv)) return false;
+  cp[0] = t.upper[0] / piv;
+  x[0] = b[0] / piv;
+  for (std::size_t i = 1; i < n; ++i) {
+    piv = t.diag[i] - t.lower[i] * cp[i - 1];
+    if (piv == 0.0 || !std::isfinite(piv)) return false;
+    cp[i] = t.upper[i] / piv;
+    x[i] = (b[i] - t.lower[i] * x[i - 1]) / piv;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) x[i] -= cp[i] * x[i + 1];
+  return true;
+}
+
+std::vector<double> thomas_solve(const Tridiagonal& t,
+                                 const std::vector<double>& b) {
+  std::vector<double> x;
+  if (!thomas_solve(t, b, x)) return {};
+  return x;
+}
+
+}  // namespace qwm::numeric

@@ -1,0 +1,50 @@
+// Tridiagonal linear systems via the Thomas algorithm.
+//
+// The QWM region Jacobian is tridiagonal except for its last column
+// (see sherman_morrison.h); solving the tridiagonal part in O(n) instead
+// of O(n^3) LU is one of the paper's reported optimizations (~2x on the
+// whole NR solve).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qwm::numeric {
+
+/// A tridiagonal matrix of dimension n, stored as three bands.
+///
+///   | d[0] u[0]                  |
+///   | l[1] d[1] u[1]             |
+///   |      l[2] d[2] u[2]        |
+///   |            ...             |
+///   |           l[n-1]   d[n-1]  |
+///
+/// l[0] and u[n-1] are unused.
+struct Tridiagonal {
+  std::vector<double> lower;  ///< sub-diagonal, lower[0] unused
+  std::vector<double> diag;   ///< main diagonal
+  std::vector<double> upper;  ///< super-diagonal, upper[n-1] unused
+
+  Tridiagonal() = default;
+  explicit Tridiagonal(std::size_t n)
+      : lower(n, 0.0), diag(n, 0.0), upper(n, 0.0) {}
+
+  std::size_t size() const { return diag.size(); }
+  void resize(std::size_t n);
+  void fill(double v);
+
+  /// y = T * x.
+  std::vector<double> multiply(const std::vector<double>& x) const;
+};
+
+/// Solves T x = b with the Thomas algorithm (no pivoting). Returns false if
+/// a zero (or non-finite) pivot is hit — caller should fall back to dense LU.
+/// O(n) time, O(n) scratch.
+bool thomas_solve(const Tridiagonal& t, const std::vector<double>& b,
+                  std::vector<double>& x);
+
+/// Convenience overload; empty result signals failure.
+std::vector<double> thomas_solve(const Tridiagonal& t,
+                                 const std::vector<double>& b);
+
+}  // namespace qwm::numeric

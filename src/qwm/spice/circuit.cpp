@@ -1,0 +1,42 @@
+#include "qwm/spice/circuit.h"
+
+#include <cassert>
+
+namespace qwm::spice {
+
+Circuit::Circuit() { nodes_.push_back(Node{"0", {}, 0.0}); }
+
+SimNodeId Circuit::add_node(const std::string& name) {
+  nodes_.push_back(Node{name, {}, std::numeric_limits<double>::quiet_NaN()});
+  return static_cast<SimNodeId>(nodes_.size() - 1);
+}
+
+void Circuit::drive(SimNodeId n, numeric::PwlWaveform w) {
+  assert(n != kGround);
+  nodes_[n].driven = std::move(w);
+}
+
+void Circuit::set_ic(SimNodeId n, double v) { nodes_[n].ic = v; }
+
+void Circuit::add_resistor(SimNodeId a, SimNodeId b, double r) {
+  assert(r > 0.0);
+  resistors_.push_back(Resistor{a, b, r});
+}
+
+void Circuit::add_capacitor(SimNodeId a, SimNodeId b, double c) {
+  assert(c >= 0.0);
+  capacitors_.push_back(Capacitor{a, b, c});
+}
+
+void Circuit::add_mosfet(const device::DeviceModel* model, double w, double l,
+                         SimNodeId d, SimNodeId g, SimNodeId s) {
+  assert(model != nullptr && w > 0.0 && l > 0.0);
+  mosfets_.push_back(Mosfet{model, w, l, d, g, s});
+}
+
+void Circuit::add_current_source(SimNodeId pos, SimNodeId neg,
+                                 numeric::PwlWaveform w) {
+  isources_.push_back(CurrentSource{pos, neg, std::move(w)});
+}
+
+}  // namespace qwm::spice

@@ -1,0 +1,81 @@
+// Simulation circuit for the SPICE-class baseline engine.
+//
+// Node-voltage formulation: node 0 is ground; any node may be *driven*
+// (its voltage follows a stimulus waveform — the supplies and stage
+// inputs), every other node is an unknown. Restricting sources to driven
+// nodes keeps the system pure nodal (no branch-current unknowns) while
+// covering everything transistor-level stage analysis needs.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qwm/device/device_model.h"
+#include "qwm/numeric/pwl.h"
+
+namespace qwm::spice {
+
+using SimNodeId = int;
+constexpr SimNodeId kGround = 0;
+
+class Circuit {
+ public:
+  struct Node {
+    std::string name;
+    std::optional<numeric::PwlWaveform> driven;
+    /// Explicit initial condition; NaN = take the DC operating point.
+    double ic = std::numeric_limits<double>::quiet_NaN();
+  };
+  struct Resistor {
+    SimNodeId a, b;
+    double r;
+  };
+  struct Capacitor {
+    SimNodeId a, b;
+    double c;
+  };
+  struct Mosfet {
+    const device::DeviceModel* model;
+    double w, l;
+    SimNodeId d, g, s;
+  };
+  /// Independent current source: waveform(t) amps flow from `pos` through
+  /// the source into `neg` (SPICE convention).
+  struct CurrentSource {
+    SimNodeId pos, neg;
+    numeric::PwlWaveform waveform;
+  };
+
+  Circuit();
+
+  SimNodeId add_node(const std::string& name);
+  void drive(SimNodeId n, numeric::PwlWaveform w);
+  void set_ic(SimNodeId n, double v);
+
+  void add_resistor(SimNodeId a, SimNodeId b, double r);
+  void add_capacitor(SimNodeId a, SimNodeId b, double c);
+  void add_mosfet(const device::DeviceModel* model, double w, double l,
+                  SimNodeId d, SimNodeId g, SimNodeId s);
+  void add_current_source(SimNodeId pos, SimNodeId neg,
+                          numeric::PwlWaveform w);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(SimNodeId n) const { return nodes_[n]; }
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+  const std::vector<CurrentSource>& current_sources() const {
+    return isources_;
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Mosfet> mosfets_;
+  std::vector<CurrentSource> isources_;
+};
+
+}  // namespace qwm::spice

@@ -1,0 +1,139 @@
+#include "qwm/spice/from_stage.h"
+
+#include <cassert>
+#include <string>
+
+#include "qwm/circuit/path.h"
+
+namespace qwm::spice {
+
+StageSim circuit_from_stage(
+    const circuit::LogicStage& stage, const device::ModelSet& models,
+    const std::vector<numeric::PwlWaveform>& input_waveforms,
+    int wire_segments) {
+  assert(input_waveforms.size() == stage.input_count());
+  assert(wire_segments >= 1);
+  StageSim sim;
+  Circuit& c = sim.circuit;
+
+  // Nodes: GND -> ground, VDD -> driven constant, the rest plain.
+  sim.node_of.assign(stage.node_count(), -1);
+  for (std::size_t i = 0; i < stage.node_count(); ++i) {
+    const auto n = static_cast<circuit::NodeId>(i);
+    if (n == stage.sink()) {
+      sim.node_of[i] = kGround;
+    } else if (n == stage.source()) {
+      const SimNodeId v = c.add_node("VDD");
+      c.drive(v, numeric::PwlWaveform::constant(stage.vdd()));
+      sim.node_of[i] = v;
+    } else {
+      sim.node_of[i] = c.add_node(stage.node(n).name);
+      if (stage.node(n).load_cap > 0.0)
+        c.add_capacitor(sim.node_of[i], kGround, stage.node(n).load_cap);
+    }
+  }
+
+  // Driven gate nodes, one per stage input.
+  sim.input_node_of.assign(stage.input_count(), -1);
+  for (std::size_t i = 0; i < stage.input_count(); ++i) {
+    const SimNodeId g = c.add_node("in:" + stage.input_name(
+                                              static_cast<circuit::InputId>(i)));
+    c.drive(g, input_waveforms[i]);
+    sim.input_node_of[i] = g;
+  }
+
+  for (std::size_t ei = 0; ei < stage.edge_count(); ++ei) {
+    const circuit::Edge& e = stage.edge(static_cast<circuit::EdgeId>(ei));
+    const SimNodeId a = sim.node_of[e.src];
+    const SimNodeId b = sim.node_of[e.snk];
+    if (e.kind == circuit::DeviceKind::wire) {
+      const double r = e.explicit_r >= 0.0
+                           ? e.explicit_r
+                           : circuit::wire_resistance(models.process->wire,
+                                                      e.w, e.l);
+      const double cw = e.explicit_c >= 0.0
+                            ? e.explicit_c
+                            : circuit::wire_capacitance(models.process->wire,
+                                                        e.w, e.l);
+      // RC ladder: segments of R with capacitance shared across the
+      // internal and end nodes (standard segmented-pi discretization).
+      const int segs = wire_segments;
+      SimNodeId prev = a;
+      const double rseg = r / segs;
+      const double cnode = cw / segs;
+      if (cw > 0.0) c.add_capacitor(a, kGround, 0.5 * cnode);
+      for (int k = 0; k < segs; ++k) {
+        const SimNodeId next =
+            (k == segs - 1)
+                ? b
+                : c.add_node("w" + std::to_string(ei) + "." + std::to_string(k));
+        if (rseg > 0.0)
+          c.add_resistor(prev, next, rseg);
+        else
+          c.add_resistor(prev, next, 1e-3);  // ideal wires get 1 mOhm
+        if (cw > 0.0)
+          c.add_capacitor(next, kGround, (k == segs - 1) ? 0.5 * cnode : cnode);
+        prev = next;
+      }
+      continue;
+    }
+    // Transistor: gate node is the bound input or a static driven node.
+    const device::DeviceModel& model =
+        models.model_for(circuit::mos_type_of(e.kind));
+    SimNodeId g;
+    if (e.input >= 0) {
+      g = sim.input_node_of[e.input];
+    } else {
+      g = c.add_node("sg" + std::to_string(ei));
+      c.drive(g, numeric::PwlWaveform::constant(e.static_gate_voltage));
+    }
+    c.add_mosfet(&model, e.w, e.l, /*d=*/a, g, /*s=*/b);
+    // Parasitic junction/overlap caps at the channel terminals.
+    if (a != kGround) c.add_capacitor(a, kGround, model.src_cap(e.w, e.l));
+    if (b != kGround) c.add_capacitor(b, kGround, model.snk_cap(e.w, e.l));
+  }
+  return sim;
+}
+
+FlatSim circuit_from_flat(const netlist::FlatNetlist& nl,
+                          const device::ModelSet& models,
+                          std::vector<std::string>* errors) {
+  FlatSim sim;
+  Circuit& c = sim.circuit;
+  sim.node_of.assign(nl.net_count(), -1);
+  sim.node_of[netlist::kGroundNet] = kGround;
+  for (std::size_t i = 1; i < nl.net_count(); ++i)
+    sim.node_of[i] = c.add_node(nl.net_name(static_cast<netlist::NetId>(i)));
+
+  for (const auto& v : nl.vsources) {
+    if (v.neg != netlist::kGroundNet) {
+      if (errors)
+        errors->push_back("vsource " + v.name +
+                          " is not ground-referenced; unsupported");
+      continue;
+    }
+    c.drive(sim.node_of[v.pos], v.waveform);
+  }
+  for (const auto& src : nl.isources)
+    c.add_current_source(sim.node_of[src.pos], sim.node_of[src.neg],
+                         src.waveform);
+  for (const auto& r : nl.resistors)
+    c.add_resistor(sim.node_of[r.a], sim.node_of[r.b], r.value);
+  for (const auto& cp : nl.capacitors)
+    c.add_capacitor(sim.node_of[cp.a], sim.node_of[cp.b], cp.value);
+  for (const auto& m : nl.mosfets) {
+    const device::DeviceModel& model = models.model_for(m.type);
+    c.add_mosfet(&model, m.w, m.l, sim.node_of[m.drain], sim.node_of[m.gate],
+                 sim.node_of[m.source]);
+    if (sim.node_of[m.drain] != kGround)
+      c.add_capacitor(sim.node_of[m.drain], kGround, model.src_cap(m.w, m.l));
+    if (sim.node_of[m.source] != kGround)
+      c.add_capacitor(sim.node_of[m.source], kGround, model.snk_cap(m.w, m.l));
+    // The gate load matters when the gate net is driven by another stage.
+    if (sim.node_of[m.gate] != kGround)
+      c.add_capacitor(sim.node_of[m.gate], kGround, model.input_cap(m.w, m.l));
+  }
+  return sim;
+}
+
+}  // namespace qwm::spice

@@ -1,0 +1,45 @@
+// Builders turning analysis-level structures (LogicStage, FlatNetlist)
+// into simulation circuits for the transient engine. Device parasitic
+// capacitances are instantiated from the same DeviceModel capacitance
+// queries QWM uses, so both engines see identical loading.
+#pragma once
+
+#include <vector>
+
+#include "qwm/circuit/stage.h"
+#include "qwm/device/model_set.h"
+#include "qwm/netlist/flat.h"
+#include "qwm/spice/circuit.h"
+
+namespace qwm::spice {
+
+struct StageSim {
+  Circuit circuit;
+  /// stage NodeId -> SimNodeId (rails map to the driven VDD node / ground).
+  std::vector<SimNodeId> node_of;
+  /// input InputId -> the driven gate SimNodeId.
+  std::vector<SimNodeId> input_node_of;
+};
+
+/// Builds a simulation circuit for one logic stage. `input_waveforms[i]`
+/// drives stage input i. Wire edges expand into `wire_segments`-section RC
+/// ladders (explicit R/C values honored when present).
+StageSim circuit_from_stage(
+    const circuit::LogicStage& stage, const device::ModelSet& models,
+    const std::vector<numeric::PwlWaveform>& input_waveforms,
+    int wire_segments = 4);
+
+struct FlatSim {
+  Circuit circuit;
+  /// net -> sim node (ground maps to ground).
+  std::vector<SimNodeId> node_of;
+};
+
+/// Builds a simulation circuit for a full flat netlist. Voltage sources
+/// must reference ground on their negative terminal (driven-node
+/// formulation); others are rejected via `errors`.
+FlatSim circuit_from_flat(const netlist::FlatNetlist& nl,
+                          const device::ModelSet& models,
+                          std::vector<std::string>* errors = nullptr);
+
+}  // namespace qwm::spice

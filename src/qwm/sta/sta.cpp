@@ -1,0 +1,329 @@
+#include "qwm/sta/sta.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace qwm::sta {
+
+namespace {
+constexpr double kTimeTol = 1e-14;  ///< arrival-change tolerance [s]
+
+/// Ramp waveform with its 50% crossing at `t50` and 10-90 transition
+/// `slew` (converted to the full 0-100 ramp duration).
+numeric::PwlWaveform make_ramp(double t50, double slew, double vdd,
+                               bool rising) {
+  const double dur = std::max(slew / 0.8, 1e-13);
+  const double t0 = std::max(t50 - 0.5 * dur, 0.0);
+  if (rising) return numeric::PwlWaveform::ramp(t0, dur, 0.0, vdd);
+  return numeric::PwlWaveform::ramp(t0, dur, vdd, 0.0);
+}
+
+}  // namespace
+
+StaEngine::StaEngine(circuit::PartitionedDesign design,
+                     device::ModelSet models, StaOptions options)
+    : design_(std::move(design)), models_(models), opt_(options) {
+  dirty_.assign(design_.stages.size(), 1);
+  // Default primary-input arrivals: t = 0 on both edges.
+  for (netlist::NetId n : design_.primary_inputs)
+    set_input_arrival(n, 0.0, 0.0);
+}
+
+void StaEngine::set_input_arrival(netlist::NetId net, double rise_time,
+                                  double fall_time, double slew) {
+  const double s = slew > 0.0 ? slew : opt_.input_slew;
+  NetTiming t;
+  t.rise.time = rise_time;
+  t.rise.slew = s;
+  t.fall.time = fall_time;
+  t.fall.slew = s;
+  timing_[net] = t;
+}
+
+const NetTiming& StaEngine::timing(netlist::NetId net) const {
+  static const NetTiming kEmpty{};
+  const auto it = timing_.find(net);
+  return it == timing_.end() ? kEmpty : it->second;
+}
+
+std::vector<int> StaEngine::topological_order() const {
+  const int n = static_cast<int>(design_.stages.size());
+  // Edges: stage A -> stage B when an output net of A is an input net of B.
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> indeg(n, 0);
+  for (int b = 0; b < n; ++b) {
+    for (netlist::NetId in : design_.stages[b].input_nets) {
+      const auto it = design_.driver_of.find(in);
+      if (it == design_.driver_of.end()) continue;
+      const int a = it->second.first;
+      if (a == b) continue;
+      succ[a].push_back(b);
+      ++indeg[b];
+    }
+  }
+  std::vector<int> order;
+  std::queue<int> q;
+  for (int i = 0; i < n; ++i)
+    if (indeg[i] == 0) q.push(i);
+  while (!q.empty()) {
+    const int a = q.front();
+    q.pop();
+    order.push_back(a);
+    for (int b : succ[a])
+      if (--indeg[b] == 0) q.push(b);
+  }
+  return order;  // stages in cycles are simply absent
+}
+
+Arrival StaEngine::evaluate_output(int stage_index, int output_index,
+                                   bool rising) {
+  const circuit::StageInfo& info = design_.stages[stage_index];
+  const circuit::LogicStage& stage = info.stage;
+  const circuit::NodeId out_node = stage.outputs()[output_index];
+  // Output rising = charge event, triggered by a falling input; output
+  // falling = discharge, triggered by a rising input (inverting stage
+  // worst case).
+  const bool output_falls = !rising;
+  const bool trigger_rising = output_falls;
+
+  // Pick the latest-arriving triggering input.
+  int sw_input = -1;
+  Arrival trigger;
+  for (std::size_t i = 0; i < info.input_nets.size(); ++i) {
+    const NetTiming& t = timing(info.input_nets[i]);
+    const Arrival& a = trigger_rising ? t.rise : t.fall;
+    if (!a.valid()) continue;
+    if (sw_input < 0 || a.time > trigger.time) {
+      sw_input = static_cast<int>(i);
+      trigger = a;
+    }
+  }
+  Arrival result;
+  if (sw_input < 0) return result;  // no triggering arrival known
+
+  // Input waveforms: the trigger ramps; every other input sits at its
+  // non-controlling level for the event.
+  const double vdd = models_.vdd();
+  std::vector<numeric::PwlWaveform> inputs;
+  for (std::size_t i = 0; i < info.input_nets.size(); ++i) {
+    if (static_cast<int>(i) == sw_input)
+      inputs.push_back(
+          make_ramp(trigger.time, trigger.slew, vdd, trigger_rising));
+    else
+      inputs.push_back(
+          numeric::PwlWaveform::constant(output_falls ? vdd : 0.0));
+  }
+
+  ++evals_;
+  const core::StageTiming st = core::evaluate_stage(
+      stage, out_node, output_falls, inputs, sw_input, models_, opt_.qwm);
+  if (!st.ok || !st.delay) return result;
+  result.time = trigger.time + *st.delay;
+  result.slew = st.output_slew.value_or(opt_.input_slew);
+  result.from_stage = stage_index;
+  result.from_net = info.input_nets[sw_input];
+  return result;
+}
+
+bool StaEngine::evaluate_stage(int stage_index) {
+  const circuit::StageInfo& info = design_.stages[stage_index];
+  bool changed = false;
+  for (std::size_t oi = 0; oi < info.output_nets.size(); ++oi) {
+    const netlist::NetId net = info.output_nets[oi];
+    NetTiming& t = timing_[net];
+    for (const bool rising : {true, false}) {
+      const Arrival a =
+          evaluate_output(stage_index, static_cast<int>(oi), rising);
+      Arrival& slot = rising ? t.rise : t.fall;
+      if (a.valid() &&
+          (!slot.valid() || std::abs(a.time - slot.time) > kTimeTol ||
+           std::abs(a.slew - slot.slew) > kTimeTol)) {
+        slot = a;
+        changed = true;
+      } else if (!a.valid() && slot.valid() && slot.from_stage >= 0) {
+        slot = Arrival{};
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+std::size_t StaEngine::run() {
+  const std::size_t before = evals_;
+  const auto order = topological_order();
+  if (order.size() != design_.stages.size())
+    warnings_.push_back("combinational cycle detected; cyclic stages skipped");
+  for (int s : order) {
+    evaluate_stage(s);
+    dirty_[s] = 0;
+  }
+  return evals_ - before;
+}
+
+void StaEngine::resize_transistor(int stage_index, circuit::EdgeId edge,
+                                  double new_width) {
+  circuit::Edge& e = design_.stages[stage_index].stage.edge_mut(edge);
+  assert(e.kind != circuit::DeviceKind::wire);
+  e.w = new_width;
+  dirty_[stage_index] = 1;
+}
+
+std::size_t StaEngine::update() {
+  const std::size_t before = evals_;
+  const auto order = topological_order();
+  // Propagate: a dirty stage re-evaluates; if its outputs moved, every
+  // consumer of those nets becomes dirty too.
+  std::vector<char> dirty = dirty_;
+  for (int s : order) {
+    if (!dirty[s]) continue;
+    const bool changed = evaluate_stage(s);
+    dirty_[s] = 0;
+    if (!changed) continue;
+    for (netlist::NetId out : design_.stages[s].output_nets) {
+      for (std::size_t b = 0; b < design_.stages.size(); ++b) {
+        if (static_cast<int>(b) == s) continue;
+        const auto& ins = design_.stages[b].input_nets;
+        if (std::find(ins.begin(), ins.end(), out) != ins.end())
+          dirty[b] = 1;
+      }
+    }
+  }
+  return evals_ - before;
+}
+
+std::unordered_map<netlist::NetId, StaEngine::Slack> StaEngine::compute_slacks(
+    double period) const {
+  // Required times propagate backward along the recorded worst arcs (the
+  // from_net chain of each arrival): critical-cone slack. Endpoints are
+  // nets that feed no further stage.
+  std::set<netlist::NetId> consumed;
+  for (const auto& info : design_.stages)
+    for (netlist::NetId n : info.input_nets) consumed.insert(n);
+
+  struct Entry {
+    netlist::NetId net;
+    bool rising;
+    const Arrival* arr;
+  };
+  std::vector<Entry> entries;
+  for (const auto& [net, t] : timing_) {
+    if (t.rise.valid()) entries.push_back({net, true, &t.rise});
+    if (t.fall.valid()) entries.push_back({net, false, &t.fall});
+  }
+  // Backward pass: visit later arrivals first so required times are final
+  // before they propagate upstream (from.arrival < net.arrival always).
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.arr->time > b.arr->time;
+            });
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::unordered_map<netlist::NetId, std::pair<double, double>> required;
+  const auto req_of = [&](netlist::NetId n) -> std::pair<double, double>& {
+    auto [it, inserted] = required.try_emplace(n, kInf, kInf);
+    (void)inserted;
+    return it->second;
+  };
+  for (const auto& e : entries) {
+    auto& r = req_of(e.net);
+    double& mine = e.rising ? r.first : r.second;
+    if (!consumed.count(e.net) && e.arr->from_stage >= 0)
+      mine = std::min(mine, period);  // an endpoint
+    if (e.arr->from_stage < 0 || e.arr->from_net < 0) continue;
+    if (mine == kInf) continue;  // not on any constrained cone
+    // Arc delay = this arrival minus the triggering (opposite-edge)
+    // arrival of the input net.
+    const NetTiming& ft = timing(e.arr->from_net);
+    const Arrival& fa = e.rising ? ft.fall : ft.rise;  // inverting stage
+    if (!fa.valid()) continue;
+    const double arc = e.arr->time - fa.time;
+    auto& fr = req_of(e.arr->from_net);
+    double& theirs = e.rising ? fr.second : fr.first;
+    theirs = std::min(theirs, mine - arc);
+  }
+
+  std::unordered_map<netlist::NetId, Slack> out;
+  for (const auto& [net, t] : timing_) {
+    const auto it = required.find(net);
+    if (it == required.end()) continue;
+    Slack s;
+    if (t.rise.valid() && it->second.first < kInf) {
+      s.required = it->second.first;
+      s.slack = it->second.first - t.rise.time;
+      s.valid = true;
+    }
+    if (t.fall.valid() && it->second.second < kInf) {
+      const double sl = it->second.second - t.fall.time;
+      if (!s.valid || sl < s.slack) {
+        s.required = it->second.second;
+        s.slack = sl;
+        s.valid = true;
+      }
+    }
+    if (s.valid) out[net] = s;
+  }
+  return out;
+}
+
+double StaEngine::worst_slack(double period) const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& [net, s] : compute_slacks(period)) {
+    (void)net;
+    if (s.valid) worst = std::min(worst, s.slack);
+  }
+  return worst;
+}
+
+double StaEngine::worst_arrival() const {
+  double worst = 0.0;
+  for (const auto& info : design_.stages) {
+    for (netlist::NetId n : info.output_nets) {
+      const NetTiming& t = timing(n);
+      if (t.rise.valid()) worst = std::max(worst, t.rise.time);
+      if (t.fall.valid()) worst = std::max(worst, t.fall.time);
+    }
+  }
+  return worst;
+}
+
+std::vector<CriticalPathStep> StaEngine::critical_path() const {
+  // Find the worst endpoint.
+  netlist::NetId net = -1;
+  bool rising = false;
+  double worst = -1.0;
+  for (const auto& info : design_.stages) {
+    for (netlist::NetId n : info.output_nets) {
+      const NetTiming& t = timing(n);
+      if (t.rise.valid() && t.rise.time > worst) {
+        worst = t.rise.time;
+        net = n;
+        rising = true;
+      }
+      if (t.fall.valid() && t.fall.time > worst) {
+        worst = t.fall.time;
+        net = n;
+        rising = false;
+      }
+    }
+  }
+  std::vector<CriticalPathStep> path;
+  int guard = 0;
+  while (net >= 0 && guard++ < 1000) {
+    const NetTiming& t = timing(net);
+    const Arrival& a = rising ? t.rise : t.fall;
+    if (!a.valid()) break;
+    path.push_back(CriticalPathStep{net, rising, a.time, a.from_stage});
+    if (a.from_stage < 0) break;  // reached a primary input
+    net = a.from_net;
+    rising = !rising;  // inverting-stage worst-case model
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace qwm::sta

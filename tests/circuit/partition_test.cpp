@@ -1,0 +1,147 @@
+#include "qwm/circuit/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_models.h"
+#include "qwm/netlist/parser.h"
+
+namespace qwm::circuit {
+namespace {
+
+const device::ModelSet& models() {
+  static device::ModelSet ms = test::models().tabular_set();
+  return ms;
+}
+
+PartitionedDesign partition_deck(const char* deck) {
+  const netlist::ParseResult r = netlist::parse_spice(deck);
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  return partition_netlist(r.netlist, models());
+}
+
+constexpr const char* kChain = R"(inverter chain
+vdd vdd 0 3.3
+vin a 0 pwl(0 0 10p 3.3)
+mp1 b a vdd vdd pmos w=2u l=0.35u
+mn1 b a 0 0 nmos w=1u l=0.35u
+mp2 c b vdd vdd pmos w=2u l=0.35u
+mn2 c b 0 0 nmos w=1u l=0.35u
+mp3 d c vdd vdd pmos w=2u l=0.35u
+mn3 d c 0 0 nmos w=1u l=0.35u
+cl d 0 30f
+)";
+
+TEST(Partition, InverterChainSplitsPerGate) {
+  const auto design = partition_deck(kChain);
+  EXPECT_EQ(design.stages.size(), 3u);
+  for (const auto& s : design.stages) {
+    EXPECT_EQ(s.stage.edge_count(), 2u);
+    EXPECT_EQ(s.input_nets.size(), 1u);
+    EXPECT_TRUE(s.stage.validate().empty());
+  }
+}
+
+TEST(Partition, DriverMapAndPrimaryInputs) {
+  const auto design = partition_deck(kChain);
+  const netlist::ParseResult r = netlist::parse_spice(kChain);
+  const auto net_b = *r.netlist.find_net("b");
+  const auto net_a = *r.netlist.find_net("a");
+  EXPECT_TRUE(design.driver_of.count(net_b));
+  EXPECT_FALSE(design.driver_of.count(net_a));  // driven by a source
+  // "a" is a source-driven gate net: a primary input.
+  bool a_is_pi = false;
+  for (auto n : design.primary_inputs)
+    if (n == net_a) a_is_pi = true;
+  EXPECT_TRUE(a_is_pi);
+}
+
+TEST(Partition, FanoutLoadAppliedToDriverOutput) {
+  const auto design = partition_deck(kChain);
+  // Stage driving net "b" must carry the input capacitance of stage 2's
+  // two gates as output load.
+  const netlist::ParseResult r = netlist::parse_spice(kChain);
+  const auto net_b = *r.netlist.find_net("b");
+  const auto [si, oi] = design.driver_of.at(net_b);
+  const StageInfo& info = design.stages[si];
+  const NodeId out = info.stage.outputs()[oi];
+  const double expected =
+      models().nmos->input_cap(1e-6, 0.35e-6) +
+      models().pmos->input_cap(2e-6, 0.35e-6);
+  EXPECT_NEAR(info.stage.node(out).load_cap, expected, 1e-18);
+}
+
+TEST(Partition, PassTransistorMergesStages) {
+  // NAND + pass transistor: channel-connected through the pass device, so
+  // they form ONE stage (the paper's Figure 1 point).
+  const auto design = partition_deck(R"(fig1
+vdd vdd 0 3.3
+va a 0 0
+vb b 0 3.3
+ven en 0 3.3
+mpa y a vdd vdd pmos w=2u l=0.35u
+mpb y b vdd vdd pmos w=2u l=0.35u
+mna y a m 0 nmos w=1u l=0.35u
+mnb m b 0 0 nmos w=1u l=0.35u
+mpass z en y 0 nmos w=1u l=0.35u
+mload q z 0 0 nmos w=1u l=0.35u
+)");
+  // Stage 1: NAND + pass (5 devices); stage 2: the load device.
+  ASSERT_EQ(design.stages.size(), 2u);
+  const std::size_t d0 = design.stages[0].stage.edge_count();
+  const std::size_t d1 = design.stages[1].stage.edge_count();
+  EXPECT_EQ(d0 + d1, 6u);
+  EXPECT_EQ(std::max(d0, d1), 5u);
+}
+
+TEST(Partition, GroundedCapsBecomeLoads) {
+  const auto design = partition_deck(kChain);
+  const netlist::ParseResult r = netlist::parse_spice(kChain);
+  const auto net_d = *r.netlist.find_net("d");
+  // Find the stage containing node d.
+  bool found = false;
+  for (const auto& s : design.stages) {
+    for (std::size_t i = 0; i < s.stage.node_count(); ++i) {
+      if (s.stage.node(static_cast<NodeId>(i)).name == "d" &&
+          s.stage.node(static_cast<NodeId>(i)).load_cap >= 30e-15) {
+        found = true;
+      }
+    }
+  }
+  (void)net_d;
+  EXPECT_TRUE(found);
+}
+
+TEST(Partition, ResistorsJoinComponents) {
+  const auto design = partition_deck(R"(rc coupled
+vdd vdd 0 3.3
+vin a 0 0
+mp1 b a vdd vdd pmos w=2u l=0.35u
+mn1 b a 0 0 nmos w=1u l=0.35u
+r1 b c 500
+mload q c 0 0 nmos w=1u l=0.35u
+)");
+  // Inverter + resistor form one stage; the load gate is a second stage.
+  ASSERT_EQ(design.stages.size(), 2u);
+  bool has_wire_edge = false;
+  for (const auto& s : design.stages)
+    for (std::size_t e = 0; e < s.stage.edge_count(); ++e)
+      if (s.stage.edge(static_cast<EdgeId>(e)).kind == DeviceKind::wire) {
+        has_wire_edge = true;
+        EXPECT_DOUBLE_EQ(
+            s.stage.edge(static_cast<EdgeId>(e)).explicit_r, 500.0);
+      }
+  EXPECT_TRUE(has_wire_edge);
+}
+
+TEST(Partition, FeedbackGateWarns) {
+  const auto design = partition_deck(R"(keeper
+vdd vdd 0 3.3
+vin a 0 0
+mn1 b a 0 0 nmos w=1u l=0.35u
+mk b b vdd vdd pmos w=1u l=0.35u
+)");
+  EXPECT_FALSE(design.warnings.empty());
+}
+
+}  // namespace
+}  // namespace qwm::circuit

@@ -1,0 +1,147 @@
+#include "qwm/circuit/path.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_models.h"
+#include "qwm/circuit/builders.h"
+
+namespace qwm::circuit {
+namespace {
+
+const device::ModelSet& models() {
+  static device::ModelSet ms = test::models().tabular_set();
+  return ms;
+}
+
+TEST(ExtractPath, InverterDischarge) {
+  const auto b = make_inverter(test::models().proc, 10e-15);
+  const auto p = extract_worst_path(b.stage, b.output, true);
+  ASSERT_EQ(p.elements.size(), 1u);
+  EXPECT_EQ(p.nodes.back(), b.output);
+  EXPECT_EQ(b.stage.edge(p.elements[0]).kind, DeviceKind::nmos);
+}
+
+TEST(ExtractPath, InverterCharge) {
+  const auto b = make_inverter(test::models().proc, 10e-15);
+  const auto p = extract_worst_path(b.stage, b.output, false);
+  ASSERT_EQ(p.elements.size(), 1u);
+  EXPECT_EQ(b.stage.edge(p.elements[0]).kind, DeviceKind::pmos);
+}
+
+TEST(ExtractPath, NandPicksFullStack) {
+  const auto b = make_nand(test::models().proc, 4, 10e-15);
+  const auto p = extract_worst_path(b.stage, b.output, true);
+  EXPECT_EQ(p.elements.size(), 4u);  // the series stack, not a PMOS branch
+  for (EdgeId e : p.elements)
+    EXPECT_EQ(b.stage.edge(e).kind, DeviceKind::nmos);
+}
+
+TEST(ExtractPath, NoPathReturnsEmpty) {
+  // A PMOS-only stage has no discharge path.
+  LogicStage s(3.3);
+  const NodeId out = s.add_node("out");
+  const EdgeId e = s.add_edge(DeviceKind::pmos, s.source(), out, 2e-6, 0.35e-6);
+  s.set_gate_static(e, 0.0);
+  const auto p = extract_worst_path(s, out, true);
+  EXPECT_TRUE(p.elements.empty());
+}
+
+TEST(ExtractPath, DecoderIncludesWires) {
+  const auto b = make_decoder_tree(test::models().proc, 2, 10e-15);
+  const auto p = extract_worst_path(b.stage, b.output, true);
+  // root transistor + (wire + pass) per level.
+  ASSERT_EQ(p.elements.size(), 5u);
+  int wires = 0, fets = 0;
+  for (EdgeId e : p.elements)
+    b.stage.edge(e).kind == DeviceKind::wire ? ++wires : ++fets;
+  EXPECT_EQ(wires, 2);
+  EXPECT_EQ(fets, 3);
+}
+
+TEST(PathProblem, NodeCapsArePositiveAndIncludeLoad) {
+  const auto b = make_nmos_stack(test::models().proc, {1e-6, 1e-6, 1e-6},
+                                 25e-15);
+  const auto p = extract_worst_path(b.stage, b.output, true);
+  const auto prob = build_path_problem(b.stage, p, models());
+  ASSERT_EQ(prob.node_caps.size(), 3u);
+  for (double c : prob.node_caps) EXPECT_GT(c, 0.0);
+  // The output node carries the external load on top of its parasitics.
+  EXPECT_GT(prob.node_caps.back(), 25e-15);
+  EXPECT_EQ(prob.transistor_count(), 3u);
+}
+
+TEST(PathProblem, ElementOrientationFlags) {
+  const auto b = make_nmos_stack(test::models().proc, {1e-6, 1e-6}, 5e-15);
+  const auto p = extract_worst_path(b.stage, b.output, true);
+  const auto prob = build_path_problem(b.stage, p, models());
+  // Builder orients NMOS edges src = upper node, so src is the rail-far
+  // side for every element of a discharge path.
+  for (const auto& el : prob.elements) EXPECT_TRUE(el.src_is_far);
+}
+
+TEST(PathProblem, SignificantWireBecomesLadderSections) {
+  const auto b = make_decoder_tree(test::models().proc, 1, 10e-15, 100e-6);
+  const auto p = extract_worst_path(b.stage, b.output, true);
+  const auto prob = build_path_problem(b.stage, p, models());
+  int resistors = 0;
+  double r_total = 0.0;
+  for (const auto& el : prob.elements)
+    if (el.kind == PathProblem::Element::Kind::resistor) {
+      ++resistors;
+      EXPECT_GT(el.resistance, 0.0);
+      r_total += el.resistance;
+    }
+  EXPECT_EQ(resistors, 3);  // one kept wire -> 3 ladder sections
+  // The sections carry the wire's full series resistance (not the
+  // O'Brien pi's reduced R_pi).
+  const auto& wire_edge = b.stage.edge(p.elements[1]);
+  EXPECT_NEAR(r_total,
+              wire_resistance(test::models().proc.wire, wire_edge.w,
+                              wire_edge.l),
+              1e-6);
+  // The wire's sibling (off transistor) loads the junction node.
+  EXPECT_GT(prob.node_caps.back(), 1e-15);
+}
+
+TEST(PathProblem, NegligibleWireIsMerged) {
+  // Short decoder wires on the default low-resistance layer fall under
+  // the merge threshold: no resistor elements appear.
+  const auto b = make_decoder_tree(test::models().proc, 2, 10e-15, 30e-6);
+  const auto p = extract_worst_path(b.stage, b.output, true);
+  const auto prob = build_path_problem(b.stage, p, models());
+  for (const auto& el : prob.elements)
+    EXPECT_EQ(el.kind, PathProblem::Element::Kind::transistor);
+  // Wire caps folded into the adjacent positions.
+  EXPECT_EQ(prob.transistor_count(), prob.length());
+}
+
+TEST(PathProblem, SideBranchCapIsLumped) {
+  // Two stages differing only by an off side transistor hanging on the
+  // middle node: the loaded one must have strictly larger middle cap.
+  const auto& proc = test::models().proc;
+  auto base = make_nmos_stack(proc, {1e-6, 1e-6}, 5e-15);
+  auto loaded = make_nmos_stack(proc, {1e-6, 1e-6}, 5e-15);
+  const NodeId mid = 2;  // first stack node above GND (nodes 0/1 are rails)
+  const NodeId stub = loaded.stage.add_node("stub");
+  const EdgeId e =
+      loaded.stage.add_edge(DeviceKind::nmos, stub, mid, 4e-6, 0.35e-6);
+  loaded.stage.set_gate_static(e, 0.0);
+
+  const auto pb = extract_worst_path(base.stage, base.output, true);
+  const auto pl = extract_worst_path(loaded.stage, loaded.output, true);
+  const auto prob_b = build_path_problem(base.stage, pb, models());
+  const auto prob_l = build_path_problem(loaded.stage, pl, models());
+  EXPECT_GT(prob_l.node_caps[0], prob_b.node_caps[0]);
+  EXPECT_DOUBLE_EQ(prob_l.node_caps[1], prob_b.node_caps[1]);
+}
+
+TEST(WireHelpers, ScaleWithGeometry) {
+  const auto& wp = test::models().proc.wire;
+  EXPECT_NEAR(wire_resistance(wp, 1e-6, 100e-6) * 2.0,
+              wire_resistance(wp, 1e-6, 200e-6), 1e-12);
+  EXPECT_GT(wire_capacitance(wp, 1e-6, 200e-6),
+            wire_capacitance(wp, 1e-6, 100e-6));
+}
+
+}  // namespace
+}  // namespace qwm::circuit

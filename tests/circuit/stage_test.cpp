@@ -1,0 +1,111 @@
+#include "qwm/circuit/stage.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_models.h"
+#include "qwm/circuit/builders.h"
+#include "qwm/circuit/path.h"
+
+namespace qwm::circuit {
+namespace {
+
+TEST(LogicStage, RailsExistAndAreDistinct) {
+  LogicStage s(3.3);
+  EXPECT_NE(s.source(), s.sink());
+  EXPECT_TRUE(s.is_rail(s.source()));
+  EXPECT_TRUE(s.is_rail(s.sink()));
+  EXPECT_EQ(s.node_count(), 2u);
+}
+
+TEST(LogicStage, EdgeBookkeeping) {
+  LogicStage s(3.3);
+  const NodeId a = s.add_node("a");
+  const EdgeId e = s.add_edge(DeviceKind::nmos, a, s.sink(), 1e-6, 0.35e-6);
+  s.set_gate_static(e, 3.3);
+  EXPECT_EQ(s.edge(e).src, a);
+  EXPECT_EQ(s.other_end(e, a), s.sink());
+  EXPECT_EQ(s.incident_edges(a).size(), 1u);
+  EXPECT_EQ(s.incident_edges(s.sink()).size(), 1u);
+}
+
+TEST(LogicStage, ValidateAcceptsBuilders) {
+  const auto& proc = test::models().proc;
+  const double load = fanout_load_cap(proc);
+  EXPECT_TRUE(make_inverter(proc, load).stage.validate().empty());
+  EXPECT_TRUE(make_nand(proc, 3, load).stage.validate().empty());
+  EXPECT_TRUE(make_nor(proc, 2, load).stage.validate().empty());
+  EXPECT_TRUE(make_nmos_stack(proc, {1e-6, 2e-6, 1.5e-6}, load)
+                  .stage.validate()
+                  .empty());
+  EXPECT_TRUE(make_pmos_stack(proc, {2e-6, 2e-6}, load).stage.validate().empty());
+  EXPECT_TRUE(make_manchester_chain(proc, 5, load).stage.validate().empty());
+  EXPECT_TRUE(make_decoder_tree(proc, 3, load).stage.validate().empty());
+  EXPECT_TRUE(make_nand_pass_stage(proc, load).stage.validate().empty());
+}
+
+TEST(LogicStage, ValidateFlagsBadGeometry) {
+  LogicStage s(3.3);
+  const NodeId a = s.add_node("a");
+  s.add_edge(DeviceKind::nmos, a, s.sink(), -1.0, 0.35e-6);
+  EXPECT_FALSE(s.validate().empty());
+}
+
+TEST(LogicStage, ValidateFlagsUnreachableOutput) {
+  LogicStage s(3.3);
+  const NodeId lonely = s.add_node("x");
+  s.add_output(lonely);
+  EXPECT_FALSE(s.validate().empty());
+}
+
+TEST(Builders, NandStructure) {
+  const auto& proc = test::models().proc;
+  const auto b = make_nand(proc, 3, 10e-15);
+  // 3 PMOS + 3 NMOS.
+  EXPECT_EQ(b.stage.edge_count(), 6u);
+  // out + 2 internal nodes + rails.
+  EXPECT_EQ(b.stage.node_count(), 5u);
+  EXPECT_EQ(b.stage.input_count(), 3u);
+  EXPECT_TRUE(b.output_falls);
+}
+
+TEST(Builders, StackWidthsApplied) {
+  const auto& proc = test::models().proc;
+  const std::vector<double> w{1e-6, 3e-6, 2e-6};
+  const auto b = make_nmos_stack(proc, w, 5e-15);
+  EXPECT_EQ(b.stage.edge_count(), 3u);
+  int matched = 0;
+  for (std::size_t e = 0; e < b.stage.edge_count(); ++e)
+    for (double wi : w)
+      if (b.stage.edge(static_cast<EdgeId>(e)).w == wi) {
+        ++matched;
+        break;
+      }
+  EXPECT_EQ(matched, 3);
+}
+
+TEST(Builders, DecoderTreeDoublesWireLengths) {
+  const auto& proc = test::models().proc;
+  const auto b = make_decoder_tree(proc, 3, 10e-15, 40e-6);
+  std::vector<double> wire_lengths;
+  for (std::size_t e = 0; e < b.stage.edge_count(); ++e) {
+    const Edge& ed = b.stage.edge(static_cast<EdgeId>(e));
+    if (ed.kind == DeviceKind::wire) wire_lengths.push_back(ed.l);
+  }
+  ASSERT_EQ(wire_lengths.size(), 3u);
+  EXPECT_DOUBLE_EQ(wire_lengths[0], 40e-6);
+  EXPECT_DOUBLE_EQ(wire_lengths[1], 80e-6);
+  EXPECT_DOUBLE_EQ(wire_lengths[2], 160e-6);
+}
+
+TEST(Builders, ManchesterWorstPathLength) {
+  const auto& proc = test::models().proc;
+  const auto b = make_manchester_chain(proc, 5, 10e-15);
+  // 1 generate + 4 propagate devices = 5... plus the bit-0 pulldown makes
+  // the paper's "6 NMOS stack" for a 6-element chain; with 5 bits the
+  // longest pulldown path holds 5 transistors.
+  const auto path = extract_worst_path(b.stage, b.output, true);
+  EXPECT_EQ(path.elements.size(), 5u);
+}
+
+}  // namespace
+}  // namespace qwm::circuit

@@ -1,0 +1,34 @@
+// Shared, lazily-constructed device models for tests: characterizing the
+// tabular models once per test binary keeps suites fast.
+#pragma once
+
+#include "qwm/device/analytic_model.h"
+#include "qwm/device/model_set.h"
+#include "qwm/device/tabular_model.h"
+
+namespace qwm::test {
+
+struct Models {
+  device::Process proc = device::Process::cmosp35();
+  device::AnalyticDeviceModel analytic_n = device::AnalyticDeviceModel::nmos(proc);
+  device::AnalyticDeviceModel analytic_p = device::AnalyticDeviceModel::pmos(proc);
+  device::TabularDeviceModel tabular_n{device::MosType::nmos, proc};
+  device::TabularDeviceModel tabular_p{device::MosType::pmos, proc};
+
+  /// The configuration both engines are compared on: identical tabular
+  /// models (the paper's setup — QWM and the baseline share device data).
+  device::ModelSet tabular_set() const {
+    return device::ModelSet{&tabular_n, &tabular_p, &proc};
+  }
+  /// Golden-physics models (used when exactness matters more than speed).
+  device::ModelSet analytic_set() const {
+    return device::ModelSet{&analytic_n, &analytic_p, &proc};
+  }
+};
+
+inline Models& models() {
+  static Models m;
+  return m;
+}
+
+}  // namespace qwm::test

@@ -1,0 +1,99 @@
+#include "qwm/core/elmore_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../common/test_models.h"
+#include "qwm/circuit/builders.h"
+#include "qwm/core/stage_eval.h"
+
+namespace qwm::core {
+namespace {
+
+const device::ModelSet& models() {
+  static device::ModelSet ms = test::models().tabular_set();
+  return ms;
+}
+
+TEST(EffectiveResistance, ScalesInverselyWithWidth) {
+  const double r1 = effective_resistance(*models().nmos, 1e-6, 0.35e-6, 3.3);
+  const double r4 = effective_resistance(*models().nmos, 4e-6, 0.35e-6, 3.3);
+  EXPECT_GT(r1, 0.0);
+  EXPECT_NEAR(r1 / r4, 4.0, 0.05);
+  // NMOS of a given width beats PMOS of the same width (mobility).
+  const double rp = effective_resistance(*models().pmos, 1e-6, 0.35e-6, 3.3);
+  EXPECT_GT(rp, 2.0 * r1);
+  // Sanity magnitude: a minimum NMOS is a few kOhm in this process.
+  EXPECT_GT(r1, 500.0);
+  EXPECT_LT(r1, 20e3);
+}
+
+TEST(ElmoreEval, InverterDelayRightOrderOfMagnitude) {
+  const auto b = circuit::make_inverter(test::models().proc, 20e-15);
+  const auto elm =
+      evaluate_stage_elmore(b.stage, b.output, b.output_falls, models());
+  ASSERT_TRUE(elm.ok) << elm.error;
+  EXPECT_GT(elm.delay, 5e-12);
+  EXPECT_LT(elm.delay, 200e-12);
+  EXPECT_NEAR(elm.delay, std::log(2.0) * elm.elmore, 1e-18);
+  ASSERT_EQ(elm.resistances.size(), 1u);
+}
+
+TEST(ElmoreEval, StackResistancesAccumulate) {
+  const auto b = circuit::make_nmos_stack(test::models().proc,
+                                          std::vector<double>(4, 1e-6),
+                                          20e-15);
+  const auto elm =
+      evaluate_stage_elmore(b.stage, b.output, b.output_falls, models());
+  ASSERT_TRUE(elm.ok);
+  ASSERT_EQ(elm.resistances.size(), 4u);
+  // Uniform widths: roughly equal effective resistances per device.
+  for (double r : elm.resistances)
+    EXPECT_NEAR(r, elm.resistances[0], 0.05 * elm.resistances[0]);
+}
+
+TEST(ElmoreEval, DelayGrowsSuperlinearlyWithStackLength) {
+  // Elmore of a chain grows ~quadratically in K (R and C both grow).
+  const auto d = [&](int k) {
+    const auto b = circuit::make_nmos_stack(
+        test::models().proc, std::vector<double>(k, 1e-6), 20e-15);
+    return evaluate_stage_elmore(b.stage, b.output, b.output_falls, models())
+        .delay;
+  };
+  const double d2 = d(2), d4 = d(4), d8 = d(8);
+  EXPECT_GT(d4, 1.7 * d2);
+  EXPECT_GT(d8, 1.7 * d4);
+}
+
+TEST(ElmoreEval, CruderThanQwmAgainstItself) {
+  // QWM and Elmore on the same stage must at least agree on ordering
+  // across loads (both monotone), while disagreeing in value.
+  const auto& proc = test::models().proc;
+  const auto b = circuit::make_nand(proc, 3, 30e-15);
+  std::vector<numeric::PwlWaveform> inputs;
+  for (std::size_t i = 0; i < b.stage.input_count(); ++i)
+    inputs.push_back(static_cast<int>(i) == b.switching_input
+                         ? numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd)
+                         : numeric::PwlWaveform::constant(proc.vdd));
+  const auto qwm = evaluate_stage(b, inputs, models());
+  const auto elm =
+      evaluate_stage_elmore(b.stage, b.output, b.output_falls, models());
+  ASSERT_TRUE(qwm.ok && qwm.delay && elm.ok);
+  // Same ballpark (factor of 2) but not equal — the documented crudeness.
+  EXPECT_GT(elm.delay, 0.5 * *qwm.delay);
+  EXPECT_LT(elm.delay, 2.0 * *qwm.delay);
+}
+
+TEST(ElmoreEval, NoPathFails) {
+  circuit::LogicStage s(3.3);
+  const auto out = s.add_node("out");
+  const auto e = s.add_edge(circuit::DeviceKind::pmos, s.source(), out, 2e-6,
+                            0.35e-6);
+  s.set_gate_static(e, 0.0);
+  const auto elm = evaluate_stage_elmore(s, out, /*falls=*/true, models());
+  EXPECT_FALSE(elm.ok);
+}
+
+}  // namespace
+}  // namespace qwm::core

@@ -1,0 +1,223 @@
+// Property-style sweeps of the QWM engine against the SPICE baseline and
+// against its own invariants, across randomized circuit configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <tuple>
+
+#include "../common/test_models.h"
+#include "qwm/circuit/builders.h"
+#include "qwm/core/stage_eval.h"
+#include "qwm/spice/from_stage.h"
+#include "qwm/spice/transient.h"
+
+namespace qwm::core {
+namespace {
+
+using circuit::BuiltStage;
+
+const device::ModelSet& models() {
+  static device::ModelSet ms = test::models().tabular_set();
+  return ms;
+}
+
+std::vector<numeric::PwlWaveform> step_inputs(const BuiltStage& b,
+                                              double t_step = 5e-12) {
+  const double vdd = test::models().proc.vdd;
+  std::vector<numeric::PwlWaveform> in;
+  for (std::size_t i = 0; i < b.stage.input_count(); ++i) {
+    if (static_cast<int>(i) == b.switching_input)
+      in.push_back(b.output_falls
+                       ? numeric::PwlWaveform::step(t_step, 0.0, vdd)
+                       : numeric::PwlWaveform::step(t_step, vdd, 0.0));
+    else
+      in.push_back(numeric::PwlWaveform::constant(b.output_falls ? vdd : 0.0));
+  }
+  return in;
+}
+
+double spice_delay(const BuiltStage& b,
+                   const std::vector<numeric::PwlWaveform>& inputs,
+                   double t_stop = 3e-9) {
+  spice::StageSim sim = spice::circuit_from_stage(b.stage, models(), inputs);
+  const double pre = b.output_falls ? 3.3 : 0.0;
+  for (std::size_t n = 0; n < b.stage.node_count(); ++n) {
+    const auto id = static_cast<circuit::NodeId>(n);
+    if (!b.stage.is_rail(id)) sim.circuit.set_ic(sim.node_of[n], pre);
+  }
+  spice::TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.dt = 1e-12;
+  const auto res = spice::simulate_transient(sim.circuit, opt);
+  const auto t_in =
+      inputs[b.switching_input].crossing(1.65, 0.0, b.output_falls);
+  const auto t_out = res.waveforms[sim.node_of[b.output]].crossing(
+      1.65, *t_in, !b.output_falls);
+  return t_out ? *t_out - *t_in : -1.0;
+}
+
+/// (seed, stack length): randomized widths + load, compared to baseline.
+class RandomStack
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomStack, DelayWithinFourPercentOfBaseline) {
+  const auto [seed, k] = GetParam();
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> width(1.0e-6, 4.0e-6);
+  std::uniform_real_distribution<double> load(5e-15, 60e-15);
+  std::vector<double> widths(k);
+  for (double& w : widths) w = width(rng);
+  const auto b =
+      circuit::make_nmos_stack(test::models().proc, widths, load(rng));
+  const auto inputs = step_inputs(b);
+
+  const auto st = evaluate_stage(b, inputs, models());
+  ASSERT_TRUE(st.ok) << st.error;
+  ASSERT_TRUE(st.delay);
+  const double ref = spice_delay(b, inputs);
+  ASSERT_GT(ref, 0.0);
+  EXPECT_NEAR(*st.delay, ref, 0.04 * ref)
+      << "seed=" << seed << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomStack,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(3, 5, 7, 9)));
+
+/// Invariants that must hold for any successful evaluation.
+class QwmInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(QwmInvariants, WaveformsPhysical) {
+  const int k = GetParam();
+  std::mt19937 rng(100 + k);
+  std::uniform_real_distribution<double> width(1.0e-6, 3.0e-6);
+  std::vector<double> widths(k);
+  for (double& w : widths) w = width(rng);
+  const auto b = circuit::make_nmos_stack(test::models().proc, widths, 20e-15);
+  const auto st = evaluate_stage(b, step_inputs(b), models());
+  ASSERT_TRUE(st.ok) << st.error;
+
+  const double vdd = test::models().proc.vdd;
+  // 1. Critical points strictly increase.
+  for (std::size_t i = 1; i < st.qwm.critical_times.size(); ++i)
+    EXPECT_GT(st.qwm.critical_times[i], st.qwm.critical_times[i - 1]);
+  // 2. Node voltages stay within the rails (with small numerical slack).
+  for (const auto& w : st.qwm.node_waveforms) {
+    const auto pwl = w.to_pwl(16);
+    for (std::size_t i = 0; i < pwl.size(); ++i) {
+      EXPECT_GT(pwl.value(i), -0.25);
+      EXPECT_LT(pwl.value(i), vdd + 0.25);
+    }
+  }
+  // 3. The output ends below 15% of VDD (discharge completes).
+  EXPECT_LT(st.qwm.output_waveform().end_value(), 0.15 * vdd);
+  // 4. The output starts precharged.
+  EXPECT_NEAR(st.qwm.output_waveform().eval(0.0), vdd, 1e-9);
+  // 5. Delay and slew are positive and ordered sanely.
+  ASSERT_TRUE(st.delay && st.output_slew);
+  EXPECT_GT(*st.delay, 0.0);
+  EXPECT_GT(*st.output_slew, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, QwmInvariants,
+                         ::testing::Values(1, 2, 4, 6, 8, 10, 12));
+
+/// Monotonicity: more load -> more delay; wider devices -> less delay.
+TEST(QwmMonotonicity, LoadIncreasesDelay) {
+  double prev = 0.0;
+  for (double load : {5e-15, 20e-15, 60e-15, 150e-15}) {
+    const auto b = circuit::make_nand(test::models().proc, 2, load);
+    const auto st = evaluate_stage(b, step_inputs(b), models());
+    ASSERT_TRUE(st.ok && st.delay);
+    EXPECT_GT(*st.delay, prev);
+    prev = *st.delay;
+  }
+}
+
+TEST(QwmMonotonicity, WidthDecreasesDelay) {
+  double prev = 1e9;
+  for (double w : {0.8e-6, 1.5e-6, 3.0e-6, 6.0e-6}) {
+    const auto b = circuit::make_nmos_stack(test::models().proc,
+                                            std::vector<double>(4, w), 30e-15);
+    const auto st = evaluate_stage(b, step_inputs(b), models());
+    ASSERT_TRUE(st.ok && st.delay);
+    EXPECT_LT(*st.delay, prev);
+    prev = *st.delay;
+  }
+}
+
+TEST(QwmMonotonicity, LaterInputArrivalShiftsDelayNotShape) {
+  // Shifting the step input must shift the output crossing by the same
+  // amount (time invariance of the stage).
+  const auto b = circuit::make_nand(test::models().proc, 3, 20e-15);
+  const auto st1 = evaluate_stage(b, step_inputs(b, 5e-12), models());
+  const auto st2 = evaluate_stage(b, step_inputs(b, 105e-12), models());
+  ASSERT_TRUE(st1.ok && st2.ok && st1.delay && st2.delay);
+  EXPECT_NEAR(*st1.delay, *st2.delay, 0.02 * *st1.delay);
+}
+
+/// Charge events across random PMOS stacks.
+class RandomPmosStack : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPmosStack, ChargeDelayWithinFivePercent) {
+  const int k = GetParam();
+  std::mt19937 rng(40 + k);
+  std::uniform_real_distribution<double> width(2.0e-6, 6.0e-6);
+  std::vector<double> widths(k);
+  for (double& w : widths) w = width(rng);
+  const auto b = circuit::make_pmos_stack(test::models().proc, widths, 20e-15);
+  const auto inputs = step_inputs(b);
+  const auto st = evaluate_stage(b, inputs, models());
+  ASSERT_TRUE(st.ok) << st.error;
+  ASSERT_TRUE(st.delay);
+  const double ref = spice_delay(b, inputs);
+  ASSERT_GT(ref, 0.0);
+  EXPECT_NEAR(*st.delay, ref, 0.05 * ref) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RandomPmosStack,
+                         ::testing::Values(2, 3, 5, 7));
+
+/// Supply-voltage sweep: QWM tracks the baseline at non-nominal VDD too.
+class VddSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VddSweep, TracksBaseline) {
+  const double vdd = GetParam();
+  device::Process proc = device::Process::cmosp35();
+  proc.vdd = vdd;
+  const device::TabularDeviceModel nmos(device::MosType::nmos, proc);
+  const device::TabularDeviceModel pmos(device::MosType::pmos, proc);
+  const device::ModelSet ms{&nmos, &pmos, &proc};
+
+  const auto b = circuit::make_nmos_stack(proc, std::vector<double>(4, 1.2e-6),
+                                          20e-15);
+  std::vector<numeric::PwlWaveform> inputs{
+      numeric::PwlWaveform::step(5e-12, 0.0, vdd)};
+  const auto st = evaluate_stage(b, inputs, ms);
+  ASSERT_TRUE(st.ok) << st.error;
+  ASSERT_TRUE(st.delay);
+
+  spice::StageSim sim = spice::circuit_from_stage(b.stage, ms, inputs);
+  for (std::size_t n = 0; n < b.stage.node_count(); ++n) {
+    const auto id = static_cast<circuit::NodeId>(n);
+    if (!b.stage.is_rail(id)) sim.circuit.set_ic(sim.node_of[n], vdd);
+  }
+  spice::TransientOptions opt;
+  opt.t_stop = 5e-9;
+  opt.dt = 1e-12;
+  const auto res = spice::simulate_transient(sim.circuit, opt);
+  const auto t_in = inputs[0].crossing(0.5 * vdd, 0.0, true);
+  const auto t_out = res.waveforms[sim.node_of[b.output]].crossing(
+      0.5 * vdd, *t_in, false);
+  ASSERT_TRUE(t_out);
+  const double ref = *t_out - *t_in;
+  EXPECT_NEAR(*st.delay, ref, 0.06 * ref) << "vdd=" << vdd;
+}
+
+INSTANTIATE_TEST_SUITE_P(Supplies, VddSweep,
+                         ::testing::Values(2.5, 3.0, 3.3));
+
+}  // namespace
+}  // namespace qwm::core

@@ -1,0 +1,103 @@
+#include "qwm/core/stage_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_models.h"
+#include "qwm/circuit/builders.h"
+#include "qwm/core/metrics.h"
+#include "qwm/device/tabular_model.h"
+
+namespace qwm::core {
+namespace {
+
+const device::ModelSet& models() {
+  static device::ModelSet ms = test::models().tabular_set();
+  return ms;
+}
+
+TEST(MultiOutput, ManchesterCarryTapsShareOnePath) {
+  const auto& proc = test::models().proc;
+  const auto b = circuit::make_manchester_chain(proc, 5, 20e-15);
+  std::vector<numeric::PwlWaveform> inputs(
+      b.stage.input_count(), numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd));
+  const auto outs = evaluate_all_outputs(b.stage, /*outputs_fall=*/true,
+                                         inputs, b.switching_input, models());
+  ASSERT_EQ(outs.size(), 5u);  // C0..C4 all declared outputs
+  int shared = 0;
+  double prev = -1.0;
+  for (const auto& o : outs) {
+    ASSERT_TRUE(o.ok) << "node " << o.node;
+    ASSERT_TRUE(o.delay);
+    // Carry arrivals increase along the chain (declaration order C0..C4).
+    EXPECT_GT(*o.delay, prev);
+    prev = *o.delay;
+    if (o.shared_path) ++shared;
+  }
+  // All but the farthest carry tap ride the longest path's evaluation.
+  EXPECT_EQ(shared, 4);
+}
+
+TEST(MultiOutput, SingleOutputStage) {
+  const auto& proc = test::models().proc;
+  const auto b = circuit::make_nand(proc, 2, 20e-15);
+  std::vector<numeric::PwlWaveform> inputs{
+      numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd),
+      numeric::PwlWaveform::constant(proc.vdd)};
+  const auto outs =
+      evaluate_all_outputs(b.stage, true, inputs, 0, models());
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_TRUE(outs[0].ok);
+  EXPECT_FALSE(outs[0].shared_path);
+  // Matches the single-output API.
+  const auto st = evaluate_stage(b, inputs, models());
+  ASSERT_TRUE(st.ok && st.delay && outs[0].delay);
+  EXPECT_NEAR(*outs[0].delay, *st.delay, 1e-15);
+}
+
+TEST(Metrics, ThresholdTableOnFallingOutput) {
+  const auto& proc = test::models().proc;
+  const auto b = circuit::make_inverter(proc, 20e-15);
+  std::vector<numeric::PwlWaveform> inputs{
+      numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd)};
+  const auto st = evaluate_stage(b, inputs, models());
+  ASSERT_TRUE(st.ok);
+  const auto table =
+      threshold_crossings(st.qwm.output_waveform(), proc.vdd, true);
+  ASSERT_EQ(table.times.size(), 5u);
+  // Falling: 90% crossing precedes 50% precedes 10%.
+  ASSERT_TRUE(table.times[0] && table.times[2] && table.times[4]);
+  EXPECT_LT(*table.times[0], *table.times[2]);
+  EXPECT_LT(*table.times[2], *table.times[4]);
+}
+
+TEST(Metrics, SelfComparisonIsExact) {
+  const auto& proc = test::models().proc;
+  const auto b = circuit::make_inverter(proc, 20e-15);
+  std::vector<numeric::PwlWaveform> inputs{
+      numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd)};
+  const auto st = evaluate_stage(b, inputs, models());
+  ASSERT_TRUE(st.ok);
+  const auto& w = st.qwm.output_waveform();
+  const auto cmp = compare_waveforms(w, w.to_pwl(64), proc.vdd, true, 0.0,
+                                     w.end_time());
+  EXPECT_LT(cmp.max_abs_error, 5e-3);  // dense sampling of itself
+  EXPECT_LT(cmp.worst_skew, 1e-13);
+  EXPECT_FALSE(format_comparison(cmp).empty());
+}
+
+TEST(Metrics, DetectsShiftedWaveform) {
+  // Compare a waveform against a 10 ps-shifted copy: skews ~10 ps.
+  PiecewiseQuadWaveform w;
+  w.add_piece(0.0, 3.3, -3.3 / 100e-12, 0.0);
+  w.finish(100e-12, 0.0);
+  PiecewiseQuadWaveform shifted;
+  shifted.add_piece(10e-12, 3.3, -3.3 / 100e-12, 0.0);
+  shifted.finish(110e-12, 0.0);
+  const auto cmp = compare_waveforms(shifted, w.to_pwl(64), 3.3, true, 0.0,
+                                     110e-12);
+  EXPECT_NEAR(cmp.worst_skew, 10e-12, 1e-13);
+  EXPECT_GT(cmp.max_abs_error, 0.2);
+}
+
+}  // namespace
+}  // namespace qwm::core

@@ -1,0 +1,93 @@
+#include "qwm/core/waveform.h"
+
+#include <gtest/gtest.h>
+
+namespace qwm::core {
+namespace {
+
+PiecewiseQuadWaveform falling_two_piece() {
+  // v(t) = 3 - 2e10*t on [0, 50ps]; then constant-slope continuation
+  // v(t) = 2 - 1e10*(t-50p) on [50ps, 150ps]; ends at 1.0.
+  PiecewiseQuadWaveform w;
+  w.add_piece(0.0, 3.0, -2e10, 0.0);
+  w.add_piece(50e-12, 2.0, -1e10, 0.0);
+  w.finish(150e-12, 1.0);
+  return w;
+}
+
+TEST(PiecewiseQuad, EvalInsideAndOutside) {
+  const auto w = falling_two_piece();
+  EXPECT_DOUBLE_EQ(w.eval(-1.0), 3.0);          // before: first value
+  EXPECT_DOUBLE_EQ(w.eval(25e-12), 2.5);        // mid piece 1
+  EXPECT_DOUBLE_EQ(w.eval(100e-12), 1.5);       // mid piece 2
+  EXPECT_DOUBLE_EQ(w.eval(1.0), 1.0);           // after: end value
+  EXPECT_DOUBLE_EQ(w.end_time(), 150e-12);
+}
+
+TEST(PiecewiseQuad, SlopeTracksPieces) {
+  const auto w = falling_two_piece();
+  EXPECT_DOUBLE_EQ(w.slope(25e-12), -2e10);
+  EXPECT_DOUBLE_EQ(w.slope(100e-12), -1e10);
+  EXPECT_DOUBLE_EQ(w.slope(1.0), 0.0);
+}
+
+TEST(PiecewiseQuad, QuadraticPieceEval) {
+  PiecewiseQuadWaveform w;
+  // v = 1 + 2t + 3t^2 (t in seconds for easy math).
+  w.add_piece(0.0, 1.0, 2.0, 3.0);
+  w.finish(2.0, 1.0 + 4.0 + 12.0);
+  EXPECT_DOUBLE_EQ(w.eval(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(w.slope(1.0), 2.0 + 6.0);
+}
+
+TEST(PiecewiseQuad, AnalyticCrossing) {
+  const auto w = falling_two_piece();
+  const auto t25 = w.crossing(2.5);
+  ASSERT_TRUE(t25);
+  EXPECT_NEAR(*t25, 25e-12, 1e-18);
+  const auto t15 = w.crossing(1.5);
+  ASSERT_TRUE(t15);
+  EXPECT_NEAR(*t15, 100e-12, 1e-18);
+  EXPECT_FALSE(w.crossing(0.5));  // below the end value
+  // Respecting t_from.
+  const auto later = w.crossing(1.5, 120e-12);
+  EXPECT_FALSE(later);
+}
+
+TEST(PiecewiseQuad, CrossingInQuadraticPiece) {
+  PiecewiseQuadWaveform w;
+  // v = 4 - 1e21 t^2: crosses 3 at t = sqrt(1e-21) ~ 31.6 ps.
+  w.add_piece(0.0, 4.0, 0.0, -1e21);
+  w.finish(100e-12, 4.0 - 1e21 * 1e-20);
+  const auto t = w.crossing(3.0);
+  ASSERT_TRUE(t);
+  EXPECT_NEAR(*t, 3.1623e-11, 1e-14);
+}
+
+TEST(PiecewiseQuad, ToPwlSamplesFaithfully) {
+  const auto w = falling_two_piece();
+  const auto pwl = w.to_pwl(8);
+  for (double t : {10e-12, 60e-12, 120e-12})
+    EXPECT_NEAR(pwl.eval(t), w.eval(t), 1e-9);
+  EXPECT_DOUBLE_EQ(pwl.last_time(), 150e-12);
+}
+
+TEST(PiecewiseQuad, CriticalPointPolyline) {
+  const auto w = falling_two_piece();
+  const auto poly = w.critical_point_polyline();
+  // Breakpoints exactly at piece starts + end.
+  ASSERT_EQ(poly.size(), 3u);
+  EXPECT_DOUBLE_EQ(poly.value(0), 3.0);
+  EXPECT_DOUBLE_EQ(poly.value(1), 2.0);
+  EXPECT_DOUBLE_EQ(poly.value(2), 1.0);
+}
+
+TEST(PiecewiseQuad, EmptyWaveform) {
+  PiecewiseQuadWaveform w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_FALSE(w.crossing(1.0));
+  EXPECT_TRUE(w.to_pwl().empty());
+}
+
+}  // namespace
+}  // namespace qwm::core

@@ -1,0 +1,76 @@
+#include "qwm/device/analytic_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qwm::device {
+namespace {
+
+const Process& proc() {
+  static Process p = Process::cmosp35();
+  return p;
+}
+
+TEST(AnalyticModel, IvMatchesPhysicsDirectly) {
+  const AnalyticDeviceModel m = AnalyticDeviceModel::nmos(proc());
+  const MosfetPhysics phys(MosType::nmos, proc().nmos, proc().temp_vt);
+  for (double vg : {0.8, 2.0, 3.3})
+    for (double vd : {0.3, 1.7, 3.3})
+      EXPECT_DOUBLE_EQ(m.iv(1e-6, 0.35e-6, TerminalVoltages{vg, vd, 0.0}),
+                       phys.ids(1e-6, 0.35e-6, vg, vd, 0.0, 0.0));
+}
+
+TEST(AnalyticModel, IvEvalConsistentWithIv) {
+  const AnalyticDeviceModel m = AnalyticDeviceModel::pmos(proc());
+  const TerminalVoltages tv{1.0, 3.3, 1.2};
+  const IvEval e = m.iv_eval(2e-6, 0.35e-6, tv);
+  EXPECT_DOUBLE_EQ(e.i, m.iv(2e-6, 0.35e-6, tv));
+}
+
+TEST(AnalyticModel, ThresholdUsesConductingSource) {
+  const AnalyticDeviceModel n = AnalyticDeviceModel::nmos(proc());
+  // NMOS: higher source voltage -> body effect raises vth. The source is
+  // the lower terminal regardless of ordering.
+  const double v0 = n.threshold(TerminalVoltages{3.3, 2.0, 0.0});
+  const double v1 = n.threshold(TerminalVoltages{3.3, 2.0, 1.5});
+  const double v1_swapped = n.threshold(TerminalVoltages{3.3, 1.5, 2.0});
+  EXPECT_GT(v1, v0);
+  EXPECT_DOUBLE_EQ(v1, v1_swapped);
+
+  // PMOS: source is the *higher* terminal; well at VDD means vsb = 0 when
+  // the source sits at the supply.
+  const AnalyticDeviceModel p = AnalyticDeviceModel::pmos(proc());
+  EXPECT_NEAR(p.threshold(TerminalVoltages{0.0, 3.3, 1.0}),
+              proc().pmos.vth0, 1e-12);
+  EXPECT_GT(p.threshold(TerminalVoltages{0.0, 2.0, 1.0}),
+            proc().pmos.vth0);
+}
+
+TEST(AnalyticModel, VdsatReasonable) {
+  const AnalyticDeviceModel n = AnalyticDeviceModel::nmos(proc());
+  const double v = n.vdsat(0.35e-6, TerminalVoltages{3.3, 1.0, 0.0});
+  EXPECT_GT(v, 0.2);
+  EXPECT_LT(v, 3.3 - proc().nmos.vth0);  // velocity-saturated below vgt
+  // Off device: vdsat 0.
+  EXPECT_DOUBLE_EQ(n.vdsat(0.35e-6, TerminalVoltages{0.0, 1.0, 0.0}), 0.0);
+}
+
+TEST(AnalyticModel, CapsScaleWithGeometry) {
+  const AnalyticDeviceModel n = AnalyticDeviceModel::nmos(proc());
+  EXPECT_GT(n.src_cap(2e-6, 0.35e-6), n.src_cap(1e-6, 0.35e-6));
+  EXPECT_GT(n.input_cap(1e-6, 0.7e-6), n.input_cap(1e-6, 0.35e-6));
+  EXPECT_DOUBLE_EQ(n.src_cap(1e-6, 0.35e-6), n.snk_cap(1e-6, 0.35e-6));
+  // A 1 um device's junction+overlap cap is femtofarads.
+  EXPECT_GT(n.src_cap(1e-6, 0.35e-6), 0.2e-15);
+  EXPECT_LT(n.src_cap(1e-6, 0.35e-6), 10e-15);
+}
+
+TEST(AnalyticModel, BulkVoltageConvention) {
+  EXPECT_DOUBLE_EQ(AnalyticDeviceModel::nmos(proc()).bulk_voltage(), 0.0);
+  EXPECT_DOUBLE_EQ(AnalyticDeviceModel::pmos(proc()).bulk_voltage(),
+                   proc().vdd);
+}
+
+}  // namespace
+}  // namespace qwm::device

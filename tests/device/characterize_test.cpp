@@ -1,0 +1,90 @@
+#include "qwm/device/characterize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qwm/device/process.h"
+
+namespace qwm::device {
+namespace {
+
+MosfetPhysics nmos_physics() {
+  const Process p = Process::cmosp35();
+  return MosfetPhysics(MosType::nmos, p.nmos, p.temp_vt);
+}
+
+TEST(Characterize, GridShapeFollowsOptions) {
+  CharacterizationOptions opt;
+  opt.grid_step = 0.3;
+  const auto g = characterize(nmos_physics(), 3.3, opt);
+  EXPECT_EQ(g.vs_axis.n, 12u);  // round(3.3/0.3) + 1
+  EXPECT_EQ(g.points.size(), 12u * 12u);
+  EXPECT_DOUBLE_EQ(g.w_ref, opt.w_ref);
+}
+
+TEST(Characterize, SevenParametersPerPoint) {
+  // The point for a strongly-on device must populate both fits plus
+  // vth/vdsat (the paper's 7 stored parameters).
+  CharacterizationOptions opt;
+  opt.grid_step = 1.1;
+  const auto g = characterize(nmos_physics(), 3.3, opt);
+  const CharacterizedPoint& p = g.at(0, 3);  // vs = 0, vg = 3.3
+  EXPECT_GT(p.vth, 0.3);
+  EXPECT_GT(p.vdsat, 0.1);
+  EXPECT_NE(p.t1, 0.0);
+  EXPECT_NE(p.s0, 0.0);
+}
+
+TEST(Characterize, OffDeviceHasTinyCurrents) {
+  CharacterizationOptions opt;
+  opt.grid_step = 1.1;
+  const auto g = characterize(nmos_physics(), 3.3, opt);
+  const CharacterizedPoint& p = g.at(0, 0);  // vs = 0, vg = 0: off
+  EXPECT_LT(std::abs(p.eval(1.0)), 1e-8);
+  EXPECT_LT(std::abs(p.eval(3.3)), 1e-8);
+}
+
+TEST(Characterize, PointEvalContinuousAtKnee) {
+  CharacterizationOptions opt;
+  opt.grid_step = 1.1;
+  const auto g = characterize(nmos_physics(), 3.3, opt);
+  const CharacterizedPoint& p = g.at(0, 3);
+  const double below = p.eval(p.vdsat - 1e-9);
+  const double above = p.eval(p.vdsat + 1e-9);
+  // Two independent least-squares fits meet near the knee; the gap must
+  // be small relative to the current level.
+  EXPECT_NEAR(below, above, 0.05 * std::abs(above) + 1e-7);
+}
+
+TEST(Characterize, StatsAggregateSanely) {
+  CharacterizationOptions opt;
+  opt.grid_step = 0.55;
+  const auto g = characterize(nmos_physics(), 3.3, opt);
+  const auto s = g.stats();
+  EXPECT_EQ(s.grid_points, g.points.size());
+  EXPECT_GT(s.active_points, 0u);
+  EXPECT_GT(s.mean_r2_sat, 0.9);
+  EXPECT_GE(s.worst_rms_sat, 0.0);
+}
+
+TEST(SampleIvFit, TracksGoldenClosely) {
+  const auto curve = sample_iv_fit(nmos_physics(), 3.3, 0.0, 3.3);
+  ASSERT_EQ(curve.vds.size(), curve.ids_data.size());
+  ASSERT_EQ(curve.vds.size(), curve.ids_fit.size());
+  double imax = 0.0;
+  for (double i : curve.ids_data) imax = std::max(imax, std::abs(i));
+  ASSERT_GT(imax, 0.0);
+  for (std::size_t k = 0; k < curve.vds.size(); ++k)
+    EXPECT_NEAR(curve.ids_fit[k], curve.ids_data[k], 0.04 * imax)
+        << "at vds=" << curve.vds[k];
+}
+
+TEST(SampleIvFit, FitRegionsSplitAtVdsat) {
+  const auto curve = sample_iv_fit(nmos_physics(), 3.3, 0.5, 2.5);
+  EXPECT_GT(curve.vdsat, 0.0);
+  EXPECT_GT(curve.vth, 0.55);  // body effect at vs = 0.5
+}
+
+}  // namespace
+}  // namespace qwm::device

@@ -1,0 +1,76 @@
+#include "qwm/device/grid_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "qwm/device/tabular_model.h"
+
+namespace qwm::device {
+namespace {
+
+CharacterizationGrid small_grid() {
+  const Process p = Process::cmosp35();
+  const MosfetPhysics phys(MosType::nmos, p.nmos, p.temp_vt);
+  CharacterizationOptions opt;
+  opt.grid_step = 0.55;
+  return characterize(phys, p.vdd, opt);
+}
+
+TEST(GridIo, RoundTripsExactly) {
+  const CharacterizationGrid g = small_grid();
+  std::stringstream ss;
+  save_grid(g, ss);
+  const auto g2 = load_grid(ss);
+  ASSERT_TRUE(g2);
+  EXPECT_EQ(g2->vs_axis.n, g.vs_axis.n);
+  EXPECT_EQ(g2->vg_axis.n, g.vg_axis.n);
+  EXPECT_DOUBLE_EQ(g2->w_ref, g.w_ref);
+  ASSERT_EQ(g2->points.size(), g.points.size());
+  for (std::size_t i = 0; i < g.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g2->points[i].s1, g.points[i].s1);
+    EXPECT_DOUBLE_EQ(g2->points[i].t2, g.points[i].t2);
+    EXPECT_DOUBLE_EQ(g2->points[i].vth, g.points[i].vth);
+    EXPECT_DOUBLE_EQ(g2->points[i].vdsat, g.points[i].vdsat);
+  }
+}
+
+TEST(GridIo, LoadedGridDrivesIdenticalModel) {
+  const Process proc = Process::cmosp35();
+  const CharacterizationGrid g = small_grid();
+  std::stringstream ss;
+  save_grid(g, ss);
+  auto g2 = load_grid(ss);
+  ASSERT_TRUE(g2);
+  TabularDeviceModel direct(MosType::nmos, proc, g);
+  TabularDeviceModel loaded(MosType::nmos, proc, std::move(*g2));
+  for (double vd : {0.7, 1.9, 3.1}) {
+    TerminalVoltages tv{2.4, vd, 0.3};
+    EXPECT_DOUBLE_EQ(loaded.iv(1e-6, 0.35e-6, tv),
+                     direct.iv(1e-6, 0.35e-6, tv));
+  }
+}
+
+TEST(GridIo, FileRoundTrip) {
+  const CharacterizationGrid g = small_grid();
+  const std::string path = "/tmp/qwm_grid_io_test.grid";
+  ASSERT_TRUE(save_grid_file(g, path));
+  const auto g2 = load_grid_file(path);
+  ASSERT_TRUE(g2);
+  EXPECT_EQ(g2->points.size(), g.points.size());
+  std::remove(path.c_str());
+}
+
+TEST(GridIo, RejectsGarbage) {
+  std::stringstream bad1("not-a-grid");
+  EXPECT_FALSE(load_grid(bad1));
+  std::stringstream bad2("qwm-grid-v1\n0 0.1");  // truncated
+  EXPECT_FALSE(load_grid(bad2));
+  std::stringstream bad3("qwm-grid-v1\n0 0.1 999999\n0 0.1 999999\n1 1\n");
+  EXPECT_FALSE(load_grid(bad3));  // implausible dimensions
+  EXPECT_FALSE(load_grid_file("/nonexistent/path.grid"));
+}
+
+}  // namespace
+}  // namespace qwm::device

@@ -1,0 +1,149 @@
+#include "qwm/device/mosfet_physics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace qwm::device {
+namespace {
+
+constexpr double kW = 1.0e-6;
+constexpr double kL = 0.35e-6;
+
+MosfetPhysics make_nmos() {
+  const Process p = Process::cmosp35();
+  return MosfetPhysics(MosType::nmos, p.nmos, p.temp_vt);
+}
+MosfetPhysics make_pmos() {
+  const Process p = Process::cmosp35();
+  return MosfetPhysics(MosType::pmos, p.pmos, p.temp_vt);
+}
+
+TEST(MosfetPhysics, CutoffCurrentIsNegligible) {
+  const MosfetPhysics m = make_nmos();
+  // Gate at 0, source at 0: off.
+  const double i = m.ids(kW, kL, 0.0, 3.3, 0.0, 0.0);
+  EXPECT_LT(std::abs(i), 1e-9);
+}
+
+TEST(MosfetPhysics, StrongInversionCurrentIsSubstantial) {
+  const MosfetPhysics m = make_nmos();
+  const double i = m.ids(kW, kL, 3.3, 3.3, 0.0, 0.0);
+  EXPECT_GT(i, 1e-4);  // hundreds of uA for a 1 um device
+  EXPECT_LT(i, 5e-3);
+}
+
+TEST(MosfetPhysics, ZeroVdsGivesZeroCurrent) {
+  const MosfetPhysics m = make_nmos();
+  EXPECT_DOUBLE_EQ(m.ids(kW, kL, 3.3, 1.0, 1.0, 0.0), 0.0);
+}
+
+TEST(MosfetPhysics, ChannelSymmetry) {
+  // Swapping the channel terminals must exactly negate the current.
+  const MosfetPhysics m = make_nmos();
+  for (double va : {0.3, 1.1, 2.2}) {
+    for (double vb : {0.0, 0.9, 3.0}) {
+      const double iab = m.ids(kW, kL, 2.5, va, vb, 0.0);
+      const double iba = m.ids(kW, kL, 2.5, vb, va, 0.0);
+      EXPECT_NEAR(iab, -iba, 1e-15 + 1e-9 * std::abs(iab));
+    }
+  }
+}
+
+TEST(MosfetPhysics, CurrentScalesLinearlyWithWidth) {
+  const MosfetPhysics m = make_nmos();
+  const double i1 = m.ids(kW, kL, 3.3, 2.0, 0.0, 0.0);
+  const double i3 = m.ids(3.0 * kW, kL, 3.3, 2.0, 0.0, 0.0);
+  EXPECT_NEAR(i3 / i1, 3.0, 1e-9);
+}
+
+TEST(MosfetPhysics, MonotonicInGateDrive) {
+  const MosfetPhysics m = make_nmos();
+  double prev = -1.0;
+  for (double vg = 0.0; vg <= 3.3; vg += 0.1) {
+    const double i = m.ids(kW, kL, vg, 2.0, 0.0, 0.0);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(MosfetPhysics, MonotonicNondecreasingInVds) {
+  const MosfetPhysics m = make_nmos();
+  double prev = -1.0;
+  for (double vd = 0.0; vd <= 3.3; vd += 0.05) {
+    const double i = m.ids(kW, kL, 2.5, vd, 0.0, 0.0);
+    EXPECT_GE(i, prev - 1e-15);
+    prev = i;
+  }
+}
+
+TEST(MosfetPhysics, BodyEffectRaisesThreshold) {
+  const MosfetPhysics m = make_nmos();
+  EXPECT_GT(m.threshold(1.0), m.threshold(0.0));
+  EXPECT_NEAR(m.threshold(0.0), 0.55, 1e-12);
+}
+
+TEST(MosfetPhysics, VdsatGrowsSublinearlyWithOverdrive) {
+  const MosfetPhysics m = make_nmos();
+  const double v1 = m.vdsat(1.0, kL);
+  const double v2 = m.vdsat(2.0, kL);
+  EXPECT_GT(v2, v1);
+  EXPECT_LT(v2, 2.0 * v1);  // velocity saturation compresses
+  EXPECT_LT(v1, 1.0);       // below the long-channel value
+  EXPECT_DOUBLE_EQ(m.vdsat(0.0, kL), 0.0);
+}
+
+TEST(MosfetPhysics, PmosMirrorsNmosBehaviour) {
+  const MosfetPhysics p = make_pmos();
+  // Source at VDD, gate low: conducts from source (a) to drain (b).
+  const double on = p.ids(kW, kL, 0.0, 3.3, 0.0, 3.3);
+  EXPECT_GT(on, 1e-5);
+  // Gate high: off.
+  const double off = p.ids(kW, kL, 3.3, 3.3, 0.0, 3.3);
+  EXPECT_LT(std::abs(off), 1e-9);
+  // Current decreases as the gate rises.
+  const double mid = p.ids(kW, kL, 1.5, 3.3, 0.0, 3.3);
+  EXPECT_GT(on, mid);
+  EXPECT_GT(mid, off);
+}
+
+// Derivative checks against central finite differences, over a bias grid
+// and both polarities.
+class MosfetDerivTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double, double>> {
+};
+
+TEST_P(MosfetDerivTest, AnalyticMatchesFiniteDifference) {
+  const auto [polarity, vg, va, vb] = GetParam();
+  const Process proc = Process::cmosp35();
+  const MosfetPhysics m =
+      polarity == 0 ? MosfetPhysics(MosType::nmos, proc.nmos, proc.temp_vt)
+                    : MosfetPhysics(MosType::pmos, proc.pmos, proc.temp_vt);
+  const double vbulk = polarity == 0 ? 0.0 : 3.3;
+  const MosfetEval e = m.eval(kW, kL, vg, va, vb, vbulk);
+  const double h = 1e-6;
+  const double dg = (m.ids(kW, kL, vg + h, va, vb, vbulk) -
+                     m.ids(kW, kL, vg - h, va, vb, vbulk)) /
+                    (2 * h);
+  const double da = (m.ids(kW, kL, vg, va + h, vb, vbulk) -
+                     m.ids(kW, kL, vg, va - h, vb, vbulk)) /
+                    (2 * h);
+  const double db = (m.ids(kW, kL, vg, va, vb + h, vbulk) -
+                     m.ids(kW, kL, vg, va, vb - h, vbulk)) /
+                    (2 * h);
+  const double tol = 1e-6 * std::max(1.0, std::abs(e.ids) * 1e4) + 2e-7;
+  EXPECT_NEAR(e.d_vg, dg, tol);
+  EXPECT_NEAR(e.d_va, da, tol);
+  EXPECT_NEAR(e.d_vb, db, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosfetDerivTest,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0.3, 1.2, 2.1, 3.0),
+                       ::testing::Values(0.1, 1.4, 2.8),
+                       ::testing::Values(0.4, 1.7, 3.2)));
+
+}  // namespace
+}  // namespace qwm::device

@@ -1,0 +1,100 @@
+#include "qwm/device/process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../common/test_models.h"
+#include "qwm/circuit/builders.h"
+#include "qwm/core/stage_eval.h"
+#include "qwm/device/tabular_model.h"
+
+namespace qwm::device {
+namespace {
+
+TEST(ProcessCorner, FastIsStrongerSlowIsWeaker) {
+  const Process tt = Process::cmosp35();
+  const Process ff = tt.at_corner(Corner::fast);
+  const Process ss = tt.at_corner(Corner::slow);
+  EXPECT_GT(ff.nmos.kp, tt.nmos.kp);
+  EXPECT_LT(ff.nmos.vth0, tt.nmos.vth0);
+  EXPECT_LT(ss.pmos.kp, tt.pmos.kp);
+  EXPECT_GT(ss.pmos.vth0, tt.pmos.vth0);
+  // Typical corner is the identity.
+  EXPECT_DOUBLE_EQ(tt.at_corner(Corner::typical).nmos.kp, tt.nmos.kp);
+}
+
+TEST(ProcessTemperature, HotIsSlower) {
+  const Process tt = Process::cmosp35();
+  const Process hot = tt.at_temperature(398.0);   // 125 C
+  const Process cold = tt.at_temperature(233.0);  // -40 C
+  EXPECT_LT(hot.nmos.kp, tt.nmos.kp);
+  EXPECT_GT(cold.nmos.kp, tt.nmos.kp);
+  EXPECT_LT(hot.nmos.vth0, tt.nmos.vth0);  // vth drops with temperature
+  EXPECT_GT(hot.temp_vt, tt.temp_vt);
+}
+
+double stack_delay(const Process& proc) {
+  const TabularDeviceModel nmos(MosType::nmos, proc);
+  const TabularDeviceModel pmos(MosType::pmos, proc);
+  const ModelSet ms{&nmos, &pmos, &proc};
+  const auto b =
+      circuit::make_nmos_stack(proc, std::vector<double>(3, 1e-6), 20e-15);
+  std::vector<numeric::PwlWaveform> inputs{
+      numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd)};
+  const auto st = core::evaluate_stage(b, inputs, ms);
+  EXPECT_TRUE(st.ok) << st.error;
+  return st.delay.value_or(-1.0);
+}
+
+TEST(ProcessCorner, DelayOrderingAcrossCorners) {
+  const Process tt = Process::cmosp35();
+  const double d_tt = stack_delay(tt);
+  const double d_ff = stack_delay(tt.at_corner(Corner::fast));
+  const double d_ss = stack_delay(tt.at_corner(Corner::slow));
+  ASSERT_GT(d_tt, 0.0);
+  EXPECT_LT(d_ff, d_tt);
+  EXPECT_GT(d_ss, d_tt);
+}
+
+TEST(ProcessTemperature, DelayGrowsWithTemperature) {
+  const Process tt = Process::cmosp35();
+  const double d_room = stack_delay(tt);
+  const double d_hot = stack_delay(tt.at_temperature(398.0));
+  ASSERT_GT(d_room, 0.0);
+  EXPECT_GT(d_hot, d_room);
+}
+
+/// The characterized table must track its golden physics at every corner
+/// and temperature variant, not just nominal.
+class TabularAcrossVariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(TabularAcrossVariants, TableMatchesGolden) {
+  const Process tt = Process::cmosp35();
+  Process p = tt;
+  switch (GetParam()) {
+    case 0: p = tt.at_corner(Corner::fast); break;
+    case 1: p = tt.at_corner(Corner::slow); break;
+    case 2: p = tt.at_temperature(398.0); break;
+    case 3: p = tt.at_temperature(233.0); break;
+  }
+  const MosfetPhysics golden(MosType::nmos, p.nmos, p.temp_vt);
+  CharacterizationOptions fast_opt;
+  fast_opt.grid_step = 0.1;
+  const TabularDeviceModel tab(MosType::nmos, p, fast_opt);
+  for (double vg : {1.2, 2.2, 3.2}) {
+    for (double vd : {0.6, 1.8, 3.0}) {
+      const double ig = golden.ids(1e-6, 0.35e-6, vg, vd, 0.0, 0.0);
+      const double it =
+          tab.iv(1e-6, 0.35e-6, TerminalVoltages{vg, vd, 0.0});
+      EXPECT_NEAR(it, ig, 0.04 * std::abs(ig) + 2e-6)
+          << "variant=" << GetParam() << " vg=" << vg << " vd=" << vd;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, TabularAcrossVariants,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace qwm::device

@@ -1,0 +1,171 @@
+#include "qwm/device/tabular_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+
+#include "qwm/device/analytic_model.h"
+
+namespace qwm::device {
+namespace {
+
+struct Fixture {
+  Process proc = Process::cmosp35();
+  AnalyticDeviceModel golden_n = AnalyticDeviceModel::nmos(proc);
+  AnalyticDeviceModel golden_p = AnalyticDeviceModel::pmos(proc);
+  TabularDeviceModel tab_n{MosType::nmos, proc};
+  TabularDeviceModel tab_p{MosType::pmos, proc};
+};
+
+Fixture& fixture() {
+  static Fixture f;  // characterization is expensive; share it
+  return f;
+}
+
+TEST(TabularModel, GridHasPaperDimensions) {
+  const auto& g = fixture().tab_n.grid();
+  // 0..3.3 V with 0.1 V pitch: 34 points per axis (paper §V-A).
+  EXPECT_EQ(g.vs_axis.n, 34u);
+  EXPECT_EQ(g.vg_axis.n, 34u);
+  EXPECT_EQ(g.size(), 34u * 34u);
+}
+
+TEST(TabularModel, FitQualityIsHigh) {
+  const auto s = fixture().tab_n.grid().stats();
+  EXPECT_GT(s.mean_r2_sat, 0.95);
+  EXPECT_GT(s.mean_r2_triode, 0.90);
+  EXPECT_EQ(s.grid_points, 34u * 34u);
+  EXPECT_GT(s.active_points, 100u);
+  EXPECT_LT(s.active_points, s.grid_points);
+}
+
+TEST(TabularModel, MatchesGoldenOnGridPoints) {
+  auto& f = fixture();
+  for (double vs : {0.0, 0.5, 1.0, 2.0}) {
+    for (double vg : {1.0, 2.0, 3.3}) {
+      for (double vd : {0.0, 0.4, 1.5, 3.3}) {
+        if (vd < vs) continue;
+        TerminalVoltages tv{vg, vd, vs};
+        const double ig = f.golden_n.iv(1e-6, 0.35e-6, tv);
+        const double it = f.tab_n.iv(1e-6, 0.35e-6, tv);
+        EXPECT_NEAR(it, ig, 0.03 * std::abs(ig) + 2e-6)
+            << "vs=" << vs << " vg=" << vg << " vd=" << vd;
+      }
+    }
+  }
+}
+
+TEST(TabularModel, MatchesGoldenOffGrid) {
+  auto& f = fixture();
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> d(0.0, 3.3);
+  double worst_rel = 0.0, sum_rel = 0.0;
+  int n_rel = 0;
+  for (int k = 0; k < 500; ++k) {
+    const double vg = d(rng), a = d(rng), b = d(rng);
+    TerminalVoltages tv{vg, a, b};
+    const double ig = f.golden_n.iv(1e-6, 0.35e-6, tv);
+    const double it = f.tab_n.iv(1e-6, 0.35e-6, tv);
+    if (std::abs(ig) > 1e-5) {
+      const double rel = std::abs(it - ig) / std::abs(ig);
+      worst_rel = std::max(worst_rel, rel);
+      sum_rel += rel;
+      ++n_rel;
+    } else {
+      EXPECT_NEAR(it, ig, 5e-6);
+    }
+  }
+  // The paper's tabular model targets ~1% average accuracy; interpolation
+  // over a 0.1 V grid keeps the mean around a percent, with the worst
+  // points (near-threshold, small currents) a few times that.
+  ASSERT_GT(n_rel, 100);
+  EXPECT_LT(sum_rel / n_rel, 0.02);
+  EXPECT_LT(worst_rel, 0.12);
+}
+
+TEST(TabularModel, PmosMatchesGolden) {
+  auto& f = fixture();
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> d(0.0, 3.3);
+  for (int k = 0; k < 300; ++k) {
+    const double vg = d(rng), a = d(rng), b = d(rng);
+    TerminalVoltages tv{vg, a, b};
+    const double ig = f.golden_p.iv(2e-6, 0.35e-6, tv);
+    const double it = f.tab_p.iv(2e-6, 0.35e-6, tv);
+    EXPECT_NEAR(it, ig, 0.05 * std::abs(ig) + 5e-6)
+        << "vg=" << vg << " a=" << a << " b=" << b;
+  }
+}
+
+TEST(TabularModel, ReverseConductionAntisymmetric) {
+  auto& f = fixture();
+  TerminalVoltages fwd{2.5, 2.0, 0.5};
+  TerminalVoltages rev{2.5, 0.5, 2.0};
+  const double i_f = f.tab_n.iv(1e-6, 0.35e-6, fwd);
+  const double i_r = f.tab_n.iv(1e-6, 0.35e-6, rev);
+  EXPECT_NEAR(i_f, -i_r, 1e-12 + 1e-9 * std::abs(i_f));
+}
+
+TEST(TabularModel, DerivativesMatchFiniteDifference) {
+  auto& f = fixture();
+  // Pick interior bias points away from the triode/saturation knee where
+  // the fitted model is smooth.
+  for (const auto& [vg, vd, vs] :
+       {std::tuple{2.52, 2.91, 0.23}, std::tuple{1.73, 1.52, 0.68},
+        std::tuple{3.12, 2.33, 1.17}}) {
+    TerminalVoltages tv{vg, vd, vs};
+    const IvEval e = f.tab_n.iv_eval(1e-6, 0.35e-6, tv);
+    const double h = 1e-5;
+    auto iv_at = [&](double g, double d2, double s2) {
+      return f.tab_n.iv(1e-6, 0.35e-6, TerminalVoltages{g, d2, s2});
+    };
+    const double dg = (iv_at(vg + h, vd, vs) - iv_at(vg - h, vd, vs)) / (2 * h);
+    const double dd = (iv_at(vg, vd + h, vs) - iv_at(vg, vd - h, vs)) / (2 * h);
+    const double ds = (iv_at(vg, vd, vs + h) - iv_at(vg, vd, vs - h)) / (2 * h);
+    const double tol = 5e-5 + 0.02 * std::abs(e.i);
+    EXPECT_NEAR(e.d_input, dg, tol);
+    EXPECT_NEAR(e.d_src, dd, tol);
+    EXPECT_NEAR(e.d_snk, ds, tol);
+  }
+}
+
+TEST(TabularModel, WidthScaling) {
+  auto& f = fixture();
+  TerminalVoltages tv{3.3, 2.0, 0.0};
+  const double i1 = f.tab_n.iv(1e-6, 0.35e-6, tv);
+  const double i4 = f.tab_n.iv(4e-6, 0.35e-6, tv);
+  EXPECT_NEAR(i4 / i1, 4.0, 1e-9);
+}
+
+TEST(TabularModel, ThresholdTracksGolden) {
+  auto& f = fixture();
+  for (double vs : {0.0, 0.5, 1.5, 2.5}) {
+    TerminalVoltages tv{3.3, vs + 0.5, vs};
+    EXPECT_NEAR(f.tab_n.threshold(tv), f.golden_n.threshold(tv), 0.02);
+  }
+}
+
+TEST(TabularModel, CountsQueries) {
+  const Process proc = Process::cmosp35();
+  CharacterizationOptions fast;
+  fast.grid_step = 0.5;
+  TabularDeviceModel t(MosType::nmos, proc, fast);
+  EXPECT_EQ(t.query_count(), 0u);
+  t.iv(1e-6, 0.35e-6, TerminalVoltages{1.0, 1.0, 0.0});
+  t.iv_eval(1e-6, 0.35e-6, TerminalVoltages{1.0, 1.0, 0.0});
+  EXPECT_EQ(t.query_count(), 2u);
+}
+
+TEST(TabularModel, CapsMatchAnalyticModel) {
+  auto& f = fixture();
+  EXPECT_DOUBLE_EQ(f.tab_n.src_cap(2e-6, 0.35e-6),
+                   f.golden_n.src_cap(2e-6, 0.35e-6));
+  EXPECT_DOUBLE_EQ(f.tab_n.input_cap(2e-6, 0.35e-6),
+                   f.golden_n.input_cap(2e-6, 0.35e-6));
+  EXPECT_GT(f.tab_n.snk_cap(1e-6, 0.35e-6), 0.0);
+}
+
+}  // namespace
+}  // namespace qwm::device

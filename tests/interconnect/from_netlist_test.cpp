@@ -1,0 +1,75 @@
+#include "qwm/interconnect/from_netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "qwm/interconnect/moments.h"
+#include "qwm/netlist/parser.h"
+
+namespace qwm::interconnect {
+namespace {
+
+TEST(FromNetlist, ChainBecomesLine) {
+  const auto r = netlist::parse_spice(
+      "t\nr1 in a 100\nr2 a b 200\nc1 a 0 1p\nc2 b 0 2p\n");
+  ASSERT_TRUE(r.ok());
+  const auto root = *r.netlist.find_net("in");
+  const auto t = rc_tree_from_netlist(r.netlist, root);
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->tree.size(), 3u);
+  EXPECT_NEAR(t->tree.total_cap(), 3e-12, 1e-20);
+
+  // Elmore at the far node: 100*(1p+2p) + 200*2p = 700 ps.
+  const auto d = elmore_delays(t->tree);
+  const auto far = t->node_of(*r.netlist.find_net("b"));
+  ASSERT_TRUE(far);
+  EXPECT_NEAR(d[*far], 700e-12, 1e-15);
+}
+
+TEST(FromNetlist, BranchingTree) {
+  const auto r = netlist::parse_spice(
+      "t\nr1 in a 100\nr2 a b 50\nr3 a c 80\nc1 b 0 1p\nc2 c 0 1p\n");
+  ASSERT_TRUE(r.ok());
+  const auto t =
+      rc_tree_from_netlist(r.netlist, *r.netlist.find_net("in"));
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->tree.size(), 4u);
+  const auto d = elmore_delays(t->tree);
+  const auto b = t->node_of(*r.netlist.find_net("b"));
+  ASSERT_TRUE(b);
+  EXPECT_NEAR(d[*b], 100e-12 * 2 + 50e-12, 1e-15);  // 100*(2p)+50*1p
+}
+
+TEST(FromNetlist, LoopRejected) {
+  const auto r = netlist::parse_spice(
+      "t\nr1 in a 100\nr2 a b 100\nr3 b in 100\nc1 a 0 1p\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(
+      rc_tree_from_netlist(r.netlist, *r.netlist.find_net("in")));
+}
+
+TEST(FromNetlist, CouplingCapSplitWithWarning) {
+  const auto r = netlist::parse_spice(
+      "t\nr1 in a 100\nr2 a b 100\ncc a b 2p\n");
+  ASSERT_TRUE(r.ok());
+  std::vector<std::string> warnings;
+  const auto t =
+      rc_tree_from_netlist(r.netlist, *r.netlist.find_net("in"), &warnings);
+  ASSERT_TRUE(t);
+  EXPECT_FALSE(warnings.empty());
+  EXPECT_NEAR(t->tree.total_cap(), 2e-12, 1e-20);
+}
+
+TEST(FromNetlist, GroundResistorIgnoredWithWarning) {
+  const auto r = netlist::parse_spice(
+      "t\nr1 in a 100\nrleak a 0 1meg\nc1 a 0 1p\n");
+  ASSERT_TRUE(r.ok());
+  std::vector<std::string> warnings;
+  const auto t =
+      rc_tree_from_netlist(r.netlist, *r.netlist.find_net("in"), &warnings);
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->tree.size(), 2u);
+  EXPECT_FALSE(warnings.empty());
+}
+
+}  // namespace
+}  // namespace qwm::interconnect

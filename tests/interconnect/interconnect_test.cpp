@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qwm/interconnect/awe.h"
+#include "qwm/interconnect/moments.h"
+#include "qwm/interconnect/pi_model.h"
+#include "qwm/interconnect/rc_tree.h"
+
+namespace qwm::interconnect {
+namespace {
+
+TEST(RcTree, UniformLineStructure) {
+  int far = -1;
+  const RcTree t = RcTree::uniform_line(1000.0, 1e-12, 4, &far);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(far, 4);
+  EXPECT_NEAR(t.total_cap(), 1e-12, 1e-24);
+}
+
+TEST(Elmore, SingleLumpIsRC) {
+  RcTree t;
+  const int n = t.add_node(0, 1000.0, 2e-12);
+  const auto d = elmore_delays(t);
+  EXPECT_NEAR(d[n], 1000.0 * 2e-12, 1e-18);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+}
+
+TEST(Elmore, DistributedLineApproachesHalfRC) {
+  // Elmore delay of a distributed RC line tends to RC/2 as segments grow.
+  int far = -1;
+  const RcTree t = RcTree::uniform_line(1000.0, 1e-12, 200, &far);
+  const auto d = elmore_delays(t);
+  EXPECT_NEAR(d[far], 0.5 * 1000.0 * 1e-12, 0.01 * 0.5e-9);
+}
+
+TEST(Elmore, BranchesShareUpstreamResistance) {
+  // Root -- R1 -- a, with two leaves b, c under a. Elmore(b) includes R1
+  // carrying all downstream cap.
+  RcTree t;
+  const int a = t.add_node(0, 100.0, 1e-15);
+  const int b = t.add_node(a, 200.0, 2e-15);
+  const int c = t.add_node(a, 300.0, 3e-15);
+  const auto d = elmore_delays(t);
+  const double expect_b = 100.0 * (1e-15 + 2e-15 + 3e-15) + 200.0 * 2e-15;
+  const double expect_c = 100.0 * 6e-15 + 300.0 * 3e-15;
+  EXPECT_NEAR(d[b], expect_b, 1e-20);
+  EXPECT_NEAR(d[c], expect_c, 1e-20);
+}
+
+TEST(Moments, FirstMomentIsMinusElmore) {
+  int far = -1;
+  const RcTree t = RcTree::uniform_line(500.0, 2e-13, 10, &far);
+  const auto m = voltage_moments(t, 2);
+  const auto d = elmore_delays(t);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_NEAR(m[1][i], -d[i], 1e-22);
+  // Second moments are positive for RC trees.
+  EXPECT_GT(m[2][far], 0.0);
+}
+
+TEST(Awe, SingleLumpExact) {
+  // One-pole circuit: AWE must recover p = -1/RC exactly.
+  RcTree t;
+  const int n = t.add_node(0, 1000.0, 1e-12);
+  const auto m = voltage_moments(t, 4);
+  std::vector<double> mom{1.0, m[1][n], m[2][n], m[3][n]};
+  const auto fit = awe_reduce(mom, 2);
+  ASSERT_TRUE(fit);
+  // The exact transfer function has a single pole; either the order-2 fit
+  // degenerates or both poles coincide numerically with -1/RC dominating.
+  const double tau = 1000.0 * 1e-12;
+  double closest = 1e300;
+  for (double p : fit->poles) closest = std::min(closest, std::abs(p + 1.0 / tau));
+  EXPECT_LT(closest, 1e-3 / tau);
+}
+
+TEST(Awe, StepResponseMatchesAnalyticRC) {
+  RcTree t;
+  const int n = t.add_node(0, 1000.0, 1e-12);
+  const auto m = voltage_moments(t, 2);
+  const auto fit = awe_reduce({1.0, m[1][n], m[2][n]}, 1);
+  ASSERT_TRUE(fit);
+  const double tau = 1e-9;
+  for (double x : {0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(fit->step_value(x * tau), 1.0 - std::exp(-x), 1e-9);
+  }
+  const auto t50 = fit->step_crossing(0.5);
+  ASSERT_TRUE(t50);
+  EXPECT_NEAR(*t50, tau * std::log(2.0), 1e-12);
+}
+
+TEST(Awe, LineDelayCloseToTwoPoleEstimate) {
+  // 50% delay of a distributed line is ~0.38 RC (vs Elmore 0.5 RC); a
+  // 2-3 pole AWE should land near the true value.
+  int far = -1;
+  const RcTree t = RcTree::uniform_line(1000.0, 1e-12, 100, &far);
+  const auto m = voltage_moments(t, 6);
+  std::vector<double> mom{1.0};
+  for (int k = 1; k <= 5; ++k) mom.push_back(m[k][far]);
+  const auto fit = awe_reduce(mom, 3);
+  ASSERT_TRUE(fit);
+  const auto t50 = fit->step_crossing(0.5);
+  ASSERT_TRUE(t50);
+  EXPECT_NEAR(*t50, 0.38 * 1e-9, 0.05 * 1e-9);
+}
+
+TEST(Awe, RejectsGarbageMoments) {
+  // Positive first moment implies an unstable pole: nothing usable.
+  EXPECT_FALSE(awe_reduce({1.0, +1e-9}, 1));
+}
+
+TEST(PiModel, MatchesAdmittanceMomentsOfLine) {
+  const RcTree t = RcTree::uniform_line(800.0, 5e-13, 50);
+  const PiModel pi = reduce_to_pi(t);
+  EXPECT_NEAR(pi.total_cap(), 5e-13, 1e-18);
+  EXPECT_GT(pi.r, 0.0);
+  EXPECT_GT(pi.c_far, 0.0);
+  // Verify the first three admittance moments are reproduced:
+  //   y2 = -R C_far^2, y3 = R^2 C_far^3.
+  const auto y = admittance_moments(t);
+  EXPECT_NEAR(-pi.r * pi.c_far * pi.c_far, y.y2, 1e-6 * std::abs(y.y2));
+  EXPECT_NEAR(pi.r * pi.r * pi.c_far * pi.c_far * pi.c_far, y.y3,
+              1e-6 * y.y3);
+}
+
+TEST(PiModel, UniformLineExactValues) {
+  // Distributed uniform line (unit R, C): y2 = -C^2 R/3, y3 = 2 C^3 R^2/15
+  // (from the moment recurrence in closed form), so
+  // C_far = y2^2 / y3 = (1/9)/(2/15) C = 5C/6.
+  const RcTree t = RcTree::uniform_line(1000.0, 1e-12, 200);
+  const PiModel pi = reduce_to_pi(t);
+  EXPECT_NEAR(pi.c_far / 1e-12, 5.0 / 6.0, 0.01);
+  EXPECT_NEAR(pi.c_near / 1e-12, 1.0 / 6.0, 0.01);
+}
+
+TEST(PiModel, DegeneratesToLumpForZeroResistance) {
+  RcTree t;
+  t.add_cap(0, 3e-13);
+  const PiModel pi = reduce_to_pi(t);
+  EXPECT_NEAR(pi.c_near, 3e-13, 1e-20);
+  EXPECT_DOUBLE_EQ(pi.r, 0.0);
+}
+
+TEST(PiModel, WireHelper) {
+  device::WireParams wp;
+  const PiModel pi = wire_pi_model(wp, 0.6e-6, 200e-6);
+  EXPECT_GT(pi.total_cap(), 0.0);
+  EXPECT_GT(pi.r, 0.0);
+}
+
+}  // namespace
+}  // namespace qwm::interconnect

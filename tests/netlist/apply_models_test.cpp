@@ -1,0 +1,72 @@
+#include "qwm/netlist/apply_models.h"
+
+#include <gtest/gtest.h>
+
+#include "qwm/netlist/parser.h"
+#include "qwm/netlist/writer.h"
+
+namespace qwm::netlist {
+namespace {
+
+TEST(ModelCards, ParsedFromDeck) {
+  const ParseResult r = parse_spice(R"(deck with models
+.model mynmos nmos vto=0.6 kp=150u lambda=0.04
+.model mypmos pmos vto=-0.8 kp=50u
+mn out in 0 0 mynmos w=1u l=0.35u
+)");
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  ASSERT_EQ(r.netlist.model_cards.size(), 2u);
+  EXPECT_EQ(r.netlist.model_cards[0].type, device::MosType::nmos);
+  EXPECT_DOUBLE_EQ(r.netlist.model_cards[0].params.at("vto"), 0.6);
+  EXPECT_DOUBLE_EQ(r.netlist.model_cards[0].params.at("kp"), 150e-6);
+  EXPECT_EQ(r.netlist.model_cards[1].type, device::MosType::pmos);
+}
+
+TEST(ModelCards, ApplyOverridesProcess) {
+  const ParseResult r = parse_spice(R"(t
+.model n1 nmos vto=0.62 kp=175u gamma=0.5 lambda=0.03 cj=8e-4 tox=8n
+.model p1 pmos vto=-0.85
+)");
+  ASSERT_TRUE(r.ok());
+  device::Process proc = device::Process::cmosp35();
+  const auto warnings = apply_model_cards(r.netlist, &proc);
+  EXPECT_TRUE(warnings.empty());
+  EXPECT_DOUBLE_EQ(proc.nmos.vth0, 0.62);
+  EXPECT_DOUBLE_EQ(proc.nmos.kp, 175e-6);
+  EXPECT_DOUBLE_EQ(proc.nmos.gamma, 0.5);
+  EXPECT_DOUBLE_EQ(proc.nmos.lambda, 0.03);
+  EXPECT_DOUBLE_EQ(proc.nmos.cj, 8e-4);
+  EXPECT_NEAR(proc.nmos.cox, 3.45e-11 / 8e-9, 1e-6);
+  EXPECT_DOUBLE_EQ(proc.pmos.vth0, 0.85);  // magnitude convention
+  // Untouched parameters keep their defaults.
+  EXPECT_DOUBLE_EQ(proc.pmos.kp, device::Process::cmosp35().pmos.kp);
+}
+
+TEST(ModelCards, UnknownParameterWarns) {
+  const ParseResult r = parse_spice("t\n.model n1 nmos frobnicate=3\n");
+  ASSERT_TRUE(r.ok());
+  device::Process proc = device::Process::cmosp35();
+  const auto warnings = apply_model_cards(r.netlist, &proc);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("frobnicate"), std::string::npos);
+}
+
+TEST(ModelCards, WriterRoundTripsModelCards) {
+  const ParseResult r1 =
+      parse_spice("t\n.model n1 nmos vto=0.6 kp=150u\nr1 a 0 1k\n");
+  ASSERT_TRUE(r1.ok());
+  const ParseResult r2 = parse_spice(write_spice(r1.netlist));
+  ASSERT_TRUE(r2.ok()) << (r2.errors.empty() ? "" : r2.errors[0]);
+  ASSERT_EQ(r2.netlist.model_cards.size(), 1u);
+  EXPECT_DOUBLE_EQ(r2.netlist.model_cards[0].params.at("vto"), 0.6);
+}
+
+TEST(ModelCards, UnsupportedTypeWarnsAtParse) {
+  const ParseResult r = parse_spice("t\n.model d1 diode is=1e-14\n");
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.warnings.empty());
+  EXPECT_TRUE(r.netlist.model_cards.empty());
+}
+
+}  // namespace
+}  // namespace qwm::netlist

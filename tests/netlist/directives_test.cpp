@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "qwm/netlist/parser.h"
+#include "qwm/netlist/writer.h"
+
+namespace qwm::netlist {
+namespace {
+
+TEST(Directives, TranParsed) {
+  const auto r = parse_spice("t\nr1 a 0 1k\n.tran 1p 2n\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.netlist.tran.present);
+  EXPECT_DOUBLE_EQ(r.netlist.tran.tstep, 1e-12);
+  EXPECT_DOUBLE_EQ(r.netlist.tran.tstop, 2e-9);
+}
+
+TEST(Directives, TranMalformed) {
+  EXPECT_FALSE(parse_spice("t\n.tran banana\n").ok());
+}
+
+TEST(Directives, InitialConditions) {
+  const auto r = parse_spice("t\nr1 a b 1k\n.ic v(a)=3.3 v(b)=1.65\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.netlist.initial_conditions.size(), 2u);
+  EXPECT_EQ(r.netlist.initial_conditions[0].net, *r.netlist.find_net("a"));
+  EXPECT_DOUBLE_EQ(r.netlist.initial_conditions[0].voltage, 3.3);
+  EXPECT_DOUBLE_EQ(r.netlist.initial_conditions[1].voltage, 1.65);
+}
+
+TEST(Directives, PrintNets) {
+  const auto r = parse_spice("t\nr1 a b 1k\n.print tran v(a) v(b)\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.netlist.print_nets.size(), 2u);
+  EXPECT_EQ(r.netlist.print_nets[0], *r.netlist.find_net("a"));
+}
+
+TEST(Directives, CurrentSourceParsed) {
+  const auto r = parse_spice("t\ni1 a 0 dc 1m\ni2 b 0 pwl(0 0 1n 2m)\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.netlist.isources.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.netlist.isources[0].waveform.eval(0.0), 1e-3);
+  EXPECT_NEAR(r.netlist.isources[1].waveform.eval(0.5e-9), 1e-3, 1e-12);
+}
+
+TEST(Directives, IncludeFiles) {
+  const std::string dir = "/tmp/qwm_include_test";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream lib(dir + "/cells.inc");
+    lib << ".subckt inv in out\n"
+           "mp out in vdd vdd pmos w=2u l=0.35u\n"
+           "mn out in 0 0 nmos w=1u l=0.35u\n"
+           ".ends\n";
+    std::ofstream deck(dir + "/top.sp");
+    deck << "top deck\n"
+            ".include cells.inc\n"
+            "vdd vdd 0 3.3\n"
+            "x1 a b inv\n";
+  }
+  const auto r = parse_spice_file(dir + "/top.sp");
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_EQ(r.netlist.mosfets.size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Directives, MissingIncludeErrors) {
+  const auto r = parse_spice("t\n.include /nonexistent/file.inc\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Directives, WriterRoundTripsDirectives) {
+  const auto r1 = parse_spice(
+      "t\nr1 a 0 1k\ni1 a 0 2m\n.tran 2p 1n\n.ic v(a)=1.0\n");
+  ASSERT_TRUE(r1.ok());
+  const auto r2 = parse_spice(write_spice(r1.netlist));
+  ASSERT_TRUE(r2.ok()) << (r2.errors.empty() ? "" : r2.errors[0]);
+  EXPECT_TRUE(r2.netlist.tran.present);
+  EXPECT_DOUBLE_EQ(r2.netlist.tran.tstep, 2e-12);
+  ASSERT_EQ(r2.netlist.isources.size(), 1u);
+  ASSERT_EQ(r2.netlist.initial_conditions.size(), 1u);
+  EXPECT_DOUBLE_EQ(r2.netlist.initial_conditions[0].voltage, 1.0);
+}
+
+}  // namespace
+}  // namespace qwm::netlist

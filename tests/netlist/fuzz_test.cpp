@@ -1,0 +1,101 @@
+// Robustness tests: the parser must reject or survive arbitrary junk
+// without crashing, and mutated-but-plausible decks must never produce a
+// silently corrupt netlist (errors preferred over garbage).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "qwm/netlist/parser.h"
+
+namespace qwm::netlist {
+namespace {
+
+constexpr const char* kBaseDeck = R"(mutation base
+vdd vdd 0 3.3
+vin a 0 pulse(0 3.3 10p 1p 1p 500p 1n)
+.model n1 nmos vto=0.55
+mp1 b a vdd vdd pmos w=2u l=0.35u
+mn1 b a 0 0 n1 w=1u l=0.35u
+r1 b c 500
+c1 c 0 20f
+.tran 1p 1n
+.end
+)";
+
+TEST(Fuzz, RandomPrintableGarbage) {
+  std::mt19937 rng(123);
+  std::uniform_int_distribution<int> ch(32, 126);
+  std::uniform_int_distribution<int> len(0, 400);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = "garbage\n";
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      const int c = ch(rng);
+      text.push_back(i % 37 == 36 ? '\n' : static_cast<char>(c));
+    }
+    // Must not crash; ok() may be anything.
+    const ParseResult r = parse_spice(text);
+    (void)r;
+  }
+}
+
+TEST(Fuzz, TruncatedDecks) {
+  const std::string base = kBaseDeck;
+  for (std::size_t cut = 0; cut < base.size(); cut += 7) {
+    const ParseResult r = parse_spice(base.substr(0, cut));
+    (void)r;  // no crash; partial decks often parse partially
+  }
+}
+
+TEST(Fuzz, CharacterMutations) {
+  std::mt19937 rng(7);
+  const std::string base = kBaseDeck;
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<int> ch(32, 126);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = base;
+    // Mutate 1-3 characters.
+    for (int m = 0; m < 1 + trial % 3; ++m)
+      text[pos(rng)] = static_cast<char>(ch(rng));
+    const ParseResult r = parse_spice(text);
+    if (r.ok()) {
+      // A deck that still parses must have structurally sane elements.
+      for (const auto& mos : r.netlist.mosfets) {
+        EXPECT_GE(mos.drain, 0);
+        EXPECT_LT(mos.drain, static_cast<int>(r.netlist.net_count()));
+        EXPECT_GT(mos.w, 0.0);
+        EXPECT_GT(mos.l, 0.0);
+      }
+      for (const auto& res : r.netlist.resistors) {
+        EXPECT_GE(res.a, 0);
+        EXPECT_GE(res.b, 0);
+      }
+    }
+  }
+}
+
+TEST(Fuzz, DeepSubcktNestingIsBounded) {
+  // Self-instantiating subcircuit: must error out, not recurse forever.
+  const ParseResult r = parse_spice(R"(recursive
+.subckt loop a b
+x1 a b loop
+.ends
+x0 p q loop
+)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Fuzz, HugeNumbersAndEmptyTokens) {
+  const ParseResult r1 = parse_spice("t\nr1 a 0 1e308\nc1 a 0 1e-300\n");
+  EXPECT_TRUE(r1.ok());
+  const ParseResult r2 = parse_spice("t\n   \n\t\n\n");
+  EXPECT_TRUE(r2.ok());
+  const ParseResult r3 = parse_spice("");
+  EXPECT_TRUE(r3.ok());
+  const ParseResult r4 = parse_spice("t\n((((()))))\n=====\n");
+  (void)r4;
+}
+
+}  // namespace
+}  // namespace qwm::netlist

@@ -1,0 +1,62 @@
+#include "qwm/numeric/interp.h"
+
+#include <gtest/gtest.h>
+
+namespace qwm::numeric {
+namespace {
+
+TEST(UniformAxis, LocateInteriorAndClamp) {
+  UniformAxis a{0.0, 0.5, 5};  // 0, 0.5, 1.0, 1.5, 2.0
+  std::size_t i;
+  double f;
+  a.locate(0.75, i, f);
+  EXPECT_EQ(i, 1u);
+  EXPECT_NEAR(f, 0.5, 1e-12);
+  a.locate(-1.0, i, f);
+  EXPECT_EQ(i, 0u);
+  EXPECT_EQ(f, 0.0);
+  a.locate(5.0, i, f);
+  EXPECT_EQ(i, 3u);
+  EXPECT_EQ(f, 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+}
+
+TEST(LinearTable1D, InterpolatesLinearFunctionExactly) {
+  UniformAxis a{0.0, 1.0, 4};
+  LinearTable1D t(a, {0.0, 2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(t.eval(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(t.deriv(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(t.eval(-5.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(t.eval(99.0), 6.0);   // clamped
+  EXPECT_DOUBLE_EQ(t.deriv(99.0), 0.0);  // outside: flat
+}
+
+TEST(BilinearTable2D, ReproducesBilinearFunction) {
+  // f(x, y) = 2x + 3y + x*y is exactly representable by bilinear interp
+  // on any rectangle grid.
+  UniformAxis ax{0.0, 0.5, 5}, ay{1.0, 0.25, 5};
+  std::vector<double> vals;
+  for (std::size_t i = 0; i < ax.n; ++i)
+    for (std::size_t j = 0; j < ay.n; ++j) {
+      const double x = ax.coord(i), y = ay.coord(j);
+      vals.push_back(2 * x + 3 * y + x * y);
+    }
+  BilinearTable2D t(ax, ay, vals);
+  for (double x : {0.1, 0.77, 1.9}) {
+    for (double y : {1.05, 1.5, 1.99}) {
+      EXPECT_NEAR(t.eval(x, y), 2 * x + 3 * y + x * y, 1e-12);
+      EXPECT_NEAR(t.deriv0(x, y), 2 + y, 1e-9);
+      EXPECT_NEAR(t.deriv1(x, y), 3 + x, 1e-9);
+    }
+  }
+}
+
+TEST(BilinearTable2D, ClampsOutsideDomain) {
+  UniformAxis ax{0.0, 1.0, 2}, ay{0.0, 1.0, 2};
+  BilinearTable2D t(ax, ay, {0.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.eval(-1.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.eval(9.0, 9.0), 3.0);
+}
+
+}  // namespace
+}  // namespace qwm::numeric

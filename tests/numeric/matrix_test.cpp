@@ -1,0 +1,106 @@
+#include "qwm/numeric/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace qwm::numeric {
+namespace {
+
+TEST(Matrix, IdentityMultiply) {
+  const Matrix i = Matrix::identity(4);
+  const Vector x{1.0, -2.0, 3.0, 0.5};
+  EXPECT_EQ(i.multiply(x), x);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vector y = a.multiply({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const Vector x = lu_solve(a, {5.0, 10.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the initial diagonal; only works with pivoting.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const Vector x = lu_solve(a, {2.0, 3.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  LuFactorization lu(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_TRUE(lu_solve(a, {1.0, 1.0}).empty());
+}
+
+TEST(Lu, Determinant) {
+  Matrix a(3, 3);
+  a(0, 0) = 2;
+  a(1, 1) = 3;
+  a(2, 2) = 4;
+  a(0, 2) = 1;
+  LuFactorization lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.determinant(), 24.0, 1e-9);
+}
+
+class LuRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandom, ResidualIsSmall) {
+  const int n = GetParam();
+  std::mt19937 rng(42 + n);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  Matrix a(n, n);
+  Vector b(n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a(r, c) = d(rng);
+    a(r, r) += 4.0;  // diagonally dominant, well conditioned
+    b[r] = d(rng);
+  }
+  const Vector x = lu_solve(a, b);
+  ASSERT_EQ(x.size(), static_cast<std::size_t>(n));
+  const Vector ax = a.multiply(x);
+  for (int r = 0; r < n; ++r) EXPECT_NEAR(ax[r], b[r], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandom,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Norms, InfAndTwo) {
+  EXPECT_DOUBLE_EQ(inf_norm({1.0, -3.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(inf_norm({}), 0.0);
+}
+
+}  // namespace
+}  // namespace qwm::numeric

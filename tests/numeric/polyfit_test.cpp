@@ -1,0 +1,70 @@
+#include "qwm/numeric/polyfit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace qwm::numeric {
+namespace {
+
+TEST(Polynomial, EvalAndDeriv) {
+  const Polynomial p{{1.0, -2.0, 3.0}};  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p.eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.eval(2.0), 9.0);
+  EXPECT_DOUBLE_EQ(p.deriv(2.0), -2.0 + 12.0);
+  EXPECT_EQ(p.degree(), 2u);
+}
+
+TEST(Polyfit, RecoversExactQuadratic) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 10; ++i) {
+    const double xi = 0.1 * i;
+    x.push_back(xi);
+    y.push_back(2.0 - 1.5 * xi + 0.5 * xi * xi);
+  }
+  const Polynomial p = polyfit(x, y, 2);
+  ASSERT_EQ(p.coeffs.size(), 3u);
+  EXPECT_NEAR(p.coeffs[0], 2.0, 1e-9);
+  EXPECT_NEAR(p.coeffs[1], -1.5, 1e-9);
+  EXPECT_NEAR(p.coeffs[2], 0.5, 1e-9);
+  const FitQuality q = fit_quality(p, x, y);
+  EXPECT_LT(q.rms_error, 1e-10);
+  EXPECT_NEAR(q.r_squared, 1.0, 1e-12);
+}
+
+TEST(Polyfit, LinearLeastSquaresOfNoisyData) {
+  std::mt19937 rng(3);
+  std::normal_distribution<double> noise(0.0, 0.01);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = 0.01 * i;
+    x.push_back(xi);
+    y.push_back(3.0 * xi + 1.0 + noise(rng));
+  }
+  const Polynomial p = polyfit(x, y, 1);
+  ASSERT_EQ(p.coeffs.size(), 2u);
+  EXPECT_NEAR(p.coeffs[0], 1.0, 0.01);
+  EXPECT_NEAR(p.coeffs[1], 3.0, 0.02);
+  EXPECT_GT(fit_quality(p, x, y).r_squared, 0.99);
+}
+
+TEST(Polyfit, RejectsUnderdeterminedInput) {
+  EXPECT_TRUE(polyfit({1.0, 2.0}, {1.0, 2.0}, 2).coeffs.empty());
+}
+
+TEST(Polyfit, RejectsDegenerateAbscissae) {
+  // All x identical: singular normal equations.
+  EXPECT_TRUE(
+      polyfit({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}, 1).coeffs.empty());
+}
+
+TEST(FitQuality, ZeroVarianceData) {
+  const Polynomial p{{5.0}};
+  const FitQuality q = fit_quality(p, {1.0, 2.0}, {5.0, 5.0});
+  EXPECT_DOUBLE_EQ(q.r_squared, 1.0);
+  EXPECT_DOUBLE_EQ(q.rms_error, 0.0);
+}
+
+}  // namespace
+}  // namespace qwm::numeric

@@ -1,0 +1,76 @@
+#include "qwm/numeric/pwl.h"
+
+#include <gtest/gtest.h>
+
+namespace qwm::numeric {
+namespace {
+
+TEST(Pwl, EvalInterpolatesAndExtrapolatesFlat) {
+  PwlWaveform w({0.0, 1.0, 2.0}, {0.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(w.eval(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.eval(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(w.eval(1.5), 10.0);
+  EXPECT_DOUBLE_EQ(w.eval(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.slope(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(w.slope(5.0), 0.0);
+}
+
+TEST(Pwl, StepAndRampFactories) {
+  const PwlWaveform s = PwlWaveform::step(1e-9, 0.0, 3.3);
+  EXPECT_DOUBLE_EQ(s.eval(0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(s.eval(2e-9), 3.3);
+  const PwlWaveform r = PwlWaveform::ramp(1e-9, 2e-9, 0.0, 3.3);
+  EXPECT_DOUBLE_EQ(r.eval(2e-9), 1.65);
+}
+
+TEST(Pwl, CrossingDirectional) {
+  PwlWaveform w({0.0, 1.0, 2.0, 3.0}, {0.0, 2.0, 0.0, 2.0});
+  const auto up = w.crossing(1.0, 0.0, true);
+  ASSERT_TRUE(up);
+  EXPECT_DOUBLE_EQ(*up, 0.5);
+  const auto down = w.crossing(1.0, 0.0, false);
+  ASSERT_TRUE(down);
+  EXPECT_DOUBLE_EQ(*down, 1.5);
+  const auto later_up = w.crossing(1.0, 1.6, true);
+  ASSERT_TRUE(later_up);
+  EXPECT_DOUBLE_EQ(*later_up, 2.5);
+  EXPECT_FALSE(w.crossing(5.0));
+}
+
+TEST(Pwl, AppendEnforcesMonotonicTime) {
+  PwlWaveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 2.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.last_value(), 2.0);
+}
+
+TEST(Pwl, MaxDifference) {
+  PwlWaveform a({0.0, 1.0}, {0.0, 1.0});
+  PwlWaveform b({0.0, 1.0}, {0.0, 2.0});
+  EXPECT_DOUBLE_EQ(PwlWaveform::max_difference(a, b, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(PwlWaveform::max_difference(a, a, 0.0, 1.0), 0.0);
+}
+
+TEST(Pwl, PropagationDelayAndSlew) {
+  const PwlWaveform in = PwlWaveform::ramp(0.0, 1.0, 0.0, 1.0);
+  const PwlWaveform out = PwlWaveform::ramp(1.0, 2.0, 1.0, 0.0);
+  // in crosses 0.5 rising at t = 0.5; out crosses 0.5 falling at t = 2.0.
+  const auto d = propagation_delay(in, out, 0.5, true, false);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(*d, 1.5);
+
+  const auto tt = transition_time(out, 0.1, 0.9, false);
+  ASSERT_TRUE(tt);
+  EXPECT_NEAR(*tt, 2.0 * 0.8, 1e-12);
+}
+
+TEST(Pwl, Resample) {
+  PwlWaveform w({0.0, 2.0}, {0.0, 4.0});
+  const PwlWaveform r = w.resample(0.0, 2.0, 5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.value(2), 2.0);
+}
+
+}  // namespace
+}  // namespace qwm::numeric

@@ -1,0 +1,70 @@
+#include "qwm/numeric/roots.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qwm::numeric {
+namespace {
+
+TEST(Bisect, FindsRoot) {
+  const auto r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(*r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, RejectsBadBracket) {
+  EXPECT_FALSE(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0));
+}
+
+TEST(QuadraticRoots, TwoRealRoots) {
+  const auto r = quadratic_roots(1.0, -5.0, 6.0);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0], 2.0, 1e-12);
+  EXPECT_NEAR(r[1], 3.0, 1e-12);
+}
+
+TEST(QuadraticRoots, DegeneratesToLinear) {
+  const auto r = quadratic_roots(0.0, 2.0, -8.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0], 4.0, 1e-12);
+}
+
+TEST(QuadraticRoots, ComplexPairGivesNothing) {
+  EXPECT_TRUE(quadratic_roots(1.0, 0.0, 1.0).empty());
+}
+
+TEST(QuadraticRoots, CancellationStable) {
+  // x^2 - 1e8 x + 1 = 0: roots ~1e8 and ~1e-8; the naive formula loses the
+  // small root entirely.
+  const auto r = quadratic_roots(1.0, -1e8, 1.0);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0], 1e-8, 1e-14);
+  EXPECT_NEAR(r[1], 1e8, 1.0);
+}
+
+TEST(CubicRoots, ThreeRealRoots) {
+  // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6.
+  const auto r = cubic_roots_monic(-6.0, 11.0, -6.0);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_NEAR(r[0], 1.0, 1e-9);
+  EXPECT_NEAR(r[1], 2.0, 1e-9);
+  EXPECT_NEAR(r[2], 3.0, 1e-9);
+}
+
+TEST(CubicRoots, OneRealRoot) {
+  // x^3 - 1 has one real root at 1 (plus a complex pair).
+  const auto r = cubic_roots_monic(0.0, 0.0, -1.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0], 1.0, 1e-10);
+}
+
+TEST(CubicRoots, TripleRoot) {
+  // (x-2)^3 = x^3 - 6x^2 + 12x - 8.
+  const auto r = cubic_roots_monic(-6.0, 12.0, -8.0);
+  ASSERT_FALSE(r.empty());
+  for (double x : r) EXPECT_NEAR(x, 2.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace qwm::numeric

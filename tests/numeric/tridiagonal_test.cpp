@@ -1,0 +1,109 @@
+#include "qwm/numeric/tridiagonal.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "qwm/numeric/matrix.h"
+#include "qwm/numeric/sherman_morrison.h"
+
+namespace qwm::numeric {
+namespace {
+
+Tridiagonal random_dominant(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  Tridiagonal t(n);
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) t.lower[i] = d(rng);
+    if (i + 1 < n) t.upper[i] = d(rng);
+    t.diag[i] = 3.0 + std::abs(d(rng));
+  }
+  return t;
+}
+
+TEST(Thomas, Solves1x1) {
+  Tridiagonal t(1);
+  t.diag[0] = 4.0;
+  const auto x = thomas_solve(t, {8.0});
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+}
+
+TEST(Thomas, KnownSystem) {
+  // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] -> x = [1; 2; 3].
+  Tridiagonal t(3);
+  t.diag = {2, 2, 2};
+  t.lower = {0, 1, 1};
+  t.upper = {1, 1, 0};
+  const auto x = thomas_solve(t, {4.0, 8.0, 8.0});
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Thomas, FailsOnSingular) {
+  Tridiagonal t(2);
+  t.diag = {0.0, 1.0};
+  std::vector<double> x;
+  EXPECT_FALSE(thomas_solve(t, {1.0, 1.0}, x));
+}
+
+class ThomasRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThomasRandom, MatchesMultiply) {
+  const int n = GetParam();
+  const Tridiagonal t = random_dominant(n, 7 * n + 1);
+  std::mt19937 rng(n);
+  std::uniform_real_distribution<double> d(-2.0, 2.0);
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = d(rng);
+  const auto b = t.multiply(x_true);
+  const auto x = thomas_solve(t, b);
+  ASSERT_EQ(x.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThomasRandom,
+                         ::testing::Values(1, 2, 3, 4, 6, 9, 17, 33, 101));
+
+TEST(ShermanMorrison, MatchesDenseSolve) {
+  const int n = 6;
+  const Tridiagonal t = random_dominant(n, 99);
+  std::vector<double> u(n), v(n, 0.0), b(n);
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    u[i] = d(rng);
+    b[i] = d(rng);
+  }
+  v[n - 1] = 1.0;  // the QWM shape: dense last column
+
+  std::vector<double> x;
+  ASSERT_TRUE(sherman_morrison_solve(t, u, v, b, x));
+
+  // Dense reference.
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    a(i, i) = t.diag[i];
+    if (i > 0) a(i, i - 1) = t.lower[i];
+    if (i + 1 < n) a(i, i + 1) = t.upper[i];
+    for (int j = 0; j < n; ++j) a(i, j) += u[i] * v[j];
+  }
+  const Vector x_ref = lu_solve(a, b);
+  ASSERT_EQ(x_ref.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-9);
+}
+
+TEST(ShermanMorrison, RejectsSingularUpdate) {
+  // Choose u, v so that 1 + v^T A^{-1} u = 0.
+  Tridiagonal t(1);
+  t.diag[0] = 2.0;
+  // A^{-1} u = u/2; v*u/2 = -1 -> u = -4, v = 0.5.
+  std::vector<double> x;
+  EXPECT_FALSE(sherman_morrison_solve(t, {-4.0}, {0.5}, {1.0}, x));
+}
+
+}  // namespace
+}  // namespace qwm::numeric

@@ -1,0 +1,256 @@
+#include "qwm/spice/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../common/test_models.h"
+#include "qwm/spice/circuit.h"
+
+namespace qwm::spice {
+namespace {
+
+TEST(DcOp, ResistorDivider) {
+  Circuit c;
+  const SimNodeId vin = c.add_node("vin");
+  const SimNodeId mid = c.add_node("mid");
+  c.drive(vin, numeric::PwlWaveform::constant(2.0));
+  c.add_resistor(vin, mid, 1000.0);
+  c.add_resistor(mid, kGround, 1000.0);
+  bool ok = false;
+  const auto v = dc_operating_point(c, 0.0, {}, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_NEAR(v[mid], 1.0, 1e-6);
+}
+
+TEST(DcOp, InverterStaticLevels) {
+  auto& m = test::models();
+  const auto ms = m.analytic_set();
+  for (const auto& [vin_v, expect_out] :
+       {std::pair{0.0, 3.3}, std::pair{3.3, 0.0}}) {
+    Circuit c;
+    const SimNodeId vdd = c.add_node("vdd");
+    const SimNodeId in = c.add_node("in");
+    const SimNodeId out = c.add_node("out");
+    c.drive(vdd, numeric::PwlWaveform::constant(3.3));
+    c.drive(in, numeric::PwlWaveform::constant(vin_v));
+    c.add_mosfet(ms.pmos, 2e-6, 0.35e-6, vdd, in, out);
+    c.add_mosfet(ms.nmos, 1e-6, 0.35e-6, out, in, kGround);
+    bool ok = false;
+    const auto v = dc_operating_point(c, 0.0, {}, &ok);
+    EXPECT_TRUE(ok);
+    EXPECT_NEAR(v[out], expect_out, 0.01) << "vin=" << vin_v;
+  }
+}
+
+/// Driven step through R into C: v(t) = V (1 - e^{-t/RC}).
+class RcStepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RcStepTest, MatchesAnalyticSolution) {
+  const double theta = GetParam();
+  Circuit c;
+  const SimNodeId in = c.add_node("in");
+  const SimNodeId out = c.add_node("out");
+  c.drive(in, numeric::PwlWaveform::step(1e-12, 0.0, 1.0));
+  const double r = 1e3, cap = 100e-15;  // tau = 100 ps
+  c.add_resistor(in, out, r);
+  c.add_capacitor(out, kGround, cap);
+
+  TransientOptions opt;
+  opt.t_stop = 500e-12;
+  opt.dt = 1e-12;
+  opt.theta = theta;
+  const TransientResult res = simulate_transient(c, opt);
+  EXPECT_TRUE(res.stats.converged);
+  const double tau = r * cap;
+  for (double t : {100e-12, 200e-12, 400e-12}) {
+    const double expect = 1.0 - std::exp(-(t - 1e-12) / tau);
+    EXPECT_NEAR(res.waveforms[out].eval(t), expect, 0.01) << "theta=" << theta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Integrators, RcStepTest, ::testing::Values(1.0, 0.5));
+
+TEST(Transient, TrapezoidalBeatsBackwardEulerOnSmoothInput) {
+  // Second-order accuracy only pays off on smooth stimuli; a ramp through
+  // RC has the closed form v(t) = m (t - tau (1 - e^{-t/tau})).
+  const double r = 1e3, cap = 100e-15, tau = r * cap;
+  const double t_ramp = 400e-12, m = 1.0 / t_ramp;
+  auto run = [&](double theta) {
+    Circuit c;
+    const SimNodeId in = c.add_node("in");
+    const SimNodeId out = c.add_node("out");
+    c.drive(in, numeric::PwlWaveform::ramp(0.0, t_ramp, 0.0, 1.0));
+    c.add_resistor(in, out, r);
+    c.add_capacitor(out, kGround, cap);
+    TransientOptions opt;
+    opt.t_stop = 380e-12;
+    opt.dt = 20e-12;  // deliberately coarse
+    opt.theta = theta;
+    const auto res = simulate_transient(c, opt);
+    double err = 0.0;
+    for (double t : {100e-12, 200e-12, 360e-12}) {
+      const double expect = m * (t - tau * (1.0 - std::exp(-t / tau)));
+      err = std::max(err, std::abs(res.waveforms[out].eval(t) - expect));
+    }
+    return err;
+  };
+  EXPECT_LT(run(0.5), run(1.0));
+}
+
+TEST(Transient, InverterSwitchesAndDelayIsPositive) {
+  auto& m = test::models();
+  const auto ms = m.analytic_set();
+  Circuit c;
+  const SimNodeId vdd = c.add_node("vdd");
+  const SimNodeId in = c.add_node("in");
+  const SimNodeId out = c.add_node("out");
+  c.drive(vdd, numeric::PwlWaveform::constant(3.3));
+  c.drive(in, numeric::PwlWaveform::step(10e-12, 0.0, 3.3));
+  c.add_mosfet(ms.pmos, 2e-6, 0.35e-6, vdd, in, out);
+  c.add_mosfet(ms.nmos, 1e-6, 0.35e-6, out, in, kGround);
+  c.add_capacitor(out, kGround, 20e-15);
+
+  TransientOptions opt;
+  opt.t_stop = 500e-12;
+  opt.dt = 1e-12;
+  const auto res = simulate_transient(c, opt);
+  EXPECT_TRUE(res.stats.converged);
+  // Starts high, ends low.
+  EXPECT_NEAR(res.waveforms[out].eval(0.0), 3.3, 0.05);
+  EXPECT_LT(res.waveforms[out].eval(450e-12), 0.2);
+  const auto d = numeric::propagation_delay(res.waveforms[in],
+                                            res.waveforms[out], 1.65, true,
+                                            false);
+  ASSERT_TRUE(d);
+  EXPECT_GT(*d, 1e-12);
+  EXPECT_LT(*d, 200e-12);
+  EXPECT_EQ(res.stats.steps, 500u);
+}
+
+TEST(Transient, SupplyChargeOfInverterTransition) {
+  // A rising output (PMOS charging C_load) draws ~C*VDD from the supply,
+  // plus junction-cap and short-circuit contributions.
+  auto& m = test::models();
+  const auto ms = m.analytic_set();
+  Circuit c;
+  const SimNodeId vdd = c.add_node("vdd");
+  const SimNodeId in = c.add_node("in");
+  const SimNodeId out = c.add_node("out");
+  c.drive(vdd, numeric::PwlWaveform::constant(3.3));
+  c.drive(in, numeric::PwlWaveform::step(10e-12, 3.3, 0.0));  // falls: out rises
+  c.add_mosfet(ms.pmos, 2e-6, 0.35e-6, vdd, in, out);
+  c.add_mosfet(ms.nmos, 1e-6, 0.35e-6, out, in, kGround);
+  const double cl = 50e-15;
+  c.add_capacitor(out, kGround, cl);
+  c.set_ic(out, 0.0);
+
+  TransientOptions opt;
+  opt.t_stop = 1e-9;
+  opt.dt = 1e-12;
+  const auto res = simulate_transient(c, opt);
+  ASSERT_TRUE(res.stats.converged);
+  EXPECT_GT(res.waveforms[out].eval(1e-9), 3.2);
+  const double q = res.driven_charge[vdd];
+  EXPECT_GT(q, cl * 3.3 * 0.9);   // at least the load charge
+  EXPECT_LT(q, cl * 3.3 * 1.6);   // bounded above (parasitics + SC)
+  // The input source sources/sinks only tiny charge (gate is ideal here).
+  EXPECT_LT(std::abs(res.driven_charge[in]), cl * 3.3);
+}
+
+TEST(Transient, InitialConditionsHonored) {
+  Circuit c;
+  const SimNodeId n = c.add_node("float");
+  c.add_capacitor(n, kGround, 1e-15);
+  c.set_ic(n, 2.5);
+  TransientOptions opt;
+  opt.t_stop = 10e-12;
+  opt.dt = 1e-12;
+  const auto res = simulate_transient(c, opt);
+  // Floating node with only gmin leakage barely moves.
+  EXPECT_NEAR(res.waveforms[n].eval(0.0), 2.5, 1e-9);
+  EXPECT_NEAR(res.waveforms[n].eval(10e-12), 2.5, 1e-3);
+}
+
+TEST(Transient, AdaptiveModeTakesFewerSteps) {
+  auto run = [&](bool adaptive) {
+    Circuit c;
+    const SimNodeId in = c.add_node("in");
+    const SimNodeId out = c.add_node("out");
+    c.drive(in, numeric::PwlWaveform::step(1e-12, 0.0, 1.0));
+    c.add_resistor(in, out, 1e3);
+    c.add_capacitor(out, kGround, 100e-15);
+    TransientOptions opt;
+    opt.t_stop = 1e-9;
+    opt.dt = 1e-12;
+    opt.adaptive = adaptive;
+    return simulate_transient(c, opt).stats.steps;
+  };
+  EXPECT_LT(run(true), run(false) / 2);
+}
+
+TEST(Transient, SuccessiveChordsMatchesNewton) {
+  // TETA's engine (paper §II): one constant admittance matrix factored
+  // once, back-substitution-only iterations. Must land on the same
+  // waveforms as Newton, with far fewer LU factorizations.
+  auto& m = test::models();
+  const auto ms = m.analytic_set();
+  auto build = [&](Circuit& c) {
+    const SimNodeId vdd = c.add_node("vdd");
+    const SimNodeId in = c.add_node("in");
+    const SimNodeId mid = c.add_node("mid");
+    const SimNodeId out = c.add_node("out");
+    c.drive(vdd, numeric::PwlWaveform::constant(3.3));
+    c.drive(in, numeric::PwlWaveform::ramp(10e-12, 50e-12, 0.0, 3.3));
+    c.add_mosfet(ms.pmos, 2e-6, 0.35e-6, vdd, in, out);
+    c.add_mosfet(ms.nmos, 1e-6, 0.35e-6, out, in, mid);
+    c.add_mosfet(ms.nmos, 1e-6, 0.35e-6, mid, vdd, kGround);
+    c.add_capacitor(out, kGround, 20e-15);
+    c.add_capacitor(mid, kGround, 5e-15);
+    return out;
+  };
+  Circuit c1, c2;
+  const SimNodeId out1 = build(c1);
+  const SimNodeId out2 = build(c2);
+
+  TransientOptions nr;
+  nr.t_stop = 400e-12;
+  nr.dt = 1e-12;
+  TransientOptions sc = nr;
+  sc.solver = NonlinearSolver::successive_chords;
+
+  const auto res_nr = simulate_transient(c1, nr);
+  const auto res_sc = simulate_transient(c2, sc);
+  ASSERT_TRUE(res_nr.stats.converged);
+  ASSERT_TRUE(res_sc.stats.converged);
+  const double diff = numeric::PwlWaveform::max_difference(
+      res_nr.waveforms[out1], res_sc.waveforms[out2], 0.0, 400e-12);
+  EXPECT_LT(diff, 5e-3);  // same trajectory to millivolts
+  // SC trades more (cheap) iterations for far fewer LU factorizations.
+  EXPECT_GT(res_sc.stats.nr_iterations, res_nr.stats.nr_iterations);
+  EXPECT_LT(res_sc.stats.linear_solves, res_nr.stats.linear_solves / 10);
+}
+
+TEST(Transient, CapacitorBetweenInternalNodes) {
+  // Floating cap coupling two RC branches still converges and conserves
+  // the final DC levels.
+  Circuit c;
+  const SimNodeId in = c.add_node("in");
+  const SimNodeId a = c.add_node("a");
+  const SimNodeId b = c.add_node("b");
+  c.drive(in, numeric::PwlWaveform::step(1e-12, 0.0, 1.0));
+  c.add_resistor(in, a, 1e3);
+  c.add_resistor(a, b, 1e3);
+  c.add_resistor(b, kGround, 1e3);
+  c.add_capacitor(a, b, 50e-15);
+  TransientOptions opt;
+  opt.t_stop = 2e-9;
+  opt.dt = 2e-12;
+  const auto res = simulate_transient(c, opt);
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_NEAR(res.waveforms[a].eval(2e-9), 2.0 / 3.0, 0.01);
+  EXPECT_NEAR(res.waveforms[b].eval(2e-9), 1.0 / 3.0, 0.01);
+}
+
+}  // namespace
+}  // namespace qwm::spice

@@ -1,0 +1,91 @@
+// qwm_characterize — builds, inspects, and persists the tabular device
+// model (the paper's 7-parameter curve-fit grid).
+//
+//   qwm_characterize --save <nmos.grid> <pmos.grid> [--step v]
+//   qwm_characterize --load <file.grid>          (prints grid statistics)
+//   qwm_characterize --probe <vs> <vg>           (prints one fit curve)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "qwm/device/characterize.h"
+#include "qwm/device/grid_io.h"
+#include "qwm/device/tabular_model.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: qwm_characterize --save <nmos.grid> <pmos.grid> "
+               "[--step v]\n"
+               "       qwm_characterize --load <file.grid>\n"
+               "       qwm_characterize --probe <vs> <vg>\n");
+  return 2;
+}
+
+void print_stats(const qwm::device::CharacterizationGrid& grid) {
+  const auto s = grid.stats();
+  std::printf("grid: %zux%zu points, step %.3f V, ref device %.2fu/%.2fu\n",
+              grid.vs_axis.n, grid.vg_axis.n, grid.vs_axis.dx,
+              grid.w_ref * 1e6, grid.l_ref * 1e6);
+  std::printf("active points: %zu / %zu\n", s.active_points, s.grid_points);
+  std::printf("mean R^2 (active): triode %.5f, saturation %.5f\n",
+              s.mean_r2_triode, s.mean_r2_sat);
+  std::printf("worst rms residual: triode %.3g A, saturation %.3g A\n",
+              s.worst_rms_triode, s.worst_rms_sat);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qwm::device;
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+  const Process proc = Process::cmosp35();
+
+  if (mode == "--save" && argc >= 4) {
+    CharacterizationOptions opt;
+    for (int i = 4; i + 1 < argc; ++i)
+      if (std::strcmp(argv[i], "--step") == 0)
+        opt.grid_step = std::atof(argv[i + 1]);
+    const MosfetPhysics nmos(MosType::nmos, proc.nmos, proc.temp_vt);
+    const MosfetPhysics pmos(MosType::pmos, proc.pmos, proc.temp_vt);
+    const auto gn = characterize(nmos, proc.vdd, opt);
+    const auto gp = characterize(pmos, proc.vdd, opt);
+    if (!save_grid_file(gn, argv[2]) || !save_grid_file(gp, argv[3])) {
+      std::fprintf(stderr, "failed to write grid files\n");
+      return 1;
+    }
+    std::printf("NMOS grid -> %s\n", argv[2]);
+    print_stats(gn);
+    std::printf("\nPMOS grid -> %s\n", argv[3]);
+    print_stats(gp);
+    return 0;
+  }
+
+  if (mode == "--load" && argc >= 3) {
+    const auto grid = load_grid_file(argv[2]);
+    if (!grid) {
+      std::fprintf(stderr, "cannot load %s\n", argv[2]);
+      return 1;
+    }
+    print_stats(*grid);
+    return 0;
+  }
+
+  if (mode == "--probe" && argc >= 4) {
+    const double vs = std::atof(argv[2]);
+    const double vg = std::atof(argv[3]);
+    const MosfetPhysics nmos(MosType::nmos, proc.nmos, proc.temp_vt);
+    const auto curve = sample_iv_fit(nmos, proc.vdd, vs, vg);
+    std::printf("NMOS at Vs=%.2f Vg=%.2f: vth=%.3f vdsat=%.3f\n", vs, vg,
+                curve.vth, curve.vdsat);
+    std::printf("# Vds[V] Ids_golden[uA] Ids_fit[uA]\n");
+    for (std::size_t i = 0; i < curve.vds.size(); i += 4)
+      std::printf("%7.3f %12.3f %12.3f\n", curve.vds[i],
+                  curve.ids_data[i] * 1e6, curve.ids_fit[i] * 1e6);
+    return 0;
+  }
+  return usage();
+}

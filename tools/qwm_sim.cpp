@@ -1,0 +1,186 @@
+// qwm_sim — command-line front end over the whole stack.
+//
+//   qwm_sim <deck.sp> [options]
+//
+//   --tran            run the baseline transient engine (uses the deck's
+//                     .tran directive, or --tstep/--tstop)
+//   --tstep <s>       override step size       (default: deck or 1p)
+//   --tstop <s>       override stop time       (default: deck or 1n)
+//   --sta [period]    partition the deck and run QWM-based static timing
+//                     analysis; with a period, also report slacks
+//   --write           echo the elaborated flat netlist as a SPICE deck
+//
+// The deck may carry .model cards (applied onto the CMOSP35-class process
+// defaults), .ic initial conditions, and .print card node selections.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "qwm/circuit/partition.h"
+#include "qwm/device/tabular_model.h"
+#include "qwm/netlist/apply_models.h"
+#include "qwm/netlist/parser.h"
+#include "qwm/netlist/writer.h"
+#include "qwm/spice/from_stage.h"
+#include "qwm/spice/transient.h"
+#include "qwm/sta/sta.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: qwm_sim <deck.sp> [--tran] [--tstep s] [--tstop s] "
+               "[--sta [period]] [--write]\n");
+  return 2;
+}
+
+void run_transient(const qwm::netlist::FlatNetlist& nl,
+                   const qwm::device::ModelSet& models, double tstep,
+                   double tstop) {
+  using namespace qwm;
+  std::vector<std::string> errors;
+  spice::FlatSim sim = spice::circuit_from_flat(nl, models, &errors);
+  for (const auto& e : errors) std::fprintf(stderr, "error: %s\n", e.c_str());
+  for (const auto& ic : nl.initial_conditions)
+    sim.circuit.set_ic(sim.node_of[ic.net], ic.voltage);
+
+  spice::TransientOptions opt;
+  opt.dt = tstep;
+  opt.t_stop = tstop;
+  const spice::TransientResult res = spice::simulate_transient(sim.circuit, opt);
+  if (!res.stats.converged)
+    std::fprintf(stderr, "warning: transient had non-converged steps\n");
+
+  // Columns: .print selection, or every net in the deck.
+  std::vector<netlist::NetId> cols = nl.print_nets;
+  if (cols.empty())
+    for (std::size_t i = 1; i < nl.net_count(); ++i)
+      cols.push_back(static_cast<netlist::NetId>(i));
+
+  std::printf("# t[s]");
+  for (auto n : cols) std::printf(" v(%s)", nl.net_name(n).c_str());
+  std::printf("\n");
+  const int rows = 50;
+  for (int r = 0; r <= rows; ++r) {
+    const double t = tstop * r / rows;
+    std::printf("%.6e", t);
+    for (auto n : cols)
+      std::printf(" %8.5f", res.waveforms[sim.node_of[n]].eval(t));
+    std::printf("\n");
+  }
+  std::printf("# steps=%zu nr_iterations=%zu device_evals=%zu\n",
+              res.stats.steps, res.stats.nr_iterations,
+              res.stats.device_evals);
+}
+
+void run_sta(const qwm::netlist::FlatNetlist& nl,
+             const qwm::device::ModelSet& models, double period) {
+  using namespace qwm;
+  auto design = circuit::partition_netlist(nl, models);
+  for (const auto& w : design.warnings)
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  std::printf("%zu logic stages; primary inputs:", design.stages.size());
+  for (auto n : design.primary_inputs)
+    std::printf(" %s", nl.net_name(n).c_str());
+  std::printf("\n");
+
+  sta::StaEngine sta(std::move(design), models);
+  const std::size_t evals = sta.run();
+  for (const auto& w : sta.warnings())
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  std::printf("%zu QWM stage evaluations; worst arrival %.2f ps\n", evals,
+              sta.worst_arrival() * 1e12);
+
+  std::printf("\ncritical path:\n");
+  for (const auto& step : sta.critical_path())
+    std::printf("  %-12s %s  %9.2f ps%s\n", nl.net_name(step.net).c_str(),
+                step.rising ? "rise" : "fall", step.arrival * 1e12,
+                step.stage < 0 ? "  (primary input)" : "");
+
+  if (period > 0.0) {
+    std::printf("\nslacks @ period %.2f ps:\n", period * 1e12);
+    const auto slacks = sta.compute_slacks(period);
+    for (const auto& [net, s] : slacks)
+      std::printf("  %-12s required %9.2f ps  slack %9.2f ps%s\n",
+                  nl.net_name(net).c_str(), s.required * 1e12,
+                  s.slack * 1e12, s.slack < 0 ? "  VIOLATION" : "");
+    std::printf("worst slack: %.2f ps\n", sta.worst_slack(period) * 1e12);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qwm;
+  if (argc < 2) return usage();
+
+  std::string deck_path;
+  bool do_tran = false, do_sta = false, do_write = false;
+  double tstep = -1.0, tstop = -1.0, period = -1.0;
+  // CLI values accept SPICE suffixes ("1p", "500p", "2n").
+  const auto num_arg = [&](const char* s, double* out) {
+    if (!netlist::parse_spice_number(s, out)) {
+      std::fprintf(stderr, "bad numeric argument: %s\n", s);
+      std::exit(2);
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tran") {
+      do_tran = true;
+    } else if (arg == "--tstep" && i + 1 < argc) {
+      num_arg(argv[++i], &tstep);
+    } else if (arg == "--tstop" && i + 1 < argc) {
+      num_arg(argv[++i], &tstop);
+    } else if (arg == "--sta") {
+      do_sta = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') num_arg(argv[++i], &period);
+    } else if (arg == "--write") {
+      do_write = true;
+    } else if (arg[0] == '-') {
+      return usage();
+    } else {
+      deck_path = arg;
+    }
+  }
+  if (deck_path.empty()) return usage();
+
+  const netlist::ParseResult parsed = netlist::parse_spice_file(deck_path);
+  for (const auto& w : parsed.warnings)
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  if (!parsed.ok()) {
+    for (const auto& e : parsed.errors)
+      std::fprintf(stderr, "error: %s\n", e.c_str());
+    return 1;
+  }
+
+  device::Process proc = device::Process::cmosp35();
+  for (const auto& w : netlist::apply_model_cards(parsed.netlist, &proc))
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+
+  const device::TabularDeviceModel nmos(device::MosType::nmos, proc);
+  const device::TabularDeviceModel pmos(device::MosType::pmos, proc);
+  const device::ModelSet models{&nmos, &pmos, &proc};
+
+  if (do_write) std::fputs(netlist::write_spice(parsed.netlist).c_str(), stdout);
+
+  if (do_tran || parsed.netlist.tran.present) {
+    const double step =
+        tstep > 0 ? tstep
+                  : (parsed.netlist.tran.present ? parsed.netlist.tran.tstep
+                                                 : 1e-12);
+    const double stop =
+        tstop > 0 ? tstop
+                  : (parsed.netlist.tran.present ? parsed.netlist.tran.tstop
+                                                 : 1e-9);
+    run_transient(parsed.netlist, models, step, stop);
+  }
+  if (do_sta) run_sta(parsed.netlist, models, period);
+  if (!do_tran && !do_sta && !do_write && !parsed.netlist.tran.present) {
+    std::fprintf(stderr, "deck parsed OK (%zu mosfets, %zu nets); nothing "
+                 "to do — pass --tran or --sta\n",
+                 parsed.netlist.mosfets.size(), parsed.netlist.net_count());
+  }
+  return 0;
+}
