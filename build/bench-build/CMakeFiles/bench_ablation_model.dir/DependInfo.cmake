@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_model.cpp" "bench-build/CMakeFiles/bench_ablation_model.dir/bench_ablation_model.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_model.dir/bench_ablation_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qwm/core/CMakeFiles/qwm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/sta/CMakeFiles/qwm_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/spice/CMakeFiles/qwm_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/circuit/CMakeFiles/qwm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/netlist/CMakeFiles/qwm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/device/CMakeFiles/qwm_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/numeric/CMakeFiles/qwm_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

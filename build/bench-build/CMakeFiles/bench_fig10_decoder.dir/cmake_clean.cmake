@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_decoder"
+  "../bench/bench_fig10_decoder.pdb"
+  "CMakeFiles/bench_fig10_decoder.dir/bench_fig10_decoder.cpp.o"
+  "CMakeFiles/bench_fig10_decoder.dir/bench_fig10_decoder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

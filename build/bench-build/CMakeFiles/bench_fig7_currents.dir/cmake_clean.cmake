@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_currents"
+  "../bench/bench_fig7_currents.pdb"
+  "CMakeFiles/bench_fig7_currents.dir/bench_fig7_currents.cpp.o"
+  "CMakeFiles/bench_fig7_currents.dir/bench_fig7_currents.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_currents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

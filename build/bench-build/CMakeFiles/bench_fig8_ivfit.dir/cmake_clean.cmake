@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_ivfit"
+  "../bench/bench_fig8_ivfit.pdb"
+  "CMakeFiles/bench_fig8_ivfit.dir/bench_fig8_ivfit.cpp.o"
+  "CMakeFiles/bench_fig8_ivfit.dir/bench_fig8_ivfit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ivfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_stack6"
+  "../bench/bench_fig9_stack6.pdb"
+  "CMakeFiles/bench_fig9_stack6.dir/bench_fig9_stack6.cpp.o"
+  "CMakeFiles/bench_fig9_stack6.dir/bench_fig9_stack6.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_stack6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

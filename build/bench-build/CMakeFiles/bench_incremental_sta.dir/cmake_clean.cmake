@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_incremental_sta"
+  "../bench/bench_incremental_sta.pdb"
+  "CMakeFiles/bench_incremental_sta.dir/bench_incremental_sta.cpp.o"
+  "CMakeFiles/bench_incremental_sta.dir/bench_incremental_sta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

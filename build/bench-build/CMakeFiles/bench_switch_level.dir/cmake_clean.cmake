@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_switch_level"
+  "../bench/bench_switch_level.pdb"
+  "CMakeFiles/bench_switch_level.dir/bench_switch_level.cpp.o"
+  "CMakeFiles/bench_switch_level.dir/bench_switch_level.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switch_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

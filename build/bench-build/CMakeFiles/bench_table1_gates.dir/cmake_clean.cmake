@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_gates"
+  "../bench/bench_table1_gates.pdb"
+  "CMakeFiles/bench_table1_gates.dir/bench_table1_gates.cpp.o"
+  "CMakeFiles/bench_table1_gates.dir/bench_table1_gates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

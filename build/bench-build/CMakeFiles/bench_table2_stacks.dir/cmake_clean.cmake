@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_stacks"
+  "../bench/bench_table2_stacks.pdb"
+  "CMakeFiles/bench_table2_stacks.dir/bench_table2_stacks.cpp.o"
+  "CMakeFiles/bench_table2_stacks.dir/bench_table2_stacks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_tree.dir/decoder_tree.cpp.o"
+  "CMakeFiles/decoder_tree.dir/decoder_tree.cpp.o.d"
+  "decoder_tree"
+  "decoder_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

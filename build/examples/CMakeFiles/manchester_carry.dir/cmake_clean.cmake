@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manchester_carry.dir/manchester_carry.cpp.o"
+  "CMakeFiles/manchester_carry.dir/manchester_carry.cpp.o.d"
+  "manchester_carry"
+  "manchester_carry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manchester_carry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizing_loop.dir/sizing_loop.cpp.o"
+  "CMakeFiles/sizing_loop.dir/sizing_loop.cpp.o.d"
+  "sizing_loop"
+  "sizing_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizing_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("qwm/numeric")
+subdirs("qwm/device")
+subdirs("qwm/circuit")
+subdirs("qwm/netlist")
+subdirs("qwm/spice")
+subdirs("qwm/interconnect")
+subdirs("qwm/core")
+subdirs("qwm/sta")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qwm/circuit/builders.cpp" "src/qwm/circuit/CMakeFiles/qwm_circuit.dir/builders.cpp.o" "gcc" "src/qwm/circuit/CMakeFiles/qwm_circuit.dir/builders.cpp.o.d"
+  "/root/repo/src/qwm/circuit/partition.cpp" "src/qwm/circuit/CMakeFiles/qwm_circuit.dir/partition.cpp.o" "gcc" "src/qwm/circuit/CMakeFiles/qwm_circuit.dir/partition.cpp.o.d"
+  "/root/repo/src/qwm/circuit/path.cpp" "src/qwm/circuit/CMakeFiles/qwm_circuit.dir/path.cpp.o" "gcc" "src/qwm/circuit/CMakeFiles/qwm_circuit.dir/path.cpp.o.d"
+  "/root/repo/src/qwm/circuit/stage.cpp" "src/qwm/circuit/CMakeFiles/qwm_circuit.dir/stage.cpp.o" "gcc" "src/qwm/circuit/CMakeFiles/qwm_circuit.dir/stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qwm/device/CMakeFiles/qwm_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/netlist/CMakeFiles/qwm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/numeric/CMakeFiles/qwm_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qwm_circuit.dir/builders.cpp.o"
+  "CMakeFiles/qwm_circuit.dir/builders.cpp.o.d"
+  "CMakeFiles/qwm_circuit.dir/partition.cpp.o"
+  "CMakeFiles/qwm_circuit.dir/partition.cpp.o.d"
+  "CMakeFiles/qwm_circuit.dir/path.cpp.o"
+  "CMakeFiles/qwm_circuit.dir/path.cpp.o.d"
+  "CMakeFiles/qwm_circuit.dir/stage.cpp.o"
+  "CMakeFiles/qwm_circuit.dir/stage.cpp.o.d"
+  "libqwm_circuit.a"
+  "libqwm_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qwm_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqwm_circuit.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qwm/core/elmore_eval.cpp" "src/qwm/core/CMakeFiles/qwm_core.dir/elmore_eval.cpp.o" "gcc" "src/qwm/core/CMakeFiles/qwm_core.dir/elmore_eval.cpp.o.d"
+  "/root/repo/src/qwm/core/metrics.cpp" "src/qwm/core/CMakeFiles/qwm_core.dir/metrics.cpp.o" "gcc" "src/qwm/core/CMakeFiles/qwm_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/qwm/core/qwm.cpp" "src/qwm/core/CMakeFiles/qwm_core.dir/qwm.cpp.o" "gcc" "src/qwm/core/CMakeFiles/qwm_core.dir/qwm.cpp.o.d"
+  "/root/repo/src/qwm/core/stage_eval.cpp" "src/qwm/core/CMakeFiles/qwm_core.dir/stage_eval.cpp.o" "gcc" "src/qwm/core/CMakeFiles/qwm_core.dir/stage_eval.cpp.o.d"
+  "/root/repo/src/qwm/core/waveform.cpp" "src/qwm/core/CMakeFiles/qwm_core.dir/waveform.cpp.o" "gcc" "src/qwm/core/CMakeFiles/qwm_core.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qwm/circuit/CMakeFiles/qwm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/device/CMakeFiles/qwm_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/numeric/CMakeFiles/qwm_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/netlist/CMakeFiles/qwm_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qwm_core.dir/elmore_eval.cpp.o"
+  "CMakeFiles/qwm_core.dir/elmore_eval.cpp.o.d"
+  "CMakeFiles/qwm_core.dir/metrics.cpp.o"
+  "CMakeFiles/qwm_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/qwm_core.dir/qwm.cpp.o"
+  "CMakeFiles/qwm_core.dir/qwm.cpp.o.d"
+  "CMakeFiles/qwm_core.dir/stage_eval.cpp.o"
+  "CMakeFiles/qwm_core.dir/stage_eval.cpp.o.d"
+  "CMakeFiles/qwm_core.dir/waveform.cpp.o"
+  "CMakeFiles/qwm_core.dir/waveform.cpp.o.d"
+  "libqwm_core.a"
+  "libqwm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qwm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

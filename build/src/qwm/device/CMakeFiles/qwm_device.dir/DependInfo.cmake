@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qwm/device/analytic_model.cpp" "src/qwm/device/CMakeFiles/qwm_device.dir/analytic_model.cpp.o" "gcc" "src/qwm/device/CMakeFiles/qwm_device.dir/analytic_model.cpp.o.d"
+  "/root/repo/src/qwm/device/characterize.cpp" "src/qwm/device/CMakeFiles/qwm_device.dir/characterize.cpp.o" "gcc" "src/qwm/device/CMakeFiles/qwm_device.dir/characterize.cpp.o.d"
+  "/root/repo/src/qwm/device/device_model.cpp" "src/qwm/device/CMakeFiles/qwm_device.dir/device_model.cpp.o" "gcc" "src/qwm/device/CMakeFiles/qwm_device.dir/device_model.cpp.o.d"
+  "/root/repo/src/qwm/device/grid_io.cpp" "src/qwm/device/CMakeFiles/qwm_device.dir/grid_io.cpp.o" "gcc" "src/qwm/device/CMakeFiles/qwm_device.dir/grid_io.cpp.o.d"
+  "/root/repo/src/qwm/device/mosfet_physics.cpp" "src/qwm/device/CMakeFiles/qwm_device.dir/mosfet_physics.cpp.o" "gcc" "src/qwm/device/CMakeFiles/qwm_device.dir/mosfet_physics.cpp.o.d"
+  "/root/repo/src/qwm/device/process.cpp" "src/qwm/device/CMakeFiles/qwm_device.dir/process.cpp.o" "gcc" "src/qwm/device/CMakeFiles/qwm_device.dir/process.cpp.o.d"
+  "/root/repo/src/qwm/device/tabular_model.cpp" "src/qwm/device/CMakeFiles/qwm_device.dir/tabular_model.cpp.o" "gcc" "src/qwm/device/CMakeFiles/qwm_device.dir/tabular_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qwm/numeric/CMakeFiles/qwm_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

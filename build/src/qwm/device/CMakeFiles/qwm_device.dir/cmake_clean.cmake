@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qwm_device.dir/analytic_model.cpp.o"
+  "CMakeFiles/qwm_device.dir/analytic_model.cpp.o.d"
+  "CMakeFiles/qwm_device.dir/characterize.cpp.o"
+  "CMakeFiles/qwm_device.dir/characterize.cpp.o.d"
+  "CMakeFiles/qwm_device.dir/device_model.cpp.o"
+  "CMakeFiles/qwm_device.dir/device_model.cpp.o.d"
+  "CMakeFiles/qwm_device.dir/grid_io.cpp.o"
+  "CMakeFiles/qwm_device.dir/grid_io.cpp.o.d"
+  "CMakeFiles/qwm_device.dir/mosfet_physics.cpp.o"
+  "CMakeFiles/qwm_device.dir/mosfet_physics.cpp.o.d"
+  "CMakeFiles/qwm_device.dir/process.cpp.o"
+  "CMakeFiles/qwm_device.dir/process.cpp.o.d"
+  "CMakeFiles/qwm_device.dir/tabular_model.cpp.o"
+  "CMakeFiles/qwm_device.dir/tabular_model.cpp.o.d"
+  "libqwm_device.a"
+  "libqwm_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qwm_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

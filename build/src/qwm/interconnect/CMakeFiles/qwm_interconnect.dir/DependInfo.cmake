@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qwm/interconnect/awe.cpp" "src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/awe.cpp.o" "gcc" "src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/awe.cpp.o.d"
+  "/root/repo/src/qwm/interconnect/from_netlist.cpp" "src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/from_netlist.cpp.o" "gcc" "src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/from_netlist.cpp.o.d"
+  "/root/repo/src/qwm/interconnect/moments.cpp" "src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/moments.cpp.o" "gcc" "src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/moments.cpp.o.d"
+  "/root/repo/src/qwm/interconnect/pi_model.cpp" "src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/pi_model.cpp.o" "gcc" "src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/pi_model.cpp.o.d"
+  "/root/repo/src/qwm/interconnect/rc_tree.cpp" "src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/rc_tree.cpp.o" "gcc" "src/qwm/interconnect/CMakeFiles/qwm_interconnect.dir/rc_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qwm/numeric/CMakeFiles/qwm_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/device/CMakeFiles/qwm_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/netlist/CMakeFiles/qwm_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qwm_interconnect.dir/awe.cpp.o"
+  "CMakeFiles/qwm_interconnect.dir/awe.cpp.o.d"
+  "CMakeFiles/qwm_interconnect.dir/from_netlist.cpp.o"
+  "CMakeFiles/qwm_interconnect.dir/from_netlist.cpp.o.d"
+  "CMakeFiles/qwm_interconnect.dir/moments.cpp.o"
+  "CMakeFiles/qwm_interconnect.dir/moments.cpp.o.d"
+  "CMakeFiles/qwm_interconnect.dir/pi_model.cpp.o"
+  "CMakeFiles/qwm_interconnect.dir/pi_model.cpp.o.d"
+  "CMakeFiles/qwm_interconnect.dir/rc_tree.cpp.o"
+  "CMakeFiles/qwm_interconnect.dir/rc_tree.cpp.o.d"
+  "libqwm_interconnect.a"
+  "libqwm_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qwm_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

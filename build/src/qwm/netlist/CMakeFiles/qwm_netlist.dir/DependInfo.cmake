@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qwm/netlist/apply_models.cpp" "src/qwm/netlist/CMakeFiles/qwm_netlist.dir/apply_models.cpp.o" "gcc" "src/qwm/netlist/CMakeFiles/qwm_netlist.dir/apply_models.cpp.o.d"
+  "/root/repo/src/qwm/netlist/flat.cpp" "src/qwm/netlist/CMakeFiles/qwm_netlist.dir/flat.cpp.o" "gcc" "src/qwm/netlist/CMakeFiles/qwm_netlist.dir/flat.cpp.o.d"
+  "/root/repo/src/qwm/netlist/parser.cpp" "src/qwm/netlist/CMakeFiles/qwm_netlist.dir/parser.cpp.o" "gcc" "src/qwm/netlist/CMakeFiles/qwm_netlist.dir/parser.cpp.o.d"
+  "/root/repo/src/qwm/netlist/writer.cpp" "src/qwm/netlist/CMakeFiles/qwm_netlist.dir/writer.cpp.o" "gcc" "src/qwm/netlist/CMakeFiles/qwm_netlist.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qwm/numeric/CMakeFiles/qwm_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/qwm/device/CMakeFiles/qwm_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

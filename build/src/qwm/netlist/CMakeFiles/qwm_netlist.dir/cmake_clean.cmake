@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qwm_netlist.dir/apply_models.cpp.o"
+  "CMakeFiles/qwm_netlist.dir/apply_models.cpp.o.d"
+  "CMakeFiles/qwm_netlist.dir/flat.cpp.o"
+  "CMakeFiles/qwm_netlist.dir/flat.cpp.o.d"
+  "CMakeFiles/qwm_netlist.dir/parser.cpp.o"
+  "CMakeFiles/qwm_netlist.dir/parser.cpp.o.d"
+  "CMakeFiles/qwm_netlist.dir/writer.cpp.o"
+  "CMakeFiles/qwm_netlist.dir/writer.cpp.o.d"
+  "libqwm_netlist.a"
+  "libqwm_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qwm_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qwm/numeric/interp.cpp" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/interp.cpp.o" "gcc" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/interp.cpp.o.d"
+  "/root/repo/src/qwm/numeric/matrix.cpp" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/matrix.cpp.o" "gcc" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/matrix.cpp.o.d"
+  "/root/repo/src/qwm/numeric/newton.cpp" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/newton.cpp.o" "gcc" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/newton.cpp.o.d"
+  "/root/repo/src/qwm/numeric/polyfit.cpp" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/polyfit.cpp.o" "gcc" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/polyfit.cpp.o.d"
+  "/root/repo/src/qwm/numeric/pwl.cpp" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/pwl.cpp.o" "gcc" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/pwl.cpp.o.d"
+  "/root/repo/src/qwm/numeric/roots.cpp" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/roots.cpp.o" "gcc" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/roots.cpp.o.d"
+  "/root/repo/src/qwm/numeric/sherman_morrison.cpp" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/sherman_morrison.cpp.o" "gcc" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/sherman_morrison.cpp.o.d"
+  "/root/repo/src/qwm/numeric/tridiagonal.cpp" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/tridiagonal.cpp.o" "gcc" "src/qwm/numeric/CMakeFiles/qwm_numeric.dir/tridiagonal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

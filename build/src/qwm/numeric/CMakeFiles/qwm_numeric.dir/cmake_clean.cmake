@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qwm_numeric.dir/interp.cpp.o"
+  "CMakeFiles/qwm_numeric.dir/interp.cpp.o.d"
+  "CMakeFiles/qwm_numeric.dir/matrix.cpp.o"
+  "CMakeFiles/qwm_numeric.dir/matrix.cpp.o.d"
+  "CMakeFiles/qwm_numeric.dir/newton.cpp.o"
+  "CMakeFiles/qwm_numeric.dir/newton.cpp.o.d"
+  "CMakeFiles/qwm_numeric.dir/polyfit.cpp.o"
+  "CMakeFiles/qwm_numeric.dir/polyfit.cpp.o.d"
+  "CMakeFiles/qwm_numeric.dir/pwl.cpp.o"
+  "CMakeFiles/qwm_numeric.dir/pwl.cpp.o.d"
+  "CMakeFiles/qwm_numeric.dir/roots.cpp.o"
+  "CMakeFiles/qwm_numeric.dir/roots.cpp.o.d"
+  "CMakeFiles/qwm_numeric.dir/sherman_morrison.cpp.o"
+  "CMakeFiles/qwm_numeric.dir/sherman_morrison.cpp.o.d"
+  "CMakeFiles/qwm_numeric.dir/tridiagonal.cpp.o"
+  "CMakeFiles/qwm_numeric.dir/tridiagonal.cpp.o.d"
+  "libqwm_numeric.a"
+  "libqwm_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qwm_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qwm_spice.dir/circuit.cpp.o"
+  "CMakeFiles/qwm_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/qwm_spice.dir/from_stage.cpp.o"
+  "CMakeFiles/qwm_spice.dir/from_stage.cpp.o.d"
+  "CMakeFiles/qwm_spice.dir/transient.cpp.o"
+  "CMakeFiles/qwm_spice.dir/transient.cpp.o.d"
+  "libqwm_spice.a"
+  "libqwm_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qwm_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qwm_sta.dir/sta.cpp.o"
+  "CMakeFiles/qwm_sta.dir/sta.cpp.o.d"
+  "libqwm_sta.a"
+  "libqwm_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qwm_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

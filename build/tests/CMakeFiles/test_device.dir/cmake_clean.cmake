@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device.dir/device/analytic_model_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/analytic_model_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/characterize_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/characterize_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/grid_io_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/grid_io_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/mosfet_physics_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/mosfet_physics_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/process_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/process_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/tabular_model_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/tabular_model_test.cpp.o.d"
+  "test_device"
+  "test_device.pdb"
+  "test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interconnect.dir/interconnect/from_netlist_test.cpp.o"
+  "CMakeFiles/test_interconnect.dir/interconnect/from_netlist_test.cpp.o.d"
+  "CMakeFiles/test_interconnect.dir/interconnect/interconnect_test.cpp.o"
+  "CMakeFiles/test_interconnect.dir/interconnect/interconnect_test.cpp.o.d"
+  "test_interconnect"
+  "test_interconnect.pdb"
+  "test_interconnect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist.dir/netlist/apply_models_test.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/apply_models_test.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/directives_test.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/directives_test.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/fuzz_test.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/parser_test.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/parser_test.cpp.o.d"
+  "test_netlist"
+  "test_netlist.pdb"
+  "test_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric.dir/numeric/interp_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/interp_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/matrix_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/matrix_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/newton_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/newton_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/polyfit_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/polyfit_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/pwl_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/pwl_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/roots_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/roots_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/tridiagonal_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/tridiagonal_test.cpp.o.d"
+  "test_numeric"
+  "test_numeric.pdb"
+  "test_numeric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

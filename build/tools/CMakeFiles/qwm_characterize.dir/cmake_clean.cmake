@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qwm_characterize.dir/qwm_characterize.cpp.o"
+  "CMakeFiles/qwm_characterize.dir/qwm_characterize.cpp.o.d"
+  "qwm_characterize"
+  "qwm_characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qwm_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

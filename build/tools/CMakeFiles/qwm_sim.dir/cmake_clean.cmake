@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qwm_sim.dir/qwm_sim.cpp.o"
+  "CMakeFiles/qwm_sim.dir/qwm_sim.cpp.o.d"
+  "qwm_sim"
+  "qwm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qwm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
