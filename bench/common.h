@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <optional>
 #include <string>
@@ -42,6 +44,38 @@ inline Models& models() {
   static Models m;
   return m;
 }
+
+/// Shared command-line flags of the STA-mode harnesses:
+///   --threads N   worker lanes for the parallel engine section (default 4)
+///   --no-cache    disable the stage-evaluation memo cache
+///   --rows N      workload size where the harness replicates structures
+struct StaBenchFlags {
+  int threads = 4;
+  bool cache = true;
+  int rows = 64;
+
+  static StaBenchFlags parse(int argc, char** argv) {
+    StaBenchFlags f;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+        f.threads = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--no-cache") == 0)
+        f.cache = false;
+      else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc)
+        f.rows = std::atoi(argv[++i]);
+      else {
+        std::fprintf(stderr,
+                     "unknown flag: %s\nusage: %s [--threads N] [--no-cache] "
+                     "[--rows N]\n",
+                     argv[i], argv[0]);
+        std::exit(2);
+      }
+    }
+    if (f.threads < 1) f.threads = 1;
+    if (f.rows < 1) f.rows = 1;
+    return f;
+  }
+};
 
 /// Median wall-clock seconds of `fn` over enough repetitions to be stable.
 inline double time_seconds(const std::function<void()>& fn,

@@ -1,0 +1,106 @@
+// Stage-evaluation memo cache for the STA engine.
+//
+// A QWM stage evaluation is a pure function of (stage structure, which
+// input switches, event direction, input ramp shape); its delay and
+// output slew are invariant under time translation of the trigger. The
+// cache therefore keys on the structural stage hash (plus the quantized
+// load signature), the switching input, the direction, and the quantized
+// input slew, and stores the *relative* delay/slew pair — electrically
+// identical stages (decoder rows, buffer chains) at any depth share one
+// entry.
+//
+// Concurrency contract (the STA level scheduler's): lookups may run
+// concurrently from worker lanes against a frozen map; insert/evict are
+// called only from the single-threaded merge phase between levels. The
+// hit/miss counters are relaxed atomics so concurrent probing stays
+// TSan-clean.
+//
+// One non-translation-invariant corner is keyed explicitly: a trigger
+// whose ramp would start before t = 0 is clamped by the engine, changing
+// the waveform shape. Such evaluations carry `clamped = true` plus the
+// quantized trigger time in the key instead of polluting the shared
+// entries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "qwm/support/counters.h"
+
+namespace qwm::core {
+
+struct EvalCacheOptions {
+  std::size_t max_entries = 1u << 16;
+  /// Input-slew quantization bucket [s]. Slews within one bucket share a
+  /// cache entry; 0.1 ps keeps the induced delay deviation far below the
+  /// model's ~1% accuracy.
+  double slew_quantum = 1e-13;
+  /// Load-capacitance quantization for the stage load signature [F].
+  double load_quantum = 1e-17;
+  /// Trigger-time quantization for clamped-ramp keys [s].
+  double time_quantum = 1e-13;
+};
+
+struct StageEvalKey {
+  std::uint64_t stage = 0;        ///< structural hash + load signature
+  std::int64_t slew_bucket = 0;   ///< quantized trigger 10-90 slew
+  std::int64_t time_bucket = 0;   ///< quantized trigger time (clamped only)
+  std::int32_t output_index = 0;
+  std::int32_t switching_input = 0;
+  bool rising = false;            ///< output event direction
+  bool clamped = false;           ///< trigger ramp clamped at t = 0
+
+  bool operator==(const StageEvalKey&) const = default;
+};
+
+struct StageEvalKeyHash {
+  std::size_t operator()(const StageEvalKey& k) const;
+};
+
+/// The memoized outcome: delay relative to the trigger's 50% crossing and
+/// the resolved output slew. `ok = false` memoizes failed evaluations.
+struct CachedStageResult {
+  bool ok = false;
+  double delay = 0.0;
+  double slew = 0.0;
+};
+
+class StageEvalCache {
+ public:
+  explicit StageEvalCache(EvalCacheOptions options = {})
+      : opt_(options) {}
+
+  /// Pure probe: thread-safe against other probes (not against
+  /// insert/clear) and does not touch the statistics. The scheduler
+  /// classifies the outcome itself (a miss that duplicates an in-flight
+  /// evaluation of the same key still counts as a hit) and records it
+  /// through note_hit()/note_miss().
+  std::optional<CachedStageResult> peek(const StageEvalKey& key) const;
+
+  void note_hit() const { counters_.hit(); }
+  void note_miss() const { counters_.miss(); }
+
+  /// Commit-phase only. Inserting an already-present key is a no-op (the
+  /// deterministic merge order decides who wins). Evicts a resident entry
+  /// first when at capacity.
+  void insert(const StageEvalKey& key, const CachedStageResult& value);
+
+  std::size_t size() const { return map_.size(); }
+  support::CacheStats stats() const { return counters_.snapshot(); }
+  void reset_stats() { counters_.reset(); }
+  /// Drops every entry; statistics are retained.
+  void clear() { map_.clear(); }
+
+  const EvalCacheOptions& options() const { return opt_; }
+
+  std::int64_t slew_bucket(double slew) const;
+  std::int64_t time_bucket(double time) const;
+
+ private:
+  EvalCacheOptions opt_;
+  std::unordered_map<StageEvalKey, CachedStageResult, StageEvalKeyHash> map_;
+  mutable support::CacheCounters counters_;
+};
+
+}  // namespace qwm::core

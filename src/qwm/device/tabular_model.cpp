@@ -82,7 +82,7 @@ TabularDeviceModel::FrameEval TabularDeviceModel::eval_frame(double vg,
 
 IvEval TabularDeviceModel::iv_eval(double w, double l,
                                    const TerminalVoltages& v) const {
-  ++query_count_;
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   // Map to the NMOS-normalized frame (PMOS: v' = VDD - v; the well bias
   // maps to frame ground, matching how the grid was characterized).
   double fg = v.input, fa = v.src, fb = v.snk;

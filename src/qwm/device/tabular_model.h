@@ -11,6 +11,7 @@
 // reverse conduction, so a single table serves every bias configuration.
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "qwm/device/characterize.h"
@@ -39,7 +40,9 @@ class TabularDeviceModel : public DeviceModel {
 
   const CharacterizationGrid& grid() const { return grid_; }
   /// Number of iv()/iv_eval() queries served (table usage accounting).
-  std::size_t query_count() const { return query_count_; }
+  std::size_t query_count() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct FrameEval {
@@ -55,7 +58,9 @@ class TabularDeviceModel : public DeviceModel {
   double vdd_;
   double bulk_;
   CharacterizationGrid grid_;
-  mutable std::size_t query_count_ = 0;
+  /// Statistic, not synchronization: relaxed so concurrent QWM worker
+  /// lanes can share one characterized model without racing.
+  mutable std::atomic<std::size_t> query_count_{0};
 };
 
 }  // namespace qwm::device

@@ -4,8 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <set>
+
+#include "qwm/circuit/stage_hash.h"
 
 namespace qwm::sta {
 
@@ -22,12 +23,24 @@ numeric::PwlWaveform make_ramp(double t50, double slew, double vdd,
   return numeric::PwlWaveform::ramp(t0, dur, vdd, 0.0);
 }
 
+/// True when make_ramp would clamp the ramp start at t = 0, breaking the
+/// time-translation invariance the memo cache relies on.
+bool ramp_clamped(double t50, double slew) {
+  const double dur = std::max(slew / 0.8, 1e-13);
+  return t50 < 0.5 * dur;
+}
+
 }  // namespace
 
 StaEngine::StaEngine(circuit::PartitionedDesign design,
                      device::ModelSet models, StaOptions options)
-    : design_(std::move(design)), models_(models), opt_(options) {
+    : design_(std::move(design)),
+      models_(models),
+      opt_(options),
+      cache_(options.cache) {
   dirty_.assign(design_.stages.size(), 1);
+  stage_keys_.assign(design_.stages.size(), std::nullopt);
+  build_schedule();
   // Default primary-input arrivals: t = 0 on both edges.
   for (netlist::NetId n : design_.primary_inputs)
     set_input_arrival(n, 0.0, 0.0);
@@ -50,10 +63,14 @@ const NetTiming& StaEngine::timing(netlist::NetId net) const {
   return it == timing_.end() ? kEmpty : it->second;
 }
 
-std::vector<int> StaEngine::topological_order() const {
+int StaEngine::thread_count() const {
+  return support::ThreadPool::resolve_threads(opt_.threads);
+}
+
+void StaEngine::build_schedule() {
   const int n = static_cast<int>(design_.stages.size());
   // Edges: stage A -> stage B when an output net of A is an input net of B.
-  std::vector<std::vector<int>> succ(n);
+  consumers_.assign(n, {});
   std::vector<int> indeg(n, 0);
   for (int b = 0; b < n; ++b) {
     for (netlist::NetId in : design_.stages[b].input_nets) {
@@ -61,93 +78,231 @@ std::vector<int> StaEngine::topological_order() const {
       if (it == design_.driver_of.end()) continue;
       const int a = it->second.first;
       if (a == b) continue;
-      succ[a].push_back(b);
+      consumers_[a].push_back(b);
       ++indeg[b];
     }
   }
-  std::vector<int> order;
-  std::queue<int> q;
+  // Kahn peeling by waves: wave k holds the stages whose longest
+  // predecessor chain has length k, which makes every wave an
+  // independent, parallel-evaluable level.
+  levels_.clear();
+  std::vector<int> frontier;
   for (int i = 0; i < n; ++i)
-    if (indeg[i] == 0) q.push(i);
-  while (!q.empty()) {
-    const int a = q.front();
-    q.pop();
-    order.push_back(a);
-    for (int b : succ[a])
-      if (--indeg[b] == 0) q.push(b);
+    if (indeg[i] == 0) frontier.push_back(i);
+  std::size_t placed = 0;
+  while (!frontier.empty()) {
+    std::sort(frontier.begin(), frontier.end());
+    placed += frontier.size();
+    std::vector<int> next;
+    for (int a : frontier)
+      for (int b : consumers_[a])
+        if (--indeg[b] == 0) next.push_back(b);
+    levels_.push_back(std::move(frontier));
+    frontier = std::move(next);
   }
-  return order;  // stages in cycles are simply absent
+  cyclic_ = placed != static_cast<std::size_t>(n);  // cyclic stages absent
 }
 
-Arrival StaEngine::evaluate_output(int stage_index, int output_index,
-                                   bool rising) {
+std::uint64_t StaEngine::stage_key(int stage_index) {
+  auto& slot = stage_keys_[stage_index];
+  if (!slot) {
+    const circuit::LogicStage& stage = design_.stages[stage_index].stage;
+    slot = circuit::hash_combine(
+        circuit::structural_hash(stage),
+        circuit::load_signature(stage, opt_.cache.load_quantum));
+  }
+  return *slot;
+}
+
+void StaEngine::prepare_record(int stage_index, OutputRecord* rec) {
   const circuit::StageInfo& info = design_.stages[stage_index];
-  const circuit::LogicStage& stage = info.stage;
-  const circuit::NodeId out_node = stage.outputs()[output_index];
   // Output rising = charge event, triggered by a falling input; output
   // falling = discharge, triggered by a rising input (inverting stage
   // worst case).
-  const bool output_falls = !rising;
-  const bool trigger_rising = output_falls;
+  const bool trigger_rising = !rec->rising;
 
   // Pick the latest-arriving triggering input.
-  int sw_input = -1;
-  Arrival trigger;
+  rec->sw_input = -1;
   for (std::size_t i = 0; i < info.input_nets.size(); ++i) {
     const NetTiming& t = timing(info.input_nets[i]);
     const Arrival& a = trigger_rising ? t.rise : t.fall;
     if (!a.valid()) continue;
-    if (sw_input < 0 || a.time > trigger.time) {
-      sw_input = static_cast<int>(i);
-      trigger = a;
+    if (rec->sw_input < 0 || a.time > rec->trigger.time) {
+      rec->sw_input = static_cast<int>(i);
+      rec->trigger = a;
     }
   }
-  Arrival result;
-  if (sw_input < 0) return result;  // no triggering arrival known
+  rec->kind = OutputRecord::Kind::skip;
+  rec->cacheable = false;
+  if (rec->sw_input < 0) return;  // no triggering arrival known
+
+  rec->kind = OutputRecord::Kind::owner;  // may be downgraded to hit/follower
+  if (!opt_.use_cache) return;
+  // Very late triggers approach the QWM give-up horizon, where the
+  // transient can be truncated and the delay stops being translation
+  // invariant; evaluate those outside the cache.
+  if (rec->trigger.time > 0.25 * opt_.qwm.t_max) return;
+
+  rec->cacheable = true;
+  rec->key.stage = stage_key(stage_index);
+  rec->key.output_index = rec->output_index;
+  rec->key.switching_input = rec->sw_input;
+  rec->key.rising = rec->rising;
+  rec->key.slew_bucket = cache_.slew_bucket(rec->trigger.slew);
+  rec->key.clamped = ramp_clamped(rec->trigger.time, rec->trigger.slew);
+  rec->key.time_bucket =
+      rec->key.clamped ? cache_.time_bucket(rec->trigger.time) : 0;
+}
+
+void StaEngine::evaluate_owner(int stage_index, OutputRecord* rec) const {
+  const circuit::StageInfo& info = design_.stages[stage_index];
+  const circuit::LogicStage& stage = info.stage;
+  const circuit::NodeId out_node = stage.outputs()[rec->output_index];
+  const bool output_falls = !rec->rising;
+  const bool trigger_rising = output_falls;
 
   // Input waveforms: the trigger ramps; every other input sits at its
   // non-controlling level for the event.
   const double vdd = models_.vdd();
   std::vector<numeric::PwlWaveform> inputs;
+  inputs.reserve(info.input_nets.size());
   for (std::size_t i = 0; i < info.input_nets.size(); ++i) {
-    if (static_cast<int>(i) == sw_input)
-      inputs.push_back(
-          make_ramp(trigger.time, trigger.slew, vdd, trigger_rising));
+    if (static_cast<int>(i) == rec->sw_input)
+      inputs.push_back(make_ramp(rec->trigger.time, rec->trigger.slew, vdd,
+                                 trigger_rising));
     else
       inputs.push_back(
           numeric::PwlWaveform::constant(output_falls ? vdd : 0.0));
   }
 
-  ++evals_;
   const core::StageTiming st = core::evaluate_stage(
-      stage, out_node, output_falls, inputs, sw_input, models_, opt_.qwm);
-  if (!st.ok || !st.delay) return result;
-  result.time = trigger.time + *st.delay;
-  result.slew = st.output_slew.value_or(opt_.input_slew);
-  result.from_stage = stage_index;
-  result.from_net = info.input_nets[sw_input];
-  return result;
+      stage, out_node, output_falls, inputs, rec->sw_input, models_,
+      opt_.qwm);
+  rec->value = core::CachedStageResult{};
+  if (!st.ok || !st.delay) return;  // memoized as a failed evaluation
+  rec->value.ok = true;
+  rec->value.delay = *st.delay;
+  rec->value.slew = st.output_slew.value_or(opt_.input_slew);
 }
 
-bool StaEngine::evaluate_stage(int stage_index) {
-  const circuit::StageInfo& info = design_.stages[stage_index];
-  bool changed = false;
-  for (std::size_t oi = 0; oi < info.output_nets.size(); ++oi) {
-    const netlist::NetId net = info.output_nets[oi];
-    NetTiming& t = timing_[net];
-    for (const bool rising : {true, false}) {
-      const Arrival a =
-          evaluate_output(stage_index, static_cast<int>(oi), rising);
-      Arrival& slot = rising ? t.rise : t.fall;
-      if (a.valid() &&
-          (!slot.valid() || std::abs(a.time - slot.time) > kTimeTol ||
-           std::abs(a.slew - slot.slew) > kTimeTol)) {
-        slot = a;
-        changed = true;
-      } else if (!a.valid() && slot.valid() && slot.from_stage >= 0) {
-        slot = Arrival{};
-        changed = true;
+bool StaEngine::apply_record(int stage_index, const OutputRecord& rec) {
+  Arrival a;
+  if (rec.kind != OutputRecord::Kind::skip && rec.value.ok) {
+    const circuit::StageInfo& info = design_.stages[stage_index];
+    a.time = rec.trigger.time + rec.value.delay;
+    a.slew = rec.value.slew;
+    a.from_stage = stage_index;
+    a.from_net = info.input_nets[rec.sw_input];
+  }
+  NetTiming& t = timing_[rec.net];
+  Arrival& slot = rec.rising ? t.rise : t.fall;
+  if (a.valid() &&
+      (!slot.valid() || std::abs(a.time - slot.time) > kTimeTol ||
+       std::abs(a.slew - slot.slew) > kTimeTol)) {
+    slot = a;
+    return true;
+  }
+  if (!a.valid() && slot.valid() && slot.from_stage >= 0) {
+    slot = Arrival{};
+    return true;
+  }
+  return false;
+}
+
+std::vector<char> StaEngine::evaluate_level(const std::vector<int>& stages) {
+  // Phase 1 (serial): trigger selection + classification against the
+  // cache state frozen at level entry. Records that duplicate an earlier
+  // record's key within this same level become followers of the first
+  // occurrence — the level's intra-batch sharing — so the outcome is a
+  // pure function of the batch, never of thread scheduling.
+  std::vector<StageTask> tasks;
+  tasks.reserve(stages.size());
+  struct FlatRef {
+    int task;
+    int record;
+  };
+  std::vector<FlatRef> flat;
+  std::unordered_map<core::StageEvalKey, int, core::StageEvalKeyHash>
+      first_owner;
+  std::vector<int> owners;  // flat indices that must run QWM
+  for (int s : stages) {
+    StageTask task;
+    task.stage = s;
+    const circuit::StageInfo& info = design_.stages[s];
+    for (std::size_t oi = 0; oi < info.output_nets.size(); ++oi) {
+      for (const bool rising : {true, false}) {
+        OutputRecord rec;
+        rec.output_index = static_cast<int>(oi);
+        rec.rising = rising;
+        rec.net = info.output_nets[oi];
+        prepare_record(s, &rec);
+        const int flat_index = static_cast<int>(flat.size());
+        if (rec.kind == OutputRecord::Kind::owner && rec.cacheable) {
+          if (const auto cached = cache_.peek(rec.key)) {
+            rec.kind = OutputRecord::Kind::hit;
+            rec.value = *cached;
+          } else {
+            const auto [it, inserted] =
+                first_owner.try_emplace(rec.key, flat_index);
+            if (!inserted) {
+              rec.kind = OutputRecord::Kind::follower;
+              rec.owner_index = it->second;
+            }
+          }
+        }
+        if (rec.kind == OutputRecord::Kind::owner) owners.push_back(flat_index);
+        task.records.push_back(std::move(rec));
+        flat.push_back({static_cast<int>(tasks.size()),
+                        static_cast<int>(task.records.size()) - 1});
       }
+    }
+    tasks.push_back(std::move(task));
+  }
+
+  // Phase 2 (parallel): run the distinct QWM evaluations across the
+  // worker lanes. Each lane touches only its own record plus immutable
+  // design/model state; indices are handed out through the pool's shared
+  // cursor so uneven region counts load-balance.
+  const auto run_owner = [&](std::size_t j) {
+    const FlatRef ref = flat[owners[j]];
+    evaluate_owner(tasks[ref.task].stage, &tasks[ref.task].records[ref.record]);
+  };
+  if (thread_count() > 1 && owners.size() > 1) {
+    if (!pool_)
+      pool_ = std::make_unique<support::ThreadPool>(opt_.threads);
+    pool_->parallel_for(owners.size(), run_owner);
+  } else {
+    for (std::size_t j = 0; j < owners.size(); ++j) run_owner(j);
+  }
+
+  // Phase 3 (serial merge, ascending stage order): resolve followers,
+  // commit new entries, count, and apply arrivals. Identical regardless
+  // of how phase 2 was scheduled.
+  std::vector<char> changed(tasks.size(), 0);
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    StageTask& task = tasks[ti];
+    for (OutputRecord& rec : task.records) {
+      if (rec.sw_input >= 0) ++evals_;
+      switch (rec.kind) {
+        case OutputRecord::Kind::skip:
+          break;
+        case OutputRecord::Kind::hit:
+          cache_.note_hit();
+          break;
+        case OutputRecord::Kind::follower: {
+          cache_.note_hit();
+          const FlatRef ref = flat[rec.owner_index];
+          rec.value = tasks[ref.task].records[ref.record].value;
+          break;
+        }
+        case OutputRecord::Kind::owner:
+          if (rec.cacheable) {
+            cache_.note_miss();
+            cache_.insert(rec.key, rec.value);
+          }
+          break;
+      }
+      if (apply_record(task.stage, rec)) changed[ti] = 1;
     }
   }
   return changed;
@@ -155,12 +310,11 @@ bool StaEngine::evaluate_stage(int stage_index) {
 
 std::size_t StaEngine::run() {
   const std::size_t before = evals_;
-  const auto order = topological_order();
-  if (order.size() != design_.stages.size())
+  if (cyclic_)
     warnings_.push_back("combinational cycle detected; cyclic stages skipped");
-  for (int s : order) {
-    evaluate_stage(s);
-    dirty_[s] = 0;
+  for (const auto& level : levels_) {
+    evaluate_level(level);
+    for (int s : level) dirty_[s] = 0;
   }
   return evals_ - before;
 }
@@ -171,26 +325,28 @@ void StaEngine::resize_transistor(int stage_index, circuit::EdgeId edge,
   assert(e.kind != circuit::DeviceKind::wire);
   e.w = new_width;
   dirty_[stage_index] = 1;
+  // The stage's memo identity changed with its geometry: recompute the
+  // structural hash lazily. Entries under the old hash stay valid for any
+  // surviving twin stages and age out by eviction otherwise.
+  stage_keys_[stage_index].reset();
 }
 
 std::size_t StaEngine::update() {
   const std::size_t before = evals_;
-  const auto order = topological_order();
-  // Propagate: a dirty stage re-evaluates; if its outputs moved, every
-  // consumer of those nets becomes dirty too.
+  // Propagate level by level: a dirty stage re-evaluates; if its outputs
+  // moved, every consumer becomes dirty too (consumers always live in
+  // later levels).
   std::vector<char> dirty = dirty_;
-  for (int s : order) {
-    if (!dirty[s]) continue;
-    const bool changed = evaluate_stage(s);
-    dirty_[s] = 0;
-    if (!changed) continue;
-    for (netlist::NetId out : design_.stages[s].output_nets) {
-      for (std::size_t b = 0; b < design_.stages.size(); ++b) {
-        if (static_cast<int>(b) == s) continue;
-        const auto& ins = design_.stages[b].input_nets;
-        if (std::find(ins.begin(), ins.end(), out) != ins.end())
-          dirty[b] = 1;
-      }
+  for (const auto& level : levels_) {
+    std::vector<int> todo;
+    for (int s : level)
+      if (dirty[s]) todo.push_back(s);
+    if (todo.empty()) continue;
+    const std::vector<char> changed = evaluate_level(todo);
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      dirty_[todo[i]] = 0;
+      if (changed[i])
+        for (int b : consumers_[todo[i]]) dirty[b] = 1;
     }
   }
   return evals_ - before;

@@ -7,16 +7,36 @@
 // stages along the longest paths needs to be considered"). The engine
 // also supports incremental re-analysis: after a local edit (transistor
 // resize) only the affected fanout cone is re-evaluated.
+//
+// Scheduling: stages are grouped into topological *levels* (all stages
+// whose predecessors live in earlier levels). Every stage of one level
+// is independent given the previous levels' arrivals, so a level is
+// evaluated across a worker pool, and the results are merged into the
+// timing map in ascending stage order — results are bit-identical to a
+// single-threaded run regardless of thread count.
+//
+// Caching: stage evaluations are memoized in a StageEvalCache keyed by
+// the structural stage hash, the quantized input slew, and the quantized
+// load signature, so electrically identical stages (decoder rows,
+// repeated buffers) evaluate QWM once. Lookups run against a cache
+// frozen for the duration of a level; new results are committed during
+// the deterministic merge, which keeps the cache contents — and hence
+// every downstream arrival — independent of scheduling.
 #pragma once
 
 #include <limits>
+#include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "qwm/circuit/partition.h"
+#include "qwm/core/eval_cache.h"
 #include "qwm/core/stage_eval.h"
 #include "qwm/device/model_set.h"
+#include "qwm/support/counters.h"
+#include "qwm/support/thread_pool.h"
 
 namespace qwm::sta {
 
@@ -37,6 +57,13 @@ struct NetTiming {
 struct StaOptions {
   double input_slew = 30e-12;  ///< default primary-input transition [s]
   core::QwmOptions qwm;
+  /// Worker lanes for level evaluation. 1 = serial; <= 0 = one lane per
+  /// hardware thread. Any value yields bit-identical results.
+  int threads = 1;
+  /// Memoize stage evaluations across identical (structure, slew, load)
+  /// configurations.
+  bool use_cache = true;
+  core::EvalCacheOptions cache;
 };
 
 struct CriticalPathStep {
@@ -58,17 +85,19 @@ class StaEngine {
   void set_input_arrival(netlist::NetId net, double rise_time,
                          double fall_time, double slew = -1.0);
 
-  /// Full analysis: evaluates every stage. Returns the number of QWM
-  /// stage evaluations performed.
+  /// Full analysis: evaluates every stage output (cache hits included in
+  /// the count; subtract cache_stats().hits for the QWM-run count).
+  /// Returns the number of stage evaluations performed.
   std::size_t run();
 
-  /// Incremental: resizes a transistor edge inside a stage and marks the
-  /// stage dirty. Call update() afterwards.
+  /// Incremental: resizes a transistor edge inside a stage, marks the
+  /// stage dirty, and invalidates its memo identity so stale cache
+  /// entries cannot serve it. Call update() afterwards.
   void resize_transistor(int stage_index, circuit::EdgeId edge,
                          double new_width);
 
   /// Re-evaluates only dirty stages and the cone their arrival changes
-  /// reach. Returns the number of QWM stage evaluations performed (the
+  /// reach. Returns the number of stage evaluations performed (the
   /// incremental-speedup metric).
   std::size_t update();
 
@@ -97,14 +126,59 @@ class StaEngine {
   const circuit::PartitionedDesign& design() const { return design_; }
   const std::vector<std::string>& warnings() const { return warnings_; }
 
+  /// Memo-cache activity since construction (or the last reset).
+  support::CacheStats cache_stats() const { return cache_.stats(); }
+  void reset_cache_stats() { cache_.reset_stats(); }
+  /// Drops all memoized evaluations (statistics retained).
+  void clear_cache() { cache_.clear(); }
+  std::size_t cache_entries() const { return cache_.size(); }
+  /// Resolved worker-lane count.
+  int thread_count() const;
+
  private:
-  /// Evaluates one stage output for one direction, given current input
-  /// arrivals. Returns the resulting Arrival (invalid if not computable).
-  Arrival evaluate_output(int stage_index, int output_index, bool rising);
-  /// Re-evaluates every output of a stage; returns true if any arrival
-  /// changed beyond tolerance.
-  bool evaluate_stage(int stage_index);
-  std::vector<int> topological_order() const;
+  /// One (output net, direction) evaluation inside a level batch.
+  struct OutputRecord {
+    enum class Kind {
+      skip,      ///< no triggering arrival; result is the invalid Arrival
+      hit,       ///< served from the frozen cache
+      owner,     ///< evaluates QWM; result committed to the cache
+      follower,  ///< duplicates an owner's key within the same level
+    };
+    int output_index = 0;
+    bool rising = false;
+    netlist::NetId net = -1;
+    int sw_input = -1;
+    Arrival trigger;
+    Kind kind = Kind::skip;
+    bool cacheable = false;  ///< key is meaningful (cache on, no bypass)
+    core::StageEvalKey key;
+    /// follower: flat index of the owning record in the level batch.
+    int owner_index = -1;
+    core::CachedStageResult value;
+    /// Owner only: the stimulus for the QWM evaluation.
+    std::vector<numeric::PwlWaveform> inputs;
+  };
+  struct StageTask {
+    int stage = -1;
+    std::vector<OutputRecord> records;
+  };
+
+  /// Evaluates a batch of mutually independent stages: classify against
+  /// the frozen cache, run owners across the pool, merge in stage order.
+  /// Returns per-task "any arrival changed" flags.
+  std::vector<char> evaluate_level(const std::vector<int>& stages);
+  /// Fills trigger selection + cache classification for one record.
+  void prepare_record(int stage_index, OutputRecord* rec);
+  /// Runs QWM for an owner record (worker-thread safe: touches only the
+  /// record, the immutable design and the models).
+  void evaluate_owner(int stage_index, OutputRecord* rec) const;
+  /// Applies a record's result to the timing map; true if it changed.
+  bool apply_record(int stage_index, const OutputRecord& rec);
+
+  /// Memo identity of a stage: structural hash + quantized load
+  /// signature, computed lazily and invalidated by resize_transistor.
+  std::uint64_t stage_key(int stage_index);
+  void build_schedule();
 
   circuit::PartitionedDesign design_;
   device::ModelSet models_;
@@ -113,6 +187,16 @@ class StaEngine {
   std::vector<char> dirty_;
   std::vector<std::string> warnings_;
   std::size_t evals_ = 0;
+
+  /// Topological levels; within a level stages are mutually independent.
+  std::vector<std::vector<int>> levels_;
+  /// Stage adjacency: consumers_[a] = stages reading an output net of a.
+  std::vector<std::vector<int>> consumers_;
+  bool cyclic_ = false;
+
+  core::StageEvalCache cache_;
+  std::vector<std::optional<std::uint64_t>> stage_keys_;
+  std::unique_ptr<support::ThreadPool> pool_;
 };
 
 }  // namespace qwm::sta

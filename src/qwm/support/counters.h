@@ -1,0 +1,60 @@
+// Lock-free event counters shared by the caching layers.
+//
+// The STA memo cache is probed concurrently from the worker lanes of the
+// level scheduler but mutated only in the single-threaded merge phase, so
+// the lookup-side counters (hits/misses) are atomics with relaxed order —
+// they are statistics, not synchronization — while the commit-side
+// counters (insertions/evictions) are plain integers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace qwm::support {
+
+/// A plain, copyable snapshot of cache activity.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const std::uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// The live counters. Lookup-side members may be bumped from any thread.
+class CacheCounters {
+ public:
+  void hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void miss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  void insertion() { ++insertions_; }  ///< commit phase only
+  void eviction() { ++evictions_; }    ///< commit phase only
+
+  CacheStats snapshot() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.insertions = insertions_;
+    s.evictions = evictions_;
+    return s;
+  }
+
+  void reset() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    insertions_ = 0;
+    evictions_ = 0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace qwm::support

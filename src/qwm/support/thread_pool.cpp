@@ -1,0 +1,72 @@
+#include "qwm/support/thread_pool.h"
+
+#include <algorithm>
+
+namespace qwm::support {
+
+int ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int lanes = std::max(1, resolve_threads(threads));
+  workers_.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int i = 0; i < lanes - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::function<void(std::size_t)>* fn = fn_;
+    const std::size_t n = n_;
+    lock.unlock();
+    for (std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+         i < n; i = cursor_.fetch_add(1, std::memory_order_relaxed))
+      (*fn)(i);
+    lock.lock();
+    if (--running_ == 0) done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    n_ = n;
+    cursor_.store(0, std::memory_order_relaxed);
+    running_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  wake_.notify_all();
+  // The calling thread is a lane too.
+  for (std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed); i < n;
+       i = cursor_.fetch_add(1, std::memory_order_relaxed))
+    fn(i);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return running_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace qwm::support

@@ -1,0 +1,147 @@
+// The cross-engine golden set: Table I gates and Table II stacks, each
+// evaluated by QWM and by the SPICE transient baseline (1 ps steps) under
+// the same worst-case step stimulus and the same tabular device models.
+// Shared between tools/make_golden.cpp (which regenerates
+// tests/data/golden_delays.json) and tests/sta/golden_delay_test.cpp
+// (which replays the measurement and checks both engines against the
+// checked-in values), so the case list cannot drift between the two.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qwm/circuit/builders.h"
+#include "qwm/core/stage_eval.h"
+#include "qwm/spice/from_stage.h"
+#include "qwm/spice/transient.h"
+#include "test_models.h"
+
+namespace qwm::test {
+
+struct GoldenCase {
+  std::string name;
+  circuit::BuiltStage built;
+};
+
+/// The measured pair of engine results for one case. Times in seconds.
+struct GoldenMeasure {
+  bool ok = false;
+  std::string error;
+  double qwm_delay = 0.0;
+  double qwm_slew = 0.0;
+  double spice_delay = 0.0;
+  double spice_slew = 0.0;
+
+  double delay_err_pct() const {
+    return spice_delay != 0.0
+               ? 100.0 * (qwm_delay - spice_delay) / spice_delay
+               : 0.0;
+  }
+  double slew_err_pct() const {
+    return spice_slew != 0.0 ? 100.0 * (qwm_slew - spice_slew) / spice_slew
+                             : 0.0;
+  }
+};
+
+/// Table I (logic gates at FO4 load) and Table II (NMOS/PMOS stacks).
+inline std::vector<GoldenCase> golden_cases() {
+  const auto& proc = models().proc;
+  const double load = circuit::fanout_load_cap(proc);
+  std::vector<GoldenCase> cases;
+  cases.push_back({"inv", circuit::make_inverter(proc, load)});
+  cases.push_back({"nand2", circuit::make_nand(proc, 2, load)});
+  cases.push_back({"nand3", circuit::make_nand(proc, 3, load)});
+  cases.push_back({"nand4", circuit::make_nand(proc, 4, load)});
+  cases.push_back(
+      {"nstack5",
+       circuit::make_nmos_stack(proc, std::vector<double>(5, 2e-6), load)});
+  cases.push_back(
+      {"nstack7",
+       circuit::make_nmos_stack(proc, std::vector<double>(7, 2e-6), load)});
+  cases.push_back(
+      {"nstack10",
+       circuit::make_nmos_stack(proc, std::vector<double>(10, 2e-6), load)});
+  cases.push_back(
+      {"pstack5",
+       circuit::make_pmos_stack(proc, std::vector<double>(5, 4e-6), load)});
+  return cases;
+}
+
+/// Worst-case stimulus: the switching input steps at t_step, the others
+/// hold their non-controlling level (the paper's Table I/II setup).
+inline std::vector<numeric::PwlWaveform> golden_inputs(
+    const circuit::BuiltStage& b, double t_step = 5e-12) {
+  const double vdd = models().proc.vdd;
+  std::vector<numeric::PwlWaveform> in;
+  for (std::size_t i = 0; i < b.stage.input_count(); ++i) {
+    if (static_cast<int>(i) == b.switching_input)
+      in.push_back(b.output_falls
+                       ? numeric::PwlWaveform::step(t_step, 0.0, vdd)
+                       : numeric::PwlWaveform::step(t_step, vdd, 0.0));
+    else
+      in.push_back(numeric::PwlWaveform::constant(b.output_falls ? vdd : 0.0));
+  }
+  return in;
+}
+
+/// Runs both engines on one case: QWM on the stage path, the SPICE
+/// baseline at 1 ps fixed steps over the same window, both measured at
+/// the 50% point (delay) and 10%-90% swing (slew).
+inline GoldenMeasure measure_golden(const circuit::BuiltStage& b) {
+  GoldenMeasure m;
+  const auto ms = models().tabular_set();
+  const double vdd = models().proc.vdd;
+  const auto inputs = golden_inputs(b);
+
+  const core::StageTiming st = core::evaluate_stage(b, inputs, ms);
+  if (!st.ok) {
+    m.error = "qwm: " + st.error;
+    return m;
+  }
+  if (!st.delay || !st.output_slew) {
+    m.error = "qwm: no output crossing";
+    return m;
+  }
+  m.qwm_delay = *st.delay;
+  m.qwm_slew = *st.output_slew;
+
+  // SPICE baseline with the worst-case precharge initial condition.
+  spice::StageSim sim = spice::circuit_from_stage(b.stage, ms, inputs);
+  const double pre = b.output_falls ? vdd : 0.0;
+  for (std::size_t n = 0; n < b.stage.node_count(); ++n) {
+    const auto id = static_cast<circuit::NodeId>(n);
+    if (b.stage.is_rail(id)) continue;
+    sim.circuit.set_ic(sim.node_of[n], pre);
+  }
+  spice::TransientOptions opt;
+  opt.dt = 1e-12;
+  opt.t_stop = std::max(2.0 * st.qwm.critical_times.back(), 500e-12);
+  const spice::TransientResult ref = spice::simulate_transient(sim.circuit, opt);
+
+  const auto& w_in = inputs[b.switching_input];
+  const auto& w_out = ref.waveforms[sim.node_of[b.output]];
+  const auto t_in = w_in.crossing(0.5 * vdd, 0.0, b.output_falls);
+  const auto t_out =
+      t_in ? w_out.crossing(0.5 * vdd, *t_in, !b.output_falls) : std::nullopt;
+  if (!t_in || !t_out) {
+    m.error = "spice: no output crossing";
+    return m;
+  }
+  m.spice_delay = *t_out - *t_in;
+
+  const double v_hi = 0.9 * vdd, v_lo = 0.1 * vdd;
+  const auto t1 = w_out.crossing(b.output_falls ? v_hi : v_lo, *t_in);
+  const auto t2 =
+      t1 ? w_out.crossing(b.output_falls ? v_lo : v_hi, *t1) : std::nullopt;
+  if (!t1 || !t2) {
+    m.error = "spice: no slew window";
+    return m;
+  }
+  m.spice_slew = *t2 - *t1;
+  m.ok = true;
+  return m;
+}
+
+}  // namespace qwm::test

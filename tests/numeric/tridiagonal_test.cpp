@@ -105,5 +105,111 @@ TEST(ShermanMorrison, RejectsSingularUpdate) {
   EXPECT_FALSE(sherman_morrison_solve(t, {-4.0}, {0.5}, {1.0}, x));
 }
 
+/// Dense embedding of A (+ optional u v^T) for LU reference solves.
+Matrix dense_of(const Tridiagonal& t, const std::vector<double>* u = nullptr,
+                const std::vector<double>* v = nullptr) {
+  const int n = static_cast<int>(t.size());
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    a(i, i) = t.diag[i];
+    if (i > 0) a(i, i - 1) = t.lower[i];
+    if (i + 1 < n) a(i, i + 1) = t.upper[i];
+    if (u && v)
+      for (int j = 0; j < n; ++j) a(i, j) += (*u)[i] * (*v)[j];
+  }
+  return a;
+}
+
+class TridiagonalVsDense : public ::testing::TestWithParam<int> {};
+
+TEST_P(TridiagonalVsDense, ThomasMatchesDenseLu) {
+  const int n = GetParam();
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    const Tridiagonal t = random_dominant(n, 1000 * n + seed);
+    std::mt19937 rng(seed + 13);
+    std::uniform_real_distribution<double> d(-2.0, 2.0);
+    std::vector<double> b(n);
+    for (double& bi : b) bi = d(rng);
+
+    const auto x = thomas_solve(t, b);
+    const Vector x_ref = lu_solve(dense_of(t), b);
+    ASSERT_EQ(x.size(), static_cast<std::size_t>(n));
+    ASSERT_EQ(x_ref.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-10);
+  }
+}
+
+TEST_P(TridiagonalVsDense, ShermanMorrisonMatchesDenseLuRandomUv) {
+  // Fully dense random u, v (not just the QWM last-column shape).
+  const int n = GetParam();
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    const Tridiagonal t = random_dominant(n, 2000 * n + seed);
+    std::mt19937 rng(seed + 31);
+    // Small rank-one magnitudes keep 1 + v'A^{-1}u away from zero, the
+    // well-conditioned regime this test pins down.
+    std::uniform_real_distribution<double> d(-0.5, 0.5);
+    std::vector<double> u(n), v(n), b(n);
+    for (int i = 0; i < n; ++i) {
+      u[i] = d(rng);
+      v[i] = d(rng);
+      b[i] = 4.0 * d(rng);
+    }
+
+    std::vector<double> x;
+    ASSERT_TRUE(sherman_morrison_solve(t, u, v, b, x));
+    const Vector x_ref = lu_solve(dense_of(t, &u, &v), b);
+    ASSERT_EQ(x_ref.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagonalVsDense,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 55));
+
+TEST(ShermanMorrison, NearSingularUpdateStaysAccurate) {
+  // Scale u so the Sherman–Morrison denominator 1 + v'A^{-1}u equals a
+  // chosen eps: det(A + uv') = det(A) * eps, so the updated matrix is
+  // near-singular even though A itself is well-conditioned. Both the
+  // O(n) formula and dense LU lose ~1/eps digits; they must still agree
+  // to far better than that bound.
+  for (const double eps : {1e-4, 1e-6, 1e-8}) {
+    SCOPED_TRACE(eps);
+    for (int n : {3, 7, 12}) {
+      SCOPED_TRACE(n);
+      const Tridiagonal t = random_dominant(n, 42 * n);
+      std::mt19937 rng(n);
+      std::uniform_real_distribution<double> d(-1.0, 1.0);
+      std::vector<double> u0(n), v(n), b(n);
+      for (int i = 0; i < n; ++i) {
+        u0[i] = d(rng);
+        v[i] = d(rng);
+        b[i] = d(rng);
+      }
+      std::vector<double> z0;
+      ASSERT_TRUE(thomas_solve(t, u0, z0));
+      double vz0 = 0.0;
+      for (int i = 0; i < n; ++i) vz0 += v[i] * z0[i];
+      ASSERT_NE(vz0, 0.0);
+      const double c = (eps - 1.0) / vz0;
+      std::vector<double> u(n);
+      for (int i = 0; i < n; ++i) u[i] = c * u0[i];
+
+      std::vector<double> x;
+      ASSERT_TRUE(sherman_morrison_solve(t, u, v, b, x));
+      const Vector x_ref = lu_solve(dense_of(t, &u, &v), b);
+      ASSERT_EQ(x_ref.size(), static_cast<std::size_t>(n));
+      double norm = 0.0;
+      for (int i = 0; i < n; ++i) norm = std::max(norm, std::abs(x_ref[i]));
+      ASSERT_GT(norm, 0.0);
+      // Agreement relative to the (large, ~1/eps) solution magnitude.
+      // Both solvers lose ~1/eps digits; measured agreement sits around
+      // 1e-12/eps, so 1e-10/eps keeps two decades of headroom.
+      for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i] / norm, x_ref[i] / norm, 1e-10 / eps)
+            << "component " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qwm::numeric

@@ -1,0 +1,131 @@
+// Cross-engine golden harness: every Table I gate and Table II stack runs
+// through BOTH engines — the SPICE transient baseline at 1 ps steps and
+// the QWM evaluator — under the shared worst-case stimulus, and the
+// results are checked three ways:
+//   1. cross-engine: QWM within the per-case delay/slew tolerance of the
+//      live SPICE result (ceilings derived from characterized accuracy,
+//      floored at 1% delay / 5% slew);
+//   2. QWM pinning: the live QWM numbers match tests/data/golden_delays.json
+//      to 0.5% — catches silent drift in the waveform-matching core;
+//   3. SPICE pinning: the live baseline matches the checked-in reference
+//      to 0.5% — catches drift in the integrator the tolerances calibrate
+//      against.
+// Regenerate the JSON with:  build/tools/make_golden tests/data/golden_delays.json
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "../common/golden_cases.h"
+
+namespace qwm::test {
+namespace {
+
+struct GoldenEntry {
+  double qwm_delay_ps = 0.0;
+  double qwm_slew_ps = 0.0;
+  double spice_delay_ps = 0.0;
+  double spice_slew_ps = 0.0;
+  double delay_tol_pct = 1.0;
+  double slew_tol_pct = 5.0;
+};
+
+/// Pulls `"key": <number>` out of one JSON object line.
+bool json_number(const std::string& line, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  return std::sscanf(line.c_str() + pos + needle.size(), " %lf", out) == 1;
+}
+
+bool json_string(const std::string& line, const std::string& key,
+                 std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+/// The golden file is an array of one-line objects with fixed keys (see
+/// tools/make_golden.cpp); a line-wise scan is a full parser for it.
+std::map<std::string, GoldenEntry> load_golden() {
+  std::map<std::string, GoldenEntry> golden;
+  const std::string path = std::string(QWM_TEST_DATA_DIR) +
+                           "/golden_delays.json";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string name;
+    if (!json_string(line, "name", &name)) continue;
+    GoldenEntry e;
+    EXPECT_TRUE(json_number(line, "qwm_delay_ps", &e.qwm_delay_ps));
+    EXPECT_TRUE(json_number(line, "qwm_slew_ps", &e.qwm_slew_ps));
+    EXPECT_TRUE(json_number(line, "spice_delay_ps", &e.spice_delay_ps));
+    EXPECT_TRUE(json_number(line, "spice_slew_ps", &e.spice_slew_ps));
+    EXPECT_TRUE(json_number(line, "delay_tol_pct", &e.delay_tol_pct));
+    EXPECT_TRUE(json_number(line, "slew_tol_pct", &e.slew_tol_pct));
+    golden[name] = e;
+  }
+  return golden;
+}
+
+double pct_diff(double a, double b) {
+  return b != 0.0 ? 100.0 * std::abs(a - b) / std::abs(b) : 1e9;
+}
+
+TEST(GoldenDelay, EveryCaseWithinToleranceOfSpiceAndPinned) {
+  const auto golden = load_golden();
+  ASSERT_FALSE(golden.empty());
+  std::size_t matched = 0;
+  for (const auto& c : golden_cases()) {
+    SCOPED_TRACE(c.name);
+    const auto it = golden.find(c.name);
+    ASSERT_NE(it, golden.end())
+        << "case missing from golden_delays.json; regenerate with "
+           "build/tools/make_golden";
+    const GoldenEntry& g = it->second;
+    ++matched;
+
+    const GoldenMeasure m = measure_golden(c.built);
+    ASSERT_TRUE(m.ok) << m.error;
+
+    // 1. Cross-engine accuracy, live vs live.
+    EXPECT_LE(std::abs(m.delay_err_pct()), g.delay_tol_pct)
+        << "QWM delay " << m.qwm_delay * 1e12 << " ps vs SPICE "
+        << m.spice_delay * 1e12 << " ps";
+    EXPECT_LE(std::abs(m.slew_err_pct()), g.slew_tol_pct)
+        << "QWM slew " << m.qwm_slew * 1e12 << " ps vs SPICE "
+        << m.spice_slew * 1e12 << " ps";
+
+    // 2./3. Pinning against the checked-in reference.
+    EXPECT_LT(pct_diff(m.qwm_delay * 1e12, g.qwm_delay_ps), 0.5);
+    EXPECT_LT(pct_diff(m.qwm_slew * 1e12, g.qwm_slew_ps), 0.5);
+    EXPECT_LT(pct_diff(m.spice_delay * 1e12, g.spice_delay_ps), 0.5);
+    EXPECT_LT(pct_diff(m.spice_slew * 1e12, g.spice_slew_ps), 0.5);
+  }
+  // Every golden entry must correspond to a live case (no stale rows).
+  EXPECT_EQ(matched, golden.size());
+}
+
+TEST(GoldenDelay, TolerancesAreHonest) {
+  // The generated ceilings must stay within the paper-grade envelope:
+  // single-digit delay error, slew within 5% (plus the 1.3x headroom).
+  for (const auto& [name, g] : load_golden()) {
+    SCOPED_TRACE(name);
+    EXPECT_LE(g.delay_tol_pct, 5.0);
+    EXPECT_LE(g.slew_tol_pct, 6.5);
+  }
+}
+
+}  // namespace
+}  // namespace qwm::test

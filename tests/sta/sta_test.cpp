@@ -180,6 +180,74 @@ TEST(Sta, NoopUpdateCostsNothing) {
   EXPECT_EQ(sta.update(), 0u);
 }
 
+TEST(Sta, ResizeInvalidatesMemoAndMovesCriticalPath) {
+  // Two electrically identical chains: chain 2's stage evaluations are
+  // memo hits on chain 1's entries. Narrowing one chain-2 NMOS must (a)
+  // change that stage's structural hash so the stale cached result is NOT
+  // reused, (b) move the critical path into chain 2, and (c) produce
+  // arrivals bit-identical to a from-scratch engine with the same resize.
+  constexpr const char* kTwins = R"(twin chains
+vdd vdd 0 3.3
+vin1 a1 0 0
+vin2 a2 0 0
+mp1 b1 a1 vdd vdd pmos w=2u l=0.35u
+mn1 b1 a1 0 0 nmos w=1u l=0.35u
+mp2 c1 b1 vdd vdd pmos w=2u l=0.35u
+mn2 c1 b1 0 0 nmos w=1u l=0.35u
+mp3 b2 a2 vdd vdd pmos w=2u l=0.35u
+mn3 b2 a2 0 0 nmos w=1u l=0.35u
+mp4 c2 b2 vdd vdd pmos w=2u l=0.35u
+mn4 c2 b2 0 0 nmos w=1u l=0.35u
+cl1 c1 0 20f
+cl2 c2 0 20f
+)";
+  StaEngine sta(design_from(kTwins), models());
+  sta.run();
+  const auto stats_before = sta.cache_stats();
+  EXPECT_GT(stats_before.hits, 0u);  // the twin chain rode the memo
+
+  const auto nb2 = net_of(kTwins, "b2");
+  const auto nc1 = net_of(kTwins, "c1");
+  const auto nc2 = net_of(kTwins, "c2");
+  const auto [si, oi] = sta.design().driver_of.at(nb2);
+  (void)oi;
+  circuit::EdgeId nmos_edge = -1;
+  for (std::size_t e = 0; e < sta.design().stages[si].stage.edge_count(); ++e)
+    if (sta.design().stages[si].stage.edge(static_cast<circuit::EdgeId>(e))
+            .kind == circuit::DeviceKind::nmos)
+      nmos_edge = static_cast<circuit::EdgeId>(e);
+  ASSERT_GE(nmos_edge, 0);
+
+  // Halve the NMOS: b2's fall slows, so chain 2 becomes critical.
+  sta.resize_transistor(si, nmos_edge, 0.5e-6);
+  const std::size_t touched = sta.update();
+  EXPECT_GT(touched, 0u);
+  const auto stats_after = sta.cache_stats();
+  // The resized stage re-ran QWM under a new structural key — a miss,
+  // not a stale hit.
+  EXPECT_GT(stats_after.misses, stats_before.misses);
+
+  EXPECT_GT(sta.timing(nb2).fall.time, sta.timing(net_of(kTwins, "b1")).fall.time);
+  EXPECT_GT(sta.worst_arrival(), sta.timing(nc1).rise.time);
+  const auto path = sta.critical_path();
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.back().net, nc2);
+
+  // Cross-check against an engine that was *built* with the resize: the
+  // incremental update through the shared memo must agree bit for bit.
+  StaEngine fresh(design_from(kTwins), models());
+  fresh.resize_transistor(si, nmos_edge, 0.5e-6);
+  fresh.run();
+  for (const auto net : {nb2, nc1, nc2}) {
+    const NetTiming& ti = sta.timing(net);
+    const NetTiming& tf = fresh.timing(net);
+    EXPECT_EQ(ti.rise.time, tf.rise.time) << "net " << net;
+    EXPECT_EQ(ti.rise.slew, tf.rise.slew) << "net " << net;
+    EXPECT_EQ(ti.fall.time, tf.fall.time) << "net " << net;
+    EXPECT_EQ(ti.fall.slew, tf.fall.slew) << "net " << net;
+  }
+}
+
 TEST(Sta, CombinationalCycleWarnsAndSurvives) {
   // Cross-coupled inverters (an SR-latch core) form a stage cycle; the
   // engine must warn and keep analyzing the acyclic part.

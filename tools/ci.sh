@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the labelled test suites, run twice —
+#   1. plain (RelWithDebInfo, preset `default`), and
+#   2. under ThreadSanitizer (preset `tsan`) to catch data races in the
+#      parallel level-synchronous scheduler and the shared memo cache.
+# Usage: tools/ci.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_tsan=0
+[[ "${1:-}" == "--skip-tsan" ]] && skip_tsan=1
+
+echo "== configure + build (default) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j"$(nproc)"
+
+echo "== tier1 tests (plain) =="
+ctest --preset tier1
+
+if [[ "$skip_tsan" == 1 ]]; then
+  echo "== tier1 under TSan: SKIPPED (--skip-tsan) =="
+  exit 0
+fi
+
+echo "== configure + build (tsan) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j"$(nproc)"
+
+echo "== tier1 tests (ThreadSanitizer) =="
+ctest --preset tsan-tier1
+
+echo "CI gate passed: tier1 clean, plain and under TSan."

@@ -1,0 +1,61 @@
+// Regenerates tests/data/golden_delays.json — the checked-in
+// cross-engine reference used by tests/sta/golden_delay_test.cpp.
+//
+// Usage: make_golden [output-path]
+//
+// For each golden case (Table I gates, Table II stacks) both engines run
+// under the shared worst-case stimulus; the JSON records the measured
+// delays/slews plus per-case tolerance ceilings derived from the measured
+// cross-engine deviation (floored at 1% delay / 5% slew, with 1.3x
+// headroom so timer-grade noise does not flake the suite).
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "../tests/common/golden_cases.h"
+
+int main(int argc, char** argv) {
+  using namespace qwm;
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("tests/data/golden_delays.json");
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+
+  std::fprintf(f, "[\n");
+  bool first = true;
+  int failures = 0;
+  for (const auto& c : test::golden_cases()) {
+    const test::GoldenMeasure m = test::measure_golden(c.built);
+    if (!m.ok) {
+      std::fprintf(stderr, "FAILED %s: %s\n", c.name.c_str(),
+                   m.error.c_str());
+      ++failures;
+      continue;
+    }
+    const double delay_tol =
+        std::max(1.0, 1.3 * std::abs(m.delay_err_pct()));
+    const double slew_tol = std::max(5.0, 1.3 * std::abs(m.slew_err_pct()));
+    std::fprintf(
+        f,
+        "%s  {\"name\": \"%s\", \"qwm_delay_ps\": %.6f, \"qwm_slew_ps\": "
+        "%.6f, \"spice_delay_ps\": %.6f, \"spice_slew_ps\": %.6f, "
+        "\"delay_tol_pct\": %.2f, \"slew_tol_pct\": %.2f}",
+        first ? "" : ",\n", c.name.c_str(), m.qwm_delay * 1e12,
+        m.qwm_slew * 1e12, m.spice_delay * 1e12, m.spice_slew * 1e12,
+        delay_tol, slew_tol);
+    first = false;
+    std::printf("%-10s qwm %.2f ps vs spice %.2f ps (err %+.2f%%), slew "
+                "%.2f vs %.2f ps (err %+.2f%%)\n",
+                c.name.c_str(), m.qwm_delay * 1e12, m.spice_delay * 1e12,
+                m.delay_err_pct(), m.qwm_slew * 1e12, m.spice_slew * 1e12,
+                m.slew_err_pct());
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return failures == 0 ? 0 : 1;
+}
