@@ -1,0 +1,292 @@
+// Service throughput benchmark: concurrent timing queries through the
+// qwm_serve dispatch layer (in-process, no sockets) over the two
+// paper-shaped workloads — the Fig. 10 row decoder and the Table I gate
+// farm. N client threads issue a mixed read workload (70% ARRIVAL, 15%
+// SLACK, 10% CRITPATH, 5% STATS) through Server::handle_line while one
+// writer thread runs RESIZE+UPDATE what-if transactions; the harness
+// reports sustained QPS and per-verb p50/p99 latency.
+// Flags: --clients N (default 8), --requests M per client (default 400),
+//        --rows N (workload size, default 32), --threads N (engine
+//        lanes, default 4), --no-cache.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qwm/service/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using qwm::service::Verb;
+
+struct Flags {
+  int clients = 8;
+  int requests = 400;
+  int rows = 32;
+  int threads = 4;
+  bool cache = true;
+
+  static Flags parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
+        f.clients = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+        f.requests = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc)
+        f.rows = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+        f.threads = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--no-cache") == 0)
+        f.cache = false;
+      else {
+        std::fprintf(stderr,
+                     "unknown flag: %s\nusage: %s [--clients N] "
+                     "[--requests M] [--rows N] [--threads N] [--no-cache]\n",
+                     argv[i], argv[0]);
+        std::exit(2);
+      }
+    }
+    f.clients = std::max(f.clients, 1);
+    f.requests = std::max(f.requests, 1);
+    f.rows = std::max(f.rows, 1);
+    f.threads = std::max(f.threads, 1);
+    return f;
+  }
+};
+
+/// Fig. 10 shape: 3 buffered address lines fanning out to `rows` NAND3
+/// rows with sized two-stage wordline drivers (see bench_fig10_decoder).
+std::string make_decoder_design(int rows, int variants) {
+  std::ostringstream os;
+  os << "row decoder\n" << "vdd vdd 0 3.3\n";
+  for (int i = 0; i < 3; ++i) {
+    os << "vin" << i << " a" << i << " 0 0\n";
+    os << "mpb" << i << "1 b" << i << "1 a" << i
+       << " vdd vdd pmos w=4u l=0.35u\n";
+    os << "mnb" << i << "1 b" << i << "1 a" << i << " 0 0 nmos w=2u l=0.35u\n";
+    os << "mpb" << i << "2 b" << i << "2 b" << i << "1"
+       << " vdd vdd pmos w=16u l=0.35u\n";
+    os << "mnb" << i << "2 b" << i << "2 b" << i << "1"
+       << " 0 0 nmos w=8u l=0.35u\n";
+    os << "mpb" << i << "3 l" << i << " b" << i << "2"
+       << " vdd vdd pmos w=64u l=0.35u\n";
+    os << "mnb" << i << "3 l" << i << " b" << i << "2"
+       << " 0 0 nmos w=32u l=0.35u\n";
+  }
+  os << "cl0 l0 0 10f\n";
+  for (int r = 0; r < rows; ++r) {
+    const double scale = 1.0 + 0.25 * (r % variants);
+    os << "mpr" << r << "a w" << r << " l0 vdd vdd pmos w=2u l=0.35u\n";
+    os << "mpr" << r << "b w" << r << " l1 vdd vdd pmos w=2u l=0.35u\n";
+    os << "mpr" << r << "c w" << r << " l2 vdd vdd pmos w=2u l=0.35u\n";
+    os << "mnr" << r << "a w" << r << " l2 x" << r << "1 0 nmos w=2u l=0.35u\n";
+    os << "mnr" << r << "b x" << r << "1 l1 x" << r << "2 0 nmos w=2u l=0.35u\n";
+    os << "mnr" << r << "c x" << r << "2 l0 0 0 nmos w=2u l=0.35u\n";
+    os << "mpd" << r << "1 d" << r << " w" << r << " vdd vdd pmos w="
+       << 2.0 * scale << "u l=0.35u\n";
+    os << "mnd" << r << "1 d" << r << " w" << r << " 0 0 nmos w="
+       << 1.0 * scale << "u l=0.35u\n";
+    os << "mpd" << r << "2 wl" << r << " d" << r << " vdd vdd pmos w="
+       << 4.0 * scale << "u l=0.35u\n";
+    os << "mnd" << r << "2 wl" << r << " d" << r << " 0 0 nmos w="
+       << 2.0 * scale << "u l=0.35u\n";
+    os << "cwl" << r << " wl" << r << " 0 60f\n";
+  }
+  return os.str();
+}
+
+/// Table I shape: a buffered stimulus fanning out to `rows` instances of
+/// inv / nand2 / nand3 / nand4 (see bench_table1_gates).
+std::string make_gate_farm(int rows) {
+  std::ostringstream os;
+  os << "table1 gate farm\n" << "vdd vdd 0 3.3\n";
+  os << "vin a 0 0\n";
+  os << "mpb1 b a vdd vdd pmos w=8u l=0.35u\n";
+  os << "mnb1 b a 0 0 nmos w=4u l=0.35u\n";
+  os << "mpb2 in b vdd vdd pmos w=64u l=0.35u\n";
+  os << "mnb2 in b 0 0 nmos w=32u l=0.35u\n";
+  for (int r = 0; r < rows; ++r) {
+    os << "mpi" << r << " yi" << r << " in vdd vdd pmos w=2u l=0.35u\n";
+    os << "mni" << r << " yi" << r << " in 0 0 nmos w=1u l=0.35u\n";
+    os << "ci" << r << " yi" << r << " 0 20f\n";
+    for (int k = 2; k <= 4; ++k) {
+      const std::string y = "yn" + std::to_string(k) + "_" + std::to_string(r);
+      const std::string tag = std::to_string(k) + "_" + std::to_string(r);
+      for (int p = 0; p < k; ++p)
+        os << "mp" << tag << "_" << p << " " << y << " "
+           << (p == 0 ? "in" : "vdd") << " vdd vdd pmos w=2u l=0.35u\n";
+      for (int q = 0; q < k; ++q) {
+        const std::string top =
+            q == 0 ? y : "xn" + tag + "_" + std::to_string(q);
+        const std::string bot =
+            q == k - 1 ? "0" : "xn" + tag + "_" + std::to_string(q + 1);
+        os << "mn" << tag << "_" << q << " " << top << " "
+           << (q == k - 1 ? "in" : "vdd") << " " << bot
+           << " 0 nmos w=2u l=0.35u\n";
+      }
+      os << "cn" << tag << " " << y << " 0 20f\n";
+    }
+  }
+  return os.str();
+}
+
+std::uint64_t next_rand(std::uint64_t* s) {
+  *s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = *s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double pct(std::vector<double>* v, double p) {
+  if (v->empty()) return 0.0;
+  std::sort(v->begin(), v->end());
+  return (*v)[static_cast<std::size_t>(p * static_cast<double>(v->size() - 1))];
+}
+
+void run_workload(const char* name, const std::string& deck, int rows,
+                  const Flags& flags) {
+  using namespace qwm;
+  service::ServerOptions opt;
+  opt.db.sta.threads = flags.threads;
+  opt.db.sta.use_cache = flags.cache;
+  service::Server server(opt);
+  const service::LoadReply load = server.db().load_text(deck, name);
+  if (!load.status.ok) {
+    std::fprintf(stderr, "%s: load failed: %s\n", name,
+                 load.status.message.c_str());
+    return;
+  }
+
+  // Query universe: the critical-path nets plus the generators' known
+  // per-row output names.
+  std::vector<std::string> nets;
+  const service::CritPathReply cp = server.db().critical_path();
+  for (const auto& s : cp.steps) nets.push_back(s.net);
+  for (int r = 0; r < rows; ++r) {
+    if (std::strcmp(name, "decoder") == 0) {
+      nets.push_back("wl" + std::to_string(r));
+      nets.push_back("d" + std::to_string(r));
+    } else {
+      nets.push_back("yi" + std::to_string(r));
+      for (int k = 2; k <= 4; ++k)
+        nets.push_back("yn" + std::to_string(k) + "_" + std::to_string(r));
+    }
+  }
+
+  struct PerThread {
+    std::vector<double> lat_us[qwm::service::kVerbCount];
+    std::uint64_t errors = 0;
+  };
+  std::vector<PerThread> per(static_cast<std::size_t>(flags.clients));
+  std::atomic<bool> done{false};
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < flags.clients; ++c) {
+    clients.emplace_back([&, c] {
+      PerThread& me = per[static_cast<std::size_t>(c)];
+      std::uint64_t rng = 0x1234u + static_cast<std::uint64_t>(c);
+      for (int i = 0; i < flags.requests; ++i) {
+        const std::uint64_t dice = next_rand(&rng) % 100;
+        const std::string& net = nets[next_rand(&rng) % nets.size()];
+        std::string req;
+        Verb verb;
+        if (dice < 70) {
+          req = "ARRIVAL " + net;
+          verb = Verb::kArrival;
+        } else if (dice < 85) {
+          req = "SLACK " + net + " 2n";
+          verb = Verb::kSlack;
+        } else if (dice < 95) {
+          req = "CRITPATH";
+          verb = Verb::kCritPath;
+        } else {
+          req = "STATS";
+          verb = Verb::kStats;
+        }
+        const auto q0 = Clock::now();
+        const std::string resp = server.handle_line(req);
+        const auto q1 = Clock::now();
+        if (!service::is_ok(resp)) ++me.errors;
+        me.lat_us[static_cast<int>(verb)].push_back(
+            std::chrono::duration<double, std::micro>(q1 - q0).count());
+      }
+    });
+  }
+  // Probe for a resizable (non-wire) edge so the writer's what-ifs are
+  // real transactions.
+  int wr_edge = -1;
+  for (int e = 0; e < 8 && wr_edge < 0; ++e)
+    if (service::is_ok(server.handle_line("RESIZE 0 " + std::to_string(e) +
+                                          " 2.2u")))
+      wr_edge = e;
+  std::thread writer([&] {
+    // Steady what-if pressure on the exclusive-lock path for the
+    // benchmark's duration.
+    std::uint64_t k = 0;
+    while (wr_edge >= 0 && !done.load(std::memory_order_acquire)) {
+      const double w = (k % 2 == 0) ? 2.5e-6 : 3.0e-6;
+      server.handle_line("RESIZE 0 " + std::to_string(wr_edge) + " " +
+                         service::format_double(w));
+      server.handle_line("UPDATE");
+      ++k;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  for (auto& c : clients) c.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  done.store(true, std::memory_order_release);
+  writer.join();
+
+  std::uint64_t total = 0, errors = 0;
+  std::vector<double> merged[qwm::service::kVerbCount];
+  for (auto& p : per) {
+    errors += p.errors;
+    for (int v = 0; v < qwm::service::kVerbCount; ++v) {
+      total += p.lat_us[v].size();
+      merged[v].insert(merged[v].end(), p.lat_us[v].begin(),
+                       p.lat_us[v].end());
+    }
+  }
+
+  std::printf("%s: %zu stages, %d clients x %d requests, engine lanes=%d "
+              "cache=%s\n",
+              name, load.stages, flags.clients, flags.requests, flags.threads,
+              flags.cache ? "on" : "off");
+  std::printf("  %.0f QPS over %.3f s (%llu requests, %llu errors)\n",
+              static_cast<double>(total) / wall_s, wall_s,
+              (unsigned long long)total, (unsigned long long)errors);
+  std::printf("  %-10s %10s %10s %10s %8s\n", "verb", "p50[us]", "p99[us]",
+              "max[us]", "count");
+  for (const Verb v : {Verb::kArrival, Verb::kSlack, Verb::kCritPath,
+                       Verb::kStats}) {
+    std::vector<double>& lat = merged[static_cast<int>(v)];
+    if (lat.empty()) continue;
+    const double p50 = pct(&lat, 0.50), p99 = pct(&lat, 0.99);
+    std::printf("  %-10s %10.1f %10.1f %10.1f %8zu\n",
+                service::verb_name(v), p50, p99, lat.back(), lat.size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  std::printf("qwm_serve in-process query throughput (mixed read workload + "
+              "what-if writer)\n\n");
+  const int farm_rows = std::max(flags.rows / 4, 1);
+  run_workload("decoder", make_decoder_design(flags.rows, 4), flags.rows,
+               flags);
+  run_workload("gatefarm", make_gate_farm(farm_rows), farm_rows, flags);
+  return 0;
+}

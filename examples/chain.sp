@@ -1,0 +1,9 @@
+two-inverter chain (serving-mode example deck)
+vdd vdd 0 3.3
+vin in 0 0
+mn0 s1 in 0 0 nmos W=1.5u L=0.35u
+mp0 s1 in vdd vdd pmos W=3u L=0.35u
+mn1 out s1 0 0 nmos W=1.5u L=0.35u
+mp1 out s1 vdd vdd pmos W=3u L=0.35u
+cl out 0 20f
+.end

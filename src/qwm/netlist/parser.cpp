@@ -11,34 +11,44 @@ namespace qwm::netlist {
 
 namespace {
 
+/// One logical deck line plus the 1-based physical line number of its
+/// first physical line — the anchor every diagnostic points at.
+struct SrcLine {
+  std::string text;
+  int line = 0;
+};
+
 /// Splits text into logical lines: strips comments, joins continuations,
-/// lower-cases everything.
-std::vector<std::string> logical_lines(const std::string& text) {
-  std::vector<std::string> raw;
+/// lower-cases everything. Each logical line remembers the physical line
+/// it started on (continuation lines report the line they extend).
+std::vector<SrcLine> logical_lines(const std::string& text) {
+  std::vector<SrcLine> raw;
   std::istringstream in(text);
   std::string line;
+  int lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     // Trailing comment markers.
     for (const char* marker : {"$", ";"}) {
       const auto pos = line.find(marker);
       if (pos != std::string::npos) line.erase(pos);
     }
-    raw.push_back(line);
+    raw.push_back({line, lineno});
   }
-  std::vector<std::string> out;
+  std::vector<SrcLine> out;
   for (std::size_t i = 0; i < raw.size(); ++i) {
-    std::string& l = raw[i];
+    std::string& l = raw[i].text;
     // Trim leading whitespace.
     std::size_t b = l.find_first_not_of(" \t\r");
     if (b == std::string::npos) continue;
     if (l[b] == '*') continue;  // comment line
     if (l[b] == '+') {
-      if (!out.empty()) out.back() += " " + l.substr(b + 1);
+      if (!out.empty()) out.back().text += " " + l.substr(b + 1);
       continue;
     }
-    out.push_back(l.substr(b));
+    out.push_back({l.substr(b), raw[i].line});
   }
-  for (auto& l : out) l = to_lower(l);
+  for (auto& l : out) l.text = to_lower(l.text);
   return out;
 }
 
@@ -65,7 +75,8 @@ std::vector<std::string> tokenize(const std::string& line) {
 struct SubcktDef {
   std::string name;
   std::vector<std::string> pins;
-  std::vector<std::string> body;  ///< logical lines inside the definition
+  std::vector<SrcLine> body;  ///< logical lines inside the definition
+  std::string file;           ///< file the definition appeared in
 };
 
 struct Parser {
@@ -76,8 +87,16 @@ struct Parser {
   std::string base_dir;
   int include_depth = 0;
   int unique_counter = 0;
+  /// Source position of the card being parsed; every diagnostic is
+  /// prefixed "file:line:" so a LOAD failure returned over the qwm_serve
+  /// wire points at the offending deck line.
+  std::string cur_file = "<deck>";
+  int cur_line = 0;
 
-  void error(const std::string& msg) { result.errors.push_back(msg); }
+  void error(const std::string& msg) {
+    result.errors.push_back(cur_file + ":" + std::to_string(cur_line) + ": " +
+                            msg);
+  }
   void warn(const std::string& msg) { result.warnings.push_back(msg); }
 
   bool number(const std::string& tok, double* v) {
@@ -111,7 +130,7 @@ struct Parser {
                   const std::unordered_map<std::string, std::string>& pin_map,
                   const std::string& prefix, int depth);
 
-  void parse_lines(const std::vector<std::string>& lines,
+  void parse_lines(const std::vector<SrcLine>& lines, const std::string& file,
                    const std::unordered_map<std::string, std::string>& pin_map,
                    const std::string& prefix, int depth);
 };
@@ -306,7 +325,8 @@ void Parser::parse_card(
         const NetId actual = net(t[1 + k], pin_map, prefix);
         child_map[def.pins[k]] = result.netlist.net_name(actual);
       }
-      parse_lines(def.body, child_map, inst_name, depth + 1);
+      // Body diagnostics point at the definition site, not the X card.
+      parse_lines(def.body, def.file, child_map, inst_name, depth + 1);
       return;
     }
     default:
@@ -316,11 +336,16 @@ void Parser::parse_card(
 }
 
 void Parser::parse_lines(
-    const std::vector<std::string>& lines,
+    const std::vector<SrcLine>& lines, const std::string& file,
     const std::unordered_map<std::string, std::string>& pin_map,
     const std::string& prefix, int depth) {
   for (std::size_t li = 0; li < lines.size(); ++li) {
-    const std::vector<std::string> t = tokenize(lines[li]);
+    // Anchor diagnostics before touching the card; recursion below
+    // (includes, subckt bodies) moves these and the re-assignment on the
+    // next iteration restores them.
+    cur_file = file;
+    cur_line = lines[li].line;
+    const std::vector<std::string> t = tokenize(lines[li].text);
     if (t.empty()) continue;
     const std::string& head = t[0];
 
@@ -337,10 +362,11 @@ void Parser::parse_lines(
         SubcktDef def;
         def.name = t[1];
         def.pins.assign(t.begin() + 2, t.end());
+        def.file = file;
         // Collect body until .ends.
         std::size_t j = li + 1;
         for (; j < lines.size(); ++j) {
-          const std::vector<std::string> bt = tokenize(lines[j]);
+          const std::vector<std::string> bt = tokenize(lines[j].text);
           if (!bt.empty() && bt[0] == ".ends") break;
           def.body.push_back(lines[j]);
         }
@@ -398,9 +424,10 @@ void Parser::parse_lines(
         std::stringstream ss;
         ss << inc.rdbuf();
         // Included files are card collections, not full decks: no title
-        // line is stripped.
+        // line is stripped. Their diagnostics carry the included path.
         ++include_depth;
-        parse_lines(logical_lines(ss.str()), pin_map, prefix, depth);
+        parse_lines(logical_lines(ss.str()), p.string(), pin_map, prefix,
+                    depth);
         --include_depth;
       } else if (head == ".tran") {
         // .tran <tstep> <tstop>
@@ -477,14 +504,14 @@ bool parse_spice_number(const std::string& token, double* value) {
 
 ParseResult parse_spice(const std::string& text) {
   Parser p;
-  std::vector<std::string> lines = logical_lines(text);
+  std::vector<SrcLine> lines = logical_lines(text);
   // SPICE semantics: the first line is always the title, never a card.
   if (!lines.empty()) lines.erase(lines.begin());
   // First pass registers .subckt defs encountered anywhere; parse_lines
   // already collects them in order, which suffices when definitions
   // precede use (the common layout). A second pass retries X cards is not
   // needed because parse_lines handles the full list sequentially.
-  p.parse_lines(lines, {}, "", 0);
+  p.parse_lines(lines, "<deck>", {}, "", 0);
   return std::move(p.result);
 }
 
@@ -492,16 +519,16 @@ ParseResult parse_spice_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     ParseResult r;
-    r.errors.push_back("cannot open file: " + path);
+    r.errors.push_back(path + ":0: cannot open file: " + path);
     return r;
   }
   std::stringstream ss;
   ss << in.rdbuf();
   Parser p;
   p.base_dir = std::filesystem::path(path).parent_path().string();
-  std::vector<std::string> lines = logical_lines(ss.str());
+  std::vector<SrcLine> lines = logical_lines(ss.str());
   if (!lines.empty()) lines.erase(lines.begin());  // title line
-  p.parse_lines(lines, {}, "", 0);
+  p.parse_lines(lines, path, {}, "", 0);
   return std::move(p.result);
 }
 

@@ -23,6 +23,11 @@ namespace qwm::netlist {
 
 struct ParseResult {
   FlatNetlist netlist;
+  /// Every entry is prefixed "file:line: " (file = the deck path,
+  /// "<deck>" for in-memory text, or the .include path; line = 1-based
+  /// physical line the offending logical line started on), so failures
+  /// surfaced remotely — e.g. over the qwm_serve LOAD verb — point at
+  /// the deck source.
   std::vector<std::string> errors;
   std::vector<std::string> warnings;
   bool ok() const { return errors.empty(); }

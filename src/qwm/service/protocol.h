@@ -1,0 +1,79 @@
+// Wire protocol of the qwm_serve timing-query daemon.
+//
+// Dependency-free, newline-delimited text: every request is one line
+// (verb + space-separated operands), every response is exactly one line
+// beginning with "OK" or "ERR <CODE>". The format is deliberately
+// trivial so any client — the qwm_load generator, a shell script piping
+// into the stdio transport, or a test — can speak it with getline().
+//
+//   LOAD <deck.sp>             parse + partition + full STA analysis
+//   ARRIVAL <net>              rise/fall arrival + slew of one net
+//   SLACK <net> <period>       slack against a clock period (SPICE suffixes ok)
+//   CRITPATH                   worst path from endpoint to primary input
+//   RESIZE <stage> <edge> <w>  stage a transistor resize (width in meters)
+//   UPDATE                     incremental re-analysis of the dirty cone
+//   STATS                      server + cache + per-verb counters
+//   SHUTDOWN                   stop the daemon
+//
+// Doubles are printed with "%.17g" so a response round-trips the exact
+// bits of the engine's answer — the property the cross-engine
+// verification in qwm_load and the service stress test rely on.
+#pragma once
+
+#include <string>
+
+namespace qwm::service {
+
+enum class Verb {
+  kLoad,
+  kArrival,
+  kSlack,
+  kCritPath,
+  kResize,
+  kUpdate,
+  kStats,
+  kShutdown,
+};
+inline constexpr int kVerbCount = 8;
+
+/// Lower-case wire name of a verb ("arrival", "critpath", ...).
+const char* verb_name(Verb v);
+
+struct Request {
+  Verb verb = Verb::kStats;
+  std::string path;    ///< LOAD
+  std::string net;     ///< ARRIVAL / SLACK
+  double period = 0.0; ///< SLACK [s]
+  int stage = -1;      ///< RESIZE
+  int edge = -1;       ///< RESIZE
+  double width = 0.0;  ///< RESIZE [m]
+};
+
+/// Outcome of parsing one request line.
+struct ParsedRequest {
+  bool ok = false;
+  Request request;
+  std::string code;    ///< error code when !ok (BADCMD or ARG)
+  std::string error;   ///< human-readable parse failure
+};
+
+/// Parses a request line (verbs are case-insensitive; blank lines and
+/// '#' comment lines yield !ok with an empty code — callers skip them).
+ParsedRequest parse_request(const std::string& line);
+
+/// Response construction. Both return a full line without the newline.
+std::string ok_line(const std::string& payload);
+std::string err_line(const std::string& code, const std::string& message);
+
+bool is_ok(const std::string& response);
+/// True when the response is "ERR <code> ..." (any code if empty).
+bool is_err(const std::string& response, const std::string& code = "");
+
+/// "%.17g": doubles survive a print/parse round trip bit-exactly.
+std::string format_double(double v);
+
+/// Extracts the value of `key` from an "OK k=v k=v ..." payload line;
+/// empty string when absent.
+std::string response_field(const std::string& response, const std::string& key);
+
+}  // namespace qwm::service

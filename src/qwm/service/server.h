@@ -1,0 +1,144 @@
+// qwm_serve transport + dispatch layer.
+//
+// A Server owns one DesignDb and serves the newline protocol over two
+// transports:
+//
+//  * stdio  — serve_stream(): one client session on an istream/ostream
+//    pair, requests answered in order (the scripted-CI mode).
+//  * TCP    — listen() + serve(): POSIX sockets on 127.0.0.1, one reader
+//    thread per connection, strict request/response per connection,
+//    concurrency across connections.
+//
+// Both transports funnel requests through the same machinery: a *bounded
+// admission queue* drained by worker lanes running on the existing
+// support::ThreadPool (each lane is one long-lived parallel_for index).
+// A full queue rejects immediately with "ERR BUSY" — overload sheds load
+// instead of stalling the readers — and a request that waited in the
+// queue past the configured deadline is answered "ERR DEADLINE" without
+// touching the engine. Queries run under the DesignDb's shared lock;
+// RESIZE/UPDATE/LOAD transactions serialize on its exclusive lock and
+// bump the epoch (see design_db.h).
+//
+// Per-verb request/error/latency counters plus the busy/deadline
+// shed counts are surfaced through the STATS verb.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qwm/service/design_db.h"
+#include "qwm/service/protocol.h"
+#include "qwm/support/thread_pool.h"
+
+namespace qwm::service {
+
+struct ServerOptions {
+  /// Worker lanes draining the admission queue (request concurrency).
+  int threads = 4;
+  /// Bounded admission queue capacity; a full queue answers ERR BUSY.
+  /// 0 rejects everything (useful to test the overload path).
+  int queue_capacity = 64;
+  /// > 0: requests that waited in the queue longer than this are
+  /// answered ERR DEADLINE instead of being executed.
+  double deadline_ms = 0.0;
+  DesignDbOptions db;
+};
+
+/// Request/latency accounting of one verb.
+struct VerbStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct ServerStats {
+  VerbStats verb[kVerbCount];
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t deadline_expirations = 0;
+  std::uint64_t malformed = 0;  ///< lines that failed to parse
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  DesignDb& db() { return db_; }
+  const ServerOptions& options() const { return opt_; }
+
+  /// Parses and executes one request line, returning the one-line
+  /// response. Thread-safe; every transport funnels through this, and
+  /// tests / in-process benches may call it directly (no admission
+  /// queue or deadline on this path).
+  std::string handle_line(const std::string& line);
+
+  /// Stdio transport: serves requests from `in` until EOF or SHUTDOWN.
+  /// Responses are written to `out` in request order. Returns 0 on a
+  /// clean session.
+  int serve_stream(std::istream& in, std::ostream& out);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()). False on failure.
+  bool listen(int port);
+  int port() const { return port_; }
+  /// Accept loop + worker lanes; blocks until SHUTDOWN (verb or
+  /// request_shutdown()). Requires a successful listen().
+  void serve();
+
+  /// Thread-safe: stops accepting, drains in-flight requests, unblocks
+  /// every transport.
+  void request_shutdown();
+  bool shutdown_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  ServerStats stats() const;
+
+ private:
+  struct Conn;
+  struct Job;
+
+  /// Admission + execution for one request line read by a transport:
+  /// enqueue (or shed with BUSY), wait for the worker's response write.
+  void submit_and_wait(const std::shared_ptr<Conn>& conn,
+                       const std::string& line);
+  void worker_loop();
+  void run_workers();   ///< parallel_for the worker lanes (blocks)
+  void reader_loop(std::shared_ptr<Conn> conn);
+  void note_result(Verb v, double ms, bool ok);
+
+  ServerOptions opt_;
+  DesignDb db_;
+  support::ThreadPool pool_;
+  std::atomic<bool> stop_{false};
+
+  // Bounded admission queue.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool queue_closed_ = false;
+
+  // Stats.
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  // TCP state.
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::mutex conns_mu_;
+  std::vector<std::weak_ptr<Conn>> conns_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace qwm::service

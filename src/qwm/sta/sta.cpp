@@ -58,9 +58,16 @@ void StaEngine::set_input_arrival(netlist::NetId net, double rise_time,
 }
 
 const NetTiming& StaEngine::timing(netlist::NetId net) const {
-  static const NetTiming kEmpty{};
+  // The miss path: one immutable invalid record shared by every engine.
+  // Returning it (rather than inserting, or indexing blindly) keeps
+  // timing() const, allocation-free, and safe for unknown ids.
+  static const NetTiming kInvalid{};
   const auto it = timing_.find(net);
-  return it == timing_.end() ? kEmpty : it->second;
+  return it == timing_.end() ? kInvalid : it->second;
+}
+
+bool StaEngine::has_timing(netlist::NetId net) const {
+  return timing_.find(net) != timing_.end();
 }
 
 int StaEngine::thread_count() const {

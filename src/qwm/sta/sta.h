@@ -101,7 +101,24 @@ class StaEngine {
   /// incremental-speedup metric).
   std::size_t update();
 
+  /// Arrival pair of a net. Miss path (unknown id, or a net no analysis
+  /// reached): returns a stable reference to an invalid NetTiming — both
+  /// arrivals have valid() == false — never inserts, never throws. The
+  /// reference stays valid for the program's lifetime, so callers (e.g.
+  /// the qwm_serve daemon answering a malformed ARRIVAL) may hold it
+  /// across queries.
+  ///
+  /// Const query surface = {timing, has_timing, worst_arrival,
+  /// critical_path, compute_slacks, worst_slack, design, cache_stats,
+  /// cache_entries, thread_count}: all safe to call concurrently from
+  /// any number of threads provided no mutating call (run, update,
+  /// resize_transistor, set_input_arrival, clear_cache) runs at the same
+  /// time — the reader side of the serving layer's reader–writer
+  /// discipline.
   const NetTiming& timing(netlist::NetId net) const;
+  /// True when `net` has a timing record (a primary input or an
+  /// evaluated stage output), i.e. timing(net) is not the miss path.
+  bool has_timing(netlist::NetId net) const;
   /// The design's worst arrival (over all stage output nets, both edges).
   double worst_arrival() const;
   /// Critical path from the worst endpoint back to a primary input.

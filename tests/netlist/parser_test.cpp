@@ -133,6 +133,31 @@ TEST(Parser, ReportsErrors) {
   EXPECT_FALSE(parse_spice("t\n.subckt foo a\nr1 a 0 1\n").ok());  // no .ends
 }
 
+TEST(Parser, ErrorsCarryFileAndLine) {
+  // In-memory decks diagnose as "<deck>:<line>: ..." with 1-based
+  // physical line numbers (the title is line 1).
+  const ParseResult r = parse_spice("t\nvdd vdd 0 3.3\nr1 a b banana\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.errors[0].find("<deck>:3: "), 0u) << r.errors[0];
+
+  // A continuation line is reported at the line it extends.
+  const ParseResult c = parse_spice("t\nr1 a b\n+ banana\nr2 a 0 1k\n");
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.errors[0].find("<deck>:2: "), 0u) << c.errors[0];
+
+  // Errors inside a .subckt body point at the definition site, even when
+  // triggered by an X-card expansion further down.
+  const ParseResult s = parse_spice(
+      "t\n.subckt bad a\nr1 a 0 oops\n.ends\nx1 n1 bad\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.errors[0].find("<deck>:3: "), 0u) << s.errors[0];
+
+  // Missing files carry the path with line 0.
+  const ParseResult f = parse_spice_file("/nonexistent/deck.sp");
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.errors[0].find("/nonexistent/deck.sp:0: "), 0u) << f.errors[0];
+}
+
 TEST(Parser, UnknownElementsWarnNotFail) {
   const ParseResult r = parse_spice("t\nl1 a b 1n\nr1 a 0 1k\n");
   EXPECT_TRUE(r.ok());

@@ -1,0 +1,245 @@
+// Concurrent service stress test (tier-1): N client threads hammer
+// ARRIVAL / SLACK / CRITPATH queries against a DesignDb running the
+// multi-threaded engine while a writer thread performs RESIZE + UPDATE
+// transactions. Every reply carries its epoch; a fresh *single-threaded*
+// StaEngine replaying the same edit prefix must produce bit-identical
+// answers at that epoch — the engine's determinism contract means the
+// service's lane count cannot change a single bit. Runs clean under
+// ThreadSanitizer (the tsan preset builds this suite too).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "qwm/circuit/partition.h"
+#include "qwm/netlist/parser.h"
+#include "qwm/service/design_db.h"
+#include "qwm/sta/sta.h"
+#include "../common/test_models.h"
+
+namespace qwm::service {
+namespace {
+
+constexpr int kReaders = 8;
+constexpr int kTransactions = 6;
+constexpr double kPeriod = 2e-9;
+
+/// `chains` independent inverter chains of `depth` stages — enough
+/// parallel structure that the multi-threaded engine actually fans out.
+std::string fanout_deck(int chains, int depth) {
+  std::string deck = "stress farm\nvdd vdd 0 3.3\n";
+  for (int c = 0; c < chains; ++c) {
+    const std::string in = "in" + std::to_string(c);
+    deck += "v" + std::to_string(c) + " " + in + " 0 0\n";
+    std::string prev = in;
+    for (int d = 0; d < depth; ++d) {
+      const std::string out =
+          "n" + std::to_string(c) + "_" + std::to_string(d);
+      const std::string tag = std::to_string(c) + "_" + std::to_string(d);
+      // Vary widths so stages are not all cache-identical.
+      const int w = 15 + 2 * ((c + d) % 3);
+      deck += "mn" + tag + " " + out + " " + prev + " 0 0 nmos W=" +
+              std::to_string(w) + "e-7 L=0.35u\n";
+      deck += "mp" + tag + " " + out + " " + prev + " vdd vdd pmos W=" +
+              std::to_string(2 * w) + "e-7 L=0.35u\n";
+      prev = out;
+    }
+    deck += "cl" + std::to_string(c) + " " + prev + " 0 20f\n";
+  }
+  deck += ".end\n";
+  return deck;
+}
+
+struct Edit {
+  int stage;
+  int edge;
+  double width;
+};
+
+/// Everything the readers verify, frozen per epoch.
+struct Snapshot {
+  std::unordered_map<std::string, sta::NetTiming> timing;
+  std::unordered_map<std::string, sta::StaEngine::Slack> slack;
+  double worst = 0.0;
+};
+
+bool same_arrival(const sta::Arrival& a, const sta::Arrival& b) {
+  return a.valid() == b.valid() && a.time == b.time && a.slew == b.slew;
+}
+
+TEST(ServiceStress, ConcurrentQueriesMatchSerialReferenceAtEveryEpoch) {
+  const std::string deck = fanout_deck(6, 4);
+
+  // --- Reference: serial engine, replayed edit prefix, per-epoch
+  // snapshots taken before the service ever starts.
+  const netlist::ParseResult parsed = netlist::parse_spice(deck);
+  ASSERT_TRUE(parsed.ok());
+  const device::ModelSet models = test::models().tabular_set();
+  auto design = circuit::partition_netlist(parsed.netlist, models);
+  ASSERT_GT(design.stages.size(), 8u);
+
+  std::vector<std::string> nets;
+  for (const auto& info : design.stages)
+    for (netlist::NetId n : info.output_nets)
+      nets.push_back(parsed.netlist.net_name(n));
+  for (netlist::NetId n : design.primary_inputs)
+    nets.push_back(parsed.netlist.net_name(n));
+
+  // Edits target the first transistor edge of rotating stages.
+  std::vector<Edit> edits;
+  for (int k = 0; k < kTransactions; ++k) {
+    const int stage = (k * 3) % static_cast<int>(design.stages.size());
+    const auto& ls = design.stages[stage].stage;
+    int edge = -1;
+    for (std::size_t e = 0; e < ls.edge_count(); ++e)
+      if (ls.edge(static_cast<circuit::EdgeId>(e)).kind !=
+          circuit::DeviceKind::wire) {
+        edge = static_cast<int>(e);
+        break;
+      }
+    ASSERT_GE(edge, 0);
+    edits.push_back({stage, edge, (2.0 + 0.3 * k) * 1e-6});
+  }
+
+  sta::StaOptions serial;
+  serial.threads = 1;
+  sta::StaEngine ref(design, models, serial);
+  ref.run();
+
+  const auto capture = [&] {
+    Snapshot s;
+    for (const auto& name : nets) {
+      const auto id = parsed.netlist.find_net(name);
+      s.timing[name] = ref.timing(*id);
+    }
+    const auto slacks = ref.compute_slacks(kPeriod);
+    for (const auto& name : nets) {
+      const auto it = slacks.find(*parsed.netlist.find_net(name));
+      if (it != slacks.end()) s.slack[name] = it->second;
+    }
+    s.worst = ref.worst_arrival();
+    return s;
+  };
+
+  // Epochs: LOAD -> 1; transaction k stages at 2+2k (timing unchanged)
+  // and commits at 3+2k.
+  std::map<std::uint64_t, Snapshot> snapshots;
+  snapshots[1] = capture();
+  for (int k = 0; k < kTransactions; ++k) {
+    ref.resize_transistor(edits[k].stage,
+                          static_cast<circuit::EdgeId>(edits[k].edge),
+                          edits[k].width);
+    snapshots[2 + 2 * k] = snapshots[1 + 2 * k];
+    ref.update();
+    snapshots[3 + 2 * k] = capture();
+  }
+
+  // --- Service under test: multi-threaded engine.
+  DesignDbOptions opt;
+  opt.sta.threads = 4;
+  DesignDb db(opt);
+  ASSERT_TRUE(db.load_text(deck, "stress").status.ok);
+  ASSERT_EQ(db.epoch(), 1u);
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<std::uint64_t> checks{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> bad_status{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t rng = 0x9e3779b9u * (t + 1);
+      const auto rand = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+      };
+      int iters = 0;
+      int after_done = 0;
+      // Keep reading until the writer is done, then a final sweep so the
+      // last epoch is verified too. The iteration caps bound the test
+      // even if the writer were to stall.
+      while (iters < 200000 && after_done < 50) {
+        ++iters;
+        if (writer_done.load(std::memory_order_acquire)) ++after_done;
+        const std::string& net = nets[rand() % nets.size()];
+        const std::uint64_t pick = rand() % 10;
+        if (pick < 6) {
+          const ArrivalReply r = db.arrival(net);
+          if (!r.status.ok) {
+            ++bad_status;
+            continue;
+          }
+          const Snapshot& snap = snapshots.at(r.epoch);
+          const sta::NetTiming& want = snap.timing.at(net);
+          if (!same_arrival(r.timing.rise, want.rise) ||
+              !same_arrival(r.timing.fall, want.fall))
+            ++mismatches;
+          ++checks;
+        } else if (pick < 8) {
+          const SlackReply r = db.slack(net, kPeriod);
+          if (!r.status.ok) {
+            ++bad_status;
+            continue;
+          }
+          const Snapshot& snap = snapshots.at(r.epoch);
+          sta::StaEngine::Slack want;
+          const auto it = snap.slack.find(net);
+          if (it != snap.slack.end()) want = it->second;
+          if (r.slack.valid != want.valid ||
+              r.slack.required != want.required || r.slack.slack != want.slack)
+            ++mismatches;
+          ++checks;
+        } else {
+          const CritPathReply r = db.critical_path();
+          if (!r.status.ok) {
+            ++bad_status;
+            continue;
+          }
+          if (r.worst != snapshots.at(r.epoch).worst) ++mismatches;
+          ++checks;
+        }
+      }
+    });
+  }
+
+  std::atomic<bool> writer_ok{true};
+  std::thread writer([&] {
+    for (int k = 0; k < kTransactions; ++k) {
+      const MutateReply rs =
+          db.resize(edits[k].stage, edits[k].edge, edits[k].width);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      const MutateReply up = db.update();
+      if (!rs.status.ok || !up.status.ok) writer_ok.store(false);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    // Always release the readers, even on failure.
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_TRUE(writer_ok.load());
+
+  EXPECT_EQ(db.epoch(), 1u + 2u * kTransactions);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(bad_status.load(), 0u);
+  EXPECT_GT(checks.load(), 0u);
+  // The final epoch's answers must equal the final reference state.
+  const ArrivalReply fin = db.arrival(nets.front());
+  ASSERT_TRUE(fin.status.ok);
+  EXPECT_EQ(fin.epoch, 1u + 2u * kTransactions);
+  const Snapshot& last = snapshots.at(fin.epoch);
+  EXPECT_TRUE(same_arrival(fin.timing.rise, last.timing.at(nets.front()).rise));
+  EXPECT_TRUE(same_arrival(fin.timing.fall, last.timing.at(nets.front()).fall));
+}
+
+}  // namespace
+}  // namespace qwm::service

@@ -248,6 +248,32 @@ cl2 c2 0 20f
   }
 }
 
+TEST(Sta, TimingMissPathIsStableAndInvalid) {
+  StaEngine sta(design_from(kChain3), models());
+
+  // Before run(): no net has timing, and the miss path returns the
+  // stable invalid record instead of crashing or inserting.
+  const netlist::NetId b = net_of(kChain3, "b");
+  EXPECT_FALSE(sta.has_timing(b));
+  const NetTiming& miss1 = sta.timing(b);
+  EXPECT_FALSE(miss1.rise.valid());
+  EXPECT_FALSE(miss1.fall.valid());
+
+  sta.run();
+  EXPECT_TRUE(sta.has_timing(b));
+  EXPECT_TRUE(sta.timing(b).rise.valid());
+
+  // Supply rails never receive timing; the miss record is the same
+  // stable object every time (a reference a caller may hold).
+  const netlist::NetId vdd = net_of(kChain3, "vdd");
+  EXPECT_FALSE(sta.has_timing(vdd));
+  const NetTiming& miss2 = sta.timing(vdd);
+  const NetTiming& miss3 = sta.timing(vdd);
+  EXPECT_EQ(&miss2, &miss3);
+  EXPECT_FALSE(miss2.rise.valid());
+  EXPECT_FALSE(miss2.fall.valid());
+}
+
 TEST(Sta, CombinationalCycleWarnsAndSurvives) {
   // Cross-coupled inverters (an SR-latch core) form a stage cycle; the
   // engine must warn and keep analyzing the acyclic part.

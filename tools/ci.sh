@@ -2,7 +2,10 @@
 # Tier-1 CI gate: the labelled test suites, run twice —
 #   1. plain (RelWithDebInfo, preset `default`), and
 #   2. under ThreadSanitizer (preset `tsan`) to catch data races in the
-#      parallel level-synchronous scheduler and the shared memo cache.
+#      parallel level-synchronous scheduler, the shared memo cache, and
+#      the qwm_serve dispatch layer —
+# plus a service smoke stage driving the qwm_serve daemon over both
+# transports (scripted stdio exchange; TCP round with qwm_load).
 # Usage: tools/ci.sh [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,6 +19,41 @@ cmake --build --preset default -j"$(nproc)"
 
 echo "== tier1 tests (plain) =="
 ctest --preset tier1
+
+echo "== service smoke (stdio) =="
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cat > "$smoke_dir/chain.sp" <<'DECK'
+ci smoke chain
+vdd vdd 0 3.3
+vin in 0 0
+mn0 s1 in 0 0 nmos W=1.5u L=0.35u
+mp0 s1 in vdd vdd pmos W=3u L=0.35u
+mn1 out s1 0 0 nmos W=1.5u L=0.35u
+mp1 out s1 vdd vdd pmos W=3u L=0.35u
+cl out 0 20f
+.end
+DECK
+stdio_out=$(printf 'LOAD %s\nARRIVAL out\nRESIZE 0 0 2.5u\nUPDATE\nSTATS\nSHUTDOWN\n' \
+    "$smoke_dir/chain.sp" | ./build/tools/qwm_serve --stdio 2>/dev/null)
+echo "$stdio_out"
+# Six requests -> six responses, all OK, ending with the shutdown ack.
+[[ $(echo "$stdio_out" | wc -l) -eq 6 ]] || { echo "stdio smoke: expected 6 responses"; exit 1; }
+[[ -z $(echo "$stdio_out" | grep -v '^OK') ]] || { echo "stdio smoke: non-OK response"; exit 1; }
+[[ $(echo "$stdio_out" | tail -1) == "OK bye" ]] || { echo "stdio smoke: missing shutdown ack"; exit 1; }
+
+echo "== service smoke (TCP: qwm_serve + qwm_load) =="
+./build/tools/qwm_serve --port 0 --port-file "$smoke_dir/port" --threads 4 \
+    2> "$smoke_dir/serve.log" &
+serve_pid=$!
+for _ in $(seq 50); do [[ -s "$smoke_dir/port" ]] && break; sleep 0.1; done
+[[ -s "$smoke_dir/port" ]] || { echo "qwm_serve did not write its port"; kill "$serve_pid"; exit 1; }
+./build/tools/qwm_load --port "$(cat "$smoke_dir/port")" \
+    --deck "$smoke_dir/chain.sp" --clients 8 --requests 50 \
+    --what-if 3 --verify --shutdown
+wait "$serve_pid" || { echo "qwm_serve exited non-zero"; exit 1; }
+grep -q "clean shutdown" "$smoke_dir/serve.log" || { echo "qwm_serve: no clean shutdown"; exit 1; }
+echo "service smoke passed"
 
 if [[ "$skip_tsan" == 1 ]]; then
   echo "== tier1 under TSan: SKIPPED (--skip-tsan) =="

@@ -8,6 +8,9 @@
 //   --tstop <s>       override stop time       (default: deck or 1n)
 //   --sta [period]    partition the deck and run QWM-based static timing
 //                     analysis; with a period, also report slacks
+//   --threads N       STA worker lanes (same flag as the benches;
+//                     results are bit-identical for any N)
+//   --no-cache        disable the STA stage-evaluation memo cache
 //   --write           echo the elaborated flat netlist as a SPICE deck
 //
 // The deck may carry .model cards (applied onto the CMOSP35-class process
@@ -31,7 +34,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: qwm_sim <deck.sp> [--tran] [--tstep s] [--tstop s] "
-               "[--sta [period]] [--write]\n");
+               "[--sta [period]] [--threads N] [--no-cache] [--write]\n");
   return 2;
 }
 
@@ -75,7 +78,8 @@ void run_transient(const qwm::netlist::FlatNetlist& nl,
 }
 
 void run_sta(const qwm::netlist::FlatNetlist& nl,
-             const qwm::device::ModelSet& models, double period) {
+             const qwm::device::ModelSet& models, double period, int threads,
+             bool use_cache) {
   using namespace qwm;
   auto design = circuit::partition_netlist(nl, models);
   for (const auto& w : design.warnings)
@@ -85,7 +89,10 @@ void run_sta(const qwm::netlist::FlatNetlist& nl,
     std::printf(" %s", nl.net_name(n).c_str());
   std::printf("\n");
 
-  sta::StaEngine sta(std::move(design), models);
+  sta::StaOptions opt;
+  opt.threads = threads;
+  opt.use_cache = use_cache;
+  sta::StaEngine sta(std::move(design), models, opt);
   const std::size_t evals = sta.run();
   for (const auto& w : sta.warnings())
     std::fprintf(stderr, "warning: %s\n", w.c_str());
@@ -117,6 +124,8 @@ int main(int argc, char** argv) {
 
   std::string deck_path;
   bool do_tran = false, do_sta = false, do_write = false;
+  bool use_cache = true;
+  int threads = 1;
   double tstep = -1.0, tstop = -1.0, period = -1.0;
   // CLI values accept SPICE suffixes ("1p", "500p", "2n").
   const auto num_arg = [&](const char* s, double* out) {
@@ -136,6 +145,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--sta") {
       do_sta = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') num_arg(argv[++i], &period);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::fprintf(stderr, "bad --threads value: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--no-cache") {
+      use_cache = false;
     } else if (arg == "--write") {
       do_write = true;
     } else if (arg[0] == '-') {
@@ -176,7 +193,7 @@ int main(int argc, char** argv) {
                                                  : 1e-9);
     run_transient(parsed.netlist, models, step, stop);
   }
-  if (do_sta) run_sta(parsed.netlist, models, period);
+  if (do_sta) run_sta(parsed.netlist, models, period, threads, use_cache);
   if (!do_tran && !do_sta && !do_write && !parsed.netlist.tran.present) {
     std::fprintf(stderr, "deck parsed OK (%zu mosfets, %zu nets); nothing "
                  "to do — pass --tran or --sta\n",
