@@ -27,58 +27,6 @@
 
 namespace {
 
-/// Row-decoder netlist: 3 buffered address lines fan out to `rows` NAND3
-/// rows, each followed by a two-stage wordline driver whose widths cycle
-/// through `variants` sizing variants (as a real decoder sizes drivers by
-/// wordline distance). rows/variants rows are electrically identical.
-/// The address buffers are a 3-stage fanout-of-~4 chain sized for the
-/// full row fan-out, keeping every NAND input slew in the fast regime.
-std::string make_decoder_design(int rows, int variants) {
-  std::ostringstream os;
-  os << "row decoder\n" << "vdd vdd 0 3.3\n";
-  for (int i = 0; i < 3; ++i) {
-    os << "vin" << i << " a" << i << " 0 0\n";
-    os << "mpb" << i << "1 b" << i << "1 a" << i
-       << " vdd vdd pmos w=4u l=0.35u\n";
-    os << "mnb" << i << "1 b" << i << "1 a" << i
-       << " 0 0 nmos w=2u l=0.35u\n";
-    os << "mpb" << i << "2 b" << i << "2 b" << i << "1"
-       << " vdd vdd pmos w=16u l=0.35u\n";
-    os << "mnb" << i << "2 b" << i << "2 b" << i << "1"
-       << " 0 0 nmos w=8u l=0.35u\n";
-    os << "mpb" << i << "3 l" << i << " b" << i << "2"
-       << " vdd vdd pmos w=64u l=0.35u\n";
-    os << "mnb" << i << "3 l" << i << " b" << i << "2"
-       << " 0 0 nmos w=32u l=0.35u\n";
-  }
-  // Extra wire load on address line 0 makes it strictly the latest
-  // arrival, so every row's trigger is l0 — which gates the NMOS nearest
-  // ground, the stack position whose turn-on QWM resolves across the
-  // whole slew range (a top-of-stack trigger leaves the internal nodes
-  // precharged behind a long-dormant gate, a known-hard region shape).
-  os << "cl0 l0 0 10f\n";
-  for (int r = 0; r < rows; ++r) {
-    const double scale = 1.0 + 0.25 * (r % variants);
-    os << "mpr" << r << "a w" << r << " l0 vdd vdd pmos w=2u l=0.35u\n";
-    os << "mpr" << r << "b w" << r << " l1 vdd vdd pmos w=2u l=0.35u\n";
-    os << "mpr" << r << "c w" << r << " l2 vdd vdd pmos w=2u l=0.35u\n";
-    os << "mnr" << r << "a w" << r << " l2 x" << r << "1 0 nmos w=2u l=0.35u\n";
-    os << "mnr" << r << "b x" << r << "1 l1 x" << r
-       << "2 0 nmos w=2u l=0.35u\n";
-    os << "mnr" << r << "c x" << r << "2 l0 0 0 nmos w=2u l=0.35u\n";
-    os << "mpd" << r << "1 d" << r << " w" << r << " vdd vdd pmos w="
-       << 2.0 * scale << "u l=0.35u\n";
-    os << "mnd" << r << "1 d" << r << " w" << r << " 0 0 nmos w="
-       << 1.0 * scale << "u l=0.35u\n";
-    os << "mpd" << r << "2 wl" << r << " d" << r << " vdd vdd pmos w="
-       << 4.0 * scale << "u l=0.35u\n";
-    os << "mnd" << r << "2 wl" << r << " d" << r << " 0 0 nmos w="
-       << 2.0 * scale << "u l=0.35u\n";
-    os << "cwl" << r << " wl" << r << " 0 60f\n";
-  }
-  return os.str();
-}
-
 /// Bitwise comparison of every stage-output arrival of two engines.
 bool identical_timing(const qwm::sta::StaEngine& a,
                       const qwm::sta::StaEngine& b) {
@@ -99,7 +47,7 @@ int run_parallel_sta_section(const qwm::bench::StaBenchFlags& flags) {
   using namespace qwm::bench;
   const int variants = 16;
   const auto parsed =
-      netlist::parse_spice(make_decoder_design(flags.rows, variants));
+      netlist::parse_spice(make_decoder_deck(flags.rows, variants));
   if (!parsed.ok()) {
     std::fprintf(stderr, "decoder netlist parse failed\n");
     return 1;

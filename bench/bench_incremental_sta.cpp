@@ -50,6 +50,9 @@ int main(int argc, char** argv) {
   std::printf("%8s %7s %12s %10s %12s %12s %9s\n", "chains", "stages",
               "full evals", "QWM runs", "incr evals", "incr time", "speedup");
 
+  std::vector<std::string> row_json;
+  core::QwmStats qwm_total;
+  core::WorkspaceStats ws_total;
   for (const int chains : {2, 4, 8, 16}) {
     const int depth = 6;
     const auto parsed = netlist::parse_spice(make_design(chains, depth));
@@ -93,9 +96,42 @@ int main(int argc, char** argv) {
     std::printf("%8d %7d %12zu %10zu %12zu %10.2fms %8.1fx\n", chains,
                 chains * depth, full, flags.cache ? qwm_runs : full, incr,
                 t_incr * 1e3, t_full / (2.0 * t_incr));
+    if (!flags.json_path.empty()) {
+      qwm_total += sta.qwm_stats();
+      const auto ws = sta.workspace_stats();
+      ws_total.high_water_bytes =
+          std::max(ws_total.high_water_bytes, ws.high_water_bytes);
+      ws_total.grow_events += ws.grow_events;
+      ws_total.evals += ws.evals;
+      row_json.push_back(
+          JsonObject()
+              .integer("chains", static_cast<std::uint64_t>(chains))
+              .integer("stages", static_cast<std::uint64_t>(chains * depth))
+              .integer("full_evals", full)
+              .integer("qwm_runs", flags.cache ? qwm_runs : full)
+              .integer("incr_evals", incr)
+              .num("incr_ms", t_incr * 1e3)
+              .num("speedup", t_full / (2.0 * t_incr))
+              .str());
+    }
   }
   std::printf("\n(Evals = logical stage evaluations; QWM runs = cache "
               "misses actually solved. The incremental count tracks the "
               "edited cone, full re-analysis tracks the design.)\n");
+  if (!flags.json_path.empty()) {
+    const std::string doc =
+        "{\n  \"bench\": \"incremental_sta\",\n  \"rows\": " +
+        json_array(row_json, "    ") + ",\n  \"totals\": " +
+        JsonObject()
+            .integer("newton_iters", qwm_total.newton_iterations)
+            .integer("device_evals", qwm_total.device_evals)
+            .integer("warm_starts", qwm_total.warm_starts)
+            .integer("ws_high_water_bytes", ws_total.high_water_bytes)
+            .integer("ws_grow_events", ws_total.grow_events)
+            .str() +
+        "\n}\n";
+    if (!write_text_file(flags.json_path, doc)) return 1;
+    std::printf("wrote %s\n", flags.json_path.c_str());
+  }
   return 0;
 }

@@ -2,14 +2,30 @@
 // engines: device-model evaluation (tabular vs analytic), the tridiagonal
 // and Sherman-Morrison solvers vs dense LU, and a full SPICE step vs a
 // full QWM region solve.
+//
+// Besides the default google-benchmark mode, the binary has a
+// deterministic counter mode for the perf-regression smoke in
+// tools/ci.sh:
+//   --json FILE       run the pinned counter workload, write results
+//   --counters-only   skip the wall-clock kernel medians in --json mode
+//   --budget FILE     compare live work counters against a checked-in
+//                     budget (tools/perf_budget.json); exit 1 on excess
+// Work counters (Newton iterations, device-model evaluations, workspace
+// growth) are machine-deterministic, so the budget check stays stable on
+// loaded CI hosts where wall-clock timing is not.
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
+#include <vector>
 
 #include "common.h"
+#include "qwm/circuit/partition.h"
+#include "qwm/netlist/parser.h"
 #include "qwm/numeric/matrix.h"
 #include "qwm/numeric/sherman_morrison.h"
 #include "qwm/numeric/tridiagonal.h"
+#include "qwm/sta/sta.h"
 
 namespace {
 
@@ -105,6 +121,46 @@ void BM_QwmStackEval(benchmark::State& state) {
 }
 BENCHMARK(BM_QwmStackEval)->Arg(2)->Arg(6)->Arg(10);
 
+// The steady-state engine hot path: repeated evaluations through one
+// persistent scratch workspace (what each STA lane does), instead of a
+// fresh set of buffers per call.
+void BM_QwmStackEvalWs(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto& m = bench::models();
+  const auto stage = circuit::make_nmos_stack(
+      m.proc, std::vector<double>(k, 1.2e-6),
+      circuit::fanout_load_cap(m.proc));
+  const auto inputs = bench::step_inputs(stage);
+  const auto ms = m.set();
+  const core::QwmOptions opt;
+  core::EvalWorkspace ws;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::evaluate_stage(stage, inputs, ms, opt, ws));
+}
+BENCHMARK(BM_QwmStackEvalWs)->Arg(2)->Arg(6)->Arg(10);
+
+// Same stage evaluated by replaying a recorded solve trace — the exact-hit
+// warm-start path the incremental engine takes on re-analysis. Zero Newton
+// iterations; cost is the region replay plus the residual acceptance check.
+void BM_QwmStackEvalWarm(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto& m = bench::models();
+  const auto stage = circuit::make_nmos_stack(
+      m.proc, std::vector<double>(k, 1.2e-6),
+      circuit::fanout_load_cap(m.proc));
+  const auto inputs = bench::step_inputs(stage);
+  const auto ms = m.set();
+  core::EvalWorkspace ws;
+  core::QwmOptions rec_opt;
+  rec_opt.record_trace = true;
+  const auto traced = core::evaluate_stage(stage, inputs, ms, rec_opt, ws);
+  core::QwmOptions opt;
+  opt.warm = &traced.qwm.trace;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::evaluate_stage(stage, inputs, ms, opt, ws));
+}
+BENCHMARK(BM_QwmStackEvalWarm)->Arg(2)->Arg(6)->Arg(10);
+
 void BM_SpiceStackTransient(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   auto& m = bench::models();
@@ -121,6 +177,238 @@ void BM_SpiceStackTransient(benchmark::State& state) {
 }
 BENCHMARK(BM_SpiceStackTransient)->Arg(2)->Arg(6)->Arg(10);
 
+struct KernelFlags {
+  std::string json_path;
+  std::string budget_path;
+  bool counters_only = false;
+};
+
+/// Deterministic counter mode: a pinned workload (NMOS stacks cold+warm,
+/// a 16-row decoder STA run) whose work counters the CI perf smoke
+/// compares against tools/perf_budget.json.
+int run_counter_mode(const KernelFlags& kf) {
+  using namespace qwm::bench;
+  auto& m = models();
+  const auto ms = m.set();
+
+  // Stack evals, cold (trace recorded) then warm (trace replayed). The
+  // replay sees identical inputs, so it must reproduce the delay
+  // bit-for-bit at (near) zero Newton work.
+  std::vector<std::string> stack_json;
+  std::uint64_t stack_newton = 0, stack_devev = 0;
+  for (const int k : {2, 6, 10}) {
+    const auto stage = circuit::make_nmos_stack(
+        m.proc, std::vector<double>(static_cast<std::size_t>(k), 1.2e-6),
+        circuit::fanout_load_cap(m.proc));
+    const auto inputs = step_inputs(stage);
+    core::QwmOptions cold_opt;
+    cold_opt.record_trace = true;
+    const core::StageTiming cold =
+        core::evaluate_stage(stage, inputs, ms, cold_opt);
+    core::QwmOptions warm_opt;
+    warm_opt.warm = &cold.qwm.trace;
+    const core::StageTiming warm =
+        core::evaluate_stage(stage, inputs, ms, warm_opt);
+    if (!cold.ok || !warm.ok) {
+      std::fprintf(stderr, "stack%d evaluation failed\n", k);
+      return 1;
+    }
+    stack_newton += cold.qwm.stats.newton_iterations;
+    stack_devev += cold.qwm.stats.device_evals;
+    stack_json.push_back(
+        JsonObject()
+            .integer("k", static_cast<std::uint64_t>(k))
+            .num("delay", cold.delay.value_or(0.0))
+            .integer("regions", cold.qwm.stats.regions)
+            .integer("newton_cold", cold.qwm.stats.newton_iterations)
+            .integer("newton_warm", warm.qwm.stats.newton_iterations)
+            .integer("device_evals_cold", cold.qwm.stats.device_evals)
+            .integer("device_evals_warm", warm.qwm.stats.device_evals)
+            .integer("lu_fallbacks", cold.qwm.stats.lu_fallbacks)
+            .integer("warm_bit_identical",
+                     warm.delay.value_or(-1.0) == cold.delay.value_or(-2.0)
+                         ? 1
+                         : 0)
+            .str());
+  }
+
+  // Pinned decoder STA run (16 rows, 4 driver variants, one lane, memo
+  // cache on): the end-to-end counter workload.
+  const auto parsed = qwm::netlist::parse_spice(make_decoder_deck(16, 4));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "decoder netlist parse failed\n");
+    return 1;
+  }
+  const auto design = circuit::partition_netlist(parsed.netlist, ms);
+  qwm::sta::StaOptions sopt;
+  sopt.threads = 1;
+  sopt.use_cache = true;
+  qwm::sta::StaEngine engine(design, ms, sopt);
+  const std::size_t evals = engine.run();
+  const auto cache = engine.cache_stats();
+  const auto qs = engine.qwm_stats();
+  const auto ws1 = engine.workspace_stats();
+  // Steady-state allocation check: a second full analysis through the
+  // same per-lane workspaces must not grow any scratch buffer.
+  engine.clear_cache();
+  engine.run();
+  const auto ws2 = engine.workspace_stats();
+  const std::uint64_t ws_grow_steady =
+      static_cast<std::uint64_t>(ws2.grow_events - ws1.grow_events);
+
+  struct Live {
+    const char* key;
+    std::uint64_t value;
+  };
+  const std::vector<Live> live = {
+      {"stack_newton_total", stack_newton},
+      {"stack_device_evals_total", stack_devev},
+      {"decoder_newton_iters", qs.newton_iterations},
+      {"decoder_device_evals", qs.device_evals},
+      {"decoder_qwm_runs", cache.misses},
+      {"ws_grow_steady", ws_grow_steady},
+  };
+  std::printf("pinned counter workload:\n");
+  for (const auto& l : live)
+    std::printf("  %-26s %llu\n", l.key, (unsigned long long)l.value);
+
+  // Optional wall-clock medians of the kernels with recorded baselines
+  // (hand-timed versions of the google-benchmark definitions above).
+  std::vector<std::string> kernel_json;
+  if (!kf.counters_only) {
+    {
+      qwm::device::TerminalVoltages tv{0.0, 1.7, 0.4};
+      const int reps = 1000;
+      const double s = time_seconds([&] {
+        for (int i = 0; i < reps; ++i) {
+          tv.src = tv.src < 3.29 ? tv.src + 0.01 : 0.0;
+          benchmark::DoNotOptimize(m.tab_n.iv_eval(1e-6, 0.35e-6, tv));
+        }
+      });
+      kernel_json.push_back(JsonObject()
+                                .str("name", "tabular_iv_eval")
+                                .num("ns_per_op", s * 1e9 / reps)
+                                .str());
+    }
+    for (const int k : {2, 6, 10}) {
+      const auto stage = circuit::make_nmos_stack(
+          m.proc, std::vector<double>(static_cast<std::size_t>(k), 1.2e-6),
+          circuit::fanout_load_cap(m.proc));
+      const auto inputs = step_inputs(stage);
+      const double s =
+          time_seconds([&] { core::evaluate_stage(stage, inputs, ms); });
+      kernel_json.push_back(JsonObject()
+                                .str("name", "qwm_stack_eval/" +
+                                                 std::to_string(k))
+                                .num("ns_per_op", s * 1e9)
+                                .str());
+      // Steady-state hot path: one persistent workspace across calls,
+      // as each STA lane runs it.
+      const core::QwmOptions opt;
+      core::EvalWorkspace ws;
+      const double sw = time_seconds(
+          [&] { core::evaluate_stage(stage, inputs, ms, opt, ws); });
+      kernel_json.push_back(JsonObject()
+                                .str("name", "qwm_stack_eval_ws/" +
+                                                 std::to_string(k))
+                                .num("ns_per_op", sw * 1e9)
+                                .num("speedup_vs_cold", s / sw)
+                                .str());
+      // Incremental re-analysis hot path: replay a recorded trace through
+      // the persistent workspace (zero Newton iterations on an exact hit).
+      // Timed in the same process as the cold path so the ratio is immune
+      // to host frequency drift between runs.
+      core::QwmOptions rec_opt;
+      rec_opt.record_trace = true;
+      const auto traced = core::evaluate_stage(stage, inputs, ms, rec_opt, ws);
+      core::QwmOptions warm_opt;
+      warm_opt.warm = &traced.qwm.trace;
+      const double swarm = time_seconds(
+          [&] { core::evaluate_stage(stage, inputs, ms, warm_opt, ws); });
+      kernel_json.push_back(JsonObject()
+                                .str("name", "qwm_stack_eval_warm/" +
+                                                 std::to_string(k))
+                                .num("ns_per_op", swarm * 1e9)
+                                .num("speedup_vs_cold", s / swarm)
+                                .str());
+    }
+    for (const auto& j : kernel_json) std::printf("  %s\n", j.c_str());
+  }
+
+  int rc = 0;
+  if (!kf.budget_path.empty()) {
+    std::string text;
+    if (!read_text_file(kf.budget_path, &text)) return 1;
+    for (const auto& l : live) {
+      double b = 0.0;
+      if (!json_find_number(text, l.key, &b)) {
+        std::fprintf(stderr, "perf budget: key %s missing from %s\n", l.key,
+                     kf.budget_path.c_str());
+        rc = 1;
+        continue;
+      }
+      if (static_cast<double>(l.value) > b) {
+        std::fprintf(stderr,
+                     "perf budget EXCEEDED: %s = %llu > budget %.0f\n", l.key,
+                     (unsigned long long)l.value, b);
+        rc = 1;
+      } else {
+        std::printf("perf budget ok: %-26s %llu <= %.0f\n", l.key,
+                    (unsigned long long)l.value, b);
+      }
+    }
+  }
+
+  if (!kf.json_path.empty()) {
+    JsonObject decoder;
+    decoder.integer("rows", 16)
+        .integer("stages", design.stages.size())
+        .integer("evals", evals)
+        .integer("qwm_runs", cache.misses)
+        .integer("newton_iters", qs.newton_iterations)
+        .integer("device_evals", qs.device_evals)
+        .integer("warm_starts", qs.warm_starts)
+        .integer("warm_retries", qs.warm_retries)
+        .integer("lu_fallbacks", qs.lu_fallbacks)
+        .integer("ws_high_water_bytes", ws1.high_water_bytes)
+        .integer("ws_grow_steady", ws_grow_steady);
+    JsonObject counters;
+    for (const auto& l : live) counters.integer(l.key, l.value);
+    std::string doc = "{\n  \"bench\": \"micro_kernels\",\n  \"stacks\": " +
+                      json_array(stack_json, "    ") +
+                      ",\n  \"decoder\": " + decoder.str() +
+                      ",\n  \"counters\": " + counters.str();
+    if (!kernel_json.empty())
+      doc += ",\n  \"kernels\": " + json_array(kernel_json, "    ");
+    doc += "\n}\n";
+    if (!write_text_file(kf.json_path, doc)) return 1;
+    std::printf("wrote %s\n", kf.json_path.c_str());
+  }
+  return rc;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  KernelFlags kf;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      kf.json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc)
+      kf.budget_path = argv[++i];
+    else if (std::strcmp(argv[i], "--counters-only") == 0)
+      kf.counters_only = true;
+    else
+      rest.push_back(argv[i]);
+  }
+  if (!kf.json_path.empty() || !kf.budget_path.empty())
+    return run_counter_mode(kf);
+  int bargc = static_cast<int>(rest.size());
+  benchmark::Initialize(&bargc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,7 +7,7 @@
 // reports sustained QPS and per-verb p50/p99 latency.
 // Flags: --clients N (default 8), --requests M per client (default 400),
 //        --rows N (workload size, default 32), --threads N (engine
-//        lanes, default 4), --no-cache.
+//        lanes, default 4), --no-cache, --json FILE.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.h"
 #include "qwm/service/server.h"
 
 namespace {
@@ -31,6 +32,7 @@ struct Flags {
   int rows = 32;
   int threads = 4;
   bool cache = true;
+  std::string json_path;
 
   static Flags parse(int argc, char** argv) {
     Flags f;
@@ -45,10 +47,13 @@ struct Flags {
         f.threads = std::atoi(argv[++i]);
       else if (std::strcmp(argv[i], "--no-cache") == 0)
         f.cache = false;
+      else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+        f.json_path = argv[++i];
       else {
         std::fprintf(stderr,
                      "unknown flag: %s\nusage: %s [--clients N] "
-                     "[--requests M] [--rows N] [--threads N] [--no-cache]\n",
+                     "[--requests M] [--rows N] [--threads N] [--no-cache] "
+                     "[--json FILE]\n",
                      argv[i], argv[0]);
         std::exit(2);
       }
@@ -60,82 +65,6 @@ struct Flags {
     return f;
   }
 };
-
-/// Fig. 10 shape: 3 buffered address lines fanning out to `rows` NAND3
-/// rows with sized two-stage wordline drivers (see bench_fig10_decoder).
-std::string make_decoder_design(int rows, int variants) {
-  std::ostringstream os;
-  os << "row decoder\n" << "vdd vdd 0 3.3\n";
-  for (int i = 0; i < 3; ++i) {
-    os << "vin" << i << " a" << i << " 0 0\n";
-    os << "mpb" << i << "1 b" << i << "1 a" << i
-       << " vdd vdd pmos w=4u l=0.35u\n";
-    os << "mnb" << i << "1 b" << i << "1 a" << i << " 0 0 nmos w=2u l=0.35u\n";
-    os << "mpb" << i << "2 b" << i << "2 b" << i << "1"
-       << " vdd vdd pmos w=16u l=0.35u\n";
-    os << "mnb" << i << "2 b" << i << "2 b" << i << "1"
-       << " 0 0 nmos w=8u l=0.35u\n";
-    os << "mpb" << i << "3 l" << i << " b" << i << "2"
-       << " vdd vdd pmos w=64u l=0.35u\n";
-    os << "mnb" << i << "3 l" << i << " b" << i << "2"
-       << " 0 0 nmos w=32u l=0.35u\n";
-  }
-  os << "cl0 l0 0 10f\n";
-  for (int r = 0; r < rows; ++r) {
-    const double scale = 1.0 + 0.25 * (r % variants);
-    os << "mpr" << r << "a w" << r << " l0 vdd vdd pmos w=2u l=0.35u\n";
-    os << "mpr" << r << "b w" << r << " l1 vdd vdd pmos w=2u l=0.35u\n";
-    os << "mpr" << r << "c w" << r << " l2 vdd vdd pmos w=2u l=0.35u\n";
-    os << "mnr" << r << "a w" << r << " l2 x" << r << "1 0 nmos w=2u l=0.35u\n";
-    os << "mnr" << r << "b x" << r << "1 l1 x" << r << "2 0 nmos w=2u l=0.35u\n";
-    os << "mnr" << r << "c x" << r << "2 l0 0 0 nmos w=2u l=0.35u\n";
-    os << "mpd" << r << "1 d" << r << " w" << r << " vdd vdd pmos w="
-       << 2.0 * scale << "u l=0.35u\n";
-    os << "mnd" << r << "1 d" << r << " w" << r << " 0 0 nmos w="
-       << 1.0 * scale << "u l=0.35u\n";
-    os << "mpd" << r << "2 wl" << r << " d" << r << " vdd vdd pmos w="
-       << 4.0 * scale << "u l=0.35u\n";
-    os << "mnd" << r << "2 wl" << r << " d" << r << " 0 0 nmos w="
-       << 2.0 * scale << "u l=0.35u\n";
-    os << "cwl" << r << " wl" << r << " 0 60f\n";
-  }
-  return os.str();
-}
-
-/// Table I shape: a buffered stimulus fanning out to `rows` instances of
-/// inv / nand2 / nand3 / nand4 (see bench_table1_gates).
-std::string make_gate_farm(int rows) {
-  std::ostringstream os;
-  os << "table1 gate farm\n" << "vdd vdd 0 3.3\n";
-  os << "vin a 0 0\n";
-  os << "mpb1 b a vdd vdd pmos w=8u l=0.35u\n";
-  os << "mnb1 b a 0 0 nmos w=4u l=0.35u\n";
-  os << "mpb2 in b vdd vdd pmos w=64u l=0.35u\n";
-  os << "mnb2 in b 0 0 nmos w=32u l=0.35u\n";
-  for (int r = 0; r < rows; ++r) {
-    os << "mpi" << r << " yi" << r << " in vdd vdd pmos w=2u l=0.35u\n";
-    os << "mni" << r << " yi" << r << " in 0 0 nmos w=1u l=0.35u\n";
-    os << "ci" << r << " yi" << r << " 0 20f\n";
-    for (int k = 2; k <= 4; ++k) {
-      const std::string y = "yn" + std::to_string(k) + "_" + std::to_string(r);
-      const std::string tag = std::to_string(k) + "_" + std::to_string(r);
-      for (int p = 0; p < k; ++p)
-        os << "mp" << tag << "_" << p << " " << y << " "
-           << (p == 0 ? "in" : "vdd") << " vdd vdd pmos w=2u l=0.35u\n";
-      for (int q = 0; q < k; ++q) {
-        const std::string top =
-            q == 0 ? y : "xn" + tag + "_" + std::to_string(q);
-        const std::string bot =
-            q == k - 1 ? "0" : "xn" + tag + "_" + std::to_string(q + 1);
-        os << "mn" << tag << "_" << q << " " << top << " "
-           << (q == k - 1 ? "in" : "vdd") << " " << bot
-           << " 0 nmos w=2u l=0.35u\n";
-      }
-      os << "cn" << tag << " " << y << " 0 20f\n";
-    }
-  }
-  return os.str();
-}
 
 std::uint64_t next_rand(std::uint64_t* s) {
   *s += 0x9e3779b97f4a7c15ull;
@@ -152,7 +81,7 @@ double pct(std::vector<double>* v, double p) {
 }
 
 void run_workload(const char* name, const std::string& deck, int rows,
-                  const Flags& flags) {
+                  const Flags& flags, std::string* json_out) {
   using namespace qwm;
   service::ServerOptions opt;
   opt.db.sta.threads = flags.threads;
@@ -162,6 +91,11 @@ void run_workload(const char* name, const std::string& deck, int rows,
   if (!load.status.ok) {
     std::fprintf(stderr, "%s: load failed: %s\n", name,
                  load.status.message.c_str());
+    if (json_out != nullptr)
+      *json_out = qwm::bench::JsonObject()
+                      .str("name", name)
+                      .integer("load_failed", 1)
+                      .str();
     return;
   }
 
@@ -267,6 +201,7 @@ void run_workload(const char* name, const std::string& deck, int rows,
               (unsigned long long)total, (unsigned long long)errors);
   std::printf("  %-10s %10s %10s %10s %8s\n", "verb", "p50[us]", "p99[us]",
               "max[us]", "count");
+  std::vector<std::string> verb_json;
   for (const Verb v : {Verb::kArrival, Verb::kSlack, Verb::kCritPath,
                        Verb::kStats}) {
     std::vector<double>& lat = merged[static_cast<int>(v)];
@@ -274,8 +209,28 @@ void run_workload(const char* name, const std::string& deck, int rows,
     const double p50 = pct(&lat, 0.50), p99 = pct(&lat, 0.99);
     std::printf("  %-10s %10.1f %10.1f %10.1f %8zu\n",
                 service::verb_name(v), p50, p99, lat.back(), lat.size());
+    if (json_out != nullptr)
+      verb_json.push_back(qwm::bench::JsonObject()
+                              .str("verb", service::verb_name(v))
+                              .num("p50_us", p50)
+                              .num("p99_us", p99)
+                              .num("max_us", lat.back())
+                              .integer("count", lat.size())
+                              .str());
   }
   std::printf("\n");
+  if (json_out != nullptr) {
+    qwm::bench::JsonObject o;
+    o.str("name", name)
+        .integer("stages", load.stages)
+        .integer("clients", static_cast<std::uint64_t>(flags.clients))
+        .integer("requests", total)
+        .integer("errors", errors)
+        .num("wall_s", wall_s)
+        .num("qps", static_cast<double>(total) / wall_s)
+        .raw("verbs", qwm::bench::json_array(verb_json, "      "));
+    *json_out = o.str();
+  }
 }
 
 }  // namespace
@@ -285,8 +240,18 @@ int main(int argc, char** argv) {
   std::printf("qwm_serve in-process query throughput (mixed read workload + "
               "what-if writer)\n\n");
   const int farm_rows = std::max(flags.rows / 4, 1);
-  run_workload("decoder", make_decoder_design(flags.rows, 4), flags.rows,
-               flags);
-  run_workload("gatefarm", make_gate_farm(farm_rows), farm_rows, flags);
+  const bool want_json = !flags.json_path.empty();
+  std::string decoder_json, farm_json;
+  run_workload("decoder", qwm::bench::make_decoder_deck(flags.rows, 4),
+               flags.rows, flags, want_json ? &decoder_json : nullptr);
+  run_workload("gatefarm", qwm::bench::make_gate_farm_deck(farm_rows),
+               farm_rows, flags, want_json ? &farm_json : nullptr);
+  if (want_json) {
+    const std::string doc =
+        "{\n  \"bench\": \"service_qps\",\n  \"workloads\": " +
+        qwm::bench::json_array({decoder_json, farm_json}, "    ") + "\n}\n";
+    if (!qwm::bench::write_text_file(flags.json_path, doc)) return 1;
+    std::printf("wrote %s\n", flags.json_path.c_str());
+  }
   return 0;
 }

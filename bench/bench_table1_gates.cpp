@@ -23,48 +23,12 @@
 
 namespace {
 
-/// Flat farm netlist: a buffered stimulus line fans out to `rows`
-/// instances each of inv / nand2 / nand3 / nand4. Non-switching NAND
-/// inputs tie to vdd; the stimulus gates the NMOS nearest ground, the
-/// stack position QWM resolves across the full slew range.
-std::string make_gate_farm(int rows) {
-  std::ostringstream os;
-  os << "table1 gate farm\n" << "vdd vdd 0 3.3\n";
-  os << "vin a 0 0\n";
-  os << "mpb1 b a vdd vdd pmos w=8u l=0.35u\n";
-  os << "mnb1 b a 0 0 nmos w=4u l=0.35u\n";
-  os << "mpb2 in b vdd vdd pmos w=64u l=0.35u\n";
-  os << "mnb2 in b 0 0 nmos w=32u l=0.35u\n";
-  for (int r = 0; r < rows; ++r) {
-    os << "mpi" << r << " yi" << r << " in vdd vdd pmos w=2u l=0.35u\n";
-    os << "mni" << r << " yi" << r << " in 0 0 nmos w=1u l=0.35u\n";
-    os << "ci" << r << " yi" << r << " 0 20f\n";
-    for (int k = 2; k <= 4; ++k) {
-      const std::string y = "yn" + std::to_string(k) + "_" + std::to_string(r);
-      const std::string tag = std::to_string(k) + "_" + std::to_string(r);
-      for (int p = 0; p < k; ++p)
-        os << "mp" << tag << "_" << p << " " << y << " "
-           << (p == 0 ? "in" : "vdd") << " vdd vdd pmos w=2u l=0.35u\n";
-      // NMOS chain from output to ground; the bottom device switches.
-      for (int q = 0; q < k; ++q) {
-        const std::string top =
-            q == 0 ? y : "xn" + tag + "_" + std::to_string(q);
-        const std::string bot =
-            q == k - 1 ? "0" : "xn" + tag + "_" + std::to_string(q + 1);
-        os << "mn" << tag << "_" << q << " " << top << " "
-           << (q == k - 1 ? "in" : "vdd") << " " << bot
-           << " 0 nmos w=2u l=0.35u\n";
-      }
-      os << "cn" << tag << " " << y << " 0 20f\n";
-    }
-  }
-  return os.str();
-}
-
-int run_gate_farm_section(const qwm::bench::StaBenchFlags& flags) {
+int run_gate_farm_section(const qwm::bench::StaBenchFlags& flags,
+                          std::string* farm_json) {
   using namespace qwm;
   using namespace qwm::bench;
-  const auto parsed = netlist::parse_spice(make_gate_farm(flags.rows));
+  const auto parsed =
+      netlist::parse_spice(make_gate_farm_deck(flags.rows));
   if (!parsed.ok()) {
     std::fprintf(stderr, "gate farm netlist parse failed\n");
     return 1;
@@ -119,6 +83,26 @@ int run_gate_farm_section(const qwm::bench::StaBenchFlags& flags) {
     std::printf("  %-6s rise %.2f ps  fall %.2f ps\n", net, t.rise.time * 1e12,
                 t.fall.time * 1e12);
   }
+  if (farm_json != nullptr) {
+    const auto qs = serial.qwm_stats();
+    const auto ws = serial.workspace_stats();
+    *farm_json =
+        JsonObject()
+            .integer("rows", static_cast<std::uint64_t>(flags.rows))
+            .integer("stages", design.stages.size())
+            .integer("evals", evals)
+            .integer("qwm_runs", stats.misses)
+            .num("serial_ms", t_serial * 1e3)
+            .num("parallel_ms", t_parallel * 1e3)
+            .integer("bit_identical", same ? 1 : 0)
+            .integer("newton_iters", qs.newton_iterations)
+            .integer("device_evals", qs.device_evals)
+            .integer("warm_starts", qs.warm_starts)
+            .integer("warm_retries", qs.warm_retries)
+            .integer("ws_high_water_bytes", ws.high_water_bytes)
+            .integer("ws_grow_events", ws.grow_events)
+            .str();
+  }
   return same ? 0 : 1;
 }
 
@@ -144,14 +128,64 @@ int main(int argc, char** argv) {
   gates.emplace_back("nand3", circuit::make_nand(proc, 3, load));
   gates.emplace_back("nand4", circuit::make_nand(proc, 4, load));
 
+  std::vector<std::string> gate_json;
   for (const auto& [name, stage] : gates) {
     const ComparisonRow row = compare_stage(name, stage, 500e-12);
     print_comparison_row(row);
     err_sum += std::abs(row.delay_error_pct);
     err_worst = std::max(err_worst, std::abs(row.delay_error_pct));
     ++n;
+
+    if (!flags.json_path.empty()) {
+      // Warm-vs-cold work counters: a cold evaluation records its solve
+      // trace, then a second evaluation replays it. Same inputs, so the
+      // replay must reproduce the delay bit-for-bit at ~zero Newton work.
+      const auto inputs = step_inputs(stage);
+      core::QwmOptions cold_opt;
+      cold_opt.record_trace = true;
+      const core::StageTiming cold =
+          core::evaluate_stage(stage, inputs, models().set(), cold_opt);
+      core::QwmOptions warm_opt;
+      warm_opt.warm = &cold.qwm.trace;
+      const core::StageTiming warm =
+          core::evaluate_stage(stage, inputs, models().set(), warm_opt);
+      gate_json.push_back(
+          JsonObject()
+              .str("name", name)
+              .num("spice_1ps_ms", row.spice_1ps_s * 1e3)
+              .num("spice_10ps_ms", row.spice_10ps_s * 1e3)
+              .num("qwm_ms", row.qwm_s * 1e3)
+              .num("speedup_1ps", row.speedup_1ps)
+              .num("speedup_10ps", row.speedup_10ps)
+              .num("qwm_delay", row.qwm_delay)
+              .num("spice_delay", row.spice_delay)
+              .num("delay_err_pct", row.delay_error_pct)
+              .integer("newton_cold", cold.qwm.stats.newton_iterations)
+              .integer("newton_warm", warm.qwm.stats.newton_iterations)
+              .integer("device_evals_cold", cold.qwm.stats.device_evals)
+              .integer("device_evals_warm", warm.qwm.stats.device_evals)
+              .integer("warm_bit_identical",
+                       warm.ok && cold.ok &&
+                               warm.delay.value_or(-1.0) ==
+                                   cold.delay.value_or(-2.0)
+                           ? 1
+                           : 0)
+              .str());
+    }
   }
   std::printf("\nAverage |delay error| %.2f%%, worst %.2f%%\n", err_sum / n,
               err_worst);
-  return run_gate_farm_section(flags);
+
+  std::string farm_json;
+  const int rc = run_gate_farm_section(
+      flags, flags.json_path.empty() ? nullptr : &farm_json);
+
+  if (!flags.json_path.empty()) {
+    std::string doc = "{\n  \"bench\": \"table1_gates\",\n  \"gates\": " +
+                      json_array(gate_json, "    ") +
+                      ",\n  \"gate_farm\": " + farm_json + "\n}\n";
+    if (!write_text_file(flags.json_path, doc)) return 1;
+    std::printf("wrote %s\n", flags.json_path.c_str());
+  }
+  return rc;
 }

@@ -5,11 +5,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -49,10 +52,12 @@ inline Models& models() {
 ///   --threads N   worker lanes for the parallel engine section (default 4)
 ///   --no-cache    disable the stage-evaluation memo cache
 ///   --rows N      workload size where the harness replicates structures
+///   --json FILE   additionally write the results as a JSON document
 struct StaBenchFlags {
   int threads = 4;
   bool cache = true;
   int rows = 64;
+  std::string json_path;
 
   static StaBenchFlags parse(int argc, char** argv) {
     StaBenchFlags f;
@@ -63,10 +68,12 @@ struct StaBenchFlags {
         f.cache = false;
       else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc)
         f.rows = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+        f.json_path = argv[++i];
       else {
         std::fprintf(stderr,
                      "unknown flag: %s\nusage: %s [--threads N] [--no-cache] "
-                     "[--rows N]\n",
+                     "[--rows N] [--json FILE]\n",
                      argv[i], argv[0]);
         std::exit(2);
       }
@@ -76,6 +83,169 @@ struct StaBenchFlags {
     return f;
   }
 };
+
+/// One-line JSON object builder for the --json bench outputs: numbers are
+/// %.17g doubles or exact integers, strings are assumed to need no
+/// escaping (bench-controlled names only). The emitted documents follow
+/// the repo's golden-file idiom — arrays of one-line objects with fixed
+/// keys — so the sscanf-based readers in tools/ and tests/ can consume
+/// them without a JSON library.
+class JsonObject {
+ public:
+  JsonObject& num(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return raw(key, buf);
+  }
+  JsonObject& integer(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& str(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + v + "\"");
+  }
+  JsonObject& raw(const std::string& key, const std::string& v) {
+    body_ += first_ ? "" : ", ";
+    first_ = false;
+    body_ += "\"" + key + "\": " + v;
+    return *this;
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+  bool first_ = true;
+};
+
+/// Joins one-line JSON items into a multi-line array literal.
+inline std::string json_array(const std::vector<std::string>& items,
+                              const std::string& indent = "  ") {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i)
+    out += (i ? "," : "") + std::string("\n") + indent + items[i];
+  out += "\n" + (indent.size() >= 2 ? indent.substr(2) : "") + "]";
+  return out;
+}
+
+inline bool write_text_file(const std::string& path,
+                            const std::string& text) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  os << text;
+  return static_cast<bool>(os);
+}
+
+inline bool read_text_file(const std::string& path, std::string* out) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Finds `"key": <number>` in a JSON text (the one-line-object idiom the
+/// harnesses emit) without a JSON library. Returns false if absent.
+inline bool json_find_number(const std::string& text, const std::string& key,
+                             double* out) {
+  const std::string needle = "\"" + key + "\"";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto colon = text.find(':', pos + needle.size());
+  if (colon == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+/// Fig. 10 shape shared by the harnesses: 3 buffered address lines fan
+/// out to `rows` NAND3 rows, each followed by a two-stage wordline driver
+/// whose widths cycle through `variants` sizing variants (as a real
+/// decoder sizes drivers by wordline distance); rows/variants rows are
+/// electrically identical, so the memo cache collapses them. The extra
+/// wire load on address line 0 makes it strictly the latest arrival, so
+/// every row's trigger gates the NMOS nearest ground — the stack position
+/// QWM resolves across the full slew range.
+inline std::string make_decoder_deck(int rows, int variants) {
+  std::ostringstream os;
+  os << "row decoder\n" << "vdd vdd 0 3.3\n";
+  for (int i = 0; i < 3; ++i) {
+    os << "vin" << i << " a" << i << " 0 0\n";
+    os << "mpb" << i << "1 b" << i << "1 a" << i
+       << " vdd vdd pmos w=4u l=0.35u\n";
+    os << "mnb" << i << "1 b" << i << "1 a" << i << " 0 0 nmos w=2u l=0.35u\n";
+    os << "mpb" << i << "2 b" << i << "2 b" << i << "1"
+       << " vdd vdd pmos w=16u l=0.35u\n";
+    os << "mnb" << i << "2 b" << i << "2 b" << i << "1"
+       << " 0 0 nmos w=8u l=0.35u\n";
+    os << "mpb" << i << "3 l" << i << " b" << i << "2"
+       << " vdd vdd pmos w=64u l=0.35u\n";
+    os << "mnb" << i << "3 l" << i << " b" << i << "2"
+       << " 0 0 nmos w=32u l=0.35u\n";
+  }
+  os << "cl0 l0 0 10f\n";
+  for (int r = 0; r < rows; ++r) {
+    const double scale = 1.0 + 0.25 * (r % variants);
+    os << "mpr" << r << "a w" << r << " l0 vdd vdd pmos w=2u l=0.35u\n";
+    os << "mpr" << r << "b w" << r << " l1 vdd vdd pmos w=2u l=0.35u\n";
+    os << "mpr" << r << "c w" << r << " l2 vdd vdd pmos w=2u l=0.35u\n";
+    os << "mnr" << r << "a w" << r << " l2 x" << r << "1 0 nmos w=2u l=0.35u\n";
+    os << "mnr" << r << "b x" << r << "1 l1 x" << r << "2 0 nmos w=2u l=0.35u\n";
+    os << "mnr" << r << "c x" << r << "2 l0 0 0 nmos w=2u l=0.35u\n";
+    os << "mpd" << r << "1 d" << r << " w" << r << " vdd vdd pmos w="
+       << 2.0 * scale << "u l=0.35u\n";
+    os << "mnd" << r << "1 d" << r << " w" << r << " 0 0 nmos w="
+       << 1.0 * scale << "u l=0.35u\n";
+    os << "mpd" << r << "2 wl" << r << " d" << r << " vdd vdd pmos w="
+       << 4.0 * scale << "u l=0.35u\n";
+    os << "mnd" << r << "2 wl" << r << " d" << r << " 0 0 nmos w="
+       << 2.0 * scale << "u l=0.35u\n";
+    os << "cwl" << r << " wl" << r << " 0 60f\n";
+  }
+  return os.str();
+}
+
+/// Table I shape shared by the harnesses: a buffered stimulus line fans
+/// out to `rows` instances each of inv / nand2 / nand3 / nand4.
+/// Non-switching NAND inputs tie to vdd; the stimulus gates the NMOS
+/// nearest ground.
+inline std::string make_gate_farm_deck(int rows) {
+  std::ostringstream os;
+  os << "table1 gate farm\n" << "vdd vdd 0 3.3\n";
+  os << "vin a 0 0\n";
+  os << "mpb1 b a vdd vdd pmos w=8u l=0.35u\n";
+  os << "mnb1 b a 0 0 nmos w=4u l=0.35u\n";
+  os << "mpb2 in b vdd vdd pmos w=64u l=0.35u\n";
+  os << "mnb2 in b 0 0 nmos w=32u l=0.35u\n";
+  for (int r = 0; r < rows; ++r) {
+    os << "mpi" << r << " yi" << r << " in vdd vdd pmos w=2u l=0.35u\n";
+    os << "mni" << r << " yi" << r << " in 0 0 nmos w=1u l=0.35u\n";
+    os << "ci" << r << " yi" << r << " 0 20f\n";
+    for (int k = 2; k <= 4; ++k) {
+      const std::string y = "yn" + std::to_string(k) + "_" + std::to_string(r);
+      const std::string tag = std::to_string(k) + "_" + std::to_string(r);
+      for (int p = 0; p < k; ++p)
+        os << "mp" << tag << "_" << p << " " << y << " "
+           << (p == 0 ? "in" : "vdd") << " vdd vdd pmos w=2u l=0.35u\n";
+      // NMOS chain from output to ground; the bottom device switches.
+      for (int q = 0; q < k; ++q) {
+        const std::string top =
+            q == 0 ? y : "xn" + tag + "_" + std::to_string(q);
+        const std::string bot =
+            q == k - 1 ? "0" : "xn" + tag + "_" + std::to_string(q + 1);
+        os << "mn" << tag << "_" << q << " " << top << " "
+           << (q == k - 1 ? "in" : "vdd") << " " << bot
+           << " 0 nmos w=2u l=0.35u\n";
+      }
+      os << "cn" << tag << " " << y << " 0 20f\n";
+    }
+  }
+  return os.str();
+}
 
 /// Median wall-clock seconds of `fn` over enough repetitions to be stable.
 inline double time_seconds(const std::function<void()>& fn,

@@ -279,6 +279,7 @@ PathProblem build_path_problem(const LogicStage& stage,
     el.src_is_far = (e.src == far);
     el.kind = PathProblem::Element::Kind::transistor;
     el.model = &models.model_for(mos_type_of(e.kind));
+    el.tabular = el.model->tabular();
     el.w = e.w;
     el.l = e.l;
     el.input = e.input;

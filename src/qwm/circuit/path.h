@@ -43,6 +43,10 @@ struct PathProblem {
     EdgeId edge = -1;
     // Transistor fields.
     const device::DeviceModel* model = nullptr;
+    /// Concrete tabular model when `model` is one (cached at build time so
+    /// the QWM inner loop takes the devirtualized batched path); nullptr
+    /// for analytic or other models.
+    const device::TabularDeviceModel* tabular = nullptr;
     double w = 0.0, l = 0.0;
     InputId input = -1;          ///< -1 = static gate
     double static_gate = 0.0;

@@ -23,9 +23,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
+#include "qwm/core/warm_trace.h"
 #include "qwm/support/counters.h"
 
 namespace qwm::core {
@@ -40,6 +42,11 @@ struct EvalCacheOptions {
   double load_quantum = 1e-17;
   /// Trigger-time quantization for clamped-ramp keys [s].
   double time_quantum = 1e-13;
+  /// Retain each owner's converged region trace alongside its entry so a
+  /// near-miss lookup (same stage, adjacent slew bucket) can warm-start
+  /// its Newton solves from it. Traces storing more than this many
+  /// doubles are dropped; 0 disables trace retention entirely.
+  std::size_t max_trace_values = 512;
 };
 
 struct StageEvalKey {
@@ -64,6 +71,10 @@ struct CachedStageResult {
   bool ok = false;
   double delay = 0.0;
   double slew = 0.0;
+  /// Converged region solutions (shared, immutable; null when trace
+  /// retention is off or the trace exceeded the size cap). Read-only
+  /// warm-start seed for near-miss evaluations.
+  std::shared_ptr<const WarmTrace> trace;
 };
 
 class StageEvalCache {

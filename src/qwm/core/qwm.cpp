@@ -6,6 +6,7 @@
 #include <limits>
 #include <cstdio>
 
+#include "qwm/core/workspace.h"
 #include "qwm/numeric/matrix.h"
 #include "qwm/numeric/newton.h"
 #include "qwm/numeric/roots.h"
@@ -24,18 +25,38 @@ using Element = PathProblem::Element;
 constexpr double kBoundaryScale = 1e-3;  // [S]
 constexpr double kMinRegionDt = 1e-16;   // [s]
 
-struct ElementCurrent {
-  double j = 0.0;       ///< event-direction current through the element
-  double d_near = 0.0;  ///< dJ/dV(near position)
-  double d_far = 0.0;   ///< dJ/dV(far position)
-  double d_gate = 0.0;  ///< dJ/dG
-};
+/// Maps a device-model evaluation onto the element's event-direction
+/// current (sign and near/far terminal bookkeeping). One function shared
+/// by the scalar and batched device paths so both produce identical bits.
+/// iv flows src -> snk. Event direction matches src -> snk exactly when
+/// src_is_far == discharge (see path.h orientation notes).
+inline ElementCurrent map_iv(const Element& el, bool discharge,
+                             const device::IvEval& iv) {
+  const double sign = (el.src_is_far == discharge) ? 1.0 : -1.0;
+  ElementCurrent out;
+  out.j = sign * iv.i;
+  out.d_gate = sign * iv.d_input;
+  if (el.src_is_far) {
+    out.d_far = sign * iv.d_src;
+    out.d_near = sign * iv.d_snk;
+  } else {
+    out.d_near = sign * iv.d_src;
+    out.d_far = sign * iv.d_snk;
+  }
+  return out;
+}
 
 class Engine {
  public:
   Engine(const PathProblem& prob, const std::vector<numeric::PwlWaveform>& in,
-         const QwmOptions& opt)
-      : prob_(prob), inputs_(in), opt_(opt) {}
+         const QwmOptions& opt, EvalWorkspace& ws)
+      : prob_(prob),
+        inputs_(in),
+        opt_(opt),
+        ws_(ws),
+        v_(ws.v_node),
+        i_(ws.i_node),
+        on_(ws.on_flags) {}
 
   QwmResult run();
 
@@ -43,40 +64,74 @@ class Engine {
   const PathProblem& prob_;
   const std::vector<numeric::PwlWaveform>& inputs_;
   const QwmOptions& opt_;
+  EvalWorkspace& ws_;
   QwmResult res_;
 
   int m_ = 0;          ///< number of path positions
   double v_rail_ = 0;  ///< event rail voltage
   double v_far_ = 0;   ///< opposite rail (worst-case precharge level)
   double tau_ = 0.0;
-  std::vector<double> v_;   ///< node voltages; v_[0] = rail, v_[1..m]
-  std::vector<double> i_;   ///< node currents C dV/dt, index 1..m
-  std::vector<char> on_;    ///< per element: conducting?
+  std::vector<double>& v_;  ///< node voltages; v_[0] = rail, v_[1..m]
+  std::vector<double>& i_;  ///< node currents C dV/dt, index 1..m
+  std::vector<char>& on_;   ///< per element: conducting?
+
+  /// The single concrete tabular model shared by every transistor element
+  /// (resolved once per run), or nullptr -> scalar per-device path.
+  const device::TabularDeviceModel* batch_model_ = nullptr;
+
+  // Warm-start state: replay cursor into opt_.warm and the previous tail
+  // region's converged solution (stored in ws_.prev_tail).
+  int trace_next_ = 0;
+  bool have_prev_tail_ = false;
+  int prev_tail_active_ = -1;
+
+  /// Context of the r = 1 region solve in flight. Lives on the engine so
+  /// the Newton callbacks capture only `this` (small enough for
+  /// std::function's inline storage: no per-region heap traffic).
+  struct RegionCtx {
+    int n = 0;
+    int active = 0;
+    int boundary_elem = -1;
+    int target_node = 0;
+    double v_target = 0.0;
+    bool quad = true;
+    bool off_band = false;
+    double boundary_offband = 0.0;
+  };
+  RegionCtx rc_;
 
   double gate_voltage(const Element& el, double t) const;
   double gate_slope(const Element& el, double t) const;
   /// Event-direction current through element e given full voltages vv.
   ElementCurrent current(std::size_t e, const std::vector<double>& vv,
                          double t);
+  /// Fills jc[0..active+1] with every element's event-direction current:
+  /// jc[e + 1] holds element e (zero past the element list); jc[0] stays
+  /// zero. Takes the batched SoA kernel when batch_model_ is set.
+  void eval_element_currents(int active, const std::vector<double>& vv,
+                             double t, std::vector<ElementCurrent>& jc);
   /// Turn-on residual of a transistor element: positive = conducting.
   double turn_on_residual(std::size_t e, const std::vector<double>& vv,
                           double t) const;
   /// d(vth)/d(source voltage) by central difference (body effect term in
-  /// the boundary-row Jacobian).
-  double vth_slope(std::size_t e, const std::vector<double>& vv,
-                   double t) const;
+  /// the boundary-row Jacobian). Perturbs vv[e] in place and restores it.
+  double vth_slope(std::size_t e, std::vector<double>& vv, double t) const;
 
   void refresh_on_flags(double slack);
   int first_off_transistor() const;
   /// Recomputes node currents i_[1..active] from KCL at (v_, tau_).
   void update_currents(int active);
   /// KCL node currents using start voltages but gates advanced by dt.
-  std::vector<double> probe_end_currents(int active, double dt);
+  void probe_end_currents(int active, double dt, std::vector<double>& i_end);
   void record_region(double t0, double dt, int active,
                      const std::vector<double>& accel,
                      const std::vector<double>& slope);
+  /// warm_dt > 0 overrides the warm seed's region length (used by the
+  /// intra-path seed, whose alphas come from the previous region but
+  /// whose length estimate from the current state is better).
   bool solve_region(int active, int boundary_elem, double v_target,
-                    int target_node, double delta_guess);
+                    int target_node, double delta_guess,
+                    const WarmTrace::Region* warm, double warm_dt = 0.0);
   /// The r = 2 generalization (paper's "r time points"): quadratic node
   /// currents / cubic voltages, matched at the region midpoint and
   /// endpoint. Dense per-region solve over 2*active+1 unknowns.
@@ -91,6 +146,18 @@ class Engine {
   bool advance_to_first_turn_on(std::size_t e);
   double estimate_delta(int active, int boundary_elem, double v_target,
                         int target_node) const;
+
+  // r = 1 Newton callbacks (operate on rc_ and the workspace buffers).
+  void node_voltages(const numeric::Vector& xx, std::vector<double>& out);
+  double ensure_state(const numeric::Vector& xx);
+  bool region_residual(const numeric::Vector& xx, numeric::Vector& f);
+  void region_assemble(const numeric::Vector& xx);
+  bool region_step(const numeric::Vector& xx, const numeric::Vector& f,
+                   numeric::Vector& dx);
+  /// Bookkeeping shared by the r = 1 and r = 2 commits: advances the
+  /// replay cursor and records the trace entry.
+  void note_commit(double dt, const numeric::Vector& xv, int active,
+                   bool placeholder);
 
   void fail(const std::string& msg) {
     res_.ok = false;
@@ -115,12 +182,12 @@ ElementCurrent Engine::current(std::size_t e, const std::vector<double>& vv,
   const Element& el = prob_.elements[e];
   const double v_near = vv[e];      // position e
   const double v_far = vv[e + 1];   // position e + 1
-  ElementCurrent out;
   if (el.kind == Element::Kind::resistor) {
     // Event direction: discharge pulls far -> near, charge pushes
     // near -> far.
     const double g = 1.0 / el.resistance;
     const double dir = prob_.discharge ? 1.0 : -1.0;
+    ElementCurrent out;
     out.j = dir * g * (v_far - v_near);
     out.d_far = dir * g;
     out.d_near = -dir * g;
@@ -136,20 +203,77 @@ ElementCurrent Engine::current(std::size_t e, const std::vector<double>& vv,
     tv.src = v_near;
     tv.snk = v_far;
   }
-  const device::IvEval iv = el.model->iv_eval(el.w, el.l, tv);
-  // iv flows src -> snk. Event direction matches src -> snk exactly when
-  // src_is_far == discharge (see path.h orientation notes).
-  const double sign = (el.src_is_far == prob_.discharge) ? 1.0 : -1.0;
-  out.j = sign * iv.i;
-  out.d_gate = sign * iv.d_input;
-  if (el.src_is_far) {
-    out.d_far = sign * iv.d_src;
-    out.d_near = sign * iv.d_snk;
-  } else {
-    out.d_near = sign * iv.d_src;
-    out.d_far = sign * iv.d_snk;
+  // Devirtualized fast path when the concrete tabular model was cached at
+  // path-build time; identical arithmetic either way.
+  const device::IvEval iv = el.tabular != nullptr
+                                ? el.tabular->iv_eval_fast(el.w, el.l, tv)
+                                : el.model->iv_eval(el.w, el.l, tv);
+  return map_iv(el, prob_.discharge, iv);
+}
+
+void Engine::eval_element_currents(int active, const std::vector<double>& vv,
+                                   double t,
+                                   std::vector<ElementCurrent>& jc) {
+  jc.assign(active + 2, ElementCurrent{});
+  const int e_max =
+      std::min(active, static_cast<int>(prob_.elements.size()) - 1);
+  if (batch_model_ == nullptr) {
+    for (int e = 0; e <= e_max; ++e) jc[e + 1] = current(e, vv, t);
+    return;
   }
-  return out;
+  // Batched SoA path: gather every transistor's frame coordinates, run
+  // one eval_frames over the shared table, then map each result back to
+  // the element orientation. Resistors are evaluated inline during the
+  // gather (same arithmetic as the scalar path).
+  auto& fg = ws_.frame_g;
+  auto& flo = ws_.frame_lo;
+  auto& fhi = ws_.frame_hi;
+  auto& fe = ws_.frame_eval;
+  auto& fidx = ws_.frame_elem;
+  auto& fswap = ws_.frame_swap;
+  fg.clear();
+  flo.clear();
+  fhi.clear();
+  fidx.clear();
+  fswap.clear();
+  for (int e = 0; e <= e_max; ++e) {
+    const Element& el = prob_.elements[e];
+    if (el.kind == Element::Kind::resistor) {
+      const double g = 1.0 / el.resistance;
+      const double dir = prob_.discharge ? 1.0 : -1.0;
+      ElementCurrent out;
+      out.j = dir * g * (vv[e + 1] - vv[e]);
+      out.d_far = dir * g;
+      out.d_near = -dir * g;
+      jc[e + 1] = out;
+      continue;
+    }
+    device::TerminalVoltages tv;
+    tv.input = gate_voltage(el, t);
+    if (el.src_is_far) {
+      tv.src = vv[e + 1];
+      tv.snk = vv[e];
+    } else {
+      tv.src = vv[e];
+      tv.snk = vv[e + 1];
+    }
+    const auto fm = batch_model_->to_frame(tv);
+    fg.push_back(fm.fg);
+    flo.push_back(fm.flo);
+    fhi.push_back(fm.fhi);
+    fidx.push_back(e);
+    fswap.push_back(fm.swapped ? 1 : 0);
+  }
+  const std::size_t nb = fidx.size();
+  res_.stats.device_evals += nb;
+  fe.resize(nb);
+  batch_model_->eval_frames(nb, fg.data(), flo.data(), fhi.data(), fe.data());
+  for (std::size_t b = 0; b < nb; ++b) {
+    const Element& el = prob_.elements[fidx[b]];
+    const device::IvEval iv =
+        batch_model_->from_frame(fe[b], fswap[b] != 0, el.w, el.l);
+    jc[fidx[b] + 1] = map_iv(el, prob_.discharge, iv);
+  }
 }
 
 double Engine::turn_on_residual(std::size_t e, const std::vector<double>& vv,
@@ -170,12 +294,16 @@ double Engine::turn_on_residual(std::size_t e, const std::vector<double>& vv,
   return v_source - tv.input - vth;
 }
 
-double Engine::vth_slope(std::size_t e, const std::vector<double>& vv,
+double Engine::vth_slope(std::size_t e, std::vector<double>& vv,
                          double t) const {
-  std::vector<double> vp = vv;
+  // Perturb the single source-side entry and restore it — the full-vector
+  // copy this used to make per call was the hot path's largest single
+  // allocation source.
   const double h = 1e-3;
-  vp[e] += h;
-  const double r1 = turn_on_residual(e, vp, t);
+  const double saved = vv[e];
+  vv[e] = saved + h;
+  const double r1 = turn_on_residual(e, vv, t);
+  vv[e] = saved;
   const double r0 = turn_on_residual(e, vv, t);
   // turn_on_residual already contains the -dV_source term (+-1); isolate
   // d(residual)/dV_source as a whole instead — callers use it directly.
@@ -233,8 +361,8 @@ bool Engine::advance_to_first_turn_on(std::size_t e) {
     return false;
   }
   // Hold every node flat until the turn-on instant.
-  std::vector<double> zeros(m_ + 1, 0.0);
-  record_region(tau_, *t_on - tau_, /*active=*/0, zeros, zeros);
+  ws_.accel.assign(m_ + 1, 0.0);
+  record_region(tau_, *t_on - tau_, /*active=*/0, ws_.accel, ws_.accel);
   tau_ = *t_on;
   on_[e] = 1;
   res_.critical_times.push_back(tau_);
@@ -266,7 +394,8 @@ double Engine::estimate_delta(int active, int boundary_elem, double v_target,
   return std::clamp(dt, 1e-14, 2e-9);
 }
 
-std::vector<double> Engine::probe_end_currents(int active, double dt) {
+void Engine::probe_end_currents(int active, double dt,
+                                std::vector<double>& i_end) {
   // Expected node currents near the region end. Two effects drive the
   // growth from the ~zero start currents at a critical point: the gate
   // waveforms advance by dt (the first region's step input rising past
@@ -281,7 +410,8 @@ std::vector<double> Engine::probe_end_currents(int active, double dt) {
   // voltages.
   const double v_lo = std::min(v_rail_, v_far_);
   const double v_hi = std::max(v_rail_, v_far_);
-  std::vector<double> vp = v_;
+  std::vector<double>& vp = ws_.vp;
+  vp = v_;
   for (int k = 1; k <= active;) {
     // Cluster [k, k_end]: positions joined by resistor elements.
     int k_end = k;
@@ -298,18 +428,13 @@ std::vector<double> Engine::probe_end_currents(int active, double dt) {
       vp[j] = std::clamp(v_[j] + dv, v_lo, v_hi);
     k = k_end + 1;
   }
-  std::vector<double> j0(active + 2, 0.0);
-  for (int e = 0; e <= active; ++e)
-    j0[e + 1] = (e < static_cast<int>(prob_.elements.size()))
-                    ? current(e, vp, tau_ + dt).j
-                    : 0.0;
-  std::vector<double> i_end(active + 1, 0.0);
+  eval_element_currents(active, vp, tau_ + dt, ws_.jc);
+  i_end.assign(active + 1, 0.0);
   for (int k = 1; k <= active; ++k) {
-    const double j_lower = j0[k];
-    const double j_upper = j0[k + 1];
+    const double j_lower = ws_.jc[k].j;
+    const double j_upper = ws_.jc[k + 1].j;
     i_end[k] = prob_.discharge ? (j_upper - j_lower) : (j_lower - j_upper);
   }
-  return i_end;
 }
 
 void Engine::update_currents(int active) {
@@ -320,315 +445,360 @@ void Engine::update_currents(int active) {
   // boundary) so that a step input that just crossed threshold reads its
   // post-step drive, not the pre-step value frozen at the crossing.
   const double t_plus = tau_ + 2e-15;
-  std::vector<double> j0(active + 2, 0.0);
-  for (int e = 0; e <= active; ++e)
-    j0[e + 1] = (e < static_cast<int>(prob_.elements.size()))
-                    ? current(e, v_, t_plus).j
-                    : 0.0;
+  eval_element_currents(active, v_, t_plus, ws_.jc);
   for (int k = 1; k <= active; ++k) {
-    const double j_lower = j0[k];
-    const double j_upper = j0[k + 1];
+    const double j_lower = ws_.jc[k].j;
+    const double j_upper = ws_.jc[k + 1].j;
     i_[k] = prob_.discharge ? (j_upper - j_lower) : (j_lower - j_upper);
   }
 }
 
-bool Engine::solve_region(int active, int boundary_elem, double v_target,
-                          int target_node, double delta_guess) {
-  // In cubic mode this r = 1 solver still handles turn-on regions and
-  // recovery sub-steps; those use the quadratic waveform.
-  const bool quad = opt_.model != RegionModel::linear;
-  const int n = active + 1;  // alphas (or end currents) + Delta
-  // The tridiagonal fast path requires the boundary row's waveform
-  // coupling to sit on the sub-diagonal, i.e. the governing node must be
-  // the top active position. Split sub-regions can target interior nodes;
-  // they take the dense path.
-  const bool off_band = boundary_elem < 0 && target_node != active;
-
-  // i_[1..active] holds the region-start node currents (update_currents
-  // ran in the caller). For a *turn-on* region the start currents are ~0
-  // (the transistor is exactly at threshold) and a zero-alpha guess would
-  // sit on the Jacobian's degenerate point — seed from a probe of the
-  // end-of-region currents instead. Tail regions start with substantial
-  // currents, so the cheap zero-alpha seed is already well-conditioned
-  // and the probe is skipped (it is the hot path: most regions are tail
-  // matching points).
-  // Probe the end-of-region currents and refine the Delta guess with the
-  // governing node's average current; the probe and the region length are
-  // mutually dependent, so turn-on regions (whose start currents are ~0 —
-  // the critical transistor sits exactly at threshold) iterate twice,
-  // tails once. Consistent seeds keep the Newton iteration inside the
-  // physical root's basin — the quadratic waveform model admits spurious
-  // roots.
-  std::vector<double> i_probe = probe_end_currents(active, delta_guess);
-  {
-    const int kb = (boundary_elem >= 0) ? boundary_elem : target_node;
-    const int passes = (boundary_elem >= 0) ? 2 : 1;
-    if (kb >= 1 && kb <= active) {
-      for (int pass = 0; pass < passes; ++pass) {
-        double dv;
-        if (boundary_elem >= 0) {
-          const Element& el = prob_.elements[boundary_elem];
-          device::TerminalVoltages tv;
-          tv.input = gate_voltage(el, tau_ + delta_guess);
-          tv.src = tv.snk = v_[kb];
-          const double vth = el.model->threshold(tv);
-          dv = (prob_.discharge ? tv.input - vth : tv.input + vth) - v_[kb];
-        } else {
-          dv = v_target - v_[kb];
-        }
-        const double slope =
-            0.5 * (i_[kb] + i_probe[kb]) / prob_.node_caps[kb - 1];
-        if (!(std::abs(slope) > 1e-3)) break;
-        const double dt = dv / slope;
-        if (!(dt > 0.0) || !std::isfinite(dt)) break;
-        delta_guess = std::clamp(dt, 1e-14, 2e-9);
-        i_probe = probe_end_currents(active, delta_guess);
-      }
-    }
+void Engine::node_voltages(const numeric::Vector& xx,
+                           std::vector<double>& out) {
+  const double dt = std::max(xx[rc_.active], kMinRegionDt);
+  out = v_;
+  for (int k = 1; k <= rc_.active; ++k) {
+    const double c = prob_.node_caps[k - 1];
+    if (rc_.quad)
+      out[k] += (i_[k] * dt + 0.5 * xx[k - 1] * dt * dt) / c;
+    else
+      out[k] += xx[k - 1] * dt / c;
   }
-  std::vector<double> x(n, 0.0);
-  for (int k = 1; k <= active; ++k)
-    x[k - 1] = quad ? (i_probe[k] - i_[k]) / std::max(delta_guess, 1e-14)
-                    : i_probe[k];
-  x[active] = delta_guess;
-  if (opt_.trace) {
-    std::fprintf(stderr, "[qwm] region start tau=%.3e active=%d belem=%d "
-                 "dguess=%.3e\n  i_=[", tau_, active, boundary_elem,
-                 delta_guess);
-    for (int k = 1; k <= active; ++k) std::fprintf(stderr, " %.3e", i_[k]);
-    std::fprintf(stderr, " ] i_probe=[");
-    for (int k = 1; k <= active; ++k)
-      std::fprintf(stderr, " %.3e", i_probe[k]);
-    std::fprintf(stderr, " ]\n");
-  }
+}
 
-  std::vector<double> vv(m_ + 1, 0.0);
-  const auto node_voltages = [&](const std::vector<double>& xx,
-                                 std::vector<double>& out) {
-    const double dt = std::max(xx[active], kMinRegionDt);
-    out = v_;
-    for (int k = 1; k <= active; ++k) {
-      const double c = prob_.node_caps[k - 1];
-      if (quad)
-        out[k] += (i_[k] * dt + 0.5 * xx[k - 1] * dt * dt) / c;
-      else
-        out[k] += xx[k - 1] * dt / c;
-    }
-  };
-
-  std::vector<ElementCurrent> jc(active + 2);
-  const auto eval_currents = [&](const std::vector<double>& voltages,
-                                 double t) {
-    for (int e = 0; e <= active; ++e) {
-      if (e < static_cast<int>(prob_.elements.size()))
-        jc[e + 1] = current(e, voltages, t);
-      else
-        jc[e + 1] = ElementCurrent{};
-    }
-  };
-
+double Engine::ensure_state(const numeric::Vector& xx) {
   // The Newton driver evaluates the residual and then the Jacobian at the
   // same point; cache the (voltages, currents) state so the assembly does
   // not re-query the device models.
-  std::vector<double> cache_x;
-  const auto ensure_state = [&](const numeric::Vector& xx) -> double {
-    const double dt = std::max(xx[active], kMinRegionDt);
-    if (cache_x.size() != xx.size() ||
-        !std::equal(cache_x.begin(), cache_x.end(), xx.begin())) {
-      node_voltages(xx, vv);
-      eval_currents(vv, tau_ + dt);
-      cache_x.assign(xx.begin(), xx.end());
-    }
-    return dt;
-  };
+  const double dt = std::max(xx[rc_.active], kMinRegionDt);
+  if (ws_.cache_x.size() != xx.size() ||
+      !std::equal(ws_.cache_x.begin(), ws_.cache_x.end(), xx.begin())) {
+    node_voltages(xx, ws_.vv);
+    eval_element_currents(rc_.active, ws_.vv, tau_ + dt, ws_.jc);
+    ws_.cache_x.assign(xx.begin(), xx.end());
+  }
+  return dt;
+}
 
-  const auto residual = [&](const numeric::Vector& xx,
-                            numeric::Vector& f) -> bool {
-    const double dt = ensure_state(xx);
-    const double t1 = tau_ + dt;
-    f.assign(n, 0.0);
-    for (int k = 1; k <= active; ++k) {
-      const double i_end = quad ? i_[k] + xx[k - 1] * dt : xx[k - 1];
-      const double kcl = prob_.discharge ? (jc[k + 1].j - jc[k].j)
-                                         : (jc[k].j - jc[k + 1].j);
-      f[k - 1] = i_end - kcl;
-    }
-    if (boundary_elem >= 0)
-      f[active] = kBoundaryScale * turn_on_residual(boundary_elem, vv, t1);
-    else
-      f[active] = kBoundaryScale * (vv[target_node] - v_target);
-    if (opt_.trace) {
-      std::fprintf(stderr, "[qwm] tau=%.3e x=[", tau_);
-      for (int i2 = 0; i2 < n; ++i2) std::fprintf(stderr, " %.4e", xx[i2]);
-      std::fprintf(stderr, " ] F=[");
-      for (int i2 = 0; i2 < n; ++i2) std::fprintf(stderr, " %.4e", f[i2]);
-      std::fprintf(stderr, " ] V=[");
-      for (int k = 1; k <= m_; ++k) std::fprintf(stderr, " %.4f", vv[k]);
-      std::fprintf(stderr, " ]\n");
-    }
-    return true;
-  };
+bool Engine::region_residual(const numeric::Vector& xx, numeric::Vector& f) {
+  const double dt = ensure_state(xx);
+  const double t1 = tau_ + dt;
+  const int n = rc_.n;
+  const std::vector<ElementCurrent>& jc = ws_.jc;
+  f.assign(n, 0.0);
+  for (int k = 1; k <= rc_.active; ++k) {
+    const double i_end = rc_.quad ? i_[k] + xx[k - 1] * dt : xx[k - 1];
+    const double kcl = prob_.discharge ? (jc[k + 1].j - jc[k].j)
+                                       : (jc[k].j - jc[k + 1].j);
+    f[k - 1] = i_end - kcl;
+  }
+  if (rc_.boundary_elem >= 0)
+    f[rc_.active] =
+        kBoundaryScale * turn_on_residual(rc_.boundary_elem, ws_.vv, t1);
+  else
+    f[rc_.active] = kBoundaryScale * (ws_.vv[rc_.target_node] - rc_.v_target);
+  if (opt_.trace) {
+    std::fprintf(stderr, "[qwm] tau=%.3e x=[", tau_);
+    for (int i2 = 0; i2 < n; ++i2) std::fprintf(stderr, " %.4e", xx[i2]);
+    std::fprintf(stderr, " ] F=[");
+    for (int i2 = 0; i2 < n; ++i2) std::fprintf(stderr, " %.4e", f[i2]);
+    std::fprintf(stderr, " ] V=[");
+    for (int k = 1; k <= m_; ++k) std::fprintf(stderr, " %.4f", ws_.vv[k]);
+    std::fprintf(stderr, " ]\n");
+  }
+  return true;
+}
 
+void Engine::region_assemble(const numeric::Vector& xx) {
   // Jacobian pieces: tridiagonal block over the waveform parameters plus
   // the dense last (Delta) column, captured as A + u e_n^T. Split
   // sub-regions targeting an interior node add one off-band entry in the
   // boundary row (dense path only).
-  numeric::Tridiagonal a(n);
-  std::vector<double> u(n, 0.0), v_col(n, 0.0);
-  double boundary_offband = 0.0;
-  const auto assemble = [&](const numeric::Vector& xx) {
-    const double dt = ensure_state(xx);
-    const double t1 = tau_ + dt;
-    a.fill(0.0);
-    std::fill(u.begin(), u.end(), 0.0);
-    std::fill(v_col.begin(), v_col.end(), 0.0);
-    v_col[n - 1] = 1.0;
+  const double dt = ensure_state(xx);
+  const double t1 = tau_ + dt;
+  const int n = rc_.n;
+  const int active = rc_.active;
+  numeric::Tridiagonal& a = ws_.tri;
+  std::vector<double>& u = ws_.u_col;
+  std::vector<double>& v_col = ws_.v_col;
+  const std::vector<ElementCurrent>& jc = ws_.jc;
+  a.resize(n);
+  u.assign(n, 0.0);
+  v_col.assign(n, 0.0);
+  v_col[n - 1] = 1.0;
 
-    // dV_k(t1)/d x_{k-1} and /d Delta.
-    std::vector<double> dv_dx(active + 1, 0.0), dv_ddt(active + 1, 0.0);
-    for (int k = 1; k <= active; ++k) {
-      const double c = prob_.node_caps[k - 1];
-      dv_dx[k] = quad ? 0.5 * dt * dt / c : dt / c;
-      dv_ddt[k] = quad ? (i_[k] + xx[k - 1] * dt) / c : xx[k - 1] / c;
+  // dV_k(t1)/d x_{k-1} and /d Delta.
+  std::vector<double>& dv_dx = ws_.dv_dx;
+  std::vector<double>& dv_ddt = ws_.dv_ddt;
+  dv_dx.assign(active + 1, 0.0);
+  dv_ddt.assign(active + 1, 0.0);
+  for (int k = 1; k <= active; ++k) {
+    const double c = prob_.node_caps[k - 1];
+    dv_dx[k] = rc_.quad ? 0.5 * dt * dt / c : dt / c;
+    dv_ddt[k] = rc_.quad ? (i_[k] + xx[k - 1] * dt) / c : xx[k - 1] / c;
+  }
+
+  for (int k = 1; k <= active; ++k) {
+    const int r = k - 1;
+    // d i_end / d x and / d Delta.
+    a.diag[r] += rc_.quad ? dt : 1.0;
+    double du = rc_.quad ? xx[k - 1] : 0.0;
+
+    // d kcl / ... : kcl = dsgn * (J_{k+1} - J_k) * -1 ... expand:
+    // discharge: kcl = J_upper - J_lower = jc[k+1].j - jc[k].j
+    // charge:    kcl = jc[k].j - jc[k+1].j
+    // F = i_end - kcl  =>  dF = d i_end - d kcl.
+    // J_lower = element k-1: near = position k-1, far = position k.
+    // J_upper = element k:   near = position k,   far = position k+1.
+    double dkcl_dvm1, dkcl_dv, dkcl_dvp1;
+    if (prob_.discharge) {
+      dkcl_dvm1 = -jc[k].d_near;
+      dkcl_dv = jc[k + 1].d_near - jc[k].d_far;
+      dkcl_dvp1 = jc[k + 1].d_far;
+    } else {
+      dkcl_dvm1 = jc[k].d_near;
+      dkcl_dv = jc[k].d_far - jc[k + 1].d_near;
+      dkcl_dvp1 = -jc[k + 1].d_far;
+    }
+    // Gate terms (input waveforms move with t1 = tau + Delta).
+    double dkcl_ddt_gate = 0.0;
+    if (k - 1 <= active) {
+      const double gs_low =
+          (prob_.elements[k - 1].kind == Element::Kind::transistor)
+              ? gate_slope(prob_.elements[k - 1], t1)
+              : 0.0;
+      const double gs_up =
+          (k < static_cast<int>(prob_.elements.size()) &&
+           prob_.elements[k].kind == Element::Kind::transistor)
+              ? gate_slope(prob_.elements[k], t1)
+              : 0.0;
+      if (prob_.discharge)
+        dkcl_ddt_gate = jc[k + 1].d_gate * gs_up - jc[k].d_gate * gs_low;
+      else
+        dkcl_ddt_gate = jc[k].d_gate * gs_low - jc[k + 1].d_gate * gs_up;
     }
 
-    for (int k = 1; k <= active; ++k) {
-      const int r = k - 1;
-      // d i_end / d x and / d Delta.
-      a.diag[r] += quad ? dt : 1.0;
-      double du = quad ? xx[k - 1] : 0.0;
+    // Chain through dV/dx (only active positions move).
+    if (k - 1 >= 1) a.lower[r] -= dkcl_dvm1 * dv_dx[k - 1];
+    a.diag[r] -= dkcl_dv * dv_dx[k];
+    if (k + 1 <= active) a.upper[r] -= dkcl_dvp1 * dv_dx[k + 1];
+    // Delta column.
+    du -= dkcl_dvm1 * (k - 1 >= 1 ? dv_ddt[k - 1] : 0.0);
+    du -= dkcl_dv * dv_ddt[k];
+    du -= dkcl_dvp1 * (k + 1 <= active ? dv_ddt[k + 1] : 0.0);
+    du -= dkcl_ddt_gate;
+    u[r] = du;
+  }
 
-      // d kcl / ... : kcl = dsgn * (J_{k+1} - J_k) * -1 ... expand:
-      // discharge: kcl = J_upper - J_lower = jc[k+1].j - jc[k].j
-      // charge:    kcl = jc[k].j - jc[k+1].j
-      // F = i_end - kcl  =>  dF = d i_end - d kcl.
-      // J_lower = element k-1: near = position k-1, far = position k.
-      // J_upper = element k:   near = position k,   far = position k+1.
-      double dkcl_dvm1, dkcl_dv, dkcl_dvp1;
-      if (prob_.discharge) {
-        dkcl_dvm1 = -jc[k].d_near;
-        dkcl_dv = jc[k + 1].d_near - jc[k].d_far;
-        dkcl_dvp1 = jc[k + 1].d_far;
-      } else {
-        dkcl_dvm1 = jc[k].d_near;
-        dkcl_dv = jc[k].d_far - jc[k + 1].d_near;
-        dkcl_dvp1 = -jc[k + 1].d_far;
-      }
-      // Gate terms (input waveforms move with t1 = tau + Delta).
-      double dkcl_ddt_gate = 0.0;
-      if (k - 1 <= active) {
-        const double gs_low =
-            (prob_.elements[k - 1].kind == Element::Kind::transistor)
-                ? gate_slope(prob_.elements[k - 1], t1)
-                : 0.0;
-        const double gs_up =
-            (k < static_cast<int>(prob_.elements.size()) &&
-             prob_.elements[k].kind == Element::Kind::transistor)
-                ? gate_slope(prob_.elements[k], t1)
-                : 0.0;
-        if (prob_.discharge)
-          dkcl_ddt_gate = jc[k + 1].d_gate * gs_up - jc[k].d_gate * gs_low;
-        else
-          dkcl_ddt_gate = jc[k].d_gate * gs_low - jc[k + 1].d_gate * gs_up;
-      }
-
-      // Chain through dV/dx (only active positions move).
-      if (k - 1 >= 1) a.lower[r] -= dkcl_dvm1 * dv_dx[k - 1];
-      a.diag[r] -= dkcl_dv * dv_dx[k];
-      if (k + 1 <= active) a.upper[r] -= dkcl_dvp1 * dv_dx[k + 1];
-      // Delta column.
-      du -= dkcl_dvm1 * (k - 1 >= 1 ? dv_ddt[k - 1] : 0.0);
-      du -= dkcl_dv * dv_ddt[k];
-      du -= dkcl_dvp1 * (k + 1 <= active ? dv_ddt[k + 1] : 0.0);
-      du -= dkcl_ddt_gate;
-      u[r] = du;
+  // Boundary row (index n-1): depends on the governing node's waveform
+  // parameter and on Delta.
+  {
+    const int r = n - 1;
+    const int kb = (rc_.boundary_elem >= 0) ? active : rc_.target_node;
+    double db_dv;  // d boundary / d V_{kb}
+    double db_ddt_extra = 0.0;
+    if (rc_.boundary_elem >= 0) {
+      db_dv = vth_slope(rc_.boundary_elem, ws_.vv, t1);
+      const Element& el = prob_.elements[rc_.boundary_elem];
+      const double gs = gate_slope(el, t1);
+      db_ddt_extra = prob_.discharge ? gs : -gs;
+    } else {
+      db_dv = 1.0;  // target-node crossing
     }
+    rc_.boundary_offband = 0.0;
+    if (kb == active) {
+      if (active >= 1) a.lower[r] = kBoundaryScale * db_dv * dv_dx[active];
+    } else {
+      // Off-band coupling (split sub-regions); consumed by the dense
+      // assembly below.
+      rc_.boundary_offband = kBoundaryScale * db_dv * dv_dx[kb];
+    }
+    a.diag[r] = kBoundaryScale * (db_dv * dv_ddt[kb] + db_ddt_extra);
+    // The Delta-column entry for this row lives in A's diagonal; u[r]
+    // stays 0 so that A + u e_n^T reproduces the full matrix.
+    u[r] = 0.0;
+  }
+}
 
-    // Boundary row (index n-1): depends on the governing node's waveform
-    // parameter and on Delta.
+bool Engine::region_step(const numeric::Vector& xx, const numeric::Vector& f,
+                         numeric::Vector& dx) {
+  region_assemble(xx);
+  ++res_.stats.linear_solves;
+  const int n = rc_.n;
+  numeric::Vector& rhs = ws_.rhs;
+  rhs.assign(n, 0.0);
+  for (int i2 = 0; i2 < n; ++i2) rhs[i2] = -f[i2];
+  bool solved = false;
+  if (opt_.solver == RegionSolver::tridiagonal && !rc_.off_band) {
+    solved = numeric::sherman_morrison_solve(ws_.tri, ws_.u_col, ws_.v_col,
+                                             rhs, dx, ws_.sm);
+    if (!solved) ++res_.stats.lu_fallbacks;
+  }
+  if (!solved) {
+    // Dense assembly from the same pieces.
+    numeric::Matrix& jmat = ws_.jmat;
+    jmat.resize(n, n);
+    for (int r2 = 0; r2 < n; ++r2) {
+      jmat(r2, r2) = ws_.tri.diag[r2];
+      if (r2 > 0) jmat(r2, r2 - 1) = ws_.tri.lower[r2];
+      if (r2 + 1 < n) jmat(r2, r2 + 1) = ws_.tri.upper[r2];
+      jmat(r2, n - 1) += ws_.u_col[r2];
+    }
+    if (rc_.off_band && rc_.target_node >= 1)
+      jmat(n - 1, rc_.target_node - 1) += rc_.boundary_offband;
+    numeric::LuFactorization lu(jmat);
+    if (!lu.ok()) return false;
+    dx = lu.solve(rhs);
+  }
+  // Trust region on the region length: Delta may neither collapse below
+  // a fifth of its current value nor quintuple in one Newton step. The
+  // whole direction is scaled so the step stays a Newton direction.
+  const double d_cur = std::max(xx[n - 1], kMinRegionDt);
+  const double d_new = xx[n - 1] + dx[n - 1];
+  double scale = 1.0;
+  if (d_new < 0.2 * d_cur)
+    scale = (0.2 * d_cur - xx[n - 1]) / dx[n - 1];
+  else if (d_new > 5.0 * d_cur)
+    scale = (5.0 * d_cur - xx[n - 1]) / dx[n - 1];
+  if (scale < 1.0 && scale > 0.0)
+    for (double& d : dx) d *= scale;
+  return true;
+}
+
+void Engine::note_commit(double dt, const numeric::Vector& xv, int active,
+                         bool placeholder) {
+  ++trace_next_;
+  if (!opt_.record_trace) return;
+  WarmTrace::Region r;
+  if (!placeholder) {
+    r.delta = dt;
+    r.alphas.assign(xv.begin(), xv.begin() + active);
+  }
+  res_.trace.regions.push_back(std::move(r));
+}
+
+bool Engine::solve_region(int active, int boundary_elem, double v_target,
+                          int target_node, double delta_guess,
+                          const WarmTrace::Region* warm, double warm_dt) {
+  // In cubic mode this r = 1 solver still handles turn-on regions and
+  // recovery sub-steps; those use the quadratic waveform.
+  const bool quad = opt_.model != RegionModel::linear;
+  const int n = active + 1;  // alphas (or end currents) + Delta
+  rc_ = RegionCtx{};
+  rc_.n = n;
+  rc_.active = active;
+  rc_.boundary_elem = boundary_elem;
+  rc_.target_node = target_node;
+  rc_.v_target = v_target;
+  rc_.quad = quad;
+  // The tridiagonal fast path requires the boundary row's waveform
+  // coupling to sit on the sub-diagonal, i.e. the governing node must be
+  // the top active position. Split sub-regions can target interior nodes;
+  // they take the dense path.
+  rc_.off_band = boundary_elem < 0 && target_node != active;
+  ws_.cache_x.clear();  // never reuse a previous region's Newton state
+
+  numeric::Vector& xv = ws_.xv;
+  xv.assign(n, 0.0);
+  if (warm != nullptr) {
+    // Warm start: the previous region's (or a replay trace's) converged
+    // parameters are already inside the physical root's basin, so the
+    // end-current probes — pure device-eval overhead — are skipped. The
+    // converged solution is still pinned by the same residual/tolerance.
+    ++res_.stats.warm_starts;
+    for (int k = 1; k <= active; ++k) xv[k - 1] = warm->alphas[k - 1];
+    xv[active] = warm_dt > 0.0 ? warm_dt
+                               : std::clamp(warm->delta, 1e-14, 2e-9);
+    if (opt_.trace)
+      std::fprintf(stderr,
+                   "[qwm] region start tau=%.3e active=%d belem=%d warm "
+                   "delta=%.3e\n",
+                   tau_, active, boundary_elem, xv[active]);
+  } else {
+    // i_[1..active] holds the region-start node currents (update_currents
+    // ran in the caller). For a *turn-on* region the start currents are ~0
+    // (the transistor is exactly at threshold) and a zero-alpha guess would
+    // sit on the Jacobian's degenerate point — seed from a probe of the
+    // end-of-region currents instead. Tail regions start with substantial
+    // currents, so the cheap zero-alpha seed is already well-conditioned
+    // and the probe is skipped (it is the hot path: most regions are tail
+    // matching points).
+    // Probe the end-of-region currents and refine the Delta guess with the
+    // governing node's average current; the probe and the region length are
+    // mutually dependent, so turn-on regions (whose start currents are ~0 —
+    // the critical transistor sits exactly at threshold) iterate twice,
+    // tails once. Consistent seeds keep the Newton iteration inside the
+    // physical root's basin — the quadratic waveform model admits spurious
+    // roots.
+    std::vector<double>& i_probe = ws_.i_probe;
+    probe_end_currents(active, delta_guess, i_probe);
     {
-      const int r = n - 1;
-      const int kb = (boundary_elem >= 0) ? active : target_node;
-      double db_dv;  // d boundary / d V_{kb}
-      double db_ddt_extra = 0.0;
-      if (boundary_elem >= 0) {
-        db_dv = vth_slope(boundary_elem, vv, t1);
-        const Element& el = prob_.elements[boundary_elem];
-        const double gs = gate_slope(el, t1);
-        db_ddt_extra = prob_.discharge ? gs : -gs;
-      } else {
-        db_dv = 1.0;  // target-node crossing
+      const int kb = (boundary_elem >= 0) ? boundary_elem : target_node;
+      const int passes = (boundary_elem >= 0) ? 2 : 1;
+      if (kb >= 1 && kb <= active) {
+        for (int pass = 0; pass < passes; ++pass) {
+          double dv;
+          if (boundary_elem >= 0) {
+            const Element& el = prob_.elements[boundary_elem];
+            device::TerminalVoltages tv;
+            tv.input = gate_voltage(el, tau_ + delta_guess);
+            tv.src = tv.snk = v_[kb];
+            const double vth = el.model->threshold(tv);
+            dv = (prob_.discharge ? tv.input - vth : tv.input + vth) - v_[kb];
+          } else {
+            dv = v_target - v_[kb];
+          }
+          const double slope =
+              0.5 * (i_[kb] + i_probe[kb]) / prob_.node_caps[kb - 1];
+          if (!(std::abs(slope) > 1e-3)) break;
+          const double dt = dv / slope;
+          if (!(dt > 0.0) || !std::isfinite(dt)) break;
+          delta_guess = std::clamp(dt, 1e-14, 2e-9);
+          probe_end_currents(active, delta_guess, i_probe);
+        }
       }
-      boundary_offband = 0.0;
-      if (kb == active) {
-        if (active >= 1) a.lower[r] = kBoundaryScale * db_dv * dv_dx[active];
-      } else {
-        // Off-band coupling (split sub-regions); consumed by the dense
-        // assembly below.
-        boundary_offband = kBoundaryScale * db_dv * dv_dx[kb];
-      }
-      a.diag[r] = kBoundaryScale * (db_dv * dv_ddt[kb] + db_ddt_extra);
-      // The Delta-column entry for this row lives in A's diagonal; u[r]
-      // stays 0 so that A + u e_n^T reproduces the full matrix.
-      u[r] = 0.0;
     }
-  };
-
-  const auto step = [&](const numeric::Vector& xx, const numeric::Vector& f,
-                        numeric::Vector& dx) -> bool {
-    assemble(xx);
-    ++res_.stats.linear_solves;
-    numeric::Vector rhs(n);
-    for (int i2 = 0; i2 < n; ++i2) rhs[i2] = -f[i2];
-    bool solved = false;
-    if (opt_.solver == RegionSolver::tridiagonal && !off_band) {
-      solved = numeric::sherman_morrison_solve(a, u, v_col, rhs, dx);
-      if (!solved) ++res_.stats.lu_fallbacks;
+    for (int k = 1; k <= active; ++k)
+      xv[k - 1] = quad ? (i_probe[k] - i_[k]) / std::max(delta_guess, 1e-14)
+                       : i_probe[k];
+    xv[active] = delta_guess;
+    if (opt_.trace) {
+      std::fprintf(stderr, "[qwm] region start tau=%.3e active=%d belem=%d "
+                   "dguess=%.3e\n  i_=[", tau_, active, boundary_elem,
+                   delta_guess);
+      for (int k = 1; k <= active; ++k) std::fprintf(stderr, " %.3e", i_[k]);
+      std::fprintf(stderr, " ] i_probe=[");
+      for (int k = 1; k <= active; ++k)
+        std::fprintf(stderr, " %.3e", i_probe[k]);
+      std::fprintf(stderr, " ]\n");
     }
-    if (!solved) {
-      // Dense assembly from the same pieces.
-      numeric::Matrix jmat(n, n);
-      for (int r2 = 0; r2 < n; ++r2) {
-        jmat(r2, r2) = a.diag[r2];
-        if (r2 > 0) jmat(r2, r2 - 1) = a.lower[r2];
-        if (r2 + 1 < n) jmat(r2, r2 + 1) = a.upper[r2];
-        jmat(r2, n - 1) += u[r2];
-      }
-      if (off_band && target_node >= 1)
-        jmat(n - 1, target_node - 1) += boundary_offband;
-      numeric::LuFactorization lu(jmat);
-      if (!lu.ok()) return false;
-      dx = lu.solve(rhs);
-    }
-    // Trust region on the region length: Delta may neither collapse below
-    // a fifth of its current value nor quintuple in one Newton step. The
-    // whole direction is scaled so the step stays a Newton direction.
-    const double d_cur = std::max(xx[n - 1], kMinRegionDt);
-    const double d_new = xx[n - 1] + dx[n - 1];
-    double scale = 1.0;
-    if (d_new < 0.2 * d_cur)
-      scale = (0.2 * d_cur - xx[n - 1]) / dx[n - 1];
-    else if (d_new > 5.0 * d_cur)
-      scale = (5.0 * d_cur - xx[n - 1]) / dx[n - 1];
-    if (scale < 1.0 && scale > 0.0)
-      for (double& d : dx) d *= scale;
-    return true;
-  };
+  }
 
   numeric::NewtonOptions nopt;
   nopt.max_iterations = opt_.nr_max_iterations;
   nopt.f_tolerance = opt_.f_tolerance;
   nopt.x_tolerance = 0.0;  // judge convergence on the residual only
   nopt.max_backtracks = 10;
-  numeric::Vector xv(x.begin(), x.end());
-  const numeric::NewtonResult nr = numeric::newton_solve(residual, step, xv,
-                                                         nopt);
+  // [this]-only captures fit std::function's inline storage: building
+  // these callbacks allocates nothing.
+  const numeric::ResidualFn residual =
+      [this](const numeric::Vector& xx, numeric::Vector& f) {
+        return region_residual(xx, f);
+      };
+  const numeric::LinearStepFn step =
+      [this](const numeric::Vector& xx, const numeric::Vector& f,
+             numeric::Vector& dx) { return region_step(xx, f, dx); };
+  const numeric::NewtonResult nr =
+      numeric::newton_solve(residual, step, xv, nopt, ws_.newton);
   res_.stats.newton_iterations += nr.iterations;
   if (!nr.converged && nr.residual_norm > 1e-6) return false;
 
   // Commit the region.
   const double dt = std::max(xv[active], kMinRegionDt);
-  std::vector<double> accel(m_ + 1, 0.0), slope(m_ + 1, 0.0);
+  std::vector<double>& accel = ws_.accel;
+  std::vector<double>& slope = ws_.slope;
+  accel.assign(m_ + 1, 0.0);
+  slope.assign(m_ + 1, 0.0);
   for (int k = 1; k <= active; ++k) {
     const double c = prob_.node_caps[k - 1];
     if (quad) {
@@ -641,14 +811,27 @@ bool Engine::solve_region(int active, int boundary_elem, double v_target,
   }
   record_region(tau_, dt, active, accel, slope);
 
-  node_voltages(xv, vv);
+  node_voltages(xv, ws_.vv);
+  ws_.prev_i_start.assign(i_.begin() + 1, i_.begin() + 1 + active);
   for (int k = 1; k <= active; ++k) {
-    v_[k] = vv[k];
+    v_[k] = ws_.vv[k];
     i_[k] = quad ? i_[k] + xv[k - 1] * dt : xv[k - 1];
   }
   tau_ += dt;
   res_.critical_times.push_back(tau_);
   ++res_.stats.regions;
+
+  // Warm-start bookkeeping: a committed tail region seeds the next one;
+  // a turn-on region changes the current pattern too much to reuse.
+  if (opt_.warm_intra && boundary_elem < 0) {
+    ws_.prev_tail.delta = dt;
+    ws_.prev_tail.alphas.assign(xv.begin(), xv.begin() + active);
+    have_prev_tail_ = true;
+    prev_tail_active_ = active;
+  } else {
+    have_prev_tail_ = false;
+  }
+  note_commit(dt, xv, active, /*placeholder=*/false);
   return true;
 }
 
@@ -660,7 +843,8 @@ bool Engine::solve_region_cubic(int active, int boundary_elem,
 
   // Seeds: alpha from the end-current probe (as in the r = 1 model),
   // beta = 0, Delta refined from the governing node's average current.
-  std::vector<double> i_probe = probe_end_currents(A, delta_guess);
+  std::vector<double>& i_probe = ws_.i_probe;
+  probe_end_currents(A, delta_guess, i_probe);
   {
     const int kb = (boundary_elem >= 0) ? boundary_elem : target_node;
     const int passes = (boundary_elem >= 0) ? 2 : 1;
@@ -683,17 +867,19 @@ bool Engine::solve_region_cubic(int active, int boundary_elem,
         const double dt = dv / slope;
         if (!(dt > 0.0) || !std::isfinite(dt)) break;
         delta_guess = std::clamp(dt, 1e-14, 2e-9);
-        i_probe = probe_end_currents(A, delta_guess);
+        probe_end_currents(A, delta_guess, i_probe);
       }
     }
   }
-  std::vector<double> x(n, 0.0);
+  numeric::Vector& xv = ws_.xv;
+  xv.assign(n, 0.0);
   for (int k = 1; k <= A; ++k)
-    x[k - 1] = (i_probe[k] - i_[k]) / std::max(delta_guess, 1e-14);
-  x[n - 1] = delta_guess;
+    xv[k - 1] = (i_probe[k] - i_[k]) / std::max(delta_guess, 1e-14);
+  xv[n - 1] = delta_guess;
 
   // Node voltages at offset s into the region.
-  std::vector<double> vm(m_ + 1), ve(m_ + 1);
+  std::vector<double>& vm = ws_.vm;
+  std::vector<double>& ve = ws_.ve;
   const auto volt_at = [&](const numeric::Vector& xx, double s,
                            std::vector<double>& out) {
     out = v_;
@@ -704,23 +890,18 @@ bool Engine::solve_region_cubic(int active, int boundary_elem,
                 c;
     }
   };
-  std::vector<ElementCurrent> jm(A + 2), je(A + 2);
-  const auto eval_jc = [&](const std::vector<double>& voltages, double t,
-                           std::vector<ElementCurrent>& jc) {
-    for (int e = 0; e <= A; ++e)
-      jc[e + 1] = (e < static_cast<int>(prob_.elements.size()))
-                      ? current(e, voltages, t)
-                      : ElementCurrent{};
-  };
-  std::vector<double> cache_x;
+  std::vector<ElementCurrent>& jm = ws_.jm;
+  std::vector<ElementCurrent>& je = ws_.je;
+  ws_.cache_x.clear();
+  std::vector<double>& cache_x = ws_.cache_x;
   const auto ensure_state = [&](const numeric::Vector& xx) -> double {
     const double dt = std::max(xx[n - 1], kMinRegionDt);
     if (cache_x.size() != xx.size() ||
         !std::equal(cache_x.begin(), cache_x.end(), xx.begin())) {
       volt_at(xx, 0.5 * dt, vm);
       volt_at(xx, dt, ve);
-      eval_jc(vm, tau_ + 0.5 * dt, jm);
-      eval_jc(ve, tau_ + dt, je);
+      eval_element_currents(A, vm, tau_ + 0.5 * dt, jm);
+      eval_element_currents(A, ve, tau_ + dt, je);
       cache_x.assign(xx.begin(), xx.end());
     }
     return dt;
@@ -748,7 +929,7 @@ bool Engine::solve_region_cubic(int active, int boundary_elem,
     return true;
   };
 
-  numeric::Matrix jac;
+  numeric::Matrix& jac = ws_.jmat;
   const auto assemble = [&](const numeric::Vector& xx) {
     const double dt = ensure_state(xx);
     jac.resize(n, n);
@@ -849,7 +1030,8 @@ bool Engine::solve_region_cubic(int active, int boundary_elem,
     ++res_.stats.linear_solves;
     numeric::LuFactorization lu(jac);
     if (!lu.ok()) return false;
-    numeric::Vector rhs(n);
+    numeric::Vector& rhs = ws_.rhs;
+    rhs.assign(n, 0.0);
     for (int i2 = 0; i2 < n; ++i2) rhs[i2] = -f[i2];
     dx = lu.solve(rhs);
     // Trust region on Delta, as in the r = 1 solver.
@@ -870,9 +1052,8 @@ bool Engine::solve_region_cubic(int active, int boundary_elem,
   nopt.f_tolerance = opt_.f_tolerance;
   nopt.x_tolerance = 0.0;
   nopt.max_backtracks = 10;
-  numeric::Vector xv(x.begin(), x.end());
   const numeric::NewtonResult nr =
-      numeric::newton_solve(residual, step, xv, nopt);
+      numeric::newton_solve(residual, step, xv, nopt, ws_.newton);
   res_.stats.newton_iterations += nr.iterations;
   if (!nr.converged && nr.residual_norm > 1e-6) return false;
 
@@ -904,6 +1085,8 @@ bool Engine::solve_region_cubic(int active, int boundary_elem,
   tau_ += dt;
   res_.critical_times.push_back(tau_);
   ++res_.stats.regions;
+  have_prev_tail_ = false;  // cubic parameters do not seed the r = 1 solver
+  note_commit(dt, xv, A, /*placeholder=*/true);
   return true;
 }
 
@@ -941,11 +1124,42 @@ bool Engine::solve_region_adaptive(int active, int boundary_elem,
   // (wiggling) roots over the long, strongly-nonlinear turn-on spans.
   const bool use_cubic = opt_.model == RegionModel::cubic &&
                          boundary_elem < 0 && depth == 0;
-  const bool solved =
+
+  // Warm-seed selection, in priority order: a replay trace entry for this
+  // commit index (memo-cache near miss), else the previous tail region's
+  // converged parameters. Either is used only when its shape matches.
+  const WarmTrace::Region* warm = nullptr;
+  double warm_dt = 0.0;
+  if (opt_.warm_start && !use_cubic) {
+    if (opt_.warm != nullptr &&
+        trace_next_ < static_cast<int>(opt_.warm->regions.size())) {
+      const WarmTrace::Region& r = opt_.warm->regions[trace_next_];
+      if (static_cast<int>(r.alphas.size()) == active && r.delta > 0.0)
+        warm = &r;  // replay: the recorded length is the best estimate
+    }
+    if (warm == nullptr && opt_.warm_intra && boundary_elem < 0 &&
+        have_prev_tail_ && prev_tail_active_ == active) {
+      // Intra-path seed: the previous region's alphas with the *current*
+      // length estimate (the node has slowed since the previous region,
+      // so its old length underestimates this one).
+      warm = &ws_.prev_tail;
+      warm_dt = guess;
+    }
+  }
+
+  bool solved =
       use_cubic
           ? solve_region_cubic(active, boundary_elem, v_target, target_node,
                                guess)
-          : solve_region(active, boundary_elem, v_target, target_node, guess);
+          : solve_region(active, boundary_elem, v_target, target_node, guess,
+                         warm, warm_dt);
+  if (!solved && warm != nullptr) {
+    // A warm seed must never cost a result the cold seed would find:
+    // retry once from the probe-based seed before declaring failure.
+    ++res_.stats.warm_retries;
+    solved = solve_region(active, boundary_elem, v_target, target_node, guess,
+                          nullptr);
+  }
   if (solved) return true;
   if (depth >= 10) return false;
 
@@ -1015,6 +1229,25 @@ QwmResult Engine::run() {
   i_.assign(m_ + 1, 0.0);
   on_.assign(prob_.elements.size(), 0);
 
+  // Batched device path: every transistor must share one concrete tabular
+  // model (a path conducts one event polarity, so this is the common
+  // case); mixed or analytic models fall back to the scalar path.
+  batch_model_ = nullptr;
+  if (opt_.batch_device_eval) {
+    const device::TabularDeviceModel* common = nullptr;
+    bool uniform = true;
+    for (const Element& el : prob_.elements) {
+      if (el.kind != Element::Kind::transistor) continue;
+      if (el.tabular == nullptr ||
+          (common != nullptr && el.tabular != common)) {
+        uniform = false;
+        break;
+      }
+      common = el.tabular;
+    }
+    if (uniform) batch_model_ = common;
+  }
+
   // Worst-case precharge: nodes below the switching element sit at the
   // rail, everything at or above it at the far rail (see DESIGN.md).
   int e_switch = -1;
@@ -1039,7 +1272,8 @@ QwmResult Engine::run() {
   refresh_on_flags(1e-9);
 
   // Tail targets, measured as fractions of the full swing.
-  std::vector<double> targets;
+  std::vector<double>& targets = ws_.targets;
+  targets.clear();
   for (double f : opt_.tail_fractions)
     targets.push_back(v_rail_ + f * (v_far_ - v_rail_));
   std::size_t next_target = 0;
@@ -1101,8 +1335,17 @@ QwmResult Engine::run() {
 QwmResult evaluate_path(const circuit::PathProblem& problem,
                         const std::vector<numeric::PwlWaveform>& inputs,
                         const QwmOptions& options) {
-  Engine engine(problem, inputs, options);
-  return engine.run();
+  EvalWorkspace ws;
+  return evaluate_path(problem, inputs, options, ws);
+}
+
+QwmResult evaluate_path(const circuit::PathProblem& problem,
+                        const std::vector<numeric::PwlWaveform>& inputs,
+                        const QwmOptions& options, EvalWorkspace& ws) {
+  Engine engine(problem, inputs, options, ws);
+  QwmResult res = engine.run();
+  ws.checkpoint();
+  return res;
 }
 
 }  // namespace qwm::core

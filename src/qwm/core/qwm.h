@@ -20,10 +20,13 @@
 #include <vector>
 
 #include "qwm/circuit/path.h"
+#include "qwm/core/warm_trace.h"
 #include "qwm/core/waveform.h"
 #include "qwm/numeric/pwl.h"
 
 namespace qwm::core {
+
+class EvalWorkspace;
 
 enum class RegionModel {
   quadratic,  ///< linear current -> quadratic voltage (the paper's QWM)
@@ -69,6 +72,33 @@ struct QwmOptions {
   /// Override initial node voltages (size = path node count); empty =
   /// worst-case precharge (all nodes at the far rail).
   std::vector<double> initial_voltages;
+  /// Evaluate the path's devices through the concrete tabular model's
+  /// batched SoA kernel when every transistor shares one (cached at
+  /// path-build time). Bit-identical to the scalar per-device path — the
+  /// toggle exists for the equivalence tests and ablation.
+  bool batch_device_eval = true;
+  /// Newton warm starts from a replay trace: when `warm` is supplied,
+  /// each region's solve is seeded with the previously converged
+  /// parameters instead of the end-current probe. A same-input replay
+  /// converges in zero iterations and reproduces the cold result
+  /// bit-for-bit; a near-miss replay (adjacent slew/load bucket) roughly
+  /// halves the Newton iteration and device-evaluation counts. A region
+  /// that fails from a warm seed is retried cold before being declared
+  /// failed.
+  bool warm_start = true;
+  /// Additionally seed each tail region from the *previous region's*
+  /// converged slopes within the same evaluation (no trace needed).
+  /// Ablation only, default off: on heterogeneous stacks the previous
+  /// region is a poor seed — most attempts fall back to the cold retry —
+  /// and converged results are not bit-stable against the cold path.
+  bool warm_intra = false;
+  /// Record the converged per-region solutions into QwmResult::trace
+  /// (for memo-cache near-miss replay).
+  bool record_trace = false;
+  /// Optional replay seed from a previous evaluation of a structurally
+  /// identical problem at a nearby operating point. Not owned; must
+  /// outlive the call. Ignored unless warm_start is set.
+  const WarmTrace* warm = nullptr;
   /// Prints the per-iteration Newton trajectory to stderr (debugging).
   bool trace = false;
 };
@@ -78,7 +108,20 @@ struct QwmStats {
   std::size_t newton_iterations = 0;
   std::size_t linear_solves = 0;
   std::size_t device_evals = 0;
-  std::size_t lu_fallbacks = 0;  ///< tridiagonal path bailed to dense LU
+  std::size_t lu_fallbacks = 0;   ///< tridiagonal path bailed to dense LU
+  std::size_t warm_starts = 0;    ///< region solves seeded warm
+  std::size_t warm_retries = 0;   ///< warm seeds that fell back to cold
+
+  QwmStats& operator+=(const QwmStats& o) {
+    regions += o.regions;
+    newton_iterations += o.newton_iterations;
+    linear_solves += o.linear_solves;
+    device_evals += o.device_evals;
+    lu_fallbacks += o.lu_fallbacks;
+    warm_starts += o.warm_starts;
+    warm_retries += o.warm_retries;
+    return *this;
+  }
 };
 
 struct QwmResult {
@@ -95,6 +138,8 @@ struct QwmResult {
   /// tail matching points.
   std::vector<double> critical_times;
   QwmStats stats;
+  /// Converged per-region solutions (populated when options.record_trace).
+  WarmTrace trace;
 
   const PiecewiseQuadWaveform& output_waveform() const {
     return node_waveforms.back();
@@ -106,5 +151,13 @@ struct QwmResult {
 QwmResult evaluate_path(const circuit::PathProblem& problem,
                         const std::vector<numeric::PwlWaveform>& inputs,
                         const QwmOptions& options = {});
+
+/// Scratch-reusing variant: all region-solve storage comes from `ws`
+/// (grow-only; see workspace.h). After a warm-up evaluation at a given
+/// path size, the region-solve hot path performs no heap allocation.
+/// Results are bit-identical to the allocating overload.
+QwmResult evaluate_path(const circuit::PathProblem& problem,
+                        const std::vector<numeric::PwlWaveform>& inputs,
+                        const QwmOptions& options, EvalWorkspace& ws);
 
 }  // namespace qwm::core

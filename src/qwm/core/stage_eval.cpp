@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "qwm/core/workspace.h"
+
 namespace qwm::core {
 
 StageTiming evaluate_stage(const circuit::LogicStage& stage,
@@ -11,6 +13,17 @@ StageTiming evaluate_stage(const circuit::LogicStage& stage,
                            circuit::InputId switching_input,
                            const device::ModelSet& models,
                            const QwmOptions& options) {
+  EvalWorkspace ws;
+  return evaluate_stage(stage, output, output_falls, inputs, switching_input,
+                        models, options, ws);
+}
+
+StageTiming evaluate_stage(const circuit::LogicStage& stage,
+                           circuit::NodeId output, bool output_falls,
+                           const std::vector<numeric::PwlWaveform>& inputs,
+                           circuit::InputId switching_input,
+                           const device::ModelSet& models,
+                           const QwmOptions& options, EvalWorkspace& ws) {
   StageTiming out;
   out.path = circuit::extract_worst_path(stage, output, output_falls);
   if (out.path.elements.empty()) {
@@ -18,7 +31,7 @@ StageTiming evaluate_stage(const circuit::LogicStage& stage,
     return out;
   }
   out.problem = circuit::build_path_problem(stage, out.path, models);
-  out.qwm = evaluate_path(out.problem, inputs, options);
+  out.qwm = evaluate_path(out.problem, inputs, options, ws);
   if (!out.qwm.ok) {
     out.error = out.qwm.error;
     return out;
@@ -58,6 +71,14 @@ StageTiming evaluate_stage(const circuit::BuiltStage& built,
                         built.switching_input, models, options);
 }
 
+StageTiming evaluate_stage(const circuit::BuiltStage& built,
+                           const std::vector<numeric::PwlWaveform>& inputs,
+                           const device::ModelSet& models,
+                           const QwmOptions& options, EvalWorkspace& ws) {
+  return evaluate_stage(built.stage, built.output, built.output_falls, inputs,
+                        built.switching_input, models, options, ws);
+}
+
 namespace {
 
 /// Fills delay/slew of an OutputTiming from its waveform.
@@ -86,6 +107,16 @@ std::vector<OutputTiming> evaluate_all_outputs(
     const std::vector<numeric::PwlWaveform>& inputs,
     circuit::InputId switching_input, const device::ModelSet& models,
     const QwmOptions& options) {
+  EvalWorkspace ws;
+  return evaluate_all_outputs(stage, outputs_fall, inputs, switching_input,
+                              models, options, ws);
+}
+
+std::vector<OutputTiming> evaluate_all_outputs(
+    const circuit::LogicStage& stage, bool outputs_fall,
+    const std::vector<numeric::PwlWaveform>& inputs,
+    circuit::InputId switching_input, const device::ModelSet& models,
+    const QwmOptions& options, EvalWorkspace& ws) {
   // Extract every output's path up front and order longest-first so the
   // sharing pass covers as many outputs as possible per QWM run.
   struct Pending {
@@ -115,7 +146,7 @@ std::vector<OutputTiming> evaluate_all_outputs(
       continue;
     }
     const auto prob = circuit::build_path_problem(stage, p.path, models);
-    const QwmResult qwm = evaluate_path(prob, inputs, options);
+    const QwmResult qwm = evaluate_path(prob, inputs, options, ws);
     if (qwm.ok) {
       // This run covers every declared output sitting on the path.
       for (std::size_t k = 0; k < prob.nodes.size(); ++k) {

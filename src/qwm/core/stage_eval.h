@@ -36,11 +36,25 @@ StageTiming evaluate_stage(const circuit::LogicStage& stage,
                            const device::ModelSet& models,
                            const QwmOptions& options = {});
 
+/// Scratch-reusing variant (see workspace.h): repeated evaluations through
+/// one workspace run the QWM region solves without heap allocation.
+StageTiming evaluate_stage(const circuit::LogicStage& stage,
+                           circuit::NodeId output, bool output_falls,
+                           const std::vector<numeric::PwlWaveform>& inputs,
+                           circuit::InputId switching_input,
+                           const device::ModelSet& models,
+                           const QwmOptions& options, EvalWorkspace& ws);
+
 /// Convenience for builder results.
 StageTiming evaluate_stage(const circuit::BuiltStage& built,
                            const std::vector<numeric::PwlWaveform>& inputs,
                            const device::ModelSet& models,
                            const QwmOptions& options = {});
+
+StageTiming evaluate_stage(const circuit::BuiltStage& built,
+                           const std::vector<numeric::PwlWaveform>& inputs,
+                           const device::ModelSet& models,
+                           const QwmOptions& options, EvalWorkspace& ws);
 
 /// Timing of one declared stage output within a multi-output evaluation.
 struct OutputTiming {
@@ -65,5 +79,11 @@ std::vector<OutputTiming> evaluate_all_outputs(
     const std::vector<numeric::PwlWaveform>& inputs,
     circuit::InputId switching_input, const device::ModelSet& models,
     const QwmOptions& options = {});
+
+std::vector<OutputTiming> evaluate_all_outputs(
+    const circuit::LogicStage& stage, bool outputs_fall,
+    const std::vector<numeric::PwlWaveform>& inputs,
+    circuit::InputId switching_input, const device::ModelSet& models,
+    const QwmOptions& options, EvalWorkspace& ws);
 
 }  // namespace qwm::core

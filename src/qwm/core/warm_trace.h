@@ -1,0 +1,37 @@
+// Converged per-region Newton solutions of one QWM evaluation, recorded
+// so a later evaluation of a structurally identical problem at a nearby
+// operating point (the STA memo cache's "near miss": same stage hash,
+// adjacent slew/load bucket) can seed its region solves from them instead
+// of running the end-current probes.
+//
+// A warm seed only changes the Newton iteration's starting point; the
+// converged solution is still pinned by the same residual and tolerance,
+// so delays move at the solver-tolerance level (~1e-8 relative), orders
+// of magnitude inside the model's ~1% accuracy. See DESIGN.md "Hot path
+// & memory discipline".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qwm::core {
+
+struct WarmTrace {
+  struct Region {
+    double delta = 0.0;          ///< converged region length [s]
+    /// Converged waveform parameters (alpha per active node, r = 1 model).
+    std::vector<double> alphas;
+  };
+  /// One entry per committed region solve, in commit order (turn-on wait
+  /// regions commit without a solve and contribute no entry).
+  std::vector<Region> regions;
+
+  /// Total stored doubles — used to cap what the memo cache retains.
+  std::size_t value_count() const {
+    std::size_t n = 0;
+    for (const Region& r : regions) n += 1 + r.alphas.size();
+    return n;
+  }
+};
+
+}  // namespace qwm::core

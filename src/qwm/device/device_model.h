@@ -22,6 +22,8 @@
 
 namespace qwm::device {
 
+class TabularDeviceModel;
+
 /// Terminal voltage configuration of a circuit edge (paper Def. 2):
 /// `input` is the gate voltage (transistors only), `src`/`snk` the edge
 /// endpoint node voltages.
@@ -71,6 +73,12 @@ class DeviceModel {
   virtual double src_cap(double w, double l) const = 0;
   virtual double snk_cap(double w, double l) const = 0;
   virtual double input_cap(double w, double l) const = 0;
+
+  /// Concrete-type hook for the engines' devirtualized hot path: non-null
+  /// iff this model is a TabularDeviceModel. Stage/path builders cache the
+  /// returned pointer so inner NR loops can call the non-virtual batched
+  /// kernel instead of going through iv_eval's vtable dispatch.
+  virtual const TabularDeviceModel* tabular() const { return nullptr; }
 };
 
 /// Junction + Miller-doubled overlap capacitance of one channel terminal

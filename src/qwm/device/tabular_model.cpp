@@ -38,40 +38,44 @@ TabularDeviceModel::TabularDeviceModel(MosType type, const Process& proc,
       bulk_(type == MosType::nmos ? 0.0 : proc.vdd),
       grid_(std::move(grid)) {}
 
-TabularDeviceModel::FrameEval TabularDeviceModel::eval_frame(double vg,
-                                                             double vs,
-                                                             double vd) const {
+namespace {
+
+/// One interpolated lookup in the NMOS frame with vd >= vs. The single
+/// kernel behind both the scalar eval_frame and the batched eval_frames,
+/// so the two are bit-identical by construction.
+inline TabularDeviceModel::FrameEval frame_lookup(
+    const CharacterizationGrid& g, double vg, double vs, double vd) {
   assert(vd >= vs);
   const double u = vd - vs;
   std::size_t i0, i1;
   double f0, f1;
-  grid_.vs_axis.locate(vs, i0, f0);
-  grid_.vg_axis.locate(vg, i1, f1);
+  g.vs_axis.locate(vs, i0, f0);
+  g.vg_axis.locate(vg, i1, f1);
 
   // Corner evaluations, computed once and reused for the value and both
   // table-axis derivatives (hot path: called per device per Newton
   // iteration in both engines).
-  const double e00 = grid_.at(i0, i1).eval(u);
-  const double e01 = grid_.at(i0, i1 + 1).eval(u);
-  const double e10 = grid_.at(i0 + 1, i1).eval(u);
-  const double e11 = grid_.at(i0 + 1, i1 + 1).eval(u);
+  const double e00 = g.at(i0, i1).eval(u);
+  const double e01 = g.at(i0, i1 + 1).eval(u);
+  const double e10 = g.at(i0 + 1, i1).eval(u);
+  const double e11 = g.at(i0 + 1, i1 + 1).eval(u);
   const double i = e00 * (1 - f0) * (1 - f1) + e01 * (1 - f0) * f1 +
                    e10 * f0 * (1 - f1) + e11 * f0 * f1;
   const double di_du =
-      blend(grid_, i0, i1, f0, f1,
+      blend(g, i0, i1, f0, f1,
             [u](const CharacterizedPoint& p) { return p.deriv(u); });
 
   // Interpolant derivative along the vs table axis (u held fixed).
   const double lo_vs = e00 * (1 - f1) + e01 * f1;
   const double hi_vs = e10 * (1 - f1) + e11 * f1;
-  const double di_dvs_axis = (hi_vs - lo_vs) / grid_.vs_axis.dx;
+  const double di_dvs_axis = (hi_vs - lo_vs) / g.vs_axis.dx;
 
   // Interpolant derivative along the vg table axis.
   const double lo_vg = e00 * (1 - f0) + e10 * f0;
   const double hi_vg = e01 * (1 - f0) + e11 * f0;
-  const double di_dvg_axis = (hi_vg - lo_vg) / grid_.vg_axis.dx;
+  const double di_dvg_axis = (hi_vg - lo_vg) / g.vg_axis.dx;
 
-  FrameEval out;
+  TabularDeviceModel::FrameEval out;
   out.i = i;
   out.d_vd = di_du;
   // vs enters both the table axis and u = vd - vs.
@@ -80,47 +84,31 @@ TabularDeviceModel::FrameEval TabularDeviceModel::eval_frame(double vg,
   return out;
 }
 
+}  // namespace
+
+TabularDeviceModel::FrameEval TabularDeviceModel::eval_frame(double vg,
+                                                             double vs,
+                                                             double vd) const {
+  return frame_lookup(grid_, vg, vs, vd);
+}
+
+void TabularDeviceModel::eval_frames(std::size_t n, const double* vg,
+                                     const double* vs, const double* vd,
+                                     FrameEval* out) const {
+  query_count_.fetch_add(n, std::memory_order_relaxed);
+  // One atomic bump and one grid indirection for the whole batch; the
+  // per-element loop touches only the hoisted grid reference.
+  const CharacterizationGrid& g = grid_;
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = frame_lookup(g, vg[k], vs[k], vd[k]);
+}
+
 IvEval TabularDeviceModel::iv_eval(double w, double l,
                                    const TerminalVoltages& v) const {
-  query_count_.fetch_add(1, std::memory_order_relaxed);
   // Map to the NMOS-normalized frame (PMOS: v' = VDD - v; the well bias
-  // maps to frame ground, matching how the grid was characterized).
-  double fg = v.input, fa = v.src, fb = v.snk;
-  const bool pmos = physics_.type() == MosType::pmos;
-  if (pmos) {
-    fg = vdd_ - v.input;
-    fa = vdd_ - v.src;
-    fb = vdd_ - v.snk;
-  }
-
-  IvEval out;
-  if (fa >= fb) {
-    const FrameEval e = eval_frame(fg, fb, fa);
-    out.i = e.i;
-    out.d_input = e.d_vg;
-    out.d_src = e.d_vd;
-    out.d_snk = e.d_vs;
-  } else {
-    const FrameEval e = eval_frame(fg, fa, fb);
-    out.i = -e.i;
-    out.d_input = -e.d_vg;
-    out.d_src = -e.d_vs;
-    out.d_snk = -e.d_vd;
-  }
-
-  // Geometry scaling relative to the characterized reference device.
-  const double scale = (w / grid_.w_ref) * (grid_.l_ref / l);
-  out.i *= scale;
-  out.d_input *= scale;
-  out.d_src *= scale;
-  out.d_snk *= scale;
-
-  if (pmos) {
-    // Value flips sign mapping back from the mirrored frame; derivatives
-    // pick up two sign flips and carry over.
-    out.i = -out.i;
-  }
-  return out;
+  // maps to frame ground, matching how the grid was characterized), look
+  // up, and map back. Shared with the devirtualized fast path.
+  return iv_eval_fast(w, l, v);
 }
 
 double TabularDeviceModel::iv(double w, double l,

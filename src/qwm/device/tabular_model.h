@@ -37,14 +37,10 @@ class TabularDeviceModel : public DeviceModel {
   double src_cap(double w, double l) const override;
   double snk_cap(double w, double l) const override;
   double input_cap(double w, double l) const override;
+  const TabularDeviceModel* tabular() const override { return this; }
 
-  const CharacterizationGrid& grid() const { return grid_; }
-  /// Number of iv()/iv_eval() queries served (table usage accounting).
-  std::size_t query_count() const {
-    return query_count_.load(std::memory_order_relaxed);
-  }
-
- private:
+  /// Table lookup result in the NMOS-normalized frame at the reference
+  /// geometry (drain -> source channel current and its partials).
   struct FrameEval {
     double i = 0.0;      ///< channel current drain -> source, ref geometry
     double d_vg = 0.0;   ///< partials w.r.t. gate, source, drain voltage
@@ -54,6 +50,88 @@ class TabularDeviceModel : public DeviceModel {
   /// Interpolated table lookup in the NMOS frame with vd >= vs.
   FrameEval eval_frame(double vg, double vs, double vd) const;
 
+  /// Batched SoA form of eval_frame: n independent frame lookups with the
+  /// grid/axis state hoisted out of the loop. Bit-identical to calling
+  /// eval_frame(vg[k], vs[k], vd[k]) for each k — the scalar path is
+  /// implemented on the same kernel — and counts n table queries.
+  void eval_frames(std::size_t n, const double* vg, const double* vs,
+                   const double* vd, FrameEval* out) const;
+
+  /// Edge voltages mapped into the table's NMOS-normalized frame.
+  /// `swapped` records a source/drain exchange (fa < fb): the frame lookup
+  /// then runs with the terminals exchanged and from_frame() restores the
+  /// edge orientation by negating current and swapping the partials.
+  struct FrameMap {
+    double fg = 0.0;
+    double flo = 0.0;  ///< frame source  (min of the mapped endpoints)
+    double fhi = 0.0;  ///< frame drain   (max of the mapped endpoints)
+    bool swapped = false;
+  };
+  FrameMap to_frame(const TerminalVoltages& v) const {
+    double fg = v.input, fa = v.src, fb = v.snk;
+    if (physics_.type() == MosType::pmos) {
+      fg = vdd_ - v.input;
+      fa = vdd_ - v.src;
+      fb = vdd_ - v.snk;
+    }
+    FrameMap m;
+    m.fg = fg;
+    if (fa >= fb) {
+      m.flo = fb;
+      m.fhi = fa;
+      m.swapped = false;
+    } else {
+      m.flo = fa;
+      m.fhi = fb;
+      m.swapped = true;
+    }
+    return m;
+  }
+  /// Maps a frame lookup back to edge orientation and scales to geometry.
+  /// Shared by the scalar and batched paths so both produce identical bits.
+  IvEval from_frame(const FrameEval& e, bool swapped, double w,
+                    double l) const {
+    IvEval out;
+    if (!swapped) {
+      out.i = e.i;
+      out.d_input = e.d_vg;
+      out.d_src = e.d_vd;
+      out.d_snk = e.d_vs;
+    } else {
+      out.i = -e.i;
+      out.d_input = -e.d_vg;
+      out.d_src = -e.d_vs;
+      out.d_snk = -e.d_vd;
+    }
+    const double scale = (w / grid_.w_ref) * (grid_.l_ref / l);
+    out.i *= scale;
+    out.d_input *= scale;
+    out.d_src *= scale;
+    out.d_snk *= scale;
+    if (physics_.type() == MosType::pmos) {
+      // Value flips sign mapping back from the mirrored frame; derivatives
+      // pick up two sign flips and carry over.
+      out.i = -out.i;
+    }
+    return out;
+  }
+
+  /// Non-virtual iv_eval for callers holding a concrete pointer (cached at
+  /// stage-build time). Same arithmetic, same query accounting; skips the
+  /// vtable dispatch in the engines' inner NR loops.
+  IvEval iv_eval_fast(double w, double l, const TerminalVoltages& v) const {
+    query_count_.fetch_add(1, std::memory_order_relaxed);
+    const FrameMap m = to_frame(v);
+    return from_frame(eval_frame(m.fg, m.flo, m.fhi), m.swapped, w, l);
+  }
+
+  const CharacterizationGrid& grid() const { return grid_; }
+  /// Number of iv()/iv_eval() queries served (table usage accounting).
+  std::size_t query_count() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
   MosfetPhysics physics_;  ///< retained for threshold/vdsat queries and caps
   double vdd_;
   double bulk_;

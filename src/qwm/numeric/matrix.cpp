@@ -74,9 +74,15 @@ LuFactorization::LuFactorization(const Matrix& a)
 }
 
 Vector LuFactorization::solve(const Vector& b) const {
+  Vector x;
+  solve(b, x);
+  return x;
+}
+
+void LuFactorization::solve(const Vector& b, Vector& x) const {
   assert(ok_);
   assert(b.size() == n_);
-  Vector x(n_);
+  x.assign(n_, 0.0);
   // Forward substitution with permutation applied: L y = P b.
   for (std::size_t r = 0; r < n_; ++r) {
     double acc = b[perm_[r]];
@@ -89,7 +95,6 @@ Vector LuFactorization::solve(const Vector& b) const {
     for (std::size_t c = ri + 1; c < n_; ++c) acc -= lu_(ri, c) * x[c];
     x[ri] = acc / lu_(ri, ri);
   }
-  return x;
 }
 
 double LuFactorization::determinant() const {

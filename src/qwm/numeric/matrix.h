@@ -61,6 +61,11 @@ class LuFactorization {
   /// Solves A x = b. Requires ok() and b.size() == size().
   Vector solve(const Vector& b) const;
 
+  /// Scratch-reusing variant: writes the solution into `x` (resized with
+  /// assign, so steady-size callers allocate nothing). b and x must not
+  /// alias. Same arithmetic as the returning overload.
+  void solve(const Vector& b, Vector& x) const;
+
   /// det(A); meaningful only when ok().
   double determinant() const;
 

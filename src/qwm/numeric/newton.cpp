@@ -8,9 +8,23 @@ namespace qwm::numeric {
 
 NewtonResult newton_solve(const ResidualFn& residual, const LinearStepFn& step,
                           Vector& x, const NewtonOptions& options) {
+  NewtonScratch scratch;
+  return newton_solve(residual, step, x, options, scratch);
+}
+
+NewtonResult newton_solve(const ResidualFn& residual, const LinearStepFn& step,
+                          Vector& x, const NewtonOptions& options,
+                          NewtonScratch& scratch) {
   NewtonResult result;
   const std::size_t n = x.size();
-  Vector f(n), dx(n), x_trial(n), f_trial(n);
+  scratch.f.assign(n, 0.0);
+  scratch.dx.assign(n, 0.0);
+  scratch.x_trial.assign(n, 0.0);
+  scratch.f_trial.assign(n, 0.0);
+  Vector& f = scratch.f;
+  Vector& dx = scratch.dx;
+  Vector& x_trial = scratch.x_trial;
+  Vector& f_trial = scratch.f_trial;
 
   if (!residual(x, f)) return result;
   result.residual_norm = inf_norm(f);

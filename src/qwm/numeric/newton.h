@@ -52,6 +52,21 @@ using LinearStepFn =
 NewtonResult newton_solve(const ResidualFn& residual, const LinearStepFn& step,
                           Vector& x, const NewtonOptions& options = {});
 
+/// Caller-owned iteration scratch (residuals, step, line-search trials).
+/// Buffers grow to the system size on first use and are reused afterwards,
+/// so a caller holding one NewtonScratch per lane runs allocation-free.
+struct NewtonScratch {
+  Vector f;
+  Vector dx;
+  Vector x_trial;
+  Vector f_trial;
+};
+
+/// Scratch-reusing variant; bit-identical iterates to the allocating one.
+NewtonResult newton_solve(const ResidualFn& residual, const LinearStepFn& step,
+                          Vector& x, const NewtonOptions& options,
+                          NewtonScratch& scratch);
+
 /// Newton iteration with a dense-LU linear step built from `jacobian`.
 NewtonResult newton_solve_dense(const ResidualFn& residual,
                                 const JacobianFn& jacobian, Vector& x,

@@ -9,12 +9,22 @@ bool sherman_morrison_solve(const Tridiagonal& a, const std::vector<double>& u,
                             const std::vector<double>& v,
                             const std::vector<double>& b,
                             std::vector<double>& x) {
+  ShermanMorrisonScratch scratch;
+  return sherman_morrison_solve(a, u, v, b, x, scratch);
+}
+
+bool sherman_morrison_solve(const Tridiagonal& a, const std::vector<double>& u,
+                            const std::vector<double>& v,
+                            const std::vector<double>& b,
+                            std::vector<double>& x,
+                            ShermanMorrisonScratch& scratch) {
   const std::size_t n = a.size();
   assert(u.size() == n && v.size() == n && b.size() == n);
 
-  std::vector<double> y, z;
-  if (!thomas_solve(a, b, y)) return false;
-  if (!thomas_solve(a, u, z)) return false;
+  std::vector<double>& y = scratch.y;
+  std::vector<double>& z = scratch.z;
+  if (!thomas_solve(a, b, y, scratch.cp)) return false;
+  if (!thomas_solve(a, u, z, scratch.cp)) return false;
 
   double vy = 0.0, vz = 0.0;
   for (std::size_t i = 0; i < n; ++i) {

@@ -24,4 +24,19 @@ bool sherman_morrison_solve(const Tridiagonal& a, const std::vector<double>& u,
                             const std::vector<double>& b,
                             std::vector<double>& x);
 
+/// Caller-owned scratch for the two intermediate solves. Buffers grow to
+/// the working size on first use and are reused on every later call.
+struct ShermanMorrisonScratch {
+  std::vector<double> y;   ///< A y = b
+  std::vector<double> z;   ///< A z = u
+  std::vector<double> cp;  ///< Thomas modified super-diagonal
+};
+
+/// Scratch-reusing variant; allocation-free once `scratch` has grown.
+bool sherman_morrison_solve(const Tridiagonal& a, const std::vector<double>& u,
+                            const std::vector<double>& v,
+                            const std::vector<double>& b,
+                            std::vector<double>& x,
+                            ShermanMorrisonScratch& scratch);
+
 }  // namespace qwm::numeric

@@ -32,13 +32,19 @@ std::vector<double> Tridiagonal::multiply(const std::vector<double>& x) const {
 
 bool thomas_solve(const Tridiagonal& t, const std::vector<double>& b,
                   std::vector<double>& x) {
+  std::vector<double> cp;
+  return thomas_solve(t, b, x, cp);
+}
+
+bool thomas_solve(const Tridiagonal& t, const std::vector<double>& b,
+                  std::vector<double>& x, std::vector<double>& cp) {
   const std::size_t n = t.size();
   assert(b.size() == n);
   if (n == 0) {
     x.clear();
     return true;
   }
-  std::vector<double> cp(n, 0.0);  // modified super-diagonal
+  cp.assign(n, 0.0);  // modified super-diagonal
   x.assign(n, 0.0);
 
   double piv = t.diag[0];

@@ -43,6 +43,12 @@ struct Tridiagonal {
 bool thomas_solve(const Tridiagonal& t, const std::vector<double>& b,
                   std::vector<double>& x);
 
+/// Scratch-reusing variant: `cp` is caller-owned storage for the modified
+/// super-diagonal (resized to n, contents clobbered). Allocation-free once
+/// the caller's buffers have grown to the working size.
+bool thomas_solve(const Tridiagonal& t, const std::vector<double>& b,
+                  std::vector<double>& x, std::vector<double>& cp);
+
 /// Convenience overload; empty result signals failure.
 std::vector<double> thomas_solve(const Tridiagonal& t,
                                  const std::vector<double>& b);

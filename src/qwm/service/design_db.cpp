@@ -245,6 +245,8 @@ DbStats DesignDb::stats() const {
   if (session_) {
     s.stages = session_->engine->design().stages.size();
     s.cache = session_->engine->cache_stats();
+    s.qwm = session_->engine->qwm_stats();
+    s.workspace = session_->engine->workspace_stats();
   }
   std::lock_guard slack_lock(slack_mu_);
   s.slack_cache_hits = slack_hits_;

@@ -103,6 +103,8 @@ struct DbStats {
   support::CacheStats cache;          ///< engine memo-cache activity
   std::uint64_t slack_cache_hits = 0;
   std::uint64_t slack_cache_misses = 0;
+  core::QwmStats qwm;                 ///< aggregate QWM work counters
+  core::WorkspaceStats workspace;     ///< scratch-arena footprint (all lanes)
 };
 
 class DesignDb {

@@ -207,7 +207,13 @@ std::string Server::handle_line(const std::string& line) {
          << " cache_hits=" << db.cache.hits
          << " cache_misses=" << db.cache.misses
          << " slack_memo_hits=" << db.slack_cache_hits
-         << " slack_memo_misses=" << db.slack_cache_misses;
+         << " slack_memo_misses=" << db.slack_cache_misses
+         << " newton_iters=" << db.qwm.newton_iterations
+         << " device_evals=" << db.qwm.device_evals
+         << " warm_starts=" << db.qwm.warm_starts
+         << " warm_retries=" << db.qwm.warm_retries
+         << " ws_bytes=" << db.workspace.high_water_bytes
+         << " ws_grows=" << db.workspace.grow_events;
       for (int i = 0; i < kVerbCount; ++i) {
         const VerbStats& v = sv.verb[i];
         if (v.requests == 0) continue;

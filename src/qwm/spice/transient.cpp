@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "qwm/device/tabular_model.h"
 #include "qwm/numeric/matrix.h"
 
 namespace qwm::spice {
@@ -39,6 +40,28 @@ struct Solver {
       unknown_of[i] = static_cast<int>(n_unknowns++);
       node_of_unknown.push_back(static_cast<SimNodeId>(i));
     }
+    // Devirtualize once: cache each mosfet's concrete tabular model and
+    // group mosfets per distinct model (NMOS/PMOS in practice) so the NR
+    // loop evaluates each group through one batched SoA call.
+    if (opt.batch_device_eval) {
+      const auto& mos = ckt.mosfets();
+      tab_of_.resize(mos.size());
+      group_results_.resize(mos.size());
+      group_swap_.resize(mos.size());
+      for (std::size_t i = 0; i < mos.size(); ++i) {
+        tab_of_[i] = mos[i].model->tabular();
+        if (tab_of_[i] == nullptr) continue;
+        BatchGroup* g = nullptr;
+        for (auto& cand : groups_)
+          if (cand.model == tab_of_[i]) g = &cand;
+        if (g == nullptr) {
+          groups_.push_back(BatchGroup{});
+          g = &groups_.back();
+          g->model = tab_of_[i];
+        }
+        g->mosfets.push_back(i);
+      }
+    }
   }
 
   /// Full node-voltage vector from the unknown vector at time t.
@@ -63,7 +86,7 @@ struct Solver {
   void assemble(const std::vector<double>& v, double t, bool with_caps,
                 double h, const std::vector<double>& v_prev,
                 const std::vector<double>& i_prev, std::vector<double>& f,
-                numeric::Matrix* jac, double gmin) const {
+                numeric::Matrix* jac, double gmin) {
     f.assign(n_unknowns, 0.0);
     if (jac) jac->resize(n_unknowns, n_unknowns);
 
@@ -101,9 +124,40 @@ struct Solver {
       add_f(src.neg, -i);
     }
 
-    for (const auto& m : ckt.mosfets()) {
-      const device::IvEval e = m.model->iv_eval(
-          m.w, m.l, device::TerminalVoltages{v[m.g], v[m.d], v[m.s]});
+    // Device evaluations: gather each batch group's frame coordinates,
+    // run one eval_frames per group, then stamp every mosfet in circuit
+    // order (stamping order fixes the floating-point accumulation, so the
+    // batched and scalar paths produce identical bits).
+    const auto& mos = ckt.mosfets();
+    for (BatchGroup& g : groups_) {
+      g.fg.clear();
+      g.flo.clear();
+      g.fhi.clear();
+      for (const std::size_t i : g.mosfets) {
+        const auto& m = mos[i];
+        const auto fm = g.model->to_frame(
+            device::TerminalVoltages{v[m.g], v[m.d], v[m.s]});
+        g.fg.push_back(fm.fg);
+        g.flo.push_back(fm.flo);
+        g.fhi.push_back(fm.fhi);
+        group_swap_[i] = fm.swapped ? 1 : 0;
+      }
+      g.fe.resize(g.mosfets.size());
+      g.model->eval_frames(g.mosfets.size(), g.fg.data(), g.flo.data(),
+                           g.fhi.data(), g.fe.data());
+      for (std::size_t j = 0; j < g.mosfets.size(); ++j) {
+        const std::size_t i = g.mosfets[j];
+        group_results_[i] = g.model->from_frame(g.fe[j], group_swap_[i] != 0,
+                                                mos[i].w, mos[i].l);
+      }
+    }
+    for (std::size_t i = 0; i < mos.size(); ++i) {
+      const auto& m = mos[i];
+      const bool batched = opt.batch_device_eval && tab_of_[i] != nullptr;
+      const device::IvEval e =
+          batched ? group_results_[i]
+                  : m.model->iv_eval(m.w, m.l, device::TerminalVoltages{
+                                                   v[m.g], v[m.d], v[m.s]});
       if (stats) ++stats->device_evals;
       add_f(m.d, e.i);
       add_f(m.s, -e.i);
@@ -179,8 +233,11 @@ struct Solver {
               const std::vector<double>& v_prev,
               const std::vector<double>& i_prev, std::vector<double>& x,
               double gmin, int* iterations_out = nullptr) {
-    std::vector<double> v, f;
-    numeric::Matrix jac;
+    // Solver-owned scratch (v_, f_, rhs_, dx_, jac_): grow-only buffers,
+    // so the per-iteration loop below allocates nothing at steady size.
+    std::vector<double>& v = v_;
+    std::vector<double>& f = f_;
+    numeric::Matrix& jac = jac_;
     const double vmax_step = 0.5;  // volts per NR update, clamped
     const bool use_chords =
         with_caps && opt.solver == NonlinearSolver::successive_chords;
@@ -198,16 +255,16 @@ struct Solver {
       assemble(v, t, with_caps, h, v_prev, i_prev, f,
                use_chords ? nullptr : &jac, gmin);
       if (stats) ++stats->nr_iterations;
-      std::vector<double> rhs(f.size());
-      for (std::size_t i = 0; i < f.size(); ++i) rhs[i] = -f[i];
-      std::vector<double> dx;
+      rhs_.assign(f.size(), 0.0);
+      for (std::size_t i = 0; i < f.size(); ++i) rhs_[i] = -f[i];
+      std::vector<double>& dx = dx_;
       if (use_chords) {
-        dx = chord_lu_->solve(rhs);  // back-substitution only
+        chord_lu_->solve(rhs_, dx);  // back-substitution only
       } else {
         if (stats) ++stats->linear_solves;
         numeric::LuFactorization lu(jac);
         if (!lu.ok()) return false;
-        dx = lu.solve(rhs);
+        lu.solve(rhs_, dx);
       }
 
       double dmax = 0.0;
@@ -265,6 +322,25 @@ struct Solver {
 
   std::unique_ptr<numeric::LuFactorization> chord_lu_;
   double chord_h_ = -1.0;
+
+  /// Batched device evaluation state (built once in the constructor when
+  /// opt.batch_device_eval): each group holds the mosfets sharing one
+  /// concrete tabular model plus SoA gather buffers for their frame
+  /// coordinates. Empty when batching is off.
+  struct BatchGroup {
+    const device::TabularDeviceModel* model = nullptr;
+    std::vector<std::size_t> mosfets;        ///< indices into ckt.mosfets()
+    std::vector<double> fg, flo, fhi;        ///< SoA frame coordinates
+    std::vector<device::TabularDeviceModel::FrameEval> fe;
+  };
+  std::vector<const device::TabularDeviceModel*> tab_of_;
+  std::vector<BatchGroup> groups_;
+  std::vector<device::IvEval> group_results_;  ///< per-mosfet, circuit order
+  std::vector<char> group_swap_;               ///< per-mosfet drain/source swap
+
+  /// NR scratch, reused across iterations and steps (grow-only).
+  std::vector<double> v_, f_, rhs_, dx_;
+  numeric::Matrix jac_;
 };
 
 }  // namespace
@@ -328,11 +404,12 @@ TransientResult simulate_transient(const Circuit& circuit,
   double t = 0.0;
   double h = options.dt;
   std::vector<double> v_next;
+  std::vector<double> x_try;
   while (t < options.t_stop - 1e-18) {
     h = std::min(h, options.t_stop - t);
     const double t_next = t + h;
 
-    std::vector<double> x_try = x;
+    x_try.assign(x.begin(), x.end());
     int iters = 0;
     bool ok = s.newton(t_next, /*with_caps=*/true, h, v_now, i_cap, x_try,
                        options.gmin, &iters);

@@ -74,6 +74,18 @@ int StaEngine::thread_count() const {
   return support::ThreadPool::resolve_threads(opt_.threads);
 }
 
+core::WorkspaceStats StaEngine::workspace_stats() const {
+  core::WorkspaceStats total;
+  for (const core::EvalWorkspace& ws : lane_ws_) {
+    const core::WorkspaceStats s = ws.stats();
+    total.bytes += s.bytes;
+    total.high_water_bytes += s.high_water_bytes;
+    total.grow_events += s.grow_events;
+    total.evals += s.evals;
+  }
+  return total;
+}
+
 void StaEngine::build_schedule() {
   const int n = static_cast<int>(design_.stages.size());
   // Edges: stage A -> stage B when an output net of A is an input net of B.
@@ -161,7 +173,8 @@ void StaEngine::prepare_record(int stage_index, OutputRecord* rec) {
       rec->key.clamped ? cache_.time_bucket(rec->trigger.time) : 0;
 }
 
-void StaEngine::evaluate_owner(int stage_index, OutputRecord* rec) const {
+void StaEngine::evaluate_owner(int stage_index, OutputRecord* rec,
+                               core::EvalWorkspace& ws) const {
   const circuit::StageInfo& info = design_.stages[stage_index];
   const circuit::LogicStage& stage = info.stage;
   const circuit::NodeId out_node = stage.outputs()[rec->output_index];
@@ -182,14 +195,28 @@ void StaEngine::evaluate_owner(int stage_index, OutputRecord* rec) const {
           numeric::PwlWaveform::constant(output_falls ? vdd : 0.0));
   }
 
-  const core::StageTiming st = core::evaluate_stage(
-      stage, out_node, output_falls, inputs, rec->sw_input, models_,
-      opt_.qwm);
+  // Cacheable owners record their converged region trace (for later
+  // near-miss warm starts) and replay a near-miss seed when the classify
+  // phase found one. Both decisions were made serially against the frozen
+  // cache, so the evaluation — and its result — is scheduling-independent.
+  core::QwmOptions qopt = opt_.qwm;
+  if (rec->cacheable && cache_.options().max_trace_values > 0)
+    qopt.record_trace = true;
+  if (rec->warm != nullptr) qopt.warm = rec->warm.get();
+
+  core::StageTiming st = core::evaluate_stage(
+      stage, out_node, output_falls, inputs, rec->sw_input, models_, qopt, ws);
+  rec->stats = st.qwm.stats;
   rec->value = core::CachedStageResult{};
   if (!st.ok || !st.delay) return;  // memoized as a failed evaluation
   rec->value.ok = true;
   rec->value.delay = *st.delay;
   rec->value.slew = st.output_slew.value_or(opt_.input_slew);
+  const std::size_t trace_values = st.qwm.trace.value_count();
+  if (qopt.record_trace && trace_values > 0 &&
+      trace_values <= cache_.options().max_trace_values)
+    rec->value.trace =
+        std::make_shared<const core::WarmTrace>(std::move(st.qwm.trace));
 }
 
 bool StaEngine::apply_record(int stage_index, const OutputRecord& rec) {
@@ -254,6 +281,21 @@ std::vector<char> StaEngine::evaluate_level(const std::vector<int>& stages) {
             if (!inserted) {
               rec.kind = OutputRecord::Kind::follower;
               rec.owner_index = it->second;
+            } else if (cache_.options().max_trace_values > 0) {
+              // Near-miss warm probe: a resident entry in an adjacent
+              // slew bucket carries a converged trace from an almost
+              // identical evaluation — seed the owner's Newton solves
+              // from it. Fixed probe order keeps the choice (and thus
+              // the result) deterministic.
+              core::StageEvalKey near = rec.key;
+              for (const int d : {-1, 1}) {
+                near.slew_bucket = rec.key.slew_bucket + d;
+                const auto c = cache_.peek(near);
+                if (c && c->ok && c->trace != nullptr) {
+                  rec.warm = c->trace;
+                  break;
+                }
+              }
             }
           }
         }
@@ -270,16 +312,21 @@ std::vector<char> StaEngine::evaluate_level(const std::vector<int>& stages) {
   // worker lanes. Each lane touches only its own record plus immutable
   // design/model state; indices are handed out through the pool's shared
   // cursor so uneven region counts load-balance.
-  const auto run_owner = [&](std::size_t j) {
+  // Each lane reuses its own scratch arena across owners and levels.
+  const int lanes = thread_count();
+  if (!owners.empty() && static_cast<int>(lane_ws_.size()) < lanes)
+    lane_ws_.resize(static_cast<std::size_t>(lanes));
+  const auto run_owner = [&](std::size_t j, int lane) {
     const FlatRef ref = flat[owners[j]];
-    evaluate_owner(tasks[ref.task].stage, &tasks[ref.task].records[ref.record]);
+    evaluate_owner(tasks[ref.task].stage, &tasks[ref.task].records[ref.record],
+                   lane_ws_[static_cast<std::size_t>(lane)]);
   };
-  if (thread_count() > 1 && owners.size() > 1) {
+  if (lanes > 1 && owners.size() > 1) {
     if (!pool_)
       pool_ = std::make_unique<support::ThreadPool>(opt_.threads);
-    pool_->parallel_for(owners.size(), run_owner);
+    pool_->parallel_for_lanes(owners.size(), run_owner);
   } else {
-    for (std::size_t j = 0; j < owners.size(); ++j) run_owner(j);
+    for (std::size_t j = 0; j < owners.size(); ++j) run_owner(j, 0);
   }
 
   // Phase 3 (serial merge, ascending stage order): resolve followers,
@@ -303,6 +350,7 @@ std::vector<char> StaEngine::evaluate_level(const std::vector<int>& stages) {
           break;
         }
         case OutputRecord::Kind::owner:
+          qwm_stats_ += rec.stats;
           if (rec.cacheable) {
             cache_.note_miss();
             cache_.insert(rec.key, rec.value);

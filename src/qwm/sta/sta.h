@@ -34,6 +34,7 @@
 #include "qwm/circuit/partition.h"
 #include "qwm/core/eval_cache.h"
 #include "qwm/core/stage_eval.h"
+#include "qwm/core/workspace.h"
 #include "qwm/device/model_set.h"
 #include "qwm/support/counters.h"
 #include "qwm/support/thread_pool.h"
@@ -152,6 +153,18 @@ class StaEngine {
   /// Resolved worker-lane count.
   int thread_count() const;
 
+  /// Aggregate QWM work counters (Newton iterations, device evaluations,
+  /// warm starts, ...) over every owner evaluation since construction or
+  /// the last reset. Accumulated during the deterministic merge phase, so
+  /// the totals are independent of thread count.
+  const core::QwmStats& qwm_stats() const { return qwm_stats_; }
+  void reset_qwm_stats() { qwm_stats_ = core::QwmStats{}; }
+  /// Aggregate scratch-arena footprint over all worker-lane workspaces:
+  /// bytes/high-water summed across lanes, grow events and evaluation
+  /// counts totalled. A flat high-water mark across repeated runs is the
+  /// observable proof the hot path has stopped allocating.
+  core::WorkspaceStats workspace_stats() const;
+
  private:
   /// One (output net, direction) evaluation inside a level batch.
   struct OutputRecord {
@@ -172,6 +185,11 @@ class StaEngine {
     /// follower: flat index of the owning record in the level batch.
     int owner_index = -1;
     core::CachedStageResult value;
+    /// Owner only: near-miss warm seed picked during the serial classify
+    /// phase (adjacent slew bucket of the frozen cache), if any.
+    std::shared_ptr<const core::WarmTrace> warm;
+    /// Owner only: QWM work counters from the evaluation.
+    core::QwmStats stats;
     /// Owner only: the stimulus for the QWM evaluation.
     std::vector<numeric::PwlWaveform> inputs;
   };
@@ -187,8 +205,9 @@ class StaEngine {
   /// Fills trigger selection + cache classification for one record.
   void prepare_record(int stage_index, OutputRecord* rec);
   /// Runs QWM for an owner record (worker-thread safe: touches only the
-  /// record, the immutable design and the models).
-  void evaluate_owner(int stage_index, OutputRecord* rec) const;
+  /// record, its lane's workspace, the immutable design and the models).
+  void evaluate_owner(int stage_index, OutputRecord* rec,
+                      core::EvalWorkspace& ws) const;
   /// Applies a record's result to the timing map; true if it changed.
   bool apply_record(int stage_index, const OutputRecord& rec);
 
@@ -214,6 +233,10 @@ class StaEngine {
   core::StageEvalCache cache_;
   std::vector<std::optional<std::uint64_t>> stage_keys_;
   std::unique_ptr<support::ThreadPool> pool_;
+  /// One scratch arena per worker lane (index = lane id); sized lazily
+  /// before the first parallel dispatch and never reallocated during one.
+  std::vector<core::EvalWorkspace> lane_ws_;
+  core::QwmStats qwm_stats_;
 };
 
 }  // namespace qwm::sta

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(int threads) {
   const int lanes = std::max(1, resolve_threads(threads));
   workers_.reserve(static_cast<std::size_t>(lanes - 1));
   for (int i = 0; i < lanes - 1; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -26,19 +26,19 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int lane) {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
     if (stop_) return;
     seen = generation_;
-    const std::function<void(std::size_t)>* fn = fn_;
+    const std::function<void(std::size_t, int)>* fn = fn_;
     const std::size_t n = n_;
     lock.unlock();
     for (std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
          i < n; i = cursor_.fetch_add(1, std::memory_order_relaxed))
-      (*fn)(i);
+      (*fn)(i, lane);
     lock.lock();
     if (--running_ == 0) done_.notify_one();
   }
@@ -46,9 +46,14 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_lanes(n, [&fn](std::size_t i, int) { fn(i); });
+}
+
+void ThreadPool::parallel_for_lanes(
+    std::size_t n, const std::function<void(std::size_t, int)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
     return;
   }
   {
@@ -60,10 +65,10 @@ void ThreadPool::parallel_for(std::size_t n,
     ++generation_;
   }
   wake_.notify_all();
-  // The calling thread is a lane too.
+  // The calling thread is lane 0.
   for (std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed); i < n;
        i = cursor_.fetch_add(1, std::memory_order_relaxed))
-    fn(i);
+    fn(i, 0);
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [&] { return running_ == 0; });
   fn_ = nullptr;

@@ -44,11 +44,18 @@ class ThreadPool {
   /// Not reentrant: do not call parallel_for from inside fn.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Lane-aware variant: fn(i, lane) additionally receives the executing
+  /// lane id in [0, thread_count()), stable per thread within one batch
+  /// (lane 0 = the calling thread). Lets callers keep per-lane scratch
+  /// (e.g. one EvalWorkspace per lane) without thread-local lookups.
+  void parallel_for_lanes(std::size_t n,
+                          const std::function<void(std::size_t, int)>& fn);
+
   /// Resolved lane count for a requested thread setting (<=0 = hardware).
   static int resolve_threads(int requested);
 
  private:
-  void worker_loop();
+  void worker_loop(int lane);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -56,7 +63,7 @@ class ThreadPool {
   std::condition_variable done_;   ///< parallel_for waits here for workers
   // Batch state, written under mutex_ by parallel_for before waking the
   // workers; `cursor_` is the shared work-stealing index.
-  const std::function<void(std::size_t)>* fn_ = nullptr;
+  const std::function<void(std::size_t, int)>* fn_ = nullptr;
   std::size_t n_ = 0;
   std::atomic<std::size_t> cursor_{0};
   std::uint64_t generation_ = 0;  ///< batch id; workers run once per bump

@@ -5,7 +5,9 @@
 #      parallel level-synchronous scheduler, the shared memo cache, and
 #      the qwm_serve dispatch layer —
 # plus a service smoke stage driving the qwm_serve daemon over both
-# transports (scripted stdio exchange; TCP round with qwm_load).
+# transports (scripted stdio exchange; TCP round with qwm_load) and a
+# deterministic perf-regression smoke comparing the pinned counter
+# workload of bench_micro_kernels against tools/perf_budget.json.
 # Usage: tools/ci.sh [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -54,6 +56,14 @@ for _ in $(seq 50); do [[ -s "$smoke_dir/port" ]] && break; sleep 0.1; done
 wait "$serve_pid" || { echo "qwm_serve exited non-zero"; exit 1; }
 grep -q "clean shutdown" "$smoke_dir/serve.log" || { echo "qwm_serve: no clean shutdown"; exit 1; }
 echo "service smoke passed"
+
+echo "== perf smoke (work-counter budget) =="
+# Counters (Newton iterations, device evaluations, workspace growth) are
+# machine-deterministic, so this gate is stable on loaded CI hosts where
+# wall-clock timing is not; --counters-only skips the timed medians.
+./build/bench/bench_micro_kernels --json "$smoke_dir/perf.json" \
+    --counters-only --budget tools/perf_budget.json
+echo "perf smoke passed"
 
 if [[ "$skip_tsan" == 1 ]]; then
   echo "== tier1 under TSan: SKIPPED (--skip-tsan) =="
