@@ -195,7 +195,7 @@ int run_counter_mode(const KernelFlags& kf) {
   // replay sees identical inputs, so it must reproduce the delay
   // bit-for-bit at (near) zero Newton work.
   std::vector<std::string> stack_json;
-  std::uint64_t stack_newton = 0, stack_devev = 0;
+  std::uint64_t stack_newton = 0, stack_devev = 0, stack_fallback = 0;
   for (const int k : {2, 6, 10}) {
     const auto stage = circuit::make_nmos_stack(
         m.proc, std::vector<double>(static_cast<std::size_t>(k), 1.2e-6),
@@ -215,6 +215,8 @@ int run_counter_mode(const KernelFlags& kf) {
     }
     stack_newton += cold.qwm.stats.newton_iterations;
     stack_devev += cold.qwm.stats.device_evals;
+    stack_fallback += cold.qwm.stats.fallback_total() +
+                      warm.qwm.stats.fallback_total();
     stack_json.push_back(
         JsonObject()
             .integer("k", static_cast<std::uint64_t>(k))
@@ -267,6 +269,9 @@ int run_counter_mode(const KernelFlags& kf) {
       {"decoder_device_evals", qs.device_evals},
       {"decoder_qwm_runs", cache.misses},
       {"ws_grow_steady", ws_grow_steady},
+      // Any nonzero value means a nominal workload needed the fallback
+      // ladder — budgeted at 0: degradation on the pinned decks is a bug.
+      {"fallback_total", stack_fallback + qs.fallback_total()},
   };
   std::printf("pinned counter workload:\n");
   for (const auto& l : live)
@@ -370,6 +375,11 @@ int run_counter_mode(const KernelFlags& kf) {
         .integer("warm_starts", qs.warm_starts)
         .integer("warm_retries", qs.warm_retries)
         .integer("lu_fallbacks", qs.lu_fallbacks)
+        .integer("fallback_nominal",
+                 qs.fallback_counts[qwm::core::kRungNominal])
+        .integer("fallback_damped", qs.fallback_counts[qwm::core::kRungDamped])
+        .integer("fallback_bisect", qs.fallback_counts[qwm::core::kRungBisect])
+        .integer("fallback_spice", qs.fallback_counts[qwm::core::kRungSpice])
         .integer("ws_high_water_bytes", ws1.high_water_bytes)
         .integer("ws_grow_steady", ws_grow_steady);
     JsonObject counters;

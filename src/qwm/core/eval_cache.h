@@ -69,6 +69,11 @@ struct StageEvalKeyHash {
 /// the resolved output slew. `ok = false` memoizes failed evaluations.
 struct CachedStageResult {
   bool ok = false;
+  /// Result came from the fallback ladder, not the nominal solve. Degraded
+  /// values are never inserted into the cache (the scheduler clears the
+  /// record's cacheable flag), but the flag still rides along so follower
+  /// records and arrivals inherit it.
+  bool degraded = false;
   double delay = 0.0;
   double slew = 0.0;
   /// Converged region solutions (shared, immutable; null when trace

@@ -6,12 +6,14 @@
 #include <limits>
 #include <cstdio>
 
+#include "qwm/core/spice_fallback.h"
 #include "qwm/core/workspace.h"
 #include "qwm/numeric/matrix.h"
 #include "qwm/numeric/newton.h"
 #include "qwm/numeric/roots.h"
 #include "qwm/numeric/sherman_morrison.h"
 #include "qwm/numeric/tridiagonal.h"
+#include "qwm/support/fault_injection.h"
 
 namespace qwm::core {
 
@@ -85,6 +87,10 @@ class Engine {
   bool have_prev_tail_ = false;
   int prev_tail_active_ = -1;
 
+  /// Fallback-ladder rung 1: solve_region widens the Newton budget
+  /// (double the iterations, triple the backtracks) while this is set.
+  bool damped_ = false;
+
   /// Context of the r = 1 region solve in flight. Lives on the engine so
   /// the Newton callbacks capture only `this` (small enough for
   /// std::function's inline storage: no per-region heap traffic).
@@ -143,6 +149,13 @@ class Engine {
   /// governing node and retried. `depth` bounds the recursion.
   bool solve_region_adaptive(int active, int boundary_elem, double v_target,
                              int target_node, int depth);
+  /// Fallback-ladder rung 2: Newton-free region solve. For a trial region
+  /// length Delta the current-matching alphas are driven to their fixed
+  /// point by damped Picard iteration, then the boundary residual is
+  /// bracketed and bisected over Delta. Slower and less accurate than the
+  /// Newton solve, but immune to Jacobian pathologies.
+  bool solve_region_bisect(int active, int boundary_elem, double v_target,
+                           int target_node);
   bool advance_to_first_turn_on(std::size_t e);
   double estimate_delta(int active, int boundary_elem, double v_target,
                         int target_node) const;
@@ -775,10 +788,11 @@ bool Engine::solve_region(int active, int boundary_elem, double v_target,
   }
 
   numeric::NewtonOptions nopt;
-  nopt.max_iterations = opt_.nr_max_iterations;
+  nopt.max_iterations =
+      damped_ ? 2 * opt_.nr_max_iterations : opt_.nr_max_iterations;
   nopt.f_tolerance = opt_.f_tolerance;
   nopt.x_tolerance = 0.0;  // judge convergence on the residual only
-  nopt.max_backtracks = 10;
+  nopt.max_backtracks = damped_ ? 30 : 10;
   // [this]-only captures fit std::function's inline storage: building
   // these callbacks allocates nothing.
   const numeric::ResidualFn residual =
@@ -1214,6 +1228,120 @@ bool Engine::solve_region_adaptive(int active, int boundary_elem,
                                depth + 1);
 }
 
+bool Engine::solve_region_bisect(int active, int boundary_elem,
+                                 double v_target, int target_node) {
+  // Fault injection: this rung can be failed on purpose to force the
+  // ladder onto the SPICE last resort.
+  if (support::fire_fault(support::FaultSite::kBisectionFail)) return false;
+
+  update_currents(active);
+  // The objective may already be satisfied (a prior rung committed
+  // sub-steps past it) — mirror solve_region_adaptive's passed checks.
+  if (boundary_elem >= 0) {
+    if (turn_on_residual(boundary_elem, v_, tau_) >= 0.0) return true;
+  } else {
+    const double gap = v_target - v_[target_node];
+    const double vel = i_[target_node] / prob_.node_caps[target_node - 1];
+    if (std::abs(gap) < 1e-6) return true;
+    if (std::abs(vel) > 1e-3 && gap * vel < 0.0) return true;
+  }
+
+  std::vector<double>& alphas = ws_.i_probe;  // reused as alpha storage
+  std::vector<double>& vv = ws_.vp;
+  alphas.assign(active + 1, 0.0);
+
+  const auto volt_at = [&](double delta) {
+    vv = v_;
+    for (int k = 1; k <= active; ++k)
+      vv[k] += (i_[k] * delta + 0.5 * alphas[k] * delta * delta) /
+               prob_.node_caps[k - 1];
+  };
+  // Boundary residual at region length `delta`: the alphas are driven to
+  // the current-matching fixed point alpha_k = (kcl_k - i_k) / delta by
+  // damped Picard iteration (alphas persist across calls, so nearby
+  // deltas re-converge in a couple of sweeps), then the boundary
+  // condition is read off the end voltages. Sign convention: negative
+  // before the boundary, positive past it.
+  const auto boundary_at = [&](double delta) -> double {
+    for (int it = 0; it < 20; ++it) {
+      volt_at(delta);
+      eval_element_currents(active, vv, tau_ + delta, ws_.jc);
+      double worst = 0.0;  // end-current change [A]
+      for (int k = 1; k <= active; ++k) {
+        const double kcl = prob_.discharge ? (ws_.jc[k + 1].j - ws_.jc[k].j)
+                                           : (ws_.jc[k].j - ws_.jc[k + 1].j);
+        const double a_new = (kcl - i_[k]) / delta;
+        worst = std::max(worst, std::abs(a_new - alphas[k]) * delta);
+        alphas[k] += 0.7 * (a_new - alphas[k]);
+      }
+      if (worst < 1e-7) break;
+    }
+    volt_at(delta);
+    if (boundary_elem >= 0)
+      return turn_on_residual(boundary_elem, vv, tau_ + delta);
+    return (vv[target_node] - v_target) * (prob_.discharge ? -1.0 : 1.0);
+  };
+
+  // Bracket the boundary on a geometric grid of region lengths, then
+  // bisect. No bracket within the physical length range = failure.
+  const double d_lo_lim = 1e-14, d_hi_lim = 2e-9;
+  double d_lo = d_lo_lim;
+  double d_hi = d_lo_lim;
+  if (boundary_at(d_lo_lim) <= 0.0) {
+    bool bracketed = false;
+    const int grid = 28;
+    double prev_d = d_lo_lim;
+    for (int i2 = 1; i2 <= grid; ++i2) {
+      const double d = d_lo_lim * std::pow(d_hi_lim / d_lo_lim,
+                                           static_cast<double>(i2) / grid);
+      if (boundary_at(d) > 0.0) {
+        d_lo = prev_d;
+        d_hi = d;
+        bracketed = true;
+        break;
+      }
+      prev_d = d;
+    }
+    if (!bracketed) return false;
+    for (int it = 0; it < 60 && (d_hi - d_lo) > 1e-16; ++it) {
+      const double mid = 0.5 * (d_lo + d_hi);
+      if (boundary_at(mid) > 0.0)
+        d_hi = mid;
+      else
+        d_lo = mid;
+    }
+  }
+  const double dt = std::max(d_hi, kMinRegionDt);
+  (void)boundary_at(dt);  // leave alphas/vv converged at the commit length
+
+  // Commit, mirroring solve_region.
+  std::vector<double>& accel = ws_.accel;
+  std::vector<double>& slope = ws_.slope;
+  accel.assign(m_ + 1, 0.0);
+  slope.assign(m_ + 1, 0.0);
+  for (int k = 1; k <= active; ++k) {
+    const double c = prob_.node_caps[k - 1];
+    slope[k] = i_[k] / c;
+    accel[k] = 0.5 * alphas[k] / c;
+  }
+  record_region(tau_, dt, active, accel, slope);
+  numeric::Vector& xv = ws_.xv;
+  xv.assign(active + 1, 0.0);
+  for (int k = 1; k <= active; ++k) xv[k - 1] = alphas[k];
+  xv[active] = dt;
+  ws_.prev_i_start.assign(i_.begin() + 1, i_.begin() + 1 + active);
+  for (int k = 1; k <= active; ++k) {
+    v_[k] = vv[k];
+    i_[k] += alphas[k] * dt;
+  }
+  tau_ += dt;
+  res_.critical_times.push_back(tau_);
+  ++res_.stats.regions;
+  have_prev_tail_ = false;  // degraded parameters never seed a warm start
+  note_commit(dt, xv, active, /*placeholder=*/true);
+  return true;
+}
+
 QwmResult Engine::run() {
   m_ = static_cast<int>(prob_.length());
   if (m_ == 0) {
@@ -1317,8 +1445,31 @@ QwmResult Engine::run() {
         res_.tail_truncated = true;
         break;
       }
-      fail("region Newton solve failed at t=" + std::to_string(tau_));
-      break;
+      // Fallback ladder. Rung 0 (everything above: plain NR with warm
+      // retry and adaptive splitting) has failed; the recovery rungs run
+      // under a ScopedRung so injected faults can be scoped away from
+      // them, and any result they produce is flagged degraded.
+      bool recovered = false;
+      {
+        support::ScopedRung rung_guard(kRungDamped);
+        damped_ = true;
+        recovered = solve_region_adaptive(active, q, v_target, m_, 0);
+        damped_ = false;
+        if (recovered) ++res_.stats.fallback_counts[kRungDamped];
+      }
+      if (!recovered) {
+        support::ScopedRung rung_guard(kRungBisect);
+        recovered = solve_region_bisect(active, q, v_target, m_);
+        if (recovered) ++res_.stats.fallback_counts[kRungBisect];
+      }
+      if (!recovered) {
+        res_.solver_failure = true;
+        fail("region Newton solve failed at t=" + std::to_string(tau_));
+        break;
+      }
+      res_.degraded = true;
+    } else {
+      ++res_.stats.fallback_counts[kRungNominal];
     }
     if (q >= 0) {
       on_[q] = 1;
@@ -1344,6 +1495,14 @@ QwmResult evaluate_path(const circuit::PathProblem& problem,
                         const QwmOptions& options, EvalWorkspace& ws) {
   Engine engine(problem, inputs, options, ws);
   QwmResult res = engine.run();
+  if (!res.ok && res.solver_failure) {
+    // Ladder rung 3: every in-process rung failed on a well-posed problem
+    // — fall back to a per-stage SPICE transient of the same lumped path.
+    // Semantic failures (empty path, gate never turns on, t_max exceeded)
+    // are not solver failures and are reported as-is.
+    support::ScopedRung rung_guard(kRungSpice);
+    spice_fallback_evaluate(problem, inputs, options, res);
+  }
   ws.checkpoint();
   return res;
 }

@@ -103,6 +103,15 @@ struct QwmOptions {
   bool trace = false;
 };
 
+/// Rung indices of the fallback ladder (QwmStats::fallback_counts).
+enum FallbackRung : int {
+  kRungNominal = 0,   ///< plain NR (the paper's solve) resolved the region
+  kRungDamped = 1,    ///< damped NR re-solve (wider iteration/backtrack budget)
+  kRungBisect = 2,    ///< bracketed bisection on the region-boundary residual
+  kRungSpice = 3,     ///< last resort: per-stage SPICE transient
+  kFallbackRungs = 4,
+};
+
 struct QwmStats {
   std::size_t regions = 0;
   std::size_t newton_iterations = 0;
@@ -111,6 +120,17 @@ struct QwmStats {
   std::size_t lu_fallbacks = 0;   ///< tridiagonal path bailed to dense LU
   std::size_t warm_starts = 0;    ///< region solves seeded warm
   std::size_t warm_retries = 0;   ///< warm seeds that fell back to cold
+  /// Ladder outcome per top-level region objective: [0] resolved by the
+  /// nominal machinery, [1] by the damped NR rung, [2] by the bisection
+  /// rung. [3] counts whole-path SPICE evaluations (the rung that replaces
+  /// the evaluation rather than one region). A clean run has
+  /// fallback_counts[1..3] == 0.
+  std::size_t fallback_counts[kFallbackRungs] = {0, 0, 0, 0};
+
+  std::size_t fallback_total() const {
+    return fallback_counts[kRungDamped] + fallback_counts[kRungBisect] +
+           fallback_counts[kRungSpice];
+  }
 
   QwmStats& operator+=(const QwmStats& o) {
     regions += o.regions;
@@ -120,6 +140,8 @@ struct QwmStats {
     lu_fallbacks += o.lu_fallbacks;
     warm_starts += o.warm_starts;
     warm_retries += o.warm_retries;
+    for (int r = 0; r < kFallbackRungs; ++r)
+      fallback_counts[r] += o.fallback_counts[r];
     return *this;
   }
 };
@@ -127,6 +149,17 @@ struct QwmStats {
 struct QwmResult {
   bool ok = false;
   std::string error;
+  /// True when the result came from a fallback rung (damped NR, bisection,
+  /// or the SPICE golden path) rather than the nominal solve. Degraded
+  /// results are within documented tolerance of golden but not
+  /// bit-reproducible by the nominal path; callers (the STA memo cache,
+  /// the service) must not treat them as nominal.
+  bool degraded = false;
+  /// Failure taxonomy: true when `!ok` because the region solver (all
+  /// in-process rungs) failed, as opposed to a semantic problem with the
+  /// input (empty path, gate never turns on, t_max exceeded, ...). Only
+  /// solver failures are eligible for the SPICE last-resort rung.
+  bool solver_failure = false;
   /// True when one of the last tail targets failed to converge and the
   /// waveform was truncated there (the quasi-static deep tail is
   /// ill-conditioned for current matching; the transition itself is

@@ -1,0 +1,28 @@
+// Last-resort rung of the QWM fallback ladder: when every in-process
+// region solver (plain NR, damped NR, bisection) fails on a well-posed
+// path problem, the same lumped path is handed to the in-repo SPICE
+// transient engine — the golden reference the differential tests compare
+// against — and its waveforms replace the QWM result. Slow (a full
+// time-stepped integration) but essentially never wrong, which is the
+// right trade for a rung that should fire almost never.
+#pragma once
+
+#include <vector>
+
+#include "qwm/circuit/path.h"
+#include "qwm/core/qwm.h"
+#include "qwm/numeric/pwl.h"
+
+namespace qwm::core {
+
+/// Re-evaluates `problem` with the SPICE transient engine and, on
+/// success, overwrites `res` in place: node_waveforms are replaced by the
+/// simulated (piecewise-linear) waveforms, ok/degraded are set, and
+/// fallback_counts[kRungSpice] is bumped. Transient work is added to the
+/// existing stats. Returns false (leaving `res` failed) when the
+/// transient itself does not converge.
+bool spice_fallback_evaluate(const circuit::PathProblem& problem,
+                             const std::vector<numeric::PwlWaveform>& inputs,
+                             const QwmOptions& options, QwmResult& res);
+
+}  // namespace qwm::core

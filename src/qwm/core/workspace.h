@@ -25,12 +25,14 @@
 // allocation-freeness that the tier-1 workspace test pins.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <type_traits>
 #include <vector>
 
 #include "qwm/core/warm_trace.h"
 #include "qwm/device/tabular_model.h"
+#include "qwm/support/fault_injection.h"
 #include "qwm/numeric/matrix.h"
 #include "qwm/numeric/newton.h"
 #include "qwm/numeric/sherman_morrison.h"
@@ -128,8 +130,9 @@ class EvalWorkspace {
   void checkpoint() {
     ++evals_;
     const std::size_t b = bytes();
-    if (b > high_water_) {
-      high_water_ = b;
+    if (b > high_water_ ||
+        support::fire_fault(support::FaultSite::kWorkspaceGrow)) {
+      high_water_ = std::max(high_water_, b);
       ++grow_events_;
     }
   }

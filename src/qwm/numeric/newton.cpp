@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
+
+#include "qwm/support/fault_injection.h"
 
 namespace qwm::numeric {
 
@@ -29,8 +32,22 @@ NewtonResult newton_solve(const ResidualFn& residual, const LinearStepFn& step,
   if (!residual(x, f)) return result;
   result.residual_norm = inf_norm(f);
 
+  // Fault injection: a kNewtonStall rule forces non-convergence at
+  // iteration k (= the rule's magnitude, so k=0 rejects immediately). The
+  // stall reports an infinite residual — a hard divergence — so callers
+  // with a small-residual acceptance escape hatch still see a failure.
+  double stall_mag = 0.0;
+  const int stall_iter =
+      support::fire_fault(support::FaultSite::kNewtonStall, &stall_mag)
+          ? static_cast<int>(stall_mag)
+          : -1;
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter;
+    if (stall_iter >= 0 && iter >= stall_iter) {
+      result.residual_norm = std::numeric_limits<double>::infinity();
+      return result;
+    }
     if (result.residual_norm < options.f_tolerance) {
       result.converged = true;
       return result;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "qwm/support/fault_injection.h"
+
 namespace qwm::numeric {
 
 bool sherman_morrison_solve(const Tridiagonal& a, const std::vector<double>& u,
@@ -32,7 +34,10 @@ bool sherman_morrison_solve(const Tridiagonal& a, const std::vector<double>& u,
     vz += v[i] * z[i];
   }
   const double denom = 1.0 + vz;
-  if (std::abs(denom) < 1e-300 || !std::isfinite(denom)) return false;
+  // Fault injection: pretend |1 + v'z| underflowed (denominator blow-up).
+  if (std::abs(denom) < 1e-300 || !std::isfinite(denom) ||
+      support::fire_fault(support::FaultSite::kSmDenominator))
+    return false;
   const double scale = vy / denom;
 
   x.assign(n, 0.0);

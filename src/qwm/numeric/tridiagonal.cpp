@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "qwm/support/fault_injection.h"
+
 namespace qwm::numeric {
 
 void Tridiagonal::resize(std::size_t n) {
@@ -44,6 +46,8 @@ bool thomas_solve(const Tridiagonal& t, const std::vector<double>& b,
     x.clear();
     return true;
   }
+  // Fault injection: report a (simulated) singular pivot.
+  if (support::fire_fault(support::FaultSite::kSingularPivot)) return false;
   cp.assign(n, 0.0);  // modified super-diagonal
   x.assign(n, 0.0);
 

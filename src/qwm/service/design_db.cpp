@@ -162,6 +162,8 @@ SlackReply DesignDb::slack(const std::string& net, double period) const {
   }
   const auto it = slack_map_.find(*id);
   if (it != slack_map_.end()) reply.slack = it->second;
+  const sta::NetTiming& t = session_->engine->timing(*id);
+  reply.degraded = t.rise.degraded || t.fall.degraded;
   return reply;
 }
 

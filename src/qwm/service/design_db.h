@@ -71,6 +71,8 @@ struct SlackReply {
   std::uint64_t epoch = 0;
   sta::StaEngine::Slack slack;  ///< valid=false: off every constrained cone
   bool cache_hit = false;       ///< served from the per-epoch slack memo
+  /// The net's arrivals (hence the slack) rest on fallback-ladder data.
+  bool degraded = false;
 };
 
 struct CritPathStepReply {

@@ -125,8 +125,16 @@ std::string err_line(const std::string& code, const std::string& message) {
   return out;
 }
 
+std::string ok_degraded_line(const std::string& payload) {
+  return payload.empty() ? "OK DEGRADED" : "OK DEGRADED " + payload;
+}
+
 bool is_ok(const std::string& response) {
   return response == "OK" || response.rfind("OK ", 0) == 0;
+}
+
+bool is_degraded(const std::string& response) {
+  return response == "OK DEGRADED" || response.rfind("OK DEGRADED ", 0) == 0;
 }
 
 bool is_err(const std::string& response, const std::string& code) {

@@ -64,8 +64,15 @@ ParsedRequest parse_request(const std::string& line);
 /// Response construction. Both return a full line without the newline.
 std::string ok_line(const std::string& payload);
 std::string err_line(const std::string& code, const std::string& message);
+/// "OK DEGRADED <payload>": the answer is usable but was produced by the
+/// QWM fallback ladder (or depends on an upstream fallback result) —
+/// within documented tolerance, not nominal-accuracy. is_ok() accepts it;
+/// clients that care test is_degraded().
+std::string ok_degraded_line(const std::string& payload);
 
 bool is_ok(const std::string& response);
+/// True when the response is "OK DEGRADED ..." (a usable fallback answer).
+bool is_degraded(const std::string& response);
 /// True when the response is "ERR <code> ..." (any code if empty).
 bool is_err(const std::string& response, const std::string& code = "");
 

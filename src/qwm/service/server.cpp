@@ -13,6 +13,9 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <thread>
+
+#include "qwm/support/fault_injection.h"
 
 namespace qwm::service {
 
@@ -97,7 +100,12 @@ void Server::note_result(Verb v, double ms, bool ok) {
 }
 
 std::string Server::handle_line(const std::string& line) {
-  const ParsedRequest p = parse_request(line);
+  std::string text = line;
+  // Injected transport corruption: drive the malformed-frame path
+  // deterministically (the frame arrives garbled, not the parser broken).
+  if (support::fire_fault(support::FaultSite::kMalformedFrame))
+    text.insert(0, "\x01\x02 ");
+  const ParsedRequest p = parse_request(text);
   if (!p.ok) {
     if (p.code.empty()) return "";  // blank / comment
     {
@@ -108,6 +116,18 @@ std::string Server::handle_line(const std::string& line) {
   }
   const Request& r = p.request;
   const auto t0 = Clock::now();
+  // Injected latency: the request stalls for `magnitude` ms before the
+  // engine sees it — the knob the solve-deadline tests turn.
+  double slow_ms = 0.0;
+  if (support::fire_fault(support::FaultSite::kSlowRequest, &slow_ms) &&
+      slow_ms > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(slow_ms));
+  // Injected hard failure: the request dies before execution.
+  if (support::fire_fault(support::FaultSite::kFailRequest)) {
+    note_result(r.verb, ms_between(t0, Clock::now()), false);
+    return err_line("INJECTED", "fault injection: request failed");
+  }
   std::string resp;
   std::ostringstream os;
   switch (r.verb) {
@@ -137,8 +157,11 @@ std::string Server::handle_line(const std::string& line) {
          << " rise_slew=" << format_double(t.rise.slew)
          << " fall_valid=" << (t.fall.valid() ? 1 : 0)
          << " fall=" << format_double(t.fall.time)
-         << " fall_slew=" << format_double(t.fall.slew);
-      resp = ok_line(os.str());
+         << " fall_slew=" << format_double(t.fall.slew)
+         << " rise_degraded=" << (t.rise.degraded ? 1 : 0)
+         << " fall_degraded=" << (t.fall.degraded ? 1 : 0);
+      resp = (t.rise.degraded || t.fall.degraded) ? ok_degraded_line(os.str())
+                                                  : ok_line(os.str());
       break;
     }
     case Verb::kSlack: {
@@ -150,8 +173,9 @@ std::string Server::handle_line(const std::string& line) {
       os << "net=" << r.net << " epoch=" << reply.epoch
          << " valid=" << (reply.slack.valid ? 1 : 0)
          << " required=" << format_double(reply.slack.required)
-         << " slack=" << format_double(reply.slack.slack);
-      resp = ok_line(os.str());
+         << " slack=" << format_double(reply.slack.slack)
+         << " degraded=" << (reply.degraded ? 1 : 0);
+      resp = reply.degraded ? ok_degraded_line(os.str()) : ok_line(os.str());
       break;
     }
     case Verb::kCritPath: {
@@ -204,6 +228,12 @@ std::string Server::handle_line(const std::string& line) {
          << " requests=" << total << " malformed=" << sv.malformed
          << " busy=" << sv.busy_rejections
          << " deadline=" << sv.deadline_expirations
+         << " solve_deadline=" << sv.solve_deadline_expirations
+         << " degraded=" << sv.degraded_replies
+         << " fallback_nominal=" << db.qwm.fallback_counts[core::kRungNominal]
+         << " fallback_damped=" << db.qwm.fallback_counts[core::kRungDamped]
+         << " fallback_bisect=" << db.qwm.fallback_counts[core::kRungBisect]
+         << " fallback_spice=" << db.qwm.fallback_counts[core::kRungSpice]
          << " cache_hits=" << db.cache.hits
          << " cache_misses=" << db.cache.misses
          << " slack_memo_hits=" << db.slack_cache_hits
@@ -232,7 +262,24 @@ std::string Server::handle_line(const std::string& line) {
       break;
     }
   }
-  note_result(r.verb, ms_between(t0, Clock::now()), is_ok(resp));
+  // Solve deadline: an overlong execution is reported as degraded service
+  // instead of silently delivered late. SHUTDOWN is exempt (nothing to
+  // retry), and mutations have already applied — retrying them is safe.
+  const double exec_ms = ms_between(t0, Clock::now());
+  if (opt_.solve_deadline_ms > 0.0 && exec_ms > opt_.solve_deadline_ms &&
+      r.verb != Verb::kShutdown && is_ok(resp)) {
+    {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.solve_deadline_expirations;
+    }
+    resp = err_line("DEGRADED", "solve took " + format_double(exec_ms) +
+                                    " ms (past solve deadline); retry");
+  }
+  if (is_degraded(resp)) {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.degraded_replies;
+  }
+  note_result(r.verb, exec_ms, is_ok(resp));
   return resp;
 }
 

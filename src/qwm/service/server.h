@@ -49,6 +49,12 @@ struct ServerOptions {
   /// > 0: requests that waited in the queue longer than this are
   /// answered ERR DEADLINE instead of being executed.
   double deadline_ms = 0.0;
+  /// > 0: a request whose *execution* (not queue wait) exceeds this is
+  /// answered "ERR DEGRADED ..." instead of its normal reply — the
+  /// graceful-degradation contract for slow solves. Mutating verbs have
+  /// already applied by then; retrying them is safe (RESIZE re-stages
+  /// the same width, UPDATE finds a clean cone).
+  double solve_deadline_ms = 0.0;
   DesignDbOptions db;
 };
 
@@ -65,6 +71,10 @@ struct ServerStats {
   std::uint64_t busy_rejections = 0;
   std::uint64_t deadline_expirations = 0;
   std::uint64_t malformed = 0;  ///< lines that failed to parse
+  /// Requests whose execution overran solve_deadline_ms (ERR DEGRADED).
+  std::uint64_t solve_deadline_expirations = 0;
+  /// "OK DEGRADED" replies served (fallback-ladder results delivered).
+  std::uint64_t degraded_replies = 0;
 };
 
 class Server {

@@ -95,6 +95,74 @@ StageSim circuit_from_stage(
   return sim;
 }
 
+PathSim circuit_from_path(const circuit::PathProblem& problem,
+                          const std::vector<numeric::PwlWaveform>& inputs,
+                          const std::vector<double>& initial_voltages) {
+  using Element = circuit::PathProblem::Element;
+  PathSim sim;
+  Circuit& c = sim.circuit;
+  const std::size_t m = problem.length();
+  const double v_rail = problem.discharge ? 0.0 : problem.vdd;
+  const double v_far = problem.discharge ? problem.vdd : 0.0;
+
+  // Path positions. The rail is driven at its supply level; every other
+  // position carries its lumped cap (which already contains all device
+  // parasitics, side loads, and wire caps — nothing is re-added here).
+  sim.nodes.assign(m + 1, kGround);
+  if (problem.discharge) {
+    sim.nodes[0] = kGround;
+  } else {
+    const SimNodeId rail = c.add_node("rail");
+    c.drive(rail, numeric::PwlWaveform::constant(v_rail));
+    sim.nodes[0] = rail;
+  }
+  for (std::size_t k = 1; k <= m; ++k) {
+    sim.nodes[k] = c.add_node("p" + std::to_string(k));
+    if (problem.node_caps[k - 1] > 0.0)
+      c.add_capacitor(sim.nodes[k], kGround, problem.node_caps[k - 1]);
+  }
+
+  // Initial conditions: QWM's worst-case precharge — every node at the
+  // far rail except the positions below the switching element, which sit
+  // at the event rail (see Engine::run) — or the explicit override.
+  int e_switch = -1;
+  for (std::size_t e = 0; e < problem.elements.size(); ++e) {
+    if (problem.elements[e].kind == Element::Kind::transistor &&
+        problem.elements[e].input >= 0) {
+      e_switch = static_cast<int>(e);
+      break;
+    }
+  }
+  for (std::size_t k = 1; k <= m; ++k) {
+    double v0 = v_far;
+    if (e_switch > 0 && static_cast<int>(k) <= e_switch) v0 = v_rail;
+    if (initial_voltages.size() == m) v0 = initial_voltages[k - 1];
+    c.set_ic(sim.nodes[k], v0);
+  }
+
+  for (std::size_t e = 0; e < problem.elements.size(); ++e) {
+    const Element& el = problem.elements[e];
+    const SimNodeId near = sim.nodes[e];
+    const SimNodeId far = sim.nodes[e + 1];
+    if (el.kind == Element::Kind::resistor) {
+      c.add_resistor(near, far, el.resistance);
+      continue;
+    }
+    SimNodeId g;
+    if (el.input >= 0 && el.input < static_cast<int>(inputs.size())) {
+      g = c.add_node("in" + std::to_string(el.input) + "." + std::to_string(e));
+      c.drive(g, inputs[el.input]);
+    } else {
+      g = c.add_node("sg" + std::to_string(e));
+      c.drive(g, numeric::PwlWaveform::constant(el.static_gate));
+    }
+    const SimNodeId d = el.src_is_far ? far : near;
+    const SimNodeId s = el.src_is_far ? near : far;
+    c.add_mosfet(el.model, el.w, el.l, d, g, s);
+  }
+  return sim;
+}
+
 FlatSim circuit_from_flat(const netlist::FlatNetlist& nl,
                           const device::ModelSet& models,
                           std::vector<std::string>* errors) {

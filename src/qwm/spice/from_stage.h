@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "qwm/circuit/path.h"
 #include "qwm/circuit/stage.h"
 #include "qwm/device/model_set.h"
 #include "qwm/netlist/flat.h"
@@ -28,6 +29,23 @@ StageSim circuit_from_stage(
     const circuit::LogicStage& stage, const device::ModelSet& models,
     const std::vector<numeric::PwlWaveform>& input_waveforms,
     int wire_segments = 4);
+
+struct PathSim {
+  Circuit circuit;
+  /// Path position -> sim node. nodes[0] is the (driven) event rail;
+  /// nodes[k] for k >= 1 is path position k, nodes.back() the output.
+  std::vector<SimNodeId> nodes;
+};
+
+/// Builds a simulation circuit for a fully-lumped PathProblem — the exact
+/// system QWM solves, with node_caps as explicit grounded capacitors (the
+/// lumping already folded in every parasitic, so none are re-added). Used
+/// as the fallback ladder's golden-path rung. Initial conditions follow
+/// QWM's worst-case precharge unless `initial_voltages` (one entry per
+/// path position >= 1) overrides them.
+PathSim circuit_from_path(const circuit::PathProblem& problem,
+                          const std::vector<numeric::PwlWaveform>& inputs,
+                          const std::vector<double>& initial_voltages = {});
 
 struct FlatSim {
   Circuit circuit;

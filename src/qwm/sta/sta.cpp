@@ -7,6 +7,7 @@
 #include <set>
 
 #include "qwm/circuit/stage_hash.h"
+#include "qwm/support/fault_injection.h"
 
 namespace qwm::sta {
 
@@ -208,12 +209,19 @@ void StaEngine::evaluate_owner(int stage_index, OutputRecord* rec,
       stage, out_node, output_falls, inputs, rec->sw_input, models_, qopt, ws);
   rec->stats = st.qwm.stats;
   rec->value = core::CachedStageResult{};
+  rec->value.degraded = st.qwm.degraded;
+  // Memo bypass: a result produced by the fallback ladder — or a failure
+  // observed while a fault plan is armed — must never be served later as
+  // a nominal cached hit. Followers of this record still copy its value
+  // (deterministic intra-level sharing), but nothing is committed.
+  if (st.qwm.degraded || (!st.ok && support::fault_plan_armed()))
+    rec->cacheable = false;
   if (!st.ok || !st.delay) return;  // memoized as a failed evaluation
   rec->value.ok = true;
   rec->value.delay = *st.delay;
   rec->value.slew = st.output_slew.value_or(opt_.input_slew);
   const std::size_t trace_values = st.qwm.trace.value_count();
-  if (qopt.record_trace && trace_values > 0 &&
+  if (qopt.record_trace && !st.qwm.degraded && trace_values > 0 &&
       trace_values <= cache_.options().max_trace_values)
     rec->value.trace =
         std::make_shared<const core::WarmTrace>(std::move(st.qwm.trace));
@@ -227,12 +235,16 @@ bool StaEngine::apply_record(int stage_index, const OutputRecord& rec) {
     a.slew = rec.value.slew;
     a.from_stage = stage_index;
     a.from_net = info.input_nets[rec.sw_input];
+    // Degradation is sticky: an arrival computed from a degraded trigger
+    // is itself built on fallback data.
+    a.degraded = rec.value.degraded || rec.trigger.degraded;
   }
   NetTiming& t = timing_[rec.net];
   Arrival& slot = rec.rising ? t.rise : t.fall;
   if (a.valid() &&
       (!slot.valid() || std::abs(a.time - slot.time) > kTimeTol ||
-       std::abs(a.slew - slot.slew) > kTimeTol)) {
+       std::abs(a.slew - slot.slew) > kTimeTol ||
+       slot.degraded != a.degraded)) {
     slot = a;
     return true;
   }

@@ -46,6 +46,10 @@ struct Arrival {
   double slew = 0.0;          ///< 10-90 transition time [s]
   int from_stage = -1;        ///< driving stage (-1 = primary input)
   netlist::NetId from_net = -1;  ///< triggering input net
+  /// This arrival (or any arrival upstream of it) was produced by the QWM
+  /// fallback ladder rather than the nominal solve: within documented
+  /// tolerance, but not nominal-accuracy. Sticky through propagation.
+  bool degraded = false;
   bool valid() const { return time > -1e30; }
 };
 

@@ -1,0 +1,108 @@
+#include "qwm/support/fault_injection.h"
+
+namespace qwm::support {
+namespace {
+
+// Per-site counters. `occurrences` orders rule-schedule decisions, so it
+// is advanced with a fetch_add; `fired` is observability only.
+std::atomic<std::uint64_t> g_occurrences[kFaultSiteCount] = {};
+std::atomic<std::uint64_t> g_fired[kFaultSiteCount] = {};
+
+thread_local int t_rung = 0;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<const FaultPlan*> g_fault_plan{nullptr};
+
+bool fire_fault_slow(FaultSite site, double* magnitude) {
+  const FaultPlan* plan = g_fault_plan.load(std::memory_order_acquire);
+  if (plan == nullptr) return false;
+
+  const int s = static_cast<int>(site);
+  const std::uint64_t occ =
+      g_occurrences[s].fetch_add(1, std::memory_order_relaxed);
+
+  for (const FaultRule& rule : plan->rules) {
+    if (rule.site != site) continue;
+    if (t_rung > rule.max_rung) continue;
+    if (occ < rule.start) continue;
+    if (rule.one_in != 0) {
+      const std::uint64_t h = splitmix64(plan->seed ^
+                                         (static_cast<std::uint64_t>(s) << 56) ^
+                                         occ);
+      if (h % rule.one_in != 0) continue;
+    } else if (rule.period > 1 && (occ - rule.start) % rule.period != 0) {
+      continue;
+    }
+    const std::uint64_t fired =
+        g_fired[s].fetch_add(1, std::memory_order_relaxed);
+    if (fired >= rule.count) {
+      // Over budget: undo the fired increment so counters stay meaningful.
+      g_fired[s].fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (magnitude != nullptr) *magnitude = rule.magnitude;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kNewtonStall: return "newton_stall";
+    case FaultSite::kSingularPivot: return "singular_pivot";
+    case FaultSite::kSmDenominator: return "sm_denominator";
+    case FaultSite::kBisectionFail: return "bisection_fail";
+    case FaultSite::kWorkspaceGrow: return "workspace_grow";
+    case FaultSite::kMalformedFrame: return "malformed_frame";
+    case FaultSite::kSlowRequest: return "slow_request";
+    case FaultSite::kFailRequest: return "fail_request";
+  }
+  return "unknown";
+}
+
+const FaultPlan* arm_fault_plan(const FaultPlan* plan) {
+  return detail::g_fault_plan.exchange(plan, std::memory_order_acq_rel);
+}
+
+FaultCounters fault_counters() {
+  FaultCounters c;
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    c.occurrences[i] = g_occurrences[i].load(std::memory_order_relaxed);
+    c.fired[i] = g_fired[i].load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+void reset_fault_counters() {
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    g_occurrences[i].store(0, std::memory_order_relaxed);
+    g_fired[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan plan) : plan_(std::move(plan)) {
+  reset_fault_counters();
+  previous_ = arm_fault_plan(&plan_);
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() { arm_fault_plan(previous_); }
+
+int current_fault_rung() { return t_rung; }
+
+ScopedRung::ScopedRung(int rung) : previous_(t_rung) { t_rung = rung; }
+
+ScopedRung::~ScopedRung() { t_rung = previous_; }
+
+}  // namespace qwm::support

@@ -1,0 +1,209 @@
+// Fault matrix for the solver fallback ladder: for every injectable
+// solver fault the ladder must land on the expected rung, produce a
+// result within tolerance of the fault-free golden answer, and account
+// for the recovery in QwmStats::fallback_counts. An armed-but-empty plan
+// must leave results bit-identical to the unarmed run — the zero-cost
+// contract of the injection layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../common/test_models.h"
+#include "qwm/circuit/builders.h"
+#include "qwm/core/stage_eval.h"
+#include "qwm/core/workspace.h"
+#include "qwm/support/fault_injection.h"
+
+namespace qwm::core {
+namespace {
+
+using support::FaultPlan;
+using support::FaultRule;
+using support::FaultSite;
+using support::ScopedFaultPlan;
+
+const device::ModelSet& models() {
+  static device::ModelSet ms = test::models().tabular_set();
+  return ms;
+}
+
+/// The reference workload: a NAND2 discharge event.
+StageTiming eval_nand() {
+  const auto& proc = test::models().proc;
+  const auto b = circuit::make_nand(proc, 2, 20e-15);
+  std::vector<numeric::PwlWaveform> inputs{
+      numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd),
+      numeric::PwlWaveform::constant(proc.vdd)};
+  return evaluate_stage(b, inputs, models());
+}
+
+/// Fault-free golden delay, computed once.
+double golden_delay() {
+  static const double d = [] {
+    const StageTiming st = eval_nand();
+    EXPECT_TRUE(st.ok && st.delay);
+    return st.delay.value_or(0.0);
+  }();
+  return d;
+}
+
+/// |delay - golden| within `rel` of golden or 5 ps absolute.
+void expect_within(double delay, double rel) {
+  const double g = golden_delay();
+  EXPECT_LE(std::abs(delay - g), std::max(rel * g, 5e-12))
+      << "delay " << delay << " vs golden " << g;
+}
+
+TEST(FaultLadder, ArmedEmptyPlanIsBitIdentical) {
+  const StageTiming nominal = eval_nand();
+  ASSERT_TRUE(nominal.ok && nominal.delay);
+  ScopedFaultPlan plan{FaultPlan{}};
+  const StageTiming armed = eval_nand();
+  ASSERT_TRUE(armed.ok && armed.delay);
+  EXPECT_EQ(*armed.delay, *nominal.delay);  // bit-identical
+  EXPECT_FALSE(armed.qwm.degraded);
+  EXPECT_EQ(armed.qwm.stats.fallback_total(), 0u);
+  EXPECT_GT(armed.qwm.stats.fallback_counts[kRungNominal], 0u);
+}
+
+TEST(FaultLadder, NewtonStallLandsOnDampedRung) {
+  FaultPlan plan;
+  FaultRule stall;
+  stall.site = FaultSite::kNewtonStall;
+  stall.max_rung = 0;      // sabotage only the nominal attempts
+  stall.magnitude = 0.0;   // stall immediately
+  plan.add(stall);
+  ScopedFaultPlan armed{plan};
+
+  const StageTiming st = eval_nand();
+  ASSERT_TRUE(st.ok && st.delay) << st.error;
+  EXPECT_TRUE(st.qwm.degraded);
+  EXPECT_GE(st.qwm.stats.fallback_counts[kRungDamped], 1u);
+  EXPECT_EQ(st.qwm.stats.fallback_counts[kRungBisect], 0u);
+  EXPECT_EQ(st.qwm.stats.fallback_counts[kRungSpice], 0u);
+  // Damped Newton converges to the same region solutions: tight bound.
+  expect_within(*st.delay, 0.01);
+  const auto counters = support::fault_counters();
+  EXPECT_GT(counters.fired[static_cast<int>(FaultSite::kNewtonStall)], 0u);
+}
+
+TEST(FaultLadder, SingularPivotIsAbsorbedByDenseLu) {
+  FaultPlan plan;
+  plan.add(FaultRule{.site = FaultSite::kSingularPivot});
+  ScopedFaultPlan armed{plan};
+
+  // A failing tridiagonal factorization never reaches the ladder: the
+  // region step re-solves the same Jacobian densely.
+  const StageTiming st = eval_nand();
+  ASSERT_TRUE(st.ok && st.delay) << st.error;
+  EXPECT_FALSE(st.qwm.degraded);
+  EXPECT_EQ(st.qwm.stats.fallback_total(), 0u);
+  EXPECT_GT(st.qwm.stats.lu_fallbacks, 0u);
+  expect_within(*st.delay, 0.01);
+}
+
+TEST(FaultLadder, SmDenominatorIsAbsorbedByDenseLu) {
+  FaultPlan plan;
+  plan.add(FaultRule{.site = FaultSite::kSmDenominator});
+  ScopedFaultPlan armed{plan};
+
+  const StageTiming st = eval_nand();
+  ASSERT_TRUE(st.ok && st.delay) << st.error;
+  EXPECT_FALSE(st.qwm.degraded);
+  EXPECT_EQ(st.qwm.stats.fallback_total(), 0u);
+  EXPECT_GT(st.qwm.stats.lu_fallbacks, 0u);
+  expect_within(*st.delay, 0.01);
+}
+
+TEST(FaultLadder, PersistentStallLandsOnBisectRung) {
+  FaultPlan plan;
+  FaultRule stall;
+  stall.site = FaultSite::kNewtonStall;
+  stall.max_rung = 1;  // break nominal AND the damped retry
+  plan.add(stall);
+  ScopedFaultPlan armed{plan};
+
+  const StageTiming st = eval_nand();
+  ASSERT_TRUE(st.ok && st.delay) << st.error;
+  EXPECT_TRUE(st.qwm.degraded);
+  EXPECT_GE(st.qwm.stats.fallback_counts[kRungBisect], 1u);
+  EXPECT_EQ(st.qwm.stats.fallback_counts[kRungSpice], 0u);
+  // The bisection rung commits Picard-refined solutions — coarse but
+  // bounded; accuracy is the SPICE rung's job, not this one's.
+  expect_within(*st.delay, 0.25);
+}
+
+TEST(FaultLadder, BrokenBisectionFallsThroughToSpice) {
+  FaultPlan plan;
+  FaultRule stall;
+  stall.site = FaultSite::kNewtonStall;
+  stall.max_rung = 1;
+  plan.add(stall);
+  plan.add(FaultRule{.site = FaultSite::kBisectionFail});
+  ScopedFaultPlan armed{plan};
+
+  const StageTiming st = eval_nand();
+  ASSERT_TRUE(st.ok && st.delay) << st.error;
+  EXPECT_TRUE(st.qwm.degraded);
+  EXPECT_GE(st.qwm.stats.fallback_counts[kRungSpice], 1u);
+  // Cross-engine last resort: the documented fuzz tolerance applies.
+  expect_within(*st.delay, 0.15);
+}
+
+TEST(FaultLadder, FiredCountsAreDeterministic) {
+  FaultPlan plan;
+  FaultRule stall;
+  stall.site = FaultSite::kNewtonStall;
+  stall.max_rung = 0;
+  plan.add(stall);
+
+  std::uint64_t first_fired = 0;
+  std::size_t first_damped = 0;
+  for (int run = 0; run < 2; ++run) {
+    ScopedFaultPlan armed{plan};  // resets counters on entry
+    const StageTiming st = eval_nand();
+    ASSERT_TRUE(st.ok) << st.error;
+    const auto counters = support::fault_counters();
+    const auto fired =
+        counters.fired[static_cast<int>(FaultSite::kNewtonStall)];
+    if (run == 0) {
+      first_fired = fired;
+      first_damped = st.qwm.stats.fallback_counts[kRungDamped];
+      EXPECT_GT(first_fired, 0u);
+    } else {
+      EXPECT_EQ(fired, first_fired);
+      EXPECT_EQ(st.qwm.stats.fallback_counts[kRungDamped], first_damped);
+    }
+  }
+  // Disarmed again: the sites stop counting.
+  const auto idle = support::fault_counters();
+  const StageTiming st = eval_nand();
+  ASSERT_TRUE(st.ok);
+  const auto after = support::fault_counters();
+  EXPECT_EQ(after.occurrences[static_cast<int>(FaultSite::kNewtonStall)],
+            idle.occurrences[static_cast<int>(FaultSite::kNewtonStall)]);
+}
+
+TEST(FaultLadder, WorkspaceGrowFaultOnlyTouchesTelemetry) {
+  const StageTiming nominal = eval_nand();
+  ASSERT_TRUE(nominal.ok && nominal.delay);
+
+  FaultPlan plan;
+  plan.add(FaultRule{.site = FaultSite::kWorkspaceGrow});
+  ScopedFaultPlan armed{plan};
+  EvalWorkspace ws;
+  const auto& proc = test::models().proc;
+  const auto b = circuit::make_nand(proc, 2, 20e-15);
+  std::vector<numeric::PwlWaveform> inputs{
+      numeric::PwlWaveform::step(5e-12, 0.0, proc.vdd),
+      numeric::PwlWaveform::constant(proc.vdd)};
+  const StageTiming st = evaluate_stage(b, inputs, models(), {}, ws);
+  ASSERT_TRUE(st.ok && st.delay) << st.error;
+  // Phantom grow events inflate the telemetry, never the answer.
+  EXPECT_EQ(*st.delay, *nominal.delay);
+  EXPECT_FALSE(st.qwm.degraded);
+  EXPECT_GT(ws.stats().grow_events, 0u);
+}
+
+}  // namespace
+}  // namespace qwm::core

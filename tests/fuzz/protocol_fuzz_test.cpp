@@ -1,0 +1,151 @@
+// Protocol fuzz: the qwm_serve request path must answer ERR (never
+// crash, hang, or emit a malformed reply) for arbitrary byte streams —
+// random garbage, truncated and oversized verb payloads, embedded
+// control characters — with and without an armed fault plan. Runs under
+// the same tier-1 label as everything else, so the TSan preset covers
+// the threaded stream transport too.
+//
+//   QWM_FUZZ_SAMPLES   line count per case (default 300)
+//   QWM_FUZZ_SEED      generator seed (default 20260806)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "qwm/service/protocol.h"
+#include "qwm/service/server.h"
+#include "qwm/support/fault_injection.h"
+
+namespace qwm::service {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return fallback;
+  return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+}
+
+std::uint64_t next_rand(std::uint64_t* s) {
+  *s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = *s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// One fuzzed request line (newline-free; the transport owns framing).
+std::string fuzz_line(std::uint64_t* rng) {
+  static const char* kStems[] = {
+      "LOAD",   "ARRIVAL", "SLACK",    "CRITPATH", "RESIZE",
+      "UPDATE", "STATS",   "SHUTDOWN", "BOGUS",    "",
+  };
+  const std::uint64_t mode = next_rand(rng) % 4;
+  std::string line;
+  if (mode != 0) line = kStems[next_rand(rng) % 10];
+  const std::uint64_t extra = next_rand(rng) % 6;
+  for (std::uint64_t t = 0; t < extra; ++t) {
+    line += ' ';
+    const std::uint64_t len = 1 + next_rand(rng) % 24;
+    for (std::uint64_t c = 0; c < len; ++c) {
+      // Bytes 1..255 except '\n' (the framing byte); '\r' and control
+      // characters are fair game inside a line.
+      char ch = static_cast<char>(1 + next_rand(rng) % 255);
+      if (ch == '\n') ch = '?';
+      line += ch;
+    }
+  }
+  // Occasionally oversized: a multi-kilobyte operand.
+  if (next_rand(rng) % 17 == 0)
+    line += " " + std::string(1 + next_rand(rng) % 16384, 'x');
+  return line;
+}
+
+void expect_one_line_reply(const std::string& line, const std::string& resp) {
+  // Blank/comment lines get no reply; everything else is exactly one
+  // well-formed OK/ERR line with no embedded newline.
+  if (resp.empty()) return;
+  EXPECT_EQ(resp.find('\n'), std::string::npos) << "line: " << line;
+  EXPECT_TRUE(is_ok(resp) || is_err(resp)) << "line: " << line
+                                           << " resp: " << resp;
+}
+
+TEST(ProtocolFuzz, RandomLinesNeverCrashTheDispatcher) {
+  const std::uint64_t samples = env_u64("QWM_FUZZ_SAMPLES", 300);
+  std::uint64_t rng = env_u64("QWM_FUZZ_SEED", 20260806);
+  Server server;  // no design loaded: every query must degrade to ERR
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const std::string line = fuzz_line(&rng);
+    expect_one_line_reply(line, server.handle_line(line));
+  }
+  // SHUTDOWN may have been drawn; the server object must still answer.
+  EXPECT_FALSE(server.handle_line("STATS").empty());
+}
+
+TEST(ProtocolFuzz, TruncatedAndOversizedLoadPayloads) {
+  Server server;
+  const std::string cases[] = {
+      "LOAD",                                   // missing operand
+      "LOAD ",                                  // empty operand
+      "LOAD /nonexistent/deck.sp",              // unreadable path
+      "LOAD " + std::string(65536, 'a'),        // oversized path
+      "LOAD a b c",                             // operand overrun
+      "RESIZE 0",                               // truncated operands
+      "RESIZE 999999999 999999999 1e99",        // absurd operands
+      "SLACK out",                              // missing period
+      "SLACK out -1n",                          // negative period
+      "ARRIVAL " + std::string(65536, 'n'),     // oversized net name
+  };
+  for (const auto& line : cases) {
+    const std::string resp = server.handle_line(line);
+    EXPECT_TRUE(is_err(resp)) << "line: " << line.substr(0, 64)
+                              << " resp: " << resp.substr(0, 64);
+  }
+}
+
+TEST(ProtocolFuzz, RandomByteStreamOverStreamTransport) {
+  const std::uint64_t samples = env_u64("QWM_FUZZ_SAMPLES", 300);
+  std::uint64_t rng = env_u64("QWM_FUZZ_SEED", 20260806) ^ 0xabcdefull;
+  std::string blob;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    blob += fuzz_line(&rng);
+    blob += '\n';
+  }
+  blob += "SHUTDOWN\n";
+  ServerOptions opt;
+  opt.threads = 2;
+  Server server(opt);
+  std::istringstream in(blob);
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 0);
+  std::istringstream replies(out.str());
+  std::string r;
+  while (std::getline(replies, r))
+    EXPECT_TRUE(is_ok(r) || is_err(r)) << r;
+}
+
+TEST(ProtocolFuzz, ArmedFaultPlanKeepsRepliesWellFormed) {
+  const std::uint64_t samples = env_u64("QWM_FUZZ_SAMPLES", 300);
+  std::uint64_t rng = env_u64("QWM_FUZZ_SEED", 20260806) ^ 0x5eedull;
+  support::FaultPlan plan;
+  plan.seed = 11;
+  support::FaultRule frame;
+  frame.site = support::FaultSite::kMalformedFrame;
+  frame.one_in = 2;
+  plan.add(frame);
+  support::FaultRule failr;
+  failr.site = support::FaultSite::kFailRequest;
+  failr.one_in = 3;
+  plan.add(failr);
+  support::ScopedFaultPlan armed{plan};
+
+  Server server;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const std::string line = fuzz_line(&rng);
+    expect_one_line_reply(line, server.handle_line(line));
+  }
+}
+
+}  // namespace
+}  // namespace qwm::service

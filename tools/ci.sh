@@ -5,15 +5,25 @@
 #      parallel level-synchronous scheduler, the shared memo cache, and
 #      the qwm_serve dispatch layer —
 # plus a service smoke stage driving the qwm_serve daemon over both
-# transports (scripted stdio exchange; TCP round with qwm_load) and a
+# transports (scripted stdio exchange; TCP round with qwm_load), a
 # deterministic perf-regression smoke comparing the pinned counter
-# workload of bench_micro_kernels against tools/perf_budget.json.
-# Usage: tools/ci.sh [--skip-tsan]
+# workload of bench_micro_kernels against tools/perf_budget.json, and an
+# ASan+UBSan stage (preset `asan`) that re-runs tier1 and then sweeps the
+# differential QWM-vs-SPICE fuzz harness at 2000 samples with the pinned
+# seed.
+# Usage: tools/ci.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 skip_tsan=0
-[[ "${1:-}" == "--skip-tsan" ]] && skip_tsan=1
+skip_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) skip_tsan=1 ;;
+    --skip-asan) skip_asan=1 ;;
+    *) echo "unknown flag: $arg"; exit 2 ;;
+  esac
+done
 
 echo "== configure + build (default) =="
 cmake --preset default >/dev/null
@@ -65,6 +75,26 @@ echo "== perf smoke (work-counter budget) =="
     --counters-only --budget tools/perf_budget.json
 echo "perf smoke passed"
 
+if [[ "$skip_asan" == 1 ]]; then
+  echo "== tier1 + fuzz under ASan/UBSan: SKIPPED (--skip-asan) =="
+else
+  echo "== configure + build (asan) =="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j"$(nproc)"
+
+  echo "== tier1 tests (ASan + UBSan) =="
+  ctest --preset asan-tier1
+
+  echo "== differential fuzz sweep (2000 samples, pinned seed, ASan) =="
+  # The seed is pinned so the sweep is reproducible; a failing sample
+  # writes its reproducer under tests/data/repro/ (see README).
+  QWM_FUZZ_SAMPLES=2000 QWM_FUZZ_SEED=20260806 \
+    ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+    UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ./build-asan/tests/test_fuzz
+  echo "fuzz sweep passed"
+fi
+
 if [[ "$skip_tsan" == 1 ]]; then
   echo "== tier1 under TSan: SKIPPED (--skip-tsan) =="
   exit 0
@@ -77,4 +107,4 @@ cmake --build --preset tsan -j"$(nproc)"
 echo "== tier1 tests (ThreadSanitizer) =="
 ctest --preset tsan-tier1
 
-echo "CI gate passed: tier1 clean, plain and under TSan."
+echo "CI gate passed: tier1 clean, plain and under sanitizers."

@@ -13,6 +13,11 @@
 //   --no-load        skip sending LOAD (daemon already has the deck)
 //   --shutdown       send SHUTDOWN when done
 //   --seed S         workload RNG seed                    (default 1)
+//   --retries N      bounded retries on shed/degraded errors (BUSY,
+//                    DEADLINE, DEGRADED) with jittered exponential
+//                    backoff                              (default 0)
+//   --backoff-ms X   base backoff; attempt k sleeps
+//                    X * 2^k * [0.5, 1.5) ms              (default 5)
 //
 // Workload mix per reader: 70% ARRIVAL, 15% SLACK, 10% CRITPATH,
 // 5% STATS, over the design's stage-output and primary-input nets.
@@ -52,7 +57,8 @@ int usage() {
                "usage: qwm_load --port N --deck path [--clients N] "
                "[--requests M] [--period v]\n"
                "                [--what-if K] [--verify] [--no-load] "
-               "[--shutdown] [--seed S]\n");
+               "[--shutdown] [--seed S]\n"
+               "                [--retries N] [--backoff-ms X]\n");
   return 2;
 }
 
@@ -135,9 +141,41 @@ struct Expected {
 struct ReaderResult {
   std::vector<double> latencies_us;
   std::uint64_t sent = 0, ok = 0, busy = 0, deadline = 0, hard_err = 0;
+  std::uint64_t degraded_ok = 0;   ///< "OK DEGRADED" answers accepted
+  std::uint64_t degraded_err = 0;  ///< ERR DEGRADED left after retries
+  std::uint64_t retries = 0;       ///< backoff retries performed
   std::uint64_t verified = 0, mismatches = 0;
   bool transport_ok = true;
 };
+
+/// True for responses worth retrying: load shedding (BUSY), queue-wait
+/// expiry (DEADLINE), and degraded service (ERR DEGRADED) — all transient
+/// by contract; everything else is a definitive answer.
+bool retryable(const std::string& resp) {
+  return service::is_err(resp, "BUSY") || service::is_err(resp, "DEADLINE") ||
+         service::is_err(resp, "DEGRADED");
+}
+
+/// Round trip with bounded retries and jittered exponential backoff
+/// (seeded jitter: attempt k sleeps backoff_ms * 2^min(k,10) * [0.5, 1.5)
+/// so retrying clients decorrelate instead of re-stampeding the queue).
+std::string round_trip_retry(Client* c, const std::string& req, int retries,
+                             double backoff_ms, std::uint64_t* rng,
+                             std::uint64_t* retry_count) {
+  std::string resp = c->round_trip(req);
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    if (resp.empty() || !retryable(resp)) return resp;
+    const double jitter =
+        0.5 + static_cast<double>(next_rand(rng) % 1024) / 1024.0;
+    const double sleep_ms =
+        backoff_ms * static_cast<double>(1u << std::min(attempt, 10)) * jitter;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+    ++*retry_count;
+    resp = c->round_trip(req);
+  }
+  return resp;
+}
 
 std::string arrival_fields_of(const sta::NetTiming& t) {
   using service::format_double;
@@ -155,6 +193,8 @@ std::string arrival_fields_of(const sta::NetTiming& t) {
 
 int main(int argc, char** argv) {
   int port = -1, clients = 8, requests = 200, what_if = 0;
+  int retries = 0;
+  double backoff_ms = 5.0;
   std::uint64_t seed = 1;
   double period = 2e-9;
   bool verify = false, do_load = true, do_shutdown = false;
@@ -176,8 +216,13 @@ int main(int argc, char** argv) {
     else if (arg == "--shutdown") do_shutdown = true;
     else if (arg == "--seed" && i + 1 < argc)
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (arg == "--retries" && i + 1 < argc)
+      retries = std::atoi(argv[++i]);
+    else if (arg == "--backoff-ms" && i + 1 < argc)
+      backoff_ms = std::atof(argv[++i]);
     else return usage();
   }
+  if (retries < 0 || backoff_ms < 0.0) return usage();
   if (port < 0 || deck.empty() || clients < 1 || requests < 1) return usage();
 
   // Local parse: the query-net universe, and (with --verify) the
@@ -290,7 +335,8 @@ int main(int argc, char** argv) {
         else if (dice < 95) req = "CRITPATH";
         else req = "STATS";
         const auto t0 = Clock::now();
-        const std::string resp = c.round_trip(req);
+        const std::string resp = round_trip_retry(&c, req, retries, backoff_ms,
+                                                  &rng, &r.retries);
         const auto t1 = Clock::now();
         if (resp.empty()) {
           r.transport_ok = false;
@@ -299,12 +345,17 @@ int main(int argc, char** argv) {
         ++r.sent;
         r.latencies_us.push_back(
             std::chrono::duration<double, std::micro>(t1 - t0).count());
-        if (service::is_ok(resp)) ++r.ok;
-        else if (service::is_err(resp, "BUSY")) ++r.busy;
+        if (service::is_ok(resp)) {
+          ++r.ok;
+          if (service::is_degraded(resp)) ++r.degraded_ok;
+        } else if (service::is_err(resp, "BUSY")) ++r.busy;
         else if (service::is_err(resp, "DEADLINE")) ++r.deadline;
+        else if (service::is_err(resp, "DEGRADED")) ++r.degraded_err;
         else ++r.hard_err;
 
-        if (verify && service::is_ok(resp)) {
+        // Degraded answers are within-tolerance, not bit-exact: only
+        // nominal responses participate in bit-identity verification.
+        if (verify && service::is_ok(resp) && !service::is_degraded(resp)) {
           // Only base-epoch responses are comparable to the pre-run
           // reference; the stress test covers epoch-matched what-ifs.
           const std::string ep = service::response_field(resp, "epoch");
@@ -350,13 +401,18 @@ int main(int argc, char** argv) {
       // Let the readers land some base-epoch queries first, so --verify
       // always has comparable responses even with a busy writer.
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      std::uint64_t wrng = seed * 7777777u + 99u;
+      std::uint64_t wretries = 0;
       for (int k = 0; k < what_if; ++k) {
         const double w = (k % 2 == 0) ? 2.5e-6 : 3.0e-6;
-        const std::string resize =
-            c.round_trip("RESIZE " + std::to_string(wr_stage) + " " +
-                         std::to_string(wr_edge) + " " +
-                         service::format_double(w));
-        const std::string update = c.round_trip("UPDATE");
+        const std::string resize = round_trip_retry(
+            &c,
+            "RESIZE " + std::to_string(wr_stage) + " " +
+                std::to_string(wr_edge) + " " + service::format_double(w),
+            retries, backoff_ms, &wrng, &wretries);
+        const std::string update =
+            round_trip_retry(&c, "UPDATE", retries, backoff_ms, &wrng,
+                             &wretries);
         if (!service::is_ok(resize) || !service::is_ok(update)) {
           // BUSY under overload is load shedding, not failure.
           if (!service::is_err(resize, "BUSY") &&
@@ -385,6 +441,9 @@ int main(int argc, char** argv) {
     total.busy += r.busy;
     total.deadline += r.deadline;
     total.hard_err += r.hard_err;
+    total.degraded_ok += r.degraded_ok;
+    total.degraded_err += r.degraded_err;
+    total.retries += r.retries;
     total.verified += r.verified;
     total.mismatches += r.mismatches;
     transport_ok = transport_ok && r.transport_ok;
@@ -405,6 +464,11 @@ int main(int argc, char** argv) {
               (unsigned long long)total.busy,
               (unsigned long long)total.deadline,
               (unsigned long long)total.hard_err);
+  if (retries > 0 || total.degraded_ok > 0 || total.degraded_err > 0)
+    std::printf("  degraded_ok=%llu degraded_err=%llu retries=%llu\n",
+                (unsigned long long)total.degraded_ok,
+                (unsigned long long)total.degraded_err,
+                (unsigned long long)total.retries);
   std::printf("  wall %.3f s -> %.0f QPS\n", wall_s,
               static_cast<double>(total.sent) / wall_s);
   std::printf("  latency us: p50 %.1f  p99 %.1f  max %.1f\n", pct(0.50),

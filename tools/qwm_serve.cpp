@@ -10,6 +10,8 @@
 //   --threads N         worker lanes for request dispatch   (default 4)
 //   --queue N           admission queue capacity            (default 64)
 //   --deadline-ms X     per-request queue-wait deadline     (default off)
+//   --solve-deadline-ms X  per-request execution deadline; overruns are
+//                       answered ERR DEGRADED               (default off)
 //   --sta-threads N     engine lanes per analysis           (default 1)
 //   --no-cache          disable the engine's stage-eval memo cache
 //
@@ -32,7 +34,8 @@ int usage() {
                "usage: qwm_serve [--stdio | --port N] [--port-file path] "
                "[--deck path]\n"
                "                 [--threads N] [--queue N] [--deadline-ms X] "
-               "[--sta-threads N] [--no-cache]\n");
+               "[--solve-deadline-ms X]\n"
+               "                 [--sta-threads N] [--no-cache]\n");
   return 2;
 }
 
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
       int_arg(&i, &opt.queue_capacity);
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       opt.deadline_ms = std::atof(argv[++i]);
+    } else if (arg == "--solve-deadline-ms" && i + 1 < argc) {
+      opt.solve_deadline_ms = std::atof(argv[++i]);
     } else if (arg == "--sta-threads") {
       int_arg(&i, &opt.db.sta.threads);
     } else if (arg == "--no-cache") {
