@@ -9,8 +9,11 @@
 #include <cstdio>
 #include <sstream>
 
+#include <memory>
+
 #include "common.h"
 #include "qwm/circuit/partition.h"
+#include "qwm/device/model_set.h"
 #include "qwm/netlist/parser.h"
 #include "qwm/sta/sta.h"
 
@@ -44,9 +47,15 @@ int main(int argc, char** argv) {
   using namespace qwm::bench;
   const StaBenchFlags flags = StaBenchFlags::parse(argc, argv);
 
+  // --corners: run the same workload with fast/slow lanes riding along —
+  // the incremental cone update then re-propagates every corner.
+  std::unique_ptr<device::CornerLibrary> corner_lib;
+  if (flags.corners)
+    corner_lib = std::make_unique<device::CornerLibrary>(models().proc);
+
   std::printf("Incremental STA: resize one device, update the cone only\n");
-  std::printf("(lanes=%d, cache %s)\n\n", flags.threads,
-              flags.cache ? "on" : "off");
+  std::printf("(lanes=%d, cache %s, corners %d)\n\n", flags.threads,
+              flags.cache ? "on" : "off", corner_lib ? 3 : 1);
   std::printf("%8s %7s %12s %10s %12s %12s %9s\n", "chains", "stages",
               "full evals", "QWM runs", "incr evals", "incr time", "speedup");
 
@@ -64,7 +73,9 @@ int main(int argc, char** argv) {
     sta::StaOptions opt;
     opt.threads = flags.threads;
     opt.use_cache = flags.cache;
-    sta::StaEngine sta(std::move(design), models().set(), opt);
+    sta::StaEngine sta =
+        corner_lib ? sta::StaEngine(std::move(design), corner_lib->sets(), opt)
+                   : sta::StaEngine(std::move(design), models().set(), opt);
     const std::size_t full = sta.run();
     // All chains are electrically identical, so a full analysis memoizes
     // down to one chain's worth of QWM work when the cache is on.
@@ -120,7 +131,8 @@ int main(int argc, char** argv) {
               "edited cone, full re-analysis tracks the design.)\n");
   if (!flags.json_path.empty()) {
     const std::string doc =
-        "{\n  \"bench\": \"incremental_sta\",\n  \"rows\": " +
+        "{\n  \"bench\": \"incremental_sta\",\n  \"corners\": " +
+        std::to_string(corner_lib ? 3 : 1) + ",\n  \"rows\": " +
         json_array(row_json, "    ") + ",\n  \"totals\": " +
         JsonObject()
             .integer("newton_iters", qwm_total.newton_iterations)

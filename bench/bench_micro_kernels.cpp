@@ -258,6 +258,17 @@ int run_counter_mode(const KernelFlags& kf) {
   const std::uint64_t ws_grow_steady =
       static_cast<std::uint64_t>(ws2.grow_events - ws1.grow_events);
 
+  // Same pinned decoder at all three process corners. The contract under
+  // test: the fast/slow lanes warm-start from the typical lane's traces,
+  // so the whole 3-corner analysis must stay under 2x the single-corner
+  // device-eval work (corner_amort_x100 < 200), not 3x.
+  const qwm::device::CornerLibrary corner_lib(m.proc);
+  qwm::sta::StaEngine corner_engine(design, corner_lib.sets(), sopt);
+  corner_engine.run();
+  const auto cqs = corner_engine.qwm_stats();
+  const std::uint64_t corner_amort_x100 =
+      qs.device_evals > 0 ? (100 * cqs.device_evals) / qs.device_evals : 0;
+
   struct Live {
     const char* key;
     std::uint64_t value;
@@ -268,6 +279,9 @@ int run_counter_mode(const KernelFlags& kf) {
       {"decoder_newton_iters", qs.newton_iterations},
       {"decoder_device_evals", qs.device_evals},
       {"decoder_qwm_runs", cache.misses},
+      {"corners3_newton_iters", cqs.newton_iterations},
+      {"corners3_device_evals", cqs.device_evals},
+      {"corner_amort_x100", corner_amort_x100},
       {"ws_grow_steady", ws_grow_steady},
       // Any nonzero value means a nominal workload needed the fallback
       // ladder — budgeted at 0: degradation on the pinned decks is a bug.
@@ -382,11 +396,32 @@ int run_counter_mode(const KernelFlags& kf) {
         .integer("fallback_spice", qs.fallback_counts[qwm::core::kRungSpice])
         .integer("ws_high_water_bytes", ws1.high_water_bytes)
         .integer("ws_grow_steady", ws_grow_steady);
+    JsonObject corners3;
+    corners3.integer("corners", 3)
+        .integer("newton_iters", cqs.newton_iterations)
+        .integer("device_evals", cqs.device_evals)
+        .integer("warm_starts", cqs.warm_starts)
+        .integer("warm_retries", cqs.warm_retries)
+        .integer("amort_x100", corner_amort_x100);
+    // Per-lane breakdown: where the cross-corner sharing pays (or fails to).
+    std::vector<std::string> lane_json;
+    for (const qwm::device::Corner c : corner_engine.corners()) {
+      const auto lqs = corner_engine.qwm_stats(c);
+      lane_json.push_back(JsonObject()
+                              .str("corner", qwm::device::corner_name(c))
+                              .integer("newton_iters", lqs.newton_iterations)
+                              .integer("device_evals", lqs.device_evals)
+                              .integer("warm_starts", lqs.warm_starts)
+                              .integer("warm_retries", lqs.warm_retries)
+                              .str());
+    }
+    corners3.raw("lanes", json_array(lane_json, "      "));
     JsonObject counters;
     for (const auto& l : live) counters.integer(l.key, l.value);
     std::string doc = "{\n  \"bench\": \"micro_kernels\",\n  \"stacks\": " +
                       json_array(stack_json, "    ") +
                       ",\n  \"decoder\": " + decoder.str() +
+                      ",\n  \"corners3\": " + corners3.str() +
                       ",\n  \"counters\": " + counters.str();
     if (!kernel_json.empty())
       doc += ",\n  \"kernels\": " + json_array(kernel_json, "    ");

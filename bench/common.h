@@ -52,11 +52,13 @@ inline Models& models() {
 ///   --threads N   worker lanes for the parallel engine section (default 4)
 ///   --no-cache    disable the stage-evaluation memo cache
 ///   --rows N      workload size where the harness replicates structures
+///   --corners     run the STA sections at all three process corners
 ///   --json FILE   additionally write the results as a JSON document
 struct StaBenchFlags {
   int threads = 4;
   bool cache = true;
   int rows = 64;
+  bool corners = false;
   std::string json_path;
 
   static StaBenchFlags parse(int argc, char** argv) {
@@ -68,12 +70,14 @@ struct StaBenchFlags {
         f.cache = false;
       else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc)
         f.rows = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--corners") == 0)
+        f.corners = true;
       else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
         f.json_path = argv[++i];
       else {
         std::fprintf(stderr,
                      "unknown flag: %s\nusage: %s [--threads N] [--no-cache] "
-                     "[--rows N] [--json FILE]\n",
+                     "[--rows N] [--corners] [--json FILE]\n",
                      argv[i], argv[0]);
         std::exit(2);
       }

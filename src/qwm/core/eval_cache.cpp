@@ -14,7 +14,8 @@ std::size_t StageEvalKeyHash::operator()(const StageEvalKey& k) const {
   h = circuit::hash_combine(h,
                             static_cast<std::uint64_t>(k.switching_input));
   h = circuit::hash_combine(
-      h, (k.rising ? 2ULL : 0ULL) | (k.clamped ? 1ULL : 0ULL));
+      h, (static_cast<std::uint64_t>(k.corner) << 2) |
+             (k.rising ? 2ULL : 0ULL) | (k.clamped ? 1ULL : 0ULL));
   return static_cast<std::size_t>(h);
 }
 

@@ -55,6 +55,11 @@ struct StageEvalKey {
   std::int64_t time_bucket = 0;   ///< quantized trigger time (clamped only)
   std::int32_t output_index = 0;
   std::int32_t switching_input = 0;
+  /// Process corner the evaluation ran at (device::Corner value). A
+  /// fast/slow query must never be served a memoized typical result —
+  /// the per-corner device models produce genuinely different delays —
+  /// so the corner is part of the identity, not a bucket.
+  std::int8_t corner = 0;
   bool rising = false;            ///< output event direction
   bool clamped = false;           ///< trigger ramp clamped at t = 0
 

@@ -86,6 +86,23 @@ class Engine {
   int trace_next_ = 0;
   bool have_prev_tail_ = false;
   int prev_tail_active_ = -1;
+  /// Running region-length and alpha scales for cross-condition replay
+  /// (negative = not yet primed). Both start from options.warm_scale — a
+  /// first-order drive-ratio estimate (lengths scale by s, the ramp-rate
+  /// alphas by 1/s^2) — then track the measured converged/recorded ratio
+  /// region to region, so the seed self-corrects along the waveform
+  /// instead of trusting the static estimate everywhere. Only active when
+  /// options.warm_scale != 1: verbatim same-condition replay stays
+  /// bit-identical to the unscaled path.
+  double warm_scale_run_ = -1.0;
+  double warm_alpha_run_ = -1.0;
+  /// Active count at the last plain (depth-0 tail) solve_region commit,
+  /// -1 when the incremental region-start currents in i_ are stale (after
+  /// a turn-on boundary, a sub-step, or a fallback/cubic commit). While
+  /// >= the next region's active count, i_ equals the device currents at
+  /// the committed state to within the Newton tolerance, so a
+  /// cross-corner replay region can skip the update_currents re-eval.
+  int i_fresh_active_ = -1;
 
   /// Fallback-ladder rung 1: solve_region widens the Newton budget
   /// (double the iterations, triple the backtracks) while this is set.
@@ -135,9 +152,13 @@ class Engine {
   /// warm_dt > 0 overrides the warm seed's region length (used by the
   /// intra-path seed, whose alphas come from the previous region but
   /// whose length estimate from the current state is better).
+  /// warm_alpha_scale multiplies the seed's recorded alphas — the
+  /// cross-condition mapping onto the new condition's current scale
+  /// (1.0 = same-condition replay, seeded verbatim).
   bool solve_region(int active, int boundary_elem, double v_target,
                     int target_node, double delta_guess,
-                    const WarmTrace::Region* warm, double warm_dt = 0.0);
+                    const WarmTrace::Region* warm, double warm_dt = 0.0,
+                    double warm_alpha_scale = 1.0);
   /// The r = 2 generalization (paper's "r time points"): quadratic node
   /// currents / cubic voltages, matched at the region midpoint and
   /// endpoint. Dense per-region solve over 2*active+1 unknowns.
@@ -680,6 +701,17 @@ bool Engine::region_step(const numeric::Vector& xx, const numeric::Vector& f,
 
 void Engine::note_commit(double dt, const numeric::Vector& xv, int active,
                          bool placeholder) {
+  // Cross-condition replay feedback: fold the observed length ratio of
+  // the region just committed into the scale that seeds the next one.
+  // (The alpha seed keeps its static 1/s^2 prior: measured region-to-
+  // region alpha ratios are too noisy — turn-on and tail regions map
+  // differently — and feeding them back costs iterations.)
+  if (opt_.warm_scale != 1.0 && !placeholder && opt_.warm != nullptr &&
+      trace_next_ < static_cast<int>(opt_.warm->regions.size())) {
+    const WarmTrace::Region& r = opt_.warm->regions[trace_next_];
+    if (r.delta > 0.0 && dt > 0.0)
+      warm_scale_run_ = std::clamp(dt / r.delta, 0.1, 10.0);
+  }
   ++trace_next_;
   if (!opt_.record_trace) return;
   WarmTrace::Region r;
@@ -692,7 +724,8 @@ void Engine::note_commit(double dt, const numeric::Vector& xv, int active,
 
 bool Engine::solve_region(int active, int boundary_elem, double v_target,
                           int target_node, double delta_guess,
-                          const WarmTrace::Region* warm, double warm_dt) {
+                          const WarmTrace::Region* warm, double warm_dt,
+                          double warm_alpha_scale) {
   // In cubic mode this r = 1 solver still handles turn-on regions and
   // recovery sub-steps; those use the quadratic waveform.
   const bool quad = opt_.model != RegionModel::linear;
@@ -719,7 +752,8 @@ bool Engine::solve_region(int active, int boundary_elem, double v_target,
     // end-current probes — pure device-eval overhead — are skipped. The
     // converged solution is still pinned by the same residual/tolerance.
     ++res_.stats.warm_starts;
-    for (int k = 1; k <= active; ++k) xv[k - 1] = warm->alphas[k - 1];
+    for (int k = 1; k <= active; ++k)
+      xv[k - 1] = warm->alphas[k - 1] * warm_alpha_scale;
     xv[active] = warm_dt > 0.0 ? warm_dt
                                : std::clamp(warm->delta, 1e-14, 2e-9);
     if (opt_.trace)
@@ -834,6 +868,11 @@ bool Engine::solve_region(int active, int boundary_elem, double v_target,
   tau_ += dt;
   res_.critical_times.push_back(tau_);
   ++res_.stats.regions;
+
+  // A committed tail region leaves i_ current to within the Newton
+  // tolerance; a turn-on boundary activates a new element next, so the
+  // incremental state is stale.
+  i_fresh_active_ = boundary_elem < 0 ? active : -1;
 
   // Warm-start bookkeeping: a committed tail region seeds the next one;
   // a turn-on region changes the current pattern too much to reuse.
@@ -1100,6 +1139,7 @@ bool Engine::solve_region_cubic(int active, int boundary_elem,
   res_.critical_times.push_back(tau_);
   ++res_.stats.regions;
   have_prev_tail_ = false;  // cubic parameters do not seed the r = 1 solver
+  i_fresh_active_ = -1;
   note_commit(dt, xv, A, /*placeholder=*/true);
   return true;
 }
@@ -1110,7 +1150,24 @@ bool Engine::solve_region_adaptive(int active, int boundary_elem,
   // A committed sub-step may already have carried the state past this
   // region's objective (the transistor turned on mid-substep, or the
   // target level was crossed): the boundary time is *now*.
-  update_currents(active);
+  //
+  // Cross-corner replay exception: when this is a depth-0 tail region
+  // with a shape-matching replay entry and the incremental region-start
+  // currents are fresh (previous commit was a plain tail solve covering
+  // at least this active set), i_ already equals the device currents at
+  // the committed state to within the Newton tolerance — the re-eval is
+  // pure device-eval overhead and is skipped. Same-condition replay
+  // (warm_scale == 1) keeps the re-eval so its results stay bit-identical
+  // to the cold path.
+  bool fresh_currents = false;
+  if (opt_.warm_scale != 1.0 && opt_.warm_start && opt_.warm != nullptr &&
+      depth == 0 && boundary_elem < 0 && i_fresh_active_ >= active &&
+      trace_next_ < static_cast<int>(opt_.warm->regions.size())) {
+    const WarmTrace::Region& r = opt_.warm->regions[trace_next_];
+    fresh_currents =
+        static_cast<int>(r.alphas.size()) == active && r.delta > 0.0;
+  }
+  if (!fresh_currents) update_currents(active);
   if (boundary_elem >= 0) {
     if (turn_on_residual(boundary_elem, v_, tau_) >= 0.0) return true;
   } else {
@@ -1144,12 +1201,26 @@ bool Engine::solve_region_adaptive(int active, int boundary_elem,
   // converged parameters. Either is used only when its shape matches.
   const WarmTrace::Region* warm = nullptr;
   double warm_dt = 0.0;
+  double warm_alpha_scale = 1.0;
   if (opt_.warm_start && !use_cubic) {
     if (opt_.warm != nullptr &&
         trace_next_ < static_cast<int>(opt_.warm->regions.size())) {
       const WarmTrace::Region& r = opt_.warm->regions[trace_next_];
-      if (static_cast<int>(r.alphas.size()) == active && r.delta > 0.0)
-        warm = &r;  // replay: the recorded length is the best estimate
+      if (static_cast<int>(r.alphas.size()) == active && r.delta > 0.0) {
+        warm = &r;  // replay: the recorded length is the best estimate...
+        if (opt_.warm_scale != 1.0) {  // ...rescaled onto this time scale
+          if (warm_scale_run_ < 0.0) warm_scale_run_ = opt_.warm_scale;
+          if (warm_alpha_run_ < 0.0) {
+            // First-order prior: durations scale by s, currents by 1/s —
+            // so the quad model's ramp-rate alphas scale by 1/s^2.
+            const double s = opt_.warm_scale;
+            warm_alpha_run_ =
+                opt_.model != RegionModel::linear ? 1.0 / (s * s) : 1.0 / s;
+          }
+          warm_dt = std::clamp(r.delta * warm_scale_run_, 1e-14, 2e-9);
+          warm_alpha_scale = warm_alpha_run_;
+        }
+      }
     }
     if (warm == nullptr && opt_.warm_intra && boundary_elem < 0 &&
         have_prev_tail_ && prev_tail_active_ == active) {
@@ -1166,7 +1237,7 @@ bool Engine::solve_region_adaptive(int active, int boundary_elem,
           ? solve_region_cubic(active, boundary_elem, v_target, target_node,
                                guess)
           : solve_region(active, boundary_elem, v_target, target_node, guess,
-                         warm, warm_dt);
+                         warm, warm_dt, warm_alpha_scale);
   if (!solved && warm != nullptr) {
     // A warm seed must never cost a result the cold seed would find:
     // retry once from the probe-based seed before declaring failure.
@@ -1338,6 +1409,7 @@ bool Engine::solve_region_bisect(int active, int boundary_elem,
   res_.critical_times.push_back(tau_);
   ++res_.stats.regions;
   have_prev_tail_ = false;  // degraded parameters never seed a warm start
+  i_fresh_active_ = -1;
   note_commit(dt, xv, active, /*placeholder=*/true);
   return true;
 }

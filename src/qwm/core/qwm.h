@@ -99,6 +99,13 @@ struct QwmOptions {
   /// identical problem at a nearby operating point. Not owned; must
   /// outlive the call. Ignored unless warm_start is set.
   const WarmTrace* warm = nullptr;
+  /// Scale applied to the replayed region lengths of `warm`. A trace
+  /// recorded at a different operating condition (another process corner)
+  /// has the right waveform *shape* but systematically wrong region
+  /// *durations*; seeding with the drive-strength ratio applied brings the
+  /// Newton start point onto the new corner's time scale. 1.0 = replay
+  /// the recorded lengths verbatim (same-condition near-miss).
+  double warm_scale = 1.0;
   /// Prints the per-iteration Newton trajectory to stderr (debugging).
   bool trace = false;
 };

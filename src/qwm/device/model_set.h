@@ -3,12 +3,26 @@
 // Every engine (SPICE baseline, QWM, STA) consumes devices through a
 // ModelSet so that accuracy comparisons always run both engines on
 // identical device data.
+//
+// Multi-corner analysis extends this to a CornerModelSet: one ModelSet
+// per active process corner, the primary (typical) corner first. The
+// owning counterpart is CornerLibrary, which derives the corner
+// processes from a base Process and characterizes one tabular model
+// pair per corner at construction ("per-corner characterization at load
+// time").
 #pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
 
 #include "qwm/device/device_model.h"
 #include "qwm/device/process.h"
 
 namespace qwm::device {
+
+class TabularDeviceModel;
+struct CharacterizationOptions;
 
 struct ModelSet {
   const DeviceModel* nmos = nullptr;
@@ -19,6 +33,79 @@ struct ModelSet {
     return t == MosType::nmos ? *nmos : *pmos;
   }
   double vdd() const { return process->vdd; }
+};
+
+/// One ModelSet per active corner (non-owning, like ModelSet itself).
+/// `corners` lists the active corners with the primary lane — the corner
+/// legacy single-corner queries read — first. `sets` is indexed by the
+/// Corner enum so inactive slots simply stay empty.
+struct CornerModelSet {
+  std::vector<Corner> corners{Corner::typical};
+  std::array<ModelSet, kCornerCount> sets{};
+
+  const ModelSet& at(Corner c) const {
+    return sets[static_cast<std::size_t>(c)];
+  }
+  const ModelSet& primary() const { return at(corners.front()); }
+  std::size_t count() const { return corners.size(); }
+  bool multi() const { return corners.size() > 1; }
+  /// Slot of `c` in the active-corner list; -1 when inactive.
+  int slot_of(Corner c) const {
+    for (std::size_t i = 0; i < corners.size(); ++i)
+      if (corners[i] == c) return static_cast<int>(i);
+    return -1;
+  }
+
+  /// Wraps a single ModelSet as a one-corner set — the adapter that keeps
+  /// every legacy single-corner caller bit-identical.
+  static CornerModelSet single(const ModelSet& ms,
+                               Corner corner = Corner::typical) {
+    CornerModelSet c;
+    c.corners = {corner};
+    c.sets[static_cast<std::size_t>(corner)] = ms;
+    return c;
+  }
+};
+
+/// First-order ratio of switching time scales between two characterized
+/// conditions: a QWM trace recorded against `from` and replayed against
+/// `to` should have its region lengths multiplied by this factor
+/// (QwmOptions::warm_scale). Durations scale inversely with saturation
+/// drive, I ~ kp * (vdd - vth0)^2, averaged over both polarities; the
+/// waveform *shape* (the alphas) is treated as corner-invariant. Returns
+/// 1.0 when either process is missing.
+double warm_time_scale(const ModelSet& from, const ModelSet& to);
+
+/// Owns one derived Process and one characterized tabular model pair per
+/// corner. Corner derivation scales transconductance and threshold only
+/// (process.h), so every corner grid shares the typical grid's axes — the
+/// property the corner-lane batched table lookup relies on.
+class CornerLibrary {
+ public:
+  explicit CornerLibrary(const Process& base);
+  CornerLibrary(const Process& base, const CharacterizationOptions& options);
+  ~CornerLibrary();
+
+  // ModelSet entries point into this object; moving would dangle them.
+  CornerLibrary(const CornerLibrary&) = delete;
+  CornerLibrary& operator=(const CornerLibrary&) = delete;
+
+  const ModelSet& set(Corner corner) const {
+    return sets_[static_cast<std::size_t>(corner)];
+  }
+  const Process& process(Corner corner) const {
+    return procs_[static_cast<std::size_t>(corner)];
+  }
+  const TabularDeviceModel& model(Corner corner, MosType type) const;
+
+  /// All three corners, typical primary.
+  CornerModelSet sets() const;
+
+ private:
+  std::array<Process, kCornerCount> procs_;
+  std::array<std::unique_ptr<TabularDeviceModel>, kCornerCount> nmos_;
+  std::array<std::unique_ptr<TabularDeviceModel>, kCornerCount> pmos_;
+  std::array<ModelSet, kCornerCount> sets_;
 };
 
 }  // namespace qwm::device

@@ -5,6 +5,31 @@
 
 namespace qwm::device {
 
+const char* corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::typical: return "typical";
+    case Corner::fast: return "fast";
+    case Corner::slow: return "slow";
+  }
+  return "?";
+}
+
+bool parse_corner(const std::string& name, Corner* out) {
+  if (name == "typical" || name == "typ" || name == "tt") {
+    *out = Corner::typical;
+    return true;
+  }
+  if (name == "fast" || name == "ff") {
+    *out = Corner::fast;
+    return true;
+  }
+  if (name == "slow" || name == "ss") {
+    *out = Corner::slow;
+    return true;
+  }
+  return false;
+}
+
 Process Process::cmosp35() {
   Process p;
   p.vdd = 3.3;

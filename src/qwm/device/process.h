@@ -8,6 +8,8 @@
 // Units are SI throughout: volts, amperes, seconds, farads, meters.
 #pragma once
 
+#include <string>
+
 namespace qwm::device {
 
 /// Per-polarity MOSFET model card.
@@ -43,6 +45,17 @@ enum class Corner {
   fast,  ///< strong devices: higher mobility, lower threshold
   slow,  ///< weak devices: lower mobility, higher threshold
 };
+inline constexpr int kCornerCount = 3;
+/// Every corner in canonical order (typical first — the primary lane of a
+/// multi-corner analysis).
+inline constexpr Corner kAllCorners[kCornerCount] = {
+    Corner::typical, Corner::fast, Corner::slow};
+
+/// Lower-case wire/CLI name of a corner ("typical", "fast", "slow").
+const char* corner_name(Corner corner);
+/// Parses a corner name (case-sensitive, lower-case; "typ"/"ff"/"ss"
+/// aliases accepted). Returns false on an unknown name.
+bool parse_corner(const std::string& name, Corner* out);
 
 /// The full technology description shared by every engine in the repo.
 struct Process {

@@ -40,6 +40,14 @@ TabularDeviceModel::TabularDeviceModel(MosType type, const Process& proc,
 
 namespace {
 
+/// The located half of frame_lookup: blend arithmetic at an already
+/// resolved grid cell. Split out so the corner-lane batched path can
+/// locate once and blend per lane.
+inline TabularDeviceModel::FrameEval frame_blend(const CharacterizationGrid& g,
+                                                 std::size_t i0, double f0,
+                                                 std::size_t i1, double f1,
+                                                 double u);
+
 /// One interpolated lookup in the NMOS frame with vd >= vs. The single
 /// kernel behind both the scalar eval_frame and the batched eval_frames,
 /// so the two are bit-identical by construction.
@@ -51,7 +59,13 @@ inline TabularDeviceModel::FrameEval frame_lookup(
   double f0, f1;
   g.vs_axis.locate(vs, i0, f0);
   g.vg_axis.locate(vg, i1, f1);
+  return frame_blend(g, i0, f0, i1, f1, u);
+}
 
+inline TabularDeviceModel::FrameEval frame_blend(const CharacterizationGrid& g,
+                                                 std::size_t i0, double f0,
+                                                 std::size_t i1, double f1,
+                                                 double u) {
   // Corner evaluations, computed once and reused for the value and both
   // table-axis derivatives (hot path: called per device per Newton
   // iteration in both engines).
@@ -101,6 +115,45 @@ void TabularDeviceModel::eval_frames(std::size_t n, const double* vg,
   const CharacterizationGrid& g = grid_;
   for (std::size_t k = 0; k < n; ++k)
     out[k] = frame_lookup(g, vg[k], vs[k], vd[k]);
+}
+
+namespace {
+
+bool same_axis(const numeric::UniformAxis& a, const numeric::UniformAxis& b) {
+  return a.x0 == b.x0 && a.dx == b.dx && a.n == b.n;
+}
+
+}  // namespace
+
+void TabularDeviceModel::eval_frames_corners(
+    const TabularDeviceModel* const* models, std::size_t model_count,
+    std::size_t n, const double* vg, const double* vs, const double* vd,
+    FrameEval* const* out) {
+  if (model_count == 0) return;
+  const CharacterizationGrid& g0 = models[0]->grid_;
+  for (std::size_t m = 1; m < model_count; ++m) {
+    const CharacterizationGrid& gm = models[m]->grid_;
+    if (!same_axis(gm.vs_axis, g0.vs_axis) ||
+        !same_axis(gm.vg_axis, g0.vg_axis)) {
+      // Heterogeneous axes (not corner variants of one family): the shared
+      // locate would be wrong, so run each lane through the plain batch.
+      for (std::size_t j = 0; j < model_count; ++j)
+        models[j]->eval_frames(n, vg, vs, vd, out[j]);
+      return;
+    }
+  }
+  for (std::size_t m = 0; m < model_count; ++m)
+    models[m]->query_count_.fetch_add(n, std::memory_order_relaxed);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Located once on the shared axes, blended per corner lane.
+    const double u = vd[k] - vs[k];
+    std::size_t i0, i1;
+    double f0, f1;
+    g0.vs_axis.locate(vs[k], i0, f0);
+    g0.vg_axis.locate(vg[k], i1, f1);
+    for (std::size_t m = 0; m < model_count; ++m)
+      out[m][k] = frame_blend(models[m]->grid_, i0, f0, i1, f1, u);
+  }
 }
 
 IvEval TabularDeviceModel::iv_eval(double w, double l,

@@ -30,6 +30,9 @@ struct DesignDb::Session {
   device::Process proc = device::Process::cmosp35();
   std::unique_ptr<device::TabularDeviceModel> nmos;
   std::unique_ptr<device::TabularDeviceModel> pmos;
+  /// Multi-corner sessions own per-corner model pairs here instead of
+  /// nmos/pmos (declared before the engine for destruction order).
+  std::unique_ptr<device::CornerLibrary> corners;
   std::unique_ptr<sta::StaEngine> engine;
 };
 
@@ -82,12 +85,20 @@ LoadReply DesignDb::load_parsed(const std::string& text_or_path, bool is_file,
   session->nl = std::move(parsed.netlist);
   for (auto& w : netlist::apply_model_cards(session->nl, &session->proc))
     reply.warnings.push_back(std::move(w));
-  session->nmos = std::make_unique<device::TabularDeviceModel>(
-      device::MosType::nmos, session->proc);
-  session->pmos = std::make_unique<device::TabularDeviceModel>(
-      device::MosType::pmos, session->proc);
-  const device::ModelSet models{session->nmos.get(), session->pmos.get(),
-                                &session->proc};
+  device::ModelSet models;
+  if (opt_.corners) {
+    // One characterized model pair per corner; the typical set drives
+    // partitioning (stage structure is corner-independent).
+    session->corners = std::make_unique<device::CornerLibrary>(session->proc);
+    models = session->corners->set(device::Corner::typical);
+  } else {
+    session->nmos = std::make_unique<device::TabularDeviceModel>(
+        device::MosType::nmos, session->proc);
+    session->pmos = std::make_unique<device::TabularDeviceModel>(
+        device::MosType::pmos, session->proc);
+    models = device::ModelSet{session->nmos.get(), session->pmos.get(),
+                              &session->proc};
+  }
   circuit::PartitionedDesign design =
       circuit::partition_netlist(session->nl, models);
   for (auto& w : design.warnings) reply.warnings.push_back(std::move(w));
@@ -95,8 +106,13 @@ LoadReply DesignDb::load_parsed(const std::string& text_or_path, bool is_file,
     reply.status = fail("LOAD", name + ": deck contains no logic stages");
     return reply;
   }
-  session->engine = std::make_unique<sta::StaEngine>(std::move(design), models,
-                                                     opt_.sta);
+  session->engine =
+      opt_.corners
+          ? std::make_unique<sta::StaEngine>(std::move(design),
+                                             session->corners->sets(),
+                                             opt_.sta)
+          : std::make_unique<sta::StaEngine>(std::move(design), models,
+                                             opt_.sta);
   reply.evals = session->engine->run();
   for (const auto& w : session->engine->warnings())
     reply.warnings.push_back(w);
@@ -127,6 +143,37 @@ ArrivalReply DesignDb::arrival(const std::string& net) const {
   // Known net without computed timing returns the engine's stable
   // invalid NetTiming — reported as valid=0 fields, never an error.
   reply.timing = session_->engine->timing(*id);
+  return reply;
+}
+
+CornersReply DesignDb::corners(const std::string& net, double period) const {
+  CornersReply reply;
+  const auto lock = reader_lock();
+  if (!session_) {
+    reply.status = kNoDesign;
+    return reply;
+  }
+  reply.epoch = epoch_;
+  if (!session_->engine->multi_corner()) {
+    reply.status =
+        fail("UNSUPPORTED", "corner analysis disabled; start with --corners");
+    return reply;
+  }
+  const auto id = session_->nl.find_net(net);
+  if (!id) {
+    reply.status = fail("NOTFOUND", "unknown net: " + net);
+    return reply;
+  }
+  for (const device::Corner c : session_->engine->corners()) {
+    CornerTimingReply ct;
+    ct.corner = c;
+    ct.timing = session_->engine->timing(*id, c);
+    reply.degraded = reply.degraded || ct.timing.rise.degraded ||
+                     ct.timing.fall.degraded;
+    reply.corners.push_back(std::move(ct));
+  }
+  if (period > 0.0)
+    reply.setup_hold = session_->engine->setup_hold(*id, period);
   return reply;
 }
 

@@ -37,6 +37,11 @@ namespace qwm::service {
 
 struct DesignDbOptions {
   sta::StaOptions sta;  ///< engine configuration for every loaded session
+  /// Characterize fast/slow corner models at LOAD and propagate one
+  /// arrival lane per corner (enables the CORNERS verb). Off by default:
+  /// it triples characterization work at load time, so single-corner
+  /// deployments shouldn't pay for it.
+  bool corners = false;
 };
 
 /// Outcome common to all replies. `code` is the protocol error code
@@ -64,6 +69,24 @@ struct ArrivalReply {
   /// Invalid arrivals (valid() == false) when the net exists but never
   /// received timing — the engine's stable miss path, never a crash.
   sta::NetTiming timing;
+};
+
+/// One corner's arrival pair within a CORNERS reply.
+struct CornerTimingReply {
+  device::Corner corner = device::Corner::typical;
+  sta::NetTiming timing;
+};
+
+struct CornersReply {
+  Status status;
+  std::uint64_t epoch = 0;
+  /// Active corners in engine order (typical first).
+  std::vector<CornerTimingReply> corners;
+  /// Min/max arrival envelope vs the requested clock period; only
+  /// populated when the query carried a period.
+  sta::StaEngine::SetupHold setup_hold;
+  /// Any reported arrival rests on fallback-ladder data.
+  bool degraded = false;
 };
 
 struct SlackReply {
@@ -123,6 +146,9 @@ class DesignDb {
   LoadReply load_text(const std::string& text, const std::string& name);
 
   ArrivalReply arrival(const std::string& net) const;
+  /// Per-corner arrivals (+ setup/hold envelope when period > 0).
+  /// UNSUPPORTED unless the db was opened with options.corners.
+  CornersReply corners(const std::string& net, double period = 0.0) const;
   SlackReply slack(const std::string& net, double period) const;
   CritPathReply critical_path() const;
 

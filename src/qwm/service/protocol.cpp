@@ -54,6 +54,7 @@ const char* verb_name(Verb v) {
   switch (v) {
     case Verb::kLoad: return "load";
     case Verb::kArrival: return "arrival";
+    case Verb::kCorners: return "corners";
     case Verb::kSlack: return "slack";
     case Verb::kCritPath: return "critpath";
     case Verb::kResize: return "resize";
@@ -79,6 +80,14 @@ ParsedRequest parse_request(const std::string& line) {
     if (t.size() != 2) return bad("ARG", "usage: ARRIVAL <net>");
     r.verb = Verb::kArrival;
     r.net = lower(t[1]);
+  } else if (verb == "corners") {
+    if (t.size() != 2 && t.size() != 3)
+      return bad("ARG", "usage: CORNERS <net> [period]");
+    r.verb = Verb::kCorners;
+    r.net = lower(t[1]);
+    if (t.size() == 3 &&
+        (!netlist::parse_spice_number(t[2], &r.period) || r.period <= 0.0))
+      return bad("ARG", "bad period: " + t[2]);
   } else if (verb == "slack") {
     if (t.size() != 3) return bad("ARG", "usage: SLACK <net> <period>");
     r.verb = Verb::kSlack;

@@ -8,6 +8,9 @@
 //
 //   LOAD <deck.sp>             parse + partition + full STA analysis
 //   ARRIVAL <net>              rise/fall arrival + slew of one net
+//   CORNERS <net> [period]     per-corner arrivals; with a period, the
+//                              min/max envelope's setup/hold slack too
+//                              (requires a --corners server)
 //   SLACK <net> <period>       slack against a clock period (SPICE suffixes ok)
 //   CRITPATH                   worst path from endpoint to primary input
 //   RESIZE <stage> <edge> <w>  stage a transistor resize (width in meters)
@@ -27,6 +30,7 @@ namespace qwm::service {
 enum class Verb {
   kLoad,
   kArrival,
+  kCorners,
   kSlack,
   kCritPath,
   kResize,
@@ -34,7 +38,7 @@ enum class Verb {
   kStats,
   kShutdown,
 };
-inline constexpr int kVerbCount = 8;
+inline constexpr int kVerbCount = 9;
 
 /// Lower-case wire name of a verb ("arrival", "critpath", ...).
 const char* verb_name(Verb v);
@@ -42,8 +46,8 @@ const char* verb_name(Verb v);
 struct Request {
   Verb verb = Verb::kStats;
   std::string path;    ///< LOAD
-  std::string net;     ///< ARRIVAL / SLACK
-  double period = 0.0; ///< SLACK [s]
+  std::string net;     ///< ARRIVAL / CORNERS / SLACK
+  double period = 0.0; ///< SLACK [s]; CORNERS optional (0 = arrivals only)
   int stage = -1;      ///< RESIZE
   int edge = -1;       ///< RESIZE
   double width = 0.0;  ///< RESIZE [m]

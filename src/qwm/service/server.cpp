@@ -164,6 +164,32 @@ std::string Server::handle_line(const std::string& line) {
                                                   : ok_line(os.str());
       break;
     }
+    case Verb::kCorners: {
+      const CornersReply reply = db_.corners(r.net, r.period);
+      if (!reply.status.ok) {
+        resp = err_line(reply.status.code, reply.status.message);
+        break;
+      }
+      os << "net=" << r.net << " epoch=" << reply.epoch
+         << " corners=" << reply.corners.size();
+      for (const auto& ct : reply.corners) {
+        const char* cn = device::corner_name(ct.corner);
+        os << " " << cn << "_rise_valid=" << (ct.timing.rise.valid() ? 1 : 0)
+           << " " << cn << "_rise=" << format_double(ct.timing.rise.time)
+           << " " << cn << "_fall_valid=" << (ct.timing.fall.valid() ? 1 : 0)
+           << " " << cn << "_fall=" << format_double(ct.timing.fall.time);
+      }
+      if (r.period > 0.0) {
+        os << " valid=" << (reply.setup_hold.valid ? 1 : 0)
+           << " latest=" << format_double(reply.setup_hold.latest)
+           << " earliest=" << format_double(reply.setup_hold.earliest)
+           << " setup_slack=" << format_double(reply.setup_hold.setup_slack)
+           << " hold_slack=" << format_double(reply.setup_hold.hold_slack);
+      }
+      os << " degraded=" << (reply.degraded ? 1 : 0);
+      resp = reply.degraded ? ok_degraded_line(os.str()) : ok_line(os.str());
+      break;
+    }
     case Verb::kSlack: {
       const SlackReply reply = db_.slack(r.net, r.period);
       if (!reply.status.ok) {

@@ -31,14 +31,30 @@ bool ramp_clamped(double t50, double slew) {
   return t50 < 0.5 * dur;
 }
 
+// The miss path: one immutable invalid record shared by every engine.
+// Returning it (rather than inserting, or indexing blindly) keeps
+// timing() const, allocation-free, and safe for unknown ids.
+const NetTiming kInvalidTiming{};
+
 }  // namespace
 
 StaEngine::StaEngine(circuit::PartitionedDesign design,
                      device::ModelSet models, StaOptions options)
+    : StaEngine(std::move(design), device::CornerModelSet::single(models),
+                options) {}
+
+StaEngine::StaEngine(circuit::PartitionedDesign design,
+                     device::CornerModelSet models, StaOptions options)
     : design_(std::move(design)),
-      models_(models),
+      models_(std::move(models)),
       opt_(options),
       cache_(options.cache) {
+  timing_.resize(models_.count());
+  qwm_stats_slot_.assign(models_.count(), core::QwmStats{});
+  corner_warm_scale_.assign(models_.count(), 1.0);
+  for (std::size_t s = 1; s < models_.corners.size(); ++s)
+    corner_warm_scale_[s] = device::warm_time_scale(
+        models_.primary(), models_.at(models_.corners[s]));
   dirty_.assign(design_.stages.size(), 1);
   stage_keys_.assign(design_.stages.size(), std::nullopt);
   build_schedule();
@@ -55,20 +71,42 @@ void StaEngine::set_input_arrival(netlist::NetId net, double rise_time,
   t.rise.slew = s;
   t.fall.time = fall_time;
   t.fall.slew = s;
-  timing_[net] = t;
+  // Primary inputs arrive at the same instant at every corner; corners
+  // diverge only through stage delays.
+  for (auto& lane : timing_) lane[net] = t;
+}
+
+const NetTiming& StaEngine::timing_in(std::size_t slot,
+                                      netlist::NetId net) const {
+  const auto& lane = timing_[slot];
+  const auto it = lane.find(net);
+  return it == lane.end() ? kInvalidTiming : it->second;
 }
 
 const NetTiming& StaEngine::timing(netlist::NetId net) const {
-  // The miss path: one immutable invalid record shared by every engine.
-  // Returning it (rather than inserting, or indexing blindly) keeps
-  // timing() const, allocation-free, and safe for unknown ids.
-  static const NetTiming kInvalid{};
-  const auto it = timing_.find(net);
-  return it == timing_.end() ? kInvalid : it->second;
+  return timing_in(0, net);
+}
+
+const NetTiming& StaEngine::timing(netlist::NetId net,
+                                   device::Corner corner) const {
+  const int slot = models_.slot_of(corner);
+  if (slot < 0) return kInvalidTiming;
+  return timing_in(static_cast<std::size_t>(slot), net);
 }
 
 bool StaEngine::has_timing(netlist::NetId net) const {
-  return timing_.find(net) != timing_.end();
+  return timing_[0].find(net) != timing_[0].end();
+}
+
+const core::QwmStats& StaEngine::qwm_stats(device::Corner corner) const {
+  static const core::QwmStats kZero{};
+  const int slot = models_.slot_of(corner);
+  return slot < 0 ? kZero : qwm_stats_slot_[static_cast<std::size_t>(slot)];
+}
+
+void StaEngine::reset_qwm_stats() {
+  qwm_stats_ = core::QwmStats{};
+  qwm_stats_slot_.assign(models_.count(), core::QwmStats{});
 }
 
 int StaEngine::thread_count() const {
@@ -141,10 +179,12 @@ void StaEngine::prepare_record(int stage_index, OutputRecord* rec) {
   // worst case).
   const bool trigger_rising = !rec->rising;
 
-  // Pick the latest-arriving triggering input.
+  // Pick the latest-arriving triggering input from this record's own
+  // corner lane — each corner selects (and may differ in) its worst arc.
   rec->sw_input = -1;
   for (std::size_t i = 0; i < info.input_nets.size(); ++i) {
-    const NetTiming& t = timing(info.input_nets[i]);
+    const NetTiming& t = timing_in(static_cast<std::size_t>(rec->corner_slot),
+                                   info.input_nets[i]);
     const Arrival& a = trigger_rising ? t.rise : t.fall;
     if (!a.valid()) continue;
     if (rec->sw_input < 0 || a.time > rec->trigger.time) {
@@ -168,6 +208,8 @@ void StaEngine::prepare_record(int stage_index, OutputRecord* rec) {
   rec->key.output_index = rec->output_index;
   rec->key.switching_input = rec->sw_input;
   rec->key.rising = rec->rising;
+  rec->key.corner =
+      static_cast<std::int8_t>(models_.corners[rec->corner_slot]);
   rec->key.slew_bucket = cache_.slew_bucket(rec->trigger.slew);
   rec->key.clamped = ramp_clamped(rec->trigger.time, rec->trigger.slew);
   rec->key.time_bucket =
@@ -182,9 +224,12 @@ void StaEngine::evaluate_owner(int stage_index, OutputRecord* rec,
   const bool output_falls = !rec->rising;
   const bool trigger_rising = output_falls;
 
+  const device::ModelSet& models =
+      models_.at(models_.corners[rec->corner_slot]);
+
   // Input waveforms: the trigger ramps; every other input sits at its
   // non-controlling level for the event.
-  const double vdd = models_.vdd();
+  const double vdd = models.vdd();
   std::vector<numeric::PwlWaveform> inputs;
   inputs.reserve(info.input_nets.size());
   for (std::size_t i = 0; i < info.input_nets.size(); ++i) {
@@ -201,12 +246,16 @@ void StaEngine::evaluate_owner(int stage_index, OutputRecord* rec,
   // phase found one. Both decisions were made serially against the frozen
   // cache, so the evaluation — and its result — is scheduling-independent.
   core::QwmOptions qopt = opt_.qwm;
-  if (rec->cacheable && cache_.options().max_trace_values > 0)
+  if ((rec->cacheable && cache_.options().max_trace_values > 0) ||
+      rec->keep_trace)
     qopt.record_trace = true;
-  if (rec->warm != nullptr) qopt.warm = rec->warm.get();
+  if (rec->warm != nullptr) {
+    qopt.warm = rec->warm.get();
+    qopt.warm_scale = rec->warm_scale;
+  }
 
   core::StageTiming st = core::evaluate_stage(
-      stage, out_node, output_falls, inputs, rec->sw_input, models_, qopt, ws);
+      stage, out_node, output_falls, inputs, rec->sw_input, models, qopt, ws);
   rec->stats = st.qwm.stats;
   rec->value = core::CachedStageResult{};
   rec->value.degraded = st.qwm.degraded;
@@ -220,9 +269,13 @@ void StaEngine::evaluate_owner(int stage_index, OutputRecord* rec,
   rec->value.ok = true;
   rec->value.delay = *st.delay;
   rec->value.slew = st.output_slew.value_or(opt_.input_slew);
+  // Traces kept for cross-corner seeding (keep_trace) skip the cache's
+  // retention cap — they live only for this level batch; the merge phase
+  // strips anything over the cap before a cache insert.
   const std::size_t trace_values = st.qwm.trace.value_count();
   if (qopt.record_trace && !st.qwm.degraded && trace_values > 0 &&
-      trace_values <= cache_.options().max_trace_values)
+      (rec->keep_trace ||
+       trace_values <= cache_.options().max_trace_values))
     rec->value.trace =
         std::make_shared<const core::WarmTrace>(std::move(st.qwm.trace));
 }
@@ -239,7 +292,7 @@ bool StaEngine::apply_record(int stage_index, const OutputRecord& rec) {
     // is itself built on fallback data.
     a.degraded = rec.value.degraded || rec.trigger.degraded;
   }
-  NetTiming& t = timing_[rec.net];
+  NetTiming& t = timing_[static_cast<std::size_t>(rec.corner_slot)][rec.net];
   Arrival& slot = rec.rising ? t.rise : t.fall;
   if (a.valid() &&
       (!slot.valid() || std::abs(a.time - slot.time) > kTimeTol ||
@@ -271,50 +324,65 @@ std::vector<char> StaEngine::evaluate_level(const std::vector<int>& stages) {
   std::unordered_map<core::StageEvalKey, int, core::StageEvalKeyHash>
       first_owner;
   std::vector<int> owners;  // flat indices that must run QWM
+  const std::size_t corner_count = models_.count();
   for (int s : stages) {
     StageTask task;
     task.stage = s;
     const circuit::StageInfo& info = design_.stages[s];
     for (std::size_t oi = 0; oi < info.output_nets.size(); ++oi) {
       for (const bool rising : {true, false}) {
-        OutputRecord rec;
-        rec.output_index = static_cast<int>(oi);
-        rec.rising = rising;
-        rec.net = info.output_nets[oi];
-        prepare_record(s, &rec);
-        const int flat_index = static_cast<int>(flat.size());
-        if (rec.kind == OutputRecord::Kind::owner && rec.cacheable) {
-          if (const auto cached = cache_.peek(rec.key)) {
-            rec.kind = OutputRecord::Kind::hit;
-            rec.value = *cached;
-          } else {
-            const auto [it, inserted] =
-                first_owner.try_emplace(rec.key, flat_index);
-            if (!inserted) {
-              rec.kind = OutputRecord::Kind::follower;
-              rec.owner_index = it->second;
-            } else if (cache_.options().max_trace_values > 0) {
-              // Near-miss warm probe: a resident entry in an adjacent
-              // slew bucket carries a converged trace from an almost
-              // identical evaluation — seed the owner's Newton solves
-              // from it. Fixed probe order keeps the choice (and thus
-              // the result) deterministic.
-              core::StageEvalKey near = rec.key;
-              for (const int d : {-1, 1}) {
-                near.slew_bucket = rec.key.slew_bucket + d;
-                const auto c = cache_.peek(near);
-                if (c && c->ok && c->trace != nullptr) {
-                  rec.warm = c->trace;
-                  break;
+        // One record per active corner lane; the primary (slot 0) comes
+        // first and its flat index is remembered so sibling lanes can
+        // pick up its converged trace as a warm seed after phase 2a.
+        int primary_flat = -1;
+        for (std::size_t cs = 0; cs < corner_count; ++cs) {
+          OutputRecord rec;
+          rec.output_index = static_cast<int>(oi);
+          rec.rising = rising;
+          rec.net = info.output_nets[oi];
+          rec.corner_slot = static_cast<int>(cs);
+          if (cs == 0)
+            rec.keep_trace = corner_count > 1;
+          else
+            rec.primary_index = primary_flat;
+          prepare_record(s, &rec);
+          const int flat_index = static_cast<int>(flat.size());
+          if (cs == 0) primary_flat = flat_index;
+          if (rec.kind == OutputRecord::Kind::owner && rec.cacheable) {
+            if (const auto cached = cache_.peek(rec.key)) {
+              rec.kind = OutputRecord::Kind::hit;
+              rec.value = *cached;
+            } else {
+              const auto [it, inserted] =
+                  first_owner.try_emplace(rec.key, flat_index);
+              if (!inserted) {
+                rec.kind = OutputRecord::Kind::follower;
+                rec.owner_index = it->second;
+              } else if (cache_.options().max_trace_values > 0) {
+                // Near-miss warm probe: a resident entry in an adjacent
+                // slew bucket carries a converged trace from an almost
+                // identical evaluation — seed the owner's Newton solves
+                // from it. Fixed probe order keeps the choice (and thus
+                // the result) deterministic. Keys carry the corner, so a
+                // lane only ever replays its own corner's traces here.
+                core::StageEvalKey near = rec.key;
+                for (const int d : {-1, 1}) {
+                  near.slew_bucket = rec.key.slew_bucket + d;
+                  const auto c = cache_.peek(near);
+                  if (c && c->ok && c->trace != nullptr) {
+                    rec.warm = c->trace;
+                    break;
+                  }
                 }
               }
             }
           }
+          if (rec.kind == OutputRecord::Kind::owner)
+            owners.push_back(flat_index);
+          task.records.push_back(std::move(rec));
+          flat.push_back({static_cast<int>(tasks.size()),
+                          static_cast<int>(task.records.size()) - 1});
         }
-        if (rec.kind == OutputRecord::Kind::owner) owners.push_back(flat_index);
-        task.records.push_back(std::move(rec));
-        flat.push_back({static_cast<int>(tasks.size()),
-                        static_cast<int>(task.records.size()) - 1});
       }
     }
     tasks.push_back(std::move(task));
@@ -325,20 +393,56 @@ std::vector<char> StaEngine::evaluate_level(const std::vector<int>& stages) {
   // design/model state; indices are handed out through the pool's shared
   // cursor so uneven region counts load-balance.
   // Each lane reuses its own scratch arena across owners and levels.
+  //
+  // Multi-corner batches dispatch in two waves: the primary-lane owners
+  // first (2a), then — after serially seeding each sibling owner with its
+  // primary record's converged trace — the remaining corners (2b). The
+  // seeding decisions depend only on the frozen cache and the primary
+  // results, which are themselves scheduling-independent, so determinism
+  // is preserved. Single-corner batches reduce to one wave, bit-identical
+  // to the pre-corner engine.
   const int lanes = thread_count();
   if (!owners.empty() && static_cast<int>(lane_ws_.size()) < lanes)
     lane_ws_.resize(static_cast<std::size_t>(lanes));
-  const auto run_owner = [&](std::size_t j, int lane) {
-    const FlatRef ref = flat[owners[j]];
-    evaluate_owner(tasks[ref.task].stage, &tasks[ref.task].records[ref.record],
-                   lane_ws_[static_cast<std::size_t>(lane)]);
+  const auto record_at = [&](int fi) -> OutputRecord& {
+    const FlatRef ref = flat[fi];
+    return tasks[ref.task].records[ref.record];
   };
-  if (lanes > 1 && owners.size() > 1) {
-    if (!pool_)
-      pool_ = std::make_unique<support::ThreadPool>(opt_.threads);
-    pool_->parallel_for_lanes(owners.size(), run_owner);
-  } else {
-    for (std::size_t j = 0; j < owners.size(); ++j) run_owner(j, 0);
+  const auto run_owner_set = [&](const std::vector<int>& set) {
+    const auto run_owner = [&](std::size_t j, int lane) {
+      const FlatRef ref = flat[set[j]];
+      evaluate_owner(tasks[ref.task].stage,
+                     &tasks[ref.task].records[ref.record],
+                     lane_ws_[static_cast<std::size_t>(lane)]);
+    };
+    if (lanes > 1 && set.size() > 1) {
+      if (!pool_)
+        pool_ = std::make_unique<support::ThreadPool>(opt_.threads);
+      pool_->parallel_for_lanes(set.size(), run_owner);
+    } else {
+      for (std::size_t j = 0; j < set.size(); ++j) run_owner(j, 0);
+    }
+  };
+  std::vector<int> lead_owners, lag_owners;
+  for (const int fi : owners)
+    (record_at(fi).corner_slot == 0 ? lead_owners : lag_owners).push_back(fi);
+  run_owner_set(lead_owners);
+  if (!lag_owners.empty()) {
+    for (const int fi : lag_owners) {
+      OutputRecord& rec = record_at(fi);
+      if (rec.warm || rec.primary_index < 0) continue;
+      // Chase through a follower primary to the record that actually ran.
+      const OutputRecord* prim = &record_at(rec.primary_index);
+      if (prim->kind == OutputRecord::Kind::follower &&
+          prim->owner_index >= 0)
+        prim = &record_at(prim->owner_index);
+      if (prim->value.ok && !prim->value.degraded && prim->value.trace) {
+        rec.warm = prim->value.trace;
+        // Typical's region lengths replayed on this corner's time scale.
+        rec.warm_scale = corner_warm_scale_[rec.corner_slot];
+      }
+    }
+    run_owner_set(lag_owners);
   }
 
   // Phase 3 (serial merge, ascending stage order): resolve followers,
@@ -363,9 +467,22 @@ std::vector<char> StaEngine::evaluate_level(const std::vector<int>& stages) {
         }
         case OutputRecord::Kind::owner:
           qwm_stats_ += rec.stats;
+          qwm_stats_slot_[static_cast<std::size_t>(rec.corner_slot)] +=
+              rec.stats;
           if (rec.cacheable) {
             cache_.note_miss();
-            cache_.insert(rec.key, rec.value);
+            // keep_trace may have retained a trace past the cache's
+            // retention policy (it existed to seed sibling corners);
+            // strip it before committing.
+            const std::size_t cap = cache_.options().max_trace_values;
+            if (rec.value.trace != nullptr &&
+                (cap == 0 || rec.value.trace->value_count() > cap)) {
+              core::CachedStageResult v = rec.value;
+              v.trace = nullptr;
+              cache_.insert(rec.key, v);
+            } else {
+              cache_.insert(rec.key, rec.value);
+            }
           }
           break;
       }
@@ -434,7 +551,9 @@ std::unordered_map<netlist::NetId, StaEngine::Slack> StaEngine::compute_slacks(
     const Arrival* arr;
   };
   std::vector<Entry> entries;
-  for (const auto& [net, t] : timing_) {
+  // Slack analysis runs on the primary lane; multi-corner constraint
+  // checks go through setup_hold()'s min/max envelope instead.
+  for (const auto& [net, t] : timing_[0]) {
     if (t.rise.valid()) entries.push_back({net, true, &t.rise});
     if (t.fall.valid()) entries.push_back({net, false, &t.fall});
   }
@@ -471,7 +590,7 @@ std::unordered_map<netlist::NetId, StaEngine::Slack> StaEngine::compute_slacks(
   }
 
   std::unordered_map<netlist::NetId, Slack> out;
-  for (const auto& [net, t] : timing_) {
+  for (const auto& [net, t] : timing_[0]) {
     const auto it = required.find(net);
     if (it == required.end()) continue;
     Slack s;
@@ -498,6 +617,48 @@ double StaEngine::worst_slack(double period) const {
   for (const auto& [net, s] : compute_slacks(period)) {
     (void)net;
     if (s.valid) worst = std::min(worst, s.slack);
+  }
+  return worst;
+}
+
+StaEngine::SetupHold StaEngine::setup_hold(netlist::NetId net, double period,
+                                           double hold_time) const {
+  SetupHold sh;
+  for (std::size_t slot = 0; slot < timing_.size(); ++slot) {
+    const NetTiming& t = timing_in(slot, net);
+    for (const Arrival* a : {&t.rise, &t.fall}) {
+      if (!a->valid()) continue;
+      sh.valid = true;
+      sh.latest = std::max(sh.latest, a->time);
+      sh.earliest = std::min(sh.earliest, a->time);
+      sh.degraded = sh.degraded || a->degraded;
+    }
+  }
+  if (sh.valid) {
+    sh.setup_slack = period - sh.latest;
+    sh.hold_slack = sh.earliest - hold_time;
+  }
+  return sh;
+}
+
+double StaEngine::worst_setup_slack(double period) const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& info : design_.stages) {
+    for (netlist::NetId n : info.output_nets) {
+      const SetupHold sh = setup_hold(n, period);
+      if (sh.valid) worst = std::min(worst, sh.setup_slack);
+    }
+  }
+  return worst;
+}
+
+double StaEngine::worst_hold_slack(double hold_time) const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& info : design_.stages) {
+    for (netlist::NetId n : info.output_nets) {
+      const SetupHold sh = setup_hold(n, 0.0, hold_time);
+      if (sh.valid) worst = std::min(worst, sh.hold_slack);
+    }
   }
   return worst;
 }

@@ -22,6 +22,16 @@
 // frozen for the duration of a level; new results are committed during
 // the deterministic merge, which keeps the cache contents — and hence
 // every downstream arrival — independent of scheduling.
+//
+// Corners: constructed from a CornerModelSet, the engine propagates one
+// arrival lane per active process corner through the same schedule. The
+// primary (typical) lane evaluates first each level and records its
+// converged region traces; fast/slow owners seed their Newton solves
+// from the typical trace (cross-corner warm start), so extra corners
+// ride along at a fraction of a cold re-run. Cache keys carry the
+// corner, so lanes never share memoized results. The legacy
+// single-ModelSet constructor wraps into a one-corner set and behaves
+// bit-identically to the pre-corner engine.
 #pragma once
 
 #include <limits>
@@ -85,6 +95,13 @@ class StaEngine {
   StaEngine(circuit::PartitionedDesign design, device::ModelSet models,
             StaOptions options = {});
 
+  /// Multi-corner form: one arrival lane per active corner of `models`
+  /// (non-owning; typically a CornerLibrary's sets()). The first listed
+  /// corner is the primary lane — the one every legacy single-corner
+  /// query reads.
+  StaEngine(circuit::PartitionedDesign design, device::CornerModelSet models,
+            StaOptions options = {});
+
   /// Primary input arrivals default to t = 0 with the default slew; use
   /// this to override before run().
   void set_input_arrival(netlist::NetId net, double rise_time,
@@ -121,9 +138,17 @@ class StaEngine {
   /// time — the reader side of the serving layer's reader–writer
   /// discipline.
   const NetTiming& timing(netlist::NetId net) const;
+  /// Arrival pair of a net at a specific corner. Same miss-path contract
+  /// as timing(net); an inactive corner is always the miss path.
+  const NetTiming& timing(netlist::NetId net, device::Corner corner) const;
   /// True when `net` has a timing record (a primary input or an
   /// evaluated stage output), i.e. timing(net) is not the miss path.
   bool has_timing(netlist::NetId net) const;
+  /// Active corners, primary lane first.
+  const std::vector<device::Corner>& corners() const {
+    return models_.corners;
+  }
+  bool multi_corner() const { return models_.multi(); }
   /// The design's worst arrival (over all stage output nets, both edges).
   double worst_arrival() const;
   /// Critical path from the worst endpoint back to a primary input.
@@ -145,6 +170,28 @@ class StaEngine {
   /// The design's worst slack (most negative first).
   double worst_slack(double period) const;
 
+  /// Min/max arrival envelope of a net across every active corner and
+  /// both edges, checked against a clock-period constraint. Setup uses
+  /// the latest arrival (slow corner's worst edge): the data must settle
+  /// before the capturing clock at `period`. Hold uses the earliest
+  /// arrival (fast corner's best edge): the data must not race through
+  /// before `hold_time` after the launching clock. Negative slack =
+  /// violation.
+  struct SetupHold {
+    bool valid = false;
+    double latest = -std::numeric_limits<double>::infinity();
+    double earliest = std::numeric_limits<double>::infinity();
+    double setup_slack = 0.0;  ///< period - latest
+    double hold_slack = 0.0;   ///< earliest - hold_time
+    /// Any contributing arrival rode the fallback ladder.
+    bool degraded = false;
+  };
+  SetupHold setup_hold(netlist::NetId net, double period,
+                       double hold_time = 0.0) const;
+  /// Worst setup/hold slack over all stage output nets.
+  double worst_setup_slack(double period) const;
+  double worst_hold_slack(double hold_time = 0.0) const;
+
   const circuit::PartitionedDesign& design() const { return design_; }
   const std::vector<std::string>& warnings() const { return warnings_; }
 
@@ -162,7 +209,10 @@ class StaEngine {
   /// the last reset. Accumulated during the deterministic merge phase, so
   /// the totals are independent of thread count.
   const core::QwmStats& qwm_stats() const { return qwm_stats_; }
-  void reset_qwm_stats() { qwm_stats_ = core::QwmStats{}; }
+  /// Per-corner QWM work counters (the cross-corner warm-start and
+  /// cache-isolation observables). An inactive corner reads all-zero.
+  const core::QwmStats& qwm_stats(device::Corner corner) const;
+  void reset_qwm_stats();
   /// Aggregate scratch-arena footprint over all worker-lane workspaces:
   /// bytes/high-water summed across lanes, grow events and evaluation
   /// counts totalled. A flat high-water mark across repeated runs is the
@@ -181,6 +231,14 @@ class StaEngine {
     int output_index = 0;
     bool rising = false;
     netlist::NetId net = -1;
+    /// Active-corner lane this record evaluates (0 = primary).
+    int corner_slot = 0;
+    /// Non-primary lanes: flat index of the slot-0 sibling record for the
+    /// same (output, edge) — the cross-corner warm-seed source.
+    int primary_index = -1;
+    /// Record the converged trace even when the record is not cacheable
+    /// (primary lane of a multi-corner batch: the trace seeds siblings).
+    bool keep_trace = false;
     int sw_input = -1;
     Arrival trigger;
     Kind kind = Kind::skip;
@@ -192,6 +250,10 @@ class StaEngine {
     /// Owner only: near-miss warm seed picked during the serial classify
     /// phase (adjacent slew bucket of the frozen cache), if any.
     std::shared_ptr<const core::WarmTrace> warm;
+    /// Region-length scale for `warm` (QwmOptions::warm_scale). 1.0 for
+    /// same-corner near-miss seeds; the drive-strength ratio when a
+    /// sibling lane replays the typical lane's trace.
+    double warm_scale = 1.0;
     /// Owner only: QWM work counters from the evaluation.
     core::QwmStats stats;
     /// Owner only: the stimulus for the QWM evaluation.
@@ -219,11 +281,15 @@ class StaEngine {
   /// signature, computed lazily and invalidated by resize_transistor.
   std::uint64_t stage_key(int stage_index);
   void build_schedule();
+  /// Slot-indexed timing lookup with the shared miss path.
+  const NetTiming& timing_in(std::size_t slot, netlist::NetId net) const;
 
   circuit::PartitionedDesign design_;
-  device::ModelSet models_;
+  device::CornerModelSet models_;
   StaOptions opt_;
-  std::unordered_map<netlist::NetId, NetTiming> timing_;
+  /// One arrival map per active corner; slot 0 is the primary lane and
+  /// the surface every single-corner query reads.
+  std::vector<std::unordered_map<netlist::NetId, NetTiming>> timing_;
   std::vector<char> dirty_;
   std::vector<std::string> warnings_;
   std::size_t evals_ = 0;
@@ -241,6 +307,11 @@ class StaEngine {
   /// before the first parallel dispatch and never reallocated during one.
   std::vector<core::EvalWorkspace> lane_ws_;
   core::QwmStats qwm_stats_;
+  /// Per-active-corner-slot split of qwm_stats_.
+  std::vector<core::QwmStats> qwm_stats_slot_;
+  /// Per-slot warm_scale for replaying the typical lane's trace on that
+  /// slot's corner (device::warm_time_scale; slot 0 is always 1.0).
+  std::vector<double> corner_warm_scale_;
 };
 
 }  // namespace qwm::sta

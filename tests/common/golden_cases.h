@@ -88,10 +88,13 @@ inline std::vector<numeric::PwlWaveform> golden_inputs(
 
 /// Runs both engines on one case: QWM on the stage path, the SPICE
 /// baseline at 1 ps fixed steps over the same window, both measured at
-/// the 50% point (delay) and 10%-90% swing (slew).
-inline GoldenMeasure measure_golden(const circuit::BuiltStage& b) {
+/// the 50% point (delay) and 10%-90% swing (slew). The ModelSet overload
+/// measures the same stage geometry against other device models (corner
+/// grids): gate layout is corner-invariant, only the electrical model
+/// moves.
+inline GoldenMeasure measure_golden(const circuit::BuiltStage& b,
+                                    const device::ModelSet& ms) {
   GoldenMeasure m;
-  const auto ms = models().tabular_set();
   const double vdd = models().proc.vdd;
   const auto inputs = golden_inputs(b);
 
@@ -142,6 +145,10 @@ inline GoldenMeasure measure_golden(const circuit::BuiltStage& b) {
   m.spice_slew = *t2 - *t1;
   m.ok = true;
   return m;
+}
+
+inline GoldenMeasure measure_golden(const circuit::BuiltStage& b) {
+  return measure_golden(b, models().tabular_set());
 }
 
 }  // namespace qwm::test

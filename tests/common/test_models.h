@@ -31,4 +31,11 @@ inline Models& models() {
   return m;
 }
 
+/// Per-corner characterized models (typical/fast/slow), built once per
+/// test binary on first use — three grids is real characterization work.
+inline const device::CornerLibrary& corner_models() {
+  static device::CornerLibrary lib(models().proc);
+  return lib;
+}
+
 }  // namespace qwm::test

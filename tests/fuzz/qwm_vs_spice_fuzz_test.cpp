@@ -1,7 +1,9 @@
 // Differential fuzz harness: seeded random stages (topology, device
-// count, widths, loads, input slews, wire RC) evaluated by QWM — with the
-// full fallback ladder available — must land within tolerance of the
-// in-repo SPICE baseline on every sample.
+// count, widths, loads, input slews, wire RC, process corner) evaluated
+// by QWM — with the full fallback ladder available — must land within
+// tolerance of the in-repo SPICE baseline on every sample. Each sample
+// draws one of the three characterized corners, so the fast/slow model
+// grids see the same coverage as typical.
 //
 //   QWM_FUZZ_SAMPLES   sample count (default 40 in tier-1; CI runs 2000)
 //   QWM_FUZZ_SEED      generator seed (default 20260806, pinned in CI)
@@ -32,11 +34,6 @@ namespace {
 
 using circuit::BuiltStage;
 
-const device::ModelSet& models() {
-  static device::ModelSet ms = test::models().tabular_set();
-  return ms;
-}
-
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* s = std::getenv(name);
   if (!s || !*s) return fallback;
@@ -66,6 +63,7 @@ struct Sample {
   double load = 0.0;              ///< output load [F]
   double slew = 0.0;              ///< input ramp duration [s]
   double wire_l = 0.0;            ///< nand_pass only: wire length [m]
+  device::Corner corner = device::Corner::typical;  ///< model grids used
 };
 
 BuiltStage build(const Sample& s) {
@@ -103,6 +101,7 @@ Sample draw(std::uint64_t* rng) {
   // length, so the fuzz domain is clamped to the supported envelope
   // (DESIGN.md section 10).
   if (s.topology == "nand_pass") s.slew = std::min(s.slew, 100e-12);
+  s.corner = device::kAllCorners[next_rand(rng) % device::kCornerCount];
   return s;
 }
 
@@ -123,8 +122,8 @@ std::vector<numeric::PwlWaveform> ramp_inputs(const BuiltStage& b,
 
 double spice_delay(const BuiltStage& b,
                    const std::vector<numeric::PwlWaveform>& inputs,
-                   double t_stop) {
-  spice::StageSim sim = spice::circuit_from_stage(b.stage, models(), inputs);
+                   double t_stop, const device::ModelSet& ms) {
+  spice::StageSim sim = spice::circuit_from_stage(b.stage, ms, inputs);
   const double vdd = test::models().proc.vdd;
   const double pre = b.output_falls ? vdd : 0.0;
   for (std::size_t n = 0; n < b.stage.node_count(); ++n) {
@@ -158,7 +157,8 @@ void dump_repro(std::uint64_t seed, std::uint64_t sample_index,
   std::ofstream f(dir / name.str());
   f << "* qwm_vs_spice differential fuzz reproducer\n"
     << "* " << why << "\n"
-    << "* topology=" << s.topology << " k=" << s.k << "\n* widths_m=";
+    << "* topology=" << s.topology << " k=" << s.k
+    << " corner=" << device::corner_name(s.corner) << "\n* widths_m=";
   for (double w : s.widths) f << " " << w;
   f << "\n* load_f=" << s.load << " slew_s=" << s.slew
     << " wire_l_m=" << s.wire_l << "\n"
@@ -179,21 +179,25 @@ TEST(DifferentialFuzz, QwmTracksSpiceOnRandomStages) {
     const BuiltStage b = build(s);
     const auto inputs = ramp_inputs(b, s.slew);
     const double t_stop = 2e-9 + 4.0 * s.slew;
+    // Both engines run on the sampled corner's characterized grids.
+    const device::ModelSet& ms = test::corner_models().set(s.corner);
 
-    const StageTiming st = evaluate_stage(b, inputs, models());
+    const StageTiming st = evaluate_stage(b, inputs, ms);
     if (!st.ok || !st.delay) {
       ++failures;
       dump_repro(seed, i, s, -1.0, -1.0,
                  "QWM (with fallback ladder) failed: " + st.error);
       ADD_FAILURE() << "sample " << i << " (" << s.topology << " k=" << s.k
+                    << " @" << device::corner_name(s.corner)
                     << "): QWM failed: " << st.error;
       continue;
     }
-    const double ref = spice_delay(b, inputs, t_stop);
+    const double ref = spice_delay(b, inputs, t_stop, ms);
     if (ref <= 0.0) {
       ++failures;
       dump_repro(seed, i, s, *st.delay, ref, "SPICE baseline unmeasurable");
       ADD_FAILURE() << "sample " << i << " (" << s.topology << " k=" << s.k
+                    << " @" << device::corner_name(s.corner)
                     << "): SPICE baseline unmeasurable";
       continue;
     }
@@ -205,6 +209,7 @@ TEST(DifferentialFuzz, QwmTracksSpiceOnRandomStages) {
       ++failures;
       dump_repro(seed, i, s, *st.delay, ref, "delay divergence past 15%/5ps");
       ADD_FAILURE() << "sample " << i << " (" << s.topology << " k=" << s.k
+                    << " @" << device::corner_name(s.corner)
                     << "): qwm=" << *st.delay << " spice=" << ref
                     << " tol=" << tol;
     }

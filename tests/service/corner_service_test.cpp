@@ -1,0 +1,175 @@
+// CORNERS verb round trip: request parsing, the per-corner arrival
+// payload of a --corners server, the optional setup/hold envelope, the
+// error paths (NODESIGN / UNSUPPORTED / NOTFOUND / ARG), and the
+// DEGRADED tag when the lanes rest on fallback-ladder results.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "qwm/service/server.h"
+#include "qwm/support/fault_injection.h"
+
+namespace qwm::service {
+namespace {
+
+using support::FaultPlan;
+using support::FaultRule;
+using support::FaultSite;
+using support::ScopedFaultPlan;
+
+std::string chain_deck(int n) {
+  std::string deck = "inverter chain\nvdd vdd 0 3.3\nvin in 0 0\n";
+  std::string prev = "in";
+  for (int i = 0; i < n; ++i) {
+    const std::string out = i + 1 == n ? "out" : "s" + std::to_string(i + 1);
+    const std::string tag = std::to_string(i);
+    deck += "mn" + tag + " " + out + " " + prev + " 0 0 nmos W=1.5u L=0.35u\n";
+    deck += "mp" + tag + " " + out + " " + prev +
+            " vdd vdd pmos W=3u L=0.35u\n";
+    prev = out;
+  }
+  deck += "cl out 0 20f\n.end\n";
+  return deck;
+}
+
+ServerOptions corner_options() {
+  ServerOptions opt;
+  opt.db.corners = true;
+  return opt;
+}
+
+double num_field(const std::string& response, const std::string& key) {
+  const std::string v = response_field(response, key);
+  EXPECT_FALSE(v.empty()) << "missing field " << key << " in: " << response;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+TEST(CornerService, ParseRequestForms) {
+  // Arrivals-only form: net, no period.
+  ParsedRequest p = parse_request("CORNERS Out");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.verb, Verb::kCorners);
+  EXPECT_EQ(p.request.net, "out");  // nets are case-folded like ARRIVAL
+  EXPECT_EQ(p.request.period, 0.0);
+
+  // With a period (SPICE suffixes accepted, like SLACK).
+  p = parse_request("corners out 2n");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_DOUBLE_EQ(p.request.period, 2e-9);
+
+  // Wrong arity and bad/non-positive periods are ARG errors.
+  for (const char* line :
+       {"CORNERS", "CORNERS out 2n extra", "CORNERS out xyz",
+        "CORNERS out -1n", "CORNERS out 0"}) {
+    SCOPED_TRACE(line);
+    const ParsedRequest bad = parse_request(line);
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.code, "ARG");
+  }
+}
+
+TEST(CornerService, RoundTripPerCornerArrivals) {
+  Server server(corner_options());
+  const LoadReply r = server.db().load_text(chain_deck(3), "chain3");
+  ASSERT_TRUE(r.status.ok) << r.status.message;
+
+  const std::string resp = server.handle_line("CORNERS out");
+  ASSERT_TRUE(is_ok(resp)) << resp;
+  EXPECT_FALSE(is_degraded(resp)) << resp;
+  EXPECT_EQ(response_field(resp, "net"), "out");
+  EXPECT_EQ(response_field(resp, "corners"), "3");
+  EXPECT_EQ(response_field(resp, "degraded"), "0");
+
+  // Every lane reports both edges, and the lanes are ordered
+  // fast <= typical <= slow on each edge.
+  for (const char* edge : {"rise", "fall"}) {
+    SCOPED_TRACE(edge);
+    for (const char* corner : {"typical", "fast", "slow"}) {
+      EXPECT_EQ(response_field(
+                    resp, std::string(corner) + "_" + edge + "_valid"),
+                "1")
+          << resp;
+    }
+    const double ty = num_field(resp, std::string("typical_") + edge);
+    const double fa = num_field(resp, std::string("fast_") + edge);
+    const double sl = num_field(resp, std::string("slow_") + edge);
+    EXPECT_LT(fa, ty);
+    EXPECT_LT(ty, sl);
+  }
+
+  // No period => no envelope fields in the payload.
+  EXPECT_EQ(response_field(resp, "setup_slack"), "");
+  EXPECT_EQ(response_field(resp, "hold_slack"), "");
+}
+
+TEST(CornerService, PeriodAddsSetupHoldEnvelope) {
+  Server server(corner_options());
+  ASSERT_TRUE(server.db().load_text(chain_deck(3), "chain3").status.ok);
+
+  const std::string arr = server.handle_line("CORNERS out");
+  ASSERT_TRUE(is_ok(arr)) << arr;
+  double latest = 0.0, earliest = 1.0;
+  for (const char* edge : {"rise", "fall"}) {
+    for (const char* corner : {"typical", "fast", "slow"}) {
+      const double t = num_field(arr, std::string(corner) + "_" + edge);
+      latest = std::max(latest, t);
+      earliest = std::min(earliest, t);
+    }
+  }
+
+  const std::string resp = server.handle_line("CORNERS out 2n");
+  ASSERT_TRUE(is_ok(resp)) << resp;
+  EXPECT_EQ(response_field(resp, "valid"), "1");
+  // %.17g doubles round-trip exactly, so the envelope must agree bit for
+  // bit with the per-corner arrivals reported by the same engine.
+  EXPECT_EQ(num_field(resp, "latest"), latest);
+  EXPECT_EQ(num_field(resp, "earliest"), earliest);
+  EXPECT_EQ(num_field(resp, "setup_slack"), 2e-9 - latest);
+  EXPECT_EQ(num_field(resp, "hold_slack"), earliest);
+  EXPECT_GT(num_field(resp, "setup_slack"), 0.0);
+}
+
+TEST(CornerService, ErrorPaths) {
+  // Before any LOAD: NODESIGN, regardless of corner support.
+  Server server(corner_options());
+  EXPECT_TRUE(is_err(server.handle_line("CORNERS out"), "NODESIGN"));
+
+  // Unknown net after a LOAD: NOTFOUND.
+  ASSERT_TRUE(server.db().load_text(chain_deck(3), "chain3").status.ok);
+  EXPECT_TRUE(is_err(server.handle_line("CORNERS nowhere"), "NOTFOUND"));
+
+  // A single-corner server refuses the verb outright.
+  Server single;
+  ASSERT_TRUE(single.db().load_text(chain_deck(3), "chain3").status.ok);
+  const std::string resp = single.handle_line("CORNERS out");
+  EXPECT_TRUE(is_err(resp, "UNSUPPORTED")) << resp;
+}
+
+TEST(CornerService, DegradedLanesAreTagged) {
+  Server server(corner_options());
+  {
+    // Sabotage every nominal solve during LOAD: all three lanes answer
+    // from the damped rung, so the CORNERS reply must carry the tag.
+    FaultPlan plan;
+    FaultRule stall;
+    stall.site = FaultSite::kNewtonStall;
+    stall.max_rung = 0;
+    plan.add(stall);
+    ScopedFaultPlan armed{plan};
+    ASSERT_TRUE(server.db().load_text(chain_deck(3), "chain3").status.ok);
+  }
+  const std::string resp = server.handle_line("CORNERS out");
+  EXPECT_TRUE(is_ok(resp)) << resp;
+  EXPECT_TRUE(is_degraded(resp)) << resp;
+  EXPECT_EQ(response_field(resp, "degraded"), "1");
+
+  // A clean reload clears it.
+  ASSERT_TRUE(server.db().load_text(chain_deck(3), "chain3").status.ok);
+  const std::string healthy = server.handle_line("CORNERS out");
+  EXPECT_TRUE(is_ok(healthy));
+  EXPECT_FALSE(is_degraded(healthy)) << healthy;
+}
+
+}  // namespace
+}  // namespace qwm::service

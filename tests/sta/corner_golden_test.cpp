@@ -1,0 +1,141 @@
+// Per-corner golden harness: every Table I gate and Table II stack runs
+// through both engines at all three process corners against the
+// per-corner characterized models, and the results are checked three
+// ways:
+//   1. cross-engine: the QWM delay at each corner stays within the
+//      per-case/per-corner tolerance of the live SPICE result;
+//   2. ordering: fast <= typical <= slow delay on every gate — the
+//      physical contract corner derivation must preserve;
+//   3. pinning: the live QWM numbers match
+//      tests/data/golden_delays_corners.json to 0.5% — catches silent
+//      drift in the corner characterization or the waveform core.
+// Regenerate the JSON with:  build/tools/make_golden --corners
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "../common/golden_cases.h"
+
+namespace qwm::test {
+namespace {
+
+struct CornerEntry {
+  double qwm_delay_ps[device::kCornerCount] = {};
+  double spice_delay_ps[device::kCornerCount] = {};
+  double delay_tol_pct[device::kCornerCount] = {};
+};
+
+bool json_number(const std::string& line, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  return std::sscanf(line.c_str() + pos + needle.size(), " %lf", out) == 1;
+}
+
+bool json_string(const std::string& line, const std::string& key,
+                 std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+std::map<std::string, CornerEntry> load_golden() {
+  std::map<std::string, CornerEntry> golden;
+  const std::string path =
+      std::string(QWM_TEST_DATA_DIR) + "/golden_delays_corners.json";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string name;
+    if (!json_string(line, "name", &name)) continue;
+    CornerEntry e;
+    for (const device::Corner c : device::kAllCorners) {
+      const std::string cn = device::corner_name(c);
+      const int i = static_cast<int>(c);
+      EXPECT_TRUE(
+          json_number(line, cn + "_qwm_delay_ps", &e.qwm_delay_ps[i]));
+      EXPECT_TRUE(
+          json_number(line, cn + "_spice_delay_ps", &e.spice_delay_ps[i]));
+      EXPECT_TRUE(
+          json_number(line, cn + "_delay_tol_pct", &e.delay_tol_pct[i]));
+    }
+    golden[name] = e;
+  }
+  return golden;
+}
+
+double pct_diff(double a, double b) {
+  return b != 0.0 ? 100.0 * std::abs(a - b) / std::abs(b) : 1e9;
+}
+
+TEST(CornerGolden, EveryGateOrderedAccurateAndPinned) {
+  const auto golden = load_golden();
+  ASSERT_FALSE(golden.empty());
+  const device::CornerLibrary& lib = corner_models();
+  std::size_t matched = 0;
+  for (const auto& c : golden_cases()) {
+    SCOPED_TRACE(c.name);
+    const auto it = golden.find(c.name);
+    ASSERT_NE(it, golden.end())
+        << "case missing from golden_delays_corners.json; regenerate with "
+           "build/tools/make_golden --corners";
+    const CornerEntry& g = it->second;
+    ++matched;
+
+    double delay[device::kCornerCount] = {};
+    for (const device::Corner corner : device::kAllCorners) {
+      SCOPED_TRACE(device::corner_name(corner));
+      const int i = static_cast<int>(corner);
+      const GoldenMeasure m = measure_golden(c.built, lib.set(corner));
+      ASSERT_TRUE(m.ok) << m.error;
+      delay[i] = m.qwm_delay;
+
+      // 1. Cross-engine accuracy at this corner, live vs live.
+      EXPECT_LE(std::abs(m.delay_err_pct()), g.delay_tol_pct[i])
+          << "QWM delay " << m.qwm_delay * 1e12 << " ps vs SPICE "
+          << m.spice_delay * 1e12 << " ps";
+
+      // 3. Pinning against the checked-in reference.
+      EXPECT_LT(pct_diff(m.qwm_delay * 1e12, g.qwm_delay_ps[i]), 0.5);
+      EXPECT_LT(pct_diff(m.spice_delay * 1e12, g.spice_delay_ps[i]), 0.5);
+    }
+
+    // 2. Corner ordering: strong devices are never slower than weak ones.
+    const double fa = delay[static_cast<int>(device::Corner::fast)];
+    const double ty = delay[static_cast<int>(device::Corner::typical)];
+    const double sl = delay[static_cast<int>(device::Corner::slow)];
+    EXPECT_LE(fa, ty) << "fast corner slower than typical";
+    EXPECT_LE(ty, sl) << "typical corner slower than slow";
+  }
+  // Every golden entry must correspond to a live case (no stale rows).
+  EXPECT_EQ(matched, golden.size());
+}
+
+TEST(CornerGolden, CornerSpreadIsMeaningful) {
+  // The +-12% transconductance / -+8% threshold derivation must actually
+  // separate the corners: a collapsed spread would let the min/max merge
+  // in the STA engine silently degenerate to single-corner analysis.
+  for (const auto& [name, g] : load_golden()) {
+    SCOPED_TRACE(name);
+    const double fa = g.qwm_delay_ps[static_cast<int>(device::Corner::fast)];
+    const double ty =
+        g.qwm_delay_ps[static_cast<int>(device::Corner::typical)];
+    const double sl = g.qwm_delay_ps[static_cast<int>(device::Corner::slow)];
+    EXPECT_LT(fa, 0.97 * ty);
+    EXPECT_GT(sl, 1.03 * ty);
+  }
+}
+
+}  // namespace
+}  // namespace qwm::test

@@ -28,6 +28,9 @@ echo "== bench_table1_gates =="
 "$BUILD/bench/bench_table1_gates" --json "$tmp/table1_gates.json"
 echo "== bench_incremental_sta =="
 "$BUILD/bench/bench_incremental_sta" --json "$tmp/incremental_sta.json"
+echo "== bench_incremental_sta --corners (3-corner sweep) =="
+"$BUILD/bench/bench_incremental_sta" --corners \
+    --json "$tmp/incremental_sta_corners.json"
 echo "== bench_service_qps =="
 "$BUILD/bench/bench_service_qps" --json "$tmp/service_qps.json"
 
@@ -37,7 +40,7 @@ import json, os, sys
 out, tmp = sys.argv[1], sys.argv[2]
 doc = {"generated_by": "tools/bench_all.sh"}
 for name in ("micro_kernels", "table1_gates", "incremental_sta",
-             "service_qps"):
+             "incremental_sta_corners", "service_qps"):
     with open(os.path.join(tmp, name + ".json")) as f:
         doc[name] = json.load(f)
 with open(out, "w") as f:

@@ -1,24 +1,29 @@
-// Regenerates tests/data/golden_delays.json — the checked-in
-// cross-engine reference used by tests/sta/golden_delay_test.cpp.
+// Regenerates the checked-in cross-engine references:
 //
-// Usage: make_golden [output-path]
+//   make_golden [output-path]             tests/data/golden_delays.json
+//   make_golden --corners [output-path]   tests/data/golden_delays_corners.json
 //
 // For each golden case (Table I gates, Table II stacks) both engines run
 // under the shared worst-case stimulus; the JSON records the measured
 // delays/slews plus per-case tolerance ceilings derived from the measured
 // cross-engine deviation (floored at 1% delay / 5% slew, with 1.3x
 // headroom so timer-grade noise does not flake the suite).
+//
+// --corners measures every case at all three process corners against the
+// per-corner characterized models; tests/sta/corner_golden_test.cpp
+// replays it and additionally asserts fast <= typical <= slow delay
+// ordering on every gate.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "../tests/common/golden_cases.h"
 
-int main(int argc, char** argv) {
-  using namespace qwm;
-  const std::string path =
-      argc > 1 ? argv[1] : std::string("tests/data/golden_delays.json");
+namespace {
 
+int write_single(const std::string& path) {
+  using namespace qwm;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -58,4 +63,78 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
   return failures == 0 ? 0 : 1;
+}
+
+int write_corners(const std::string& path) {
+  using namespace qwm;
+  const device::CornerLibrary& lib = test::corner_models();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+
+  std::fprintf(f, "[\n");
+  bool first = true;
+  int failures = 0;
+  for (const auto& c : test::golden_cases()) {
+    double delays[device::kCornerCount] = {};
+    bool ok = true;
+    std::fprintf(f, "%s  {\"name\": \"%s\"", first ? "" : ",\n",
+                 c.name.c_str());
+    for (const device::Corner corner : device::kAllCorners) {
+      const test::GoldenMeasure m =
+          test::measure_golden(c.built, lib.set(corner));
+      if (!m.ok) {
+        std::fprintf(stderr, "FAILED %s @ %s: %s\n", c.name.c_str(),
+                     device::corner_name(corner), m.error.c_str());
+        ok = false;
+        break;
+      }
+      delays[static_cast<int>(corner)] = m.qwm_delay;
+      const double delay_tol =
+          std::max(1.0, 1.3 * std::abs(m.delay_err_pct()));
+      std::fprintf(f,
+                   ", \"%s_qwm_delay_ps\": %.6f, \"%s_spice_delay_ps\": "
+                   "%.6f, \"%s_delay_tol_pct\": %.2f",
+                   device::corner_name(corner), m.qwm_delay * 1e12,
+                   device::corner_name(corner), m.spice_delay * 1e12,
+                   device::corner_name(corner), delay_tol);
+    }
+    std::fprintf(f, "}");
+    first = false;
+    if (!ok) {
+      ++failures;
+      continue;
+    }
+    const double t = delays[static_cast<int>(device::Corner::typical)];
+    const double fa = delays[static_cast<int>(device::Corner::fast)];
+    const double s = delays[static_cast<int>(device::Corner::slow)];
+    std::printf("%-10s fast %.2f <= typical %.2f <= slow %.2f ps%s\n",
+                c.name.c_str(), fa * 1e12, t * 1e12, s * 1e12,
+                (fa <= t && t <= s) ? "" : "  ORDER VIOLATION");
+    if (!(fa <= t && t <= s)) ++failures;
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool corners = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--corners") == 0)
+      corners = true;
+    else
+      path = argv[i];
+  }
+  if (path.empty())
+    path = corners ? "tests/data/golden_delays_corners.json"
+                   : "tests/data/golden_delays.json";
+  return corners ? write_corners(path) : write_single(path);
 }

@@ -14,10 +14,14 @@
 //                       answered ERR DEGRADED               (default off)
 //   --sta-threads N     engine lanes per analysis           (default 1)
 //   --no-cache          disable the engine's stage-eval memo cache
+//   --corners           characterize fast/slow corner models at LOAD and
+//                       propagate per-corner arrival lanes (enables the
+//                       CORNERS verb)
 //
 // Protocol (one line per request/response — see src/qwm/service/protocol.h):
-//   LOAD <deck.sp> | ARRIVAL <net> | SLACK <net> <period> | CRITPATH |
-//   RESIZE <stage> <edge> <width> | UPDATE | STATS | SHUTDOWN
+//   LOAD <deck.sp> | ARRIVAL <net> | CORNERS <net> [period] |
+//   SLACK <net> <period> | CRITPATH | RESIZE <stage> <edge> <width> |
+//   UPDATE | STATS | SHUTDOWN
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,7 +39,8 @@ int usage() {
                "[--deck path]\n"
                "                 [--threads N] [--queue N] [--deadline-ms X] "
                "[--solve-deadline-ms X]\n"
-               "                 [--sta-threads N] [--no-cache]\n");
+               "                 [--sta-threads N] [--no-cache] "
+               "[--corners]\n");
   return 2;
 }
 
@@ -77,6 +82,8 @@ int main(int argc, char** argv) {
       int_arg(&i, &opt.db.sta.threads);
     } else if (arg == "--no-cache") {
       opt.db.sta.use_cache = false;
+    } else if (arg == "--corners") {
+      opt.db.corners = true;
     } else {
       return usage();
     }

@@ -10,6 +10,9 @@
 //                     analysis; with a period, also report slacks
 //   --threads N       STA worker lanes (same flag as the benches;
 //                     results are bit-identical for any N)
+//   --corners         with --sta: characterize fast/slow corner models and
+//                     report per-corner worst arrivals plus setup/hold
+//                     slack at the given period
 //   --no-cache        disable the STA stage-evaluation memo cache
 //   --write           echo the elaborated flat netlist as a SPICE deck
 //
@@ -17,6 +20,7 @@
 // defaults), .ic initial conditions, and .print card node selections.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,7 +38,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: qwm_sim <deck.sp> [--tran] [--tstep s] [--tstop s] "
-               "[--sta [period]] [--threads N] [--no-cache] [--write]\n");
+               "[--sta [period]] [--threads N] [--corners] [--no-cache] "
+               "[--write]\n");
   return 2;
 }
 
@@ -79,7 +84,7 @@ void run_transient(const qwm::netlist::FlatNetlist& nl,
 
 void run_sta(const qwm::netlist::FlatNetlist& nl,
              const qwm::device::ModelSet& models, double period, int threads,
-             bool use_cache) {
+             bool use_cache, const qwm::device::CornerLibrary* corner_lib) {
   using namespace qwm;
   auto design = circuit::partition_netlist(nl, models);
   for (const auto& w : design.warnings)
@@ -92,7 +97,9 @@ void run_sta(const qwm::netlist::FlatNetlist& nl,
   sta::StaOptions opt;
   opt.threads = threads;
   opt.use_cache = use_cache;
-  sta::StaEngine sta(std::move(design), models, opt);
+  sta::StaEngine sta =
+      corner_lib ? sta::StaEngine(std::move(design), corner_lib->sets(), opt)
+                 : sta::StaEngine(std::move(design), models, opt);
   const std::size_t evals = sta.run();
   for (const auto& w : sta.warnings())
     std::fprintf(stderr, "warning: %s\n", w.c_str());
@@ -114,6 +121,30 @@ void run_sta(const qwm::netlist::FlatNetlist& nl,
                   s.slack * 1e12, s.slack < 0 ? "  VIOLATION" : "");
     std::printf("worst slack: %.2f ps\n", sta.worst_slack(period) * 1e12);
   }
+
+  if (sta.multi_corner()) {
+    std::printf("\ncorners:\n");
+    for (const device::Corner c : sta.corners()) {
+      double worst = 0.0;
+      for (const auto& info : sta.design().stages) {
+        for (auto n : info.output_nets) {
+          const sta::NetTiming& t = sta.timing(n, c);
+          if (t.rise.valid()) worst = std::max(worst, t.rise.time);
+          if (t.fall.valid()) worst = std::max(worst, t.fall.time);
+        }
+      }
+      std::printf("  %-8s worst arrival %9.2f ps\n", device::corner_name(c),
+                  worst * 1e12);
+    }
+    if (period > 0.0) {
+      std::printf("setup slack (slowest corner): %9.2f ps%s\n",
+                  sta.worst_setup_slack(period) * 1e12,
+                  sta.worst_setup_slack(period) < 0 ? "  VIOLATION" : "");
+      std::printf("hold slack  (fastest corner): %9.2f ps%s\n",
+                  sta.worst_hold_slack() * 1e12,
+                  sta.worst_hold_slack() < 0 ? "  VIOLATION" : "");
+    }
+  }
 }
 
 }  // namespace
@@ -124,7 +155,7 @@ int main(int argc, char** argv) {
 
   std::string deck_path;
   bool do_tran = false, do_sta = false, do_write = false;
-  bool use_cache = true;
+  bool use_cache = true, do_corners = false;
   int threads = 1;
   double tstep = -1.0, tstop = -1.0, period = -1.0;
   // CLI values accept SPICE suffixes ("1p", "500p", "2n").
@@ -151,6 +182,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --threads value: %s\n", argv[i]);
         return 2;
       }
+    } else if (arg == "--corners") {
+      do_corners = true;
     } else if (arg == "--no-cache") {
       use_cache = false;
     } else if (arg == "--write") {
@@ -193,7 +226,15 @@ int main(int argc, char** argv) {
                                                  : 1e-9);
     run_transient(parsed.netlist, models, step, stop);
   }
-  if (do_sta) run_sta(parsed.netlist, models, period, threads, use_cache);
+  if (do_sta) {
+    // Corner models are only characterized when asked for — three grids
+    // instead of one is real load-time work.
+    std::unique_ptr<device::CornerLibrary> corner_lib;
+    if (do_corners)
+      corner_lib = std::make_unique<device::CornerLibrary>(proc);
+    run_sta(parsed.netlist, models, period, threads, use_cache,
+            corner_lib.get());
+  }
   if (!do_tran && !do_sta && !do_write && !parsed.netlist.tran.present) {
     std::fprintf(stderr, "deck parsed OK (%zu mosfets, %zu nets); nothing "
                  "to do — pass --tran or --sta\n",
