@@ -1,0 +1,227 @@
+// Scale STA harness: full-design analysis of generated mega-circuits
+// (10^4 and 10^5 stages) under both stage schedulers — the
+// level-synchronous barrier schedule and the dependency-counting
+// asynchronous schedule — with a bitwise arrival comparison between the
+// two on every run. Reports wall clock per schedule plus the scheduler
+// work counters (barrier syncs, tasks enqueued, ready-queue high-water
+// mark, memo-twin chain edges), which are machine-deterministic and
+// budget-pinned for the CI perf smoke.
+//
+//   bench_scale_sta [--threads N] [--smoke] [--counters-only]
+//                   [--json FILE] [--budget FILE]
+//
+//   --smoke          run the 10^4-stage design only (CI-sized)
+//   --counters-only  skip the timed medians; counters and the bitwise
+//                    equivalence check still run
+//   --budget FILE    compare the 10^4-stage scheduler counters against
+//                    tools/perf_budget.json; exit 1 on excess
+//
+// Exit status is non-zero if any design's arrivals differ between the
+// schedulers — the harness doubles as an end-to-end equivalence check.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "qwm/frontend/elaborate.h"
+#include "qwm/frontend/generate.h"
+#include "qwm/sta/sta.h"
+
+namespace {
+
+using namespace qwm;
+
+struct ScaleFlags {
+  int threads = 4;
+  bool smoke = false;
+  bool counters_only = false;
+  std::string json_path;
+  std::string budget_path;
+};
+
+ScaleFlags parse_flags(int argc, char** argv) {
+  ScaleFlags f;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      f.threads = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--smoke") == 0)
+      f.smoke = true;
+    else if (std::strcmp(argv[i], "--counters-only") == 0)
+      f.counters_only = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      f.json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc)
+      f.budget_path = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "unknown flag: %s\nusage: %s [--threads N] [--smoke] "
+                   "[--counters-only] [--json FILE] [--budget FILE]\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
+  }
+  if (f.threads < 1) f.threads = 1;
+  return f;
+}
+
+/// Bitwise comparison of every stage-output arrival between two engines.
+bool arrivals_identical(const sta::StaEngine& a, const sta::StaEngine& b) {
+  for (const auto& info : a.design().stages) {
+    for (netlist::NetId n : info.output_nets) {
+      const sta::NetTiming& ta = a.timing(n);
+      const sta::NetTiming& tb = b.timing(n);
+      if (ta.rise.time != tb.rise.time || ta.rise.slew != tb.rise.slew ||
+          ta.fall.time != tb.fall.time || ta.fall.slew != tb.fall.slew ||
+          ta.rise.degraded != tb.rise.degraded ||
+          ta.fall.degraded != tb.fall.degraded)
+        return false;
+    }
+  }
+  return a.worst_arrival() == b.worst_arrival();
+}
+
+struct ScaleResult {
+  std::size_t stages = 0;
+  std::size_t evals = 0;
+  double levels_s = 0.0;
+  double deps_s = 0.0;
+  bool identical = false;
+  sta::ScheduleStats levels_stats;
+  sta::ScheduleStats deps_stats;
+};
+
+ScaleResult run_size(std::size_t stages, const ScaleFlags& f) {
+  ScaleResult r;
+  r.stages = stages;
+
+  const std::string spec = "gen:grid:" + std::to_string(stages) + ":seed=7";
+  const auto gs = frontend::parse_gen_spec(spec);
+  if (!gs) {
+    std::fprintf(stderr, "bad spec %s\n", spec.c_str());
+    std::exit(1);
+  }
+  const auto ms = bench::models().set();
+  frontend::ElaboratedDesign elab =
+      frontend::elaborate(frontend::generate_netlist(*gs), ms);
+
+  sta::StaOptions opt;
+  opt.threads = f.threads;
+  // The equivalence contract needs eviction-free memoization: give the
+  // cache headroom over the design's distinct-key population.
+  opt.cache.max_entries = std::size_t{1} << 21;
+
+  opt.schedule = sta::Schedule::levels;
+  sta::StaEngine levels(elab.design, ms, opt);
+  if (!f.counters_only) {
+    // One cold run is the honest number at this scale — a 10^5-stage
+    // analysis is far above timer noise, and medians would triple the
+    // harness cost. Warm re-runs would ride the memo cache instead of
+    // exercising the scheduler.
+    const double t0 = bench::time_seconds([&] { levels.run(); }, 0.0, 1);
+    r.levels_s = t0;
+  } else {
+    levels.run();
+  }
+  r.evals = levels.cache_stats().hits + levels.cache_stats().misses;
+  r.levels_stats = levels.schedule_stats();
+
+  opt.schedule = sta::Schedule::deps;
+  sta::StaEngine deps(elab.design, ms, opt);
+  if (!f.counters_only) {
+    r.deps_s = bench::time_seconds([&] { deps.run(); }, 0.0, 1);
+  } else {
+    deps.run();
+  }
+  r.deps_stats = deps.schedule_stats();
+
+  r.identical = arrivals_identical(levels, deps);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ScaleFlags f = parse_flags(argc, argv);
+
+  std::vector<std::size_t> sizes{10000};
+  if (!f.smoke) sizes.push_back(100000);
+
+  std::printf("Scale STA: generated grid designs, levels vs deps schedule "
+              "(%d lanes)\n", f.threads);
+  std::printf("%-9s %9s %11s %11s %9s %9s %9s %11s %5s\n", "stages", "evals",
+              "levels", "deps", "barriers", "hwm", "chains", "enqueued",
+              "ident");
+
+  std::vector<std::string> rows;
+  ScaleResult ten_k;
+  int rc = 0;
+  for (const std::size_t n : sizes) {
+    const ScaleResult r = run_size(n, f);
+    if (n == 10000) ten_k = r;
+    if (!r.identical) {
+      std::fprintf(stderr,
+                   "FAIL: schedulers disagree on the %zu-stage design\n", n);
+      rc = 1;
+    }
+    std::printf("%-9zu %9zu %10.3fs %10.3fs %9zu %9zu %9zu %11zu %5s\n",
+                r.stages, r.evals, r.levels_s, r.deps_s,
+                r.levels_stats.barrier_syncs, r.deps_stats.ready_hwm,
+                r.deps_stats.chain_edges, r.deps_stats.tasks_enqueued,
+                r.identical ? "yes" : "NO");
+    rows.push_back(
+        bench::JsonObject()
+            .integer("stages", r.stages)
+            .integer("evals", r.evals)
+            .num("levels_run_s", r.levels_s)
+            .num("deps_run_s", r.deps_s)
+            .integer("levels", r.levels_stats.levels)
+            .integer("levels_barrier_syncs", r.levels_stats.barrier_syncs)
+            .integer("deps_barrier_syncs", r.deps_stats.barrier_syncs)
+            .integer("tasks_enqueued", r.deps_stats.tasks_enqueued)
+            .integer("ready_hwm", r.deps_stats.ready_hwm)
+            .integer("chain_edges", r.deps_stats.chain_edges)
+            .integer("bit_identical", r.identical ? 1 : 0)
+            .str());
+  }
+
+  if (!f.budget_path.empty()) {
+    // The 10^4-stage counters are machine-deterministic: same design,
+    // same schedule derivation, same memo-twin chains on every host.
+    struct Live {
+      const char* key;
+      std::size_t value;
+    } live[] = {
+        {"scale10k_evals", ten_k.evals},
+        {"scale10k_levels_barrier_syncs", ten_k.levels_stats.barrier_syncs},
+        {"scale10k_deps_barrier_syncs", ten_k.deps_stats.barrier_syncs},
+        {"scale10k_tasks_enqueued", ten_k.deps_stats.tasks_enqueued},
+        {"scale10k_chain_edges", ten_k.deps_stats.chain_edges},
+    };
+    std::string text;
+    if (!bench::read_text_file(f.budget_path, &text)) return 1;
+    for (const auto& l : live) {
+      double b = 0.0;
+      if (!bench::json_find_number(text, l.key, &b)) {
+        std::fprintf(stderr, "perf budget: key %s missing from %s\n", l.key,
+                     f.budget_path.c_str());
+        rc = 1;
+        continue;
+      }
+      if (static_cast<double>(l.value) > b) {
+        std::fprintf(stderr, "perf budget EXCEEDED: %s = %zu > budget %.0f\n",
+                     l.key, l.value, b);
+        rc = 1;
+      } else {
+        std::printf("perf budget ok: %-30s %zu <= %.0f\n", l.key, l.value, b);
+      }
+    }
+  }
+
+  if (!f.json_path.empty()) {
+    if (!bench::write_text_file(f.json_path, bench::json_array(rows) + "\n"))
+      return 1;
+    std::printf("wrote %s\n", f.json_path.c_str());
+  }
+  return rc;
+}

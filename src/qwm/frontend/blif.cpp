@@ -1,0 +1,324 @@
+#include "qwm/frontend/blif.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "qwm/netlist/flat.h"  // to_lower
+
+namespace qwm::frontend {
+
+namespace {
+
+/// Diagnostic sink with the SPICE parser's "file:line: message" prefix.
+struct Diag {
+  const std::string& name;
+  std::vector<std::string>* errors;
+  std::vector<std::string>* warnings;
+
+  void error(int line, const std::string& msg) const {
+    errors->push_back(name + ":" + std::to_string(line) + ": " + msg);
+  }
+  void warn(int line, const std::string& msg) const {
+    warnings->push_back(name + ":" + std::to_string(line) + ": " + msg);
+  }
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) tokens.push_back(netlist::to_lower(t));
+  return tokens;
+}
+
+/// One logical line: physical lines joined over trailing '\', comments
+/// stripped, numbered by the first physical line.
+struct LogicalLine {
+  int line = 0;
+  std::string text;
+};
+
+std::vector<LogicalLine> logical_lines(const std::string& text) {
+  std::vector<LogicalLine> out;
+  std::istringstream is(text);
+  std::string phys;
+  int lineno = 0;
+  LogicalLine current;
+  bool continuing = false;
+  while (std::getline(is, phys)) {
+    ++lineno;
+    if (!phys.empty() && phys.back() == '\r') phys.pop_back();
+    const auto hash = phys.find('#');
+    if (hash != std::string::npos) phys.erase(hash);
+    bool continues = false;
+    // A trailing backslash joins the next physical line.
+    const auto last = phys.find_last_not_of(" \t");
+    if (last != std::string::npos && phys[last] == '\\') {
+      phys.erase(last);
+      continues = true;
+    }
+    if (!continuing) {
+      current.line = lineno;
+      current.text = phys;
+    } else {
+      current.text += " " + phys;
+    }
+    continuing = continues;
+    if (!continuing) {
+      out.push_back(current);
+      current = LogicalLine{};
+    }
+  }
+  if (continuing) out.push_back(current);  // '\' on the last line
+  return out;
+}
+
+/// Parses one ".gate" card. Returns false (diagnostics emitted) on any
+/// malformed pin list; the gate is dropped but parsing continues.
+bool parse_gate_card(const std::vector<std::string>& tokens, int line,
+                     const Diag& diag, GateInst* gate) {
+  if (tokens.size() < 2) {
+    diag.error(line, ".gate needs a gate type and pin assignments");
+    return false;
+  }
+  const auto type = gate_type_from_name(tokens[1]);
+  if (!type) {
+    diag.error(line, "unknown gate type: " + tokens[1] +
+                         " (library: inv, nand2-4, nor2-4)");
+    return false;
+  }
+  gate->type = *type;
+  gate->line = line;
+  const int fanin = gate_fanin(*type);
+  gate->inputs.assign(static_cast<std::size_t>(fanin), "");
+  bool ok = true;
+  for (std::size_t t = 2; t < tokens.size(); ++t) {
+    const std::string& tok = tokens[t];
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == tok.size()) {
+      diag.error(line, "malformed pin assignment: " + tok);
+      ok = false;
+      continue;
+    }
+    const std::string pin = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (pin == "x") {
+      char* end = nullptr;
+      const double mult = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || mult <= 0.0) {
+        diag.error(line, "bad drive strength: x=" + value);
+        ok = false;
+      } else {
+        gate->strength = mult;
+      }
+      continue;
+    }
+    if (pin == "y") {
+      if (!gate->output.empty()) {
+        diag.error(line, "duplicate output pin y");
+        ok = false;
+      }
+      gate->output = value;
+      continue;
+    }
+    int index = -1;
+    for (int i = 0; i < fanin; ++i)
+      if (pin == gate_input_pin(i)) index = i;
+    if (index < 0) {
+      diag.error(line, "unknown pin '" + pin + "' on " + tokens[1]);
+      ok = false;
+      continue;
+    }
+    if (!gate->inputs[static_cast<std::size_t>(index)].empty()) {
+      diag.error(line, "duplicate pin '" + pin + "'");
+      ok = false;
+      continue;
+    }
+    gate->inputs[static_cast<std::size_t>(index)] = value;
+  }
+  if (gate->output.empty()) {
+    diag.error(line, std::string(gate_type_name(*type)) +
+                         " is missing its output pin y");
+    ok = false;
+  }
+  for (int i = 0; i < fanin; ++i) {
+    if (gate->inputs[static_cast<std::size_t>(i)].empty()) {
+      diag.error(line, std::string(gate_type_name(*type)) +
+                           " is missing input pin " +
+                           gate_input_pin(i));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Whole-netlist semantic checks, each anchored to its defining card.
+void check_semantics(const GateNetlist& gn,
+                     const std::vector<std::pair<std::string, int>>& pi_lines,
+                     const std::vector<std::pair<std::string, int>>& po_lines,
+                     const Diag& diag) {
+  std::unordered_map<std::string, int> input_line;
+  for (const auto& [net, line] : pi_lines) {
+    if (!input_line.emplace(net, line).second)
+      diag.error(line, "duplicate primary input: " + net);
+  }
+  std::unordered_map<std::string, int> driver_line;
+  for (const GateInst& g : gn.gates) {
+    if (input_line.count(g.output)) {
+      diag.error(g.line,
+                 "net '" + g.output + "' is driven but declared .inputs");
+      continue;
+    }
+    const auto [it, inserted] = driver_line.emplace(g.output, g.line);
+    if (!inserted)
+      diag.error(g.line, "duplicate driver for net '" + g.output +
+                             "' (first driven at line " +
+                             std::to_string(it->second) + ")");
+  }
+  for (const GateInst& g : gn.gates) {
+    for (const std::string& in : g.inputs) {
+      if (!input_line.count(in) && !driver_line.count(in))
+        diag.error(g.line, "dangling net '" + in +
+                               "' (not a primary input or gate output)");
+    }
+  }
+  std::unordered_set<std::string> seen_outputs;
+  for (const auto& [net, line] : po_lines) {
+    if (!input_line.count(net) && !driver_line.count(net))
+      diag.error(line, "output net '" + net + "' is never driven");
+    if (!seen_outputs.insert(net).second)
+      diag.warn(line, "duplicate output declaration: " + net);
+  }
+}
+
+}  // namespace
+
+BlifResult parse_blif(const std::string& text, const std::string& name) {
+  BlifResult result;
+  const Diag diag{name, &result.errors, &result.warnings};
+  GateNetlist& gn = result.netlist;
+  std::vector<std::pair<std::string, int>> pi_lines, po_lines;
+  bool seen_model = false;
+  int model_line = 0;
+
+  for (const LogicalLine& ll : logical_lines(text)) {
+    const std::vector<std::string> tokens = tokenize(ll.text);
+    if (tokens.empty()) continue;
+    const std::string& card = tokens[0];
+    if (card[0] != '.') {
+      diag.error(ll.line, "expected a dot-card, got: " + card);
+      continue;
+    }
+    if (card == ".model") {
+      if (seen_model) {
+        diag.error(ll.line, "duplicate .model card (first at line " +
+                                std::to_string(model_line) +
+                                "; one model per file)");
+        continue;
+      }
+      seen_model = true;
+      model_line = ll.line;
+      if (tokens.size() > 1) gn.model = tokens[1];
+    } else if (card == ".inputs") {
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        gn.inputs.push_back(tokens[t]);
+        pi_lines.emplace_back(tokens[t], ll.line);
+      }
+    } else if (card == ".outputs") {
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        gn.outputs.push_back(tokens[t]);
+        po_lines.emplace_back(tokens[t], ll.line);
+      }
+    } else if (card == ".gate") {
+      GateInst gate;
+      if (parse_gate_card(tokens, ll.line, diag, &gate))
+        gn.gates.push_back(std::move(gate));
+    } else if (card == ".end") {
+      break;  // anything after .end is ignored, as in standard BLIF
+    } else if (card == ".latch" || card == ".names" || card == ".subckt" ||
+               card == ".exdc") {
+      diag.error(ll.line, "unsupported card " + card +
+                              " (this reader accepts the structural "
+                              ".gate subset only)");
+    } else {
+      diag.error(ll.line, "unknown card: " + card);
+    }
+  }
+  check_semantics(gn, pi_lines, po_lines, diag);
+  // Deduplicate declared outputs (warned above) so downstream loads are
+  // not double-counted.
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> outputs;
+  for (auto& n : gn.outputs)
+    if (seen.insert(n).second) outputs.push_back(std::move(n));
+  gn.outputs = std::move(outputs);
+  return result;
+}
+
+BlifResult parse_blif_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    BlifResult result;
+    result.errors.push_back(path + ":0: cannot open file");
+    return result;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return parse_blif(ss.str(), path);
+}
+
+std::string write_blif(const GateNetlist& netlist) {
+  std::ostringstream os;
+  os << ".model " << netlist.model << "\n";
+  // Port lists wrap with continuations to keep lines reviewable.
+  const auto emit_list = [&os](const char* card,
+                               const std::vector<std::string>& nets) {
+    if (nets.empty()) return;
+    os << card;
+    std::size_t width = 8;
+    for (const std::string& n : nets) {
+      if (width + n.size() + 1 > 76) {
+        os << " \\\n   ";
+        width = 4;
+      }
+      os << " " << n;
+      width += n.size() + 1;
+    }
+    os << "\n";
+  };
+  emit_list(".inputs", netlist.inputs);
+  emit_list(".outputs", netlist.outputs);
+  for (const GateInst& g : netlist.gates) {
+    os << ".gate " << gate_type_name(g.type);
+    if (g.strength != 1.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", g.strength);
+      os << " x=" << buf;
+    }
+    for (std::size_t i = 0; i < g.inputs.size(); ++i)
+      os << " " << gate_input_pin(static_cast<int>(i)) << "=" << g.inputs[i];
+    os << " y=" << g.output << "\n";
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+bool write_blif_file(const GateNetlist& netlist, const std::string& path,
+                     std::string* error) {
+  std::ofstream os(path);
+  if (!os) {
+    if (error) *error = "cannot write " + path;
+    return false;
+  }
+  os << write_blif(netlist);
+  if (!os) {
+    if (error) *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qwm::frontend

@@ -1,0 +1,55 @@
+// Dependency-free BLIF-style structural netlist reader and writer.
+//
+// The accepted grammar is the structural subset of BLIF this frontend
+// needs — one combinational model mapped onto the repo's gate library:
+//
+//   # comment                       (anywhere; '\' continues a line)
+//   .model <name>                   (optional; at most one per file)
+//   .inputs  <net> ...              (repeatable, accumulative)
+//   .outputs <net> ...              (repeatable, accumulative)
+//   .gate <type> [x=<mult>] <pin>=<net> ...
+//   .end                            (optional; text after it is ignored)
+//
+// <type> is one of inv, nand2..nand4, nor2..nor4; input pins are a..d in
+// fanin order and the output pin is y; the optional x= parameter scales
+// the gate's drive strength (device widths). Sequential and two-level
+// cards (.latch, .names, .subckt) are rejected with a diagnostic rather
+// than silently dropped.
+//
+// Diagnostics follow the SPICE parser's convention exactly: every error
+// and warning is prefixed "file:line: " ("<blif>" for in-memory text),
+// and parsing continues past errors so one pass reports every problem.
+// Semantic checks (duplicate drivers, dangling nets, unknown output
+// nets) are anchored to the line of the offending card.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qwm/frontend/gate_netlist.h"
+
+namespace qwm::frontend {
+
+struct BlifResult {
+  GateNetlist netlist;
+  std::vector<std::string> errors;    ///< "file:line: message"
+  std::vector<std::string> warnings;  ///< same format
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parses BLIF text. `name` labels diagnostics (the SPICE parser's
+/// "<deck>" idiom; defaults to "<blif>").
+BlifResult parse_blif(const std::string& text,
+                      const std::string& name = "<blif>");
+/// Parses a file; an unreadable path is a single error on line 0.
+BlifResult parse_blif_file(const std::string& path);
+
+/// Canonical BLIF form of a gate netlist. Re-parsing the result yields a
+/// netlist with the same netlist_hash (the round-trip invariant).
+std::string write_blif(const GateNetlist& netlist);
+/// write_blif straight to a file; false (with perror-style message in
+/// `error` if non-null) when the file cannot be written.
+bool write_blif_file(const GateNetlist& netlist, const std::string& path,
+                     std::string* error = nullptr);
+
+}  // namespace qwm::frontend

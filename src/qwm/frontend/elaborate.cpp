@@ -1,0 +1,105 @@
+#include "qwm/frontend/elaborate.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "qwm/circuit/builders.h"
+
+namespace qwm::frontend {
+
+namespace {
+
+/// Device widths of one gate instance: the builders' defaults scaled by
+/// the instance drive strength.
+struct DriveWidths {
+  double wn = 0.0;
+  double wp = 0.0;
+};
+
+DriveWidths drive_widths(const device::Process& proc, double strength) {
+  return {strength * proc.w_min, strength * 2.0 * proc.w_min};
+}
+
+/// Input capacitance one pin of `gate` presents to its driver: each pin
+/// gates one NMOS and one PMOS (series or parallel alike).
+double pin_cap(const device::ModelSet& models, const GateInst& gate) {
+  const device::Process& proc = *models.process;
+  const DriveWidths w = drive_widths(proc, gate.strength);
+  return models.nmos->input_cap(w.wn, proc.l_min) +
+         models.pmos->input_cap(w.wp, proc.l_min);
+}
+
+circuit::BuiltStage build_gate(const device::Process& proc,
+                               const GateInst& gate, double load_cap) {
+  const DriveWidths w = drive_widths(proc, gate.strength);
+  const int fanin = gate_fanin(gate.type);
+  switch (gate.type) {
+    case GateType::inv:
+      return circuit::make_inverter(proc, load_cap, w.wn, w.wp);
+    case GateType::nand2:
+    case GateType::nand3:
+    case GateType::nand4:
+      return circuit::make_nand(proc, fanin, load_cap, w.wn, w.wp);
+    case GateType::nor2:
+    case GateType::nor3:
+    case GateType::nor4:
+      break;
+  }
+  return circuit::make_nor(proc, fanin, load_cap, w.wn, w.wp);
+}
+
+}  // namespace
+
+ElaboratedDesign elaborate(const GateNetlist& netlist,
+                           const device::ModelSet& models) {
+  ElaboratedDesign out;
+  const device::Process& proc = *models.process;
+  out.design.vdd = proc.vdd;
+  out.design.vdd_net = -1;
+
+  // Summed consumer input capacitance per net (partition_netlist's
+  // gate_load), and the set of consumed nets for sink detection.
+  std::unordered_map<std::string, double> fanin_cap;
+  for (const GateInst& g : netlist.gates) {
+    const double cap = pin_cap(models, g);
+    for (const std::string& in : g.inputs) fanin_cap[in] += cap;
+  }
+  std::unordered_set<std::string> declared_out(netlist.outputs.begin(),
+                                               netlist.outputs.end());
+  const double external_load = circuit::fanout_load_cap(proc);
+
+  out.design.stages.reserve(netlist.gates.size());
+  for (std::size_t i = 0; i < netlist.gates.size(); ++i) {
+    const GateInst& g = netlist.gates[i];
+    const auto fc = fanin_cap.find(g.output);
+    double load = fc != fanin_cap.end() ? fc->second : 0.0;
+    if (declared_out.count(g.output) || fc == fanin_cap.end())
+      load += external_load;
+    circuit::BuiltStage built = build_gate(proc, g, load);
+
+    circuit::StageInfo info(proc.vdd);
+    info.stage = std::move(built.stage);
+    info.input_nets.reserve(g.inputs.size());
+    for (const std::string& in : g.inputs)
+      info.input_nets.push_back(out.nl.net(in));
+    const netlist::NetId out_net = out.nl.net(g.output);
+    info.output_nets.push_back(out_net);
+    out.design.driver_of[out_net] = {static_cast<int>(i), 0};
+    out.design.stages.push_back(std::move(info));
+  }
+
+  // Primary inputs in declaration order; any undeclared, undriven net a
+  // gate reads joins them (parse-time semantics already flagged it).
+  std::unordered_set<netlist::NetId> pi_seen;
+  for (const std::string& n : netlist.inputs) {
+    const netlist::NetId id = out.nl.net(n);
+    if (pi_seen.insert(id).second) out.design.primary_inputs.push_back(id);
+  }
+  for (const circuit::StageInfo& info : out.design.stages)
+    for (const netlist::NetId in : info.input_nets)
+      if (!out.design.driver_of.count(in) && pi_seen.insert(in).second)
+        out.design.primary_inputs.push_back(in);
+  return out;
+}
+
+}  // namespace qwm::frontend

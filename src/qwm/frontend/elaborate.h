@@ -1,0 +1,35 @@
+// Lowers a GateNetlist onto the transistor-level timing graph.
+//
+// Each gate instance becomes one LogicStage built by the builders.h gate
+// library at the instance's drive strength (wn = x * w_min, wp = x *
+// 2*w_min — the builders' default P/N ratio). Output loads mirror
+// partition_netlist semantics exactly: every stage output carries the
+// summed gate input capacitance of its consumers, and declared primary
+// outputs (plus any net nobody consumes) additionally carry the
+// standard fanout-of-4 inverter load so no stage drives thin air.
+//
+// The FlatNetlist in the result holds interned net names only — no
+// devices — so DesignDb net-name lookups work unchanged while a
+// 10^6-gate design never materialises per-transistor records outside
+// its stages.
+#pragma once
+
+#include "qwm/circuit/partition.h"
+#include "qwm/device/model_set.h"
+#include "qwm/frontend/gate_netlist.h"
+#include "qwm/netlist/flat.h"
+
+namespace qwm::frontend {
+
+struct ElaboratedDesign {
+  netlist::FlatNetlist nl;  ///< name interner for the design's nets
+  circuit::PartitionedDesign design;
+};
+
+/// Elaborates a well-formed netlist (parse/semantic errors already
+/// cleared by the frontend that produced it). Stages appear in gate
+/// order; stage i is gate i.
+ElaboratedDesign elaborate(const GateNetlist& netlist,
+                           const device::ModelSet& models);
+
+}  // namespace qwm::frontend

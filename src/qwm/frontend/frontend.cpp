@@ -1,0 +1,29 @@
+#include "qwm/frontend/frontend.h"
+
+#include "qwm/netlist/flat.h"  // to_lower
+
+namespace qwm::frontend {
+
+bool is_frontend_source(const std::string& source) {
+  if (is_gen_spec(source)) return true;
+  const std::string lower = netlist::to_lower(source);
+  static constexpr char kExt[] = ".blif";
+  return lower.size() > 5 && lower.compare(lower.size() - 5, 5, kExt) == 0;
+}
+
+BlifResult load_gate_netlist(const std::string& source) {
+  if (is_gen_spec(source)) {
+    BlifResult result;
+    std::string error;
+    const auto spec = parse_gen_spec(source, &error);
+    if (!spec) {
+      result.errors.push_back(source + ":0: " + error);
+      return result;
+    }
+    result.netlist = generate_netlist(*spec);
+    return result;
+  }
+  return parse_blif_file(source);
+}
+
+}  // namespace qwm::frontend

@@ -1,0 +1,23 @@
+// Single entry point of the scale frontend: source string in, gate
+// netlist out. A source is either a BLIF file path (recognised by its
+// ".blif" suffix) or a generator spec ("gen:<topo>:<stages>[:...]");
+// everything else stays with the SPICE deck path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qwm/frontend/blif.h"
+#include "qwm/frontend/generate.h"
+
+namespace qwm::frontend {
+
+/// True for sources this frontend handles: generator specs and paths
+/// ending in ".blif" (case-insensitive).
+bool is_frontend_source(const std::string& source);
+
+/// Loads a frontend source into a gate netlist. Generator specs cannot
+/// fail once parsed; BLIF files report every diagnostic they hit.
+BlifResult load_gate_netlist(const std::string& source);
+
+}  // namespace qwm::frontend

@@ -1,0 +1,71 @@
+#include "qwm/frontend/gate_netlist.h"
+
+#include "qwm/circuit/stage_hash.h"
+
+namespace qwm::frontend {
+
+namespace {
+
+struct GateTypeInfo {
+  const char* name;
+  int fanin;
+};
+
+constexpr GateTypeInfo kGateTypes[kGateTypeCount] = {
+    {"inv", 1},  {"nand2", 2}, {"nand3", 3}, {"nand4", 4},
+    {"nor2", 2}, {"nor3", 3},  {"nor4", 4},
+};
+
+constexpr const char* kInputPins[4] = {"a", "b", "c", "d"};
+
+std::uint64_t hash_string(std::uint64_t seed, const std::string& s) {
+  std::uint64_t h = circuit::hash_combine(seed, s.size());
+  for (char c : s)
+    h = circuit::hash_combine(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+std::uint64_t hash_double(std::uint64_t seed, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  __builtin_memcpy(&bits, &v, sizeof bits);
+  return circuit::hash_combine(seed, bits);
+}
+
+}  // namespace
+
+int gate_fanin(GateType type) {
+  return kGateTypes[static_cast<int>(type)].fanin;
+}
+
+const char* gate_type_name(GateType type) {
+  return kGateTypes[static_cast<int>(type)].name;
+}
+
+std::optional<GateType> gate_type_from_name(const std::string& name) {
+  for (int i = 0; i < kGateTypeCount; ++i)
+    if (name == kGateTypes[i].name) return static_cast<GateType>(i);
+  return std::nullopt;
+}
+
+const char* gate_input_pin(int index) {
+  return (index >= 0 && index < 4) ? kInputPins[index] : "?";
+}
+
+std::uint64_t netlist_hash(const GateNetlist& netlist) {
+  std::uint64_t h = 0x716d5f67617465ULL;  // arbitrary fixed seed
+  h = circuit::hash_combine(h, netlist.inputs.size());
+  for (const auto& n : netlist.inputs) h = hash_string(h, n);
+  h = circuit::hash_combine(h, netlist.outputs.size());
+  for (const auto& n : netlist.outputs) h = hash_string(h, n);
+  h = circuit::hash_combine(h, netlist.gates.size());
+  for (const GateInst& g : netlist.gates) {
+    h = circuit::hash_combine(h, static_cast<std::uint64_t>(g.type));
+    h = hash_double(h, g.strength);
+    for (const auto& in : g.inputs) h = hash_string(h, in);
+    h = hash_string(h, g.output);
+  }
+  return h;
+}
+
+}  // namespace qwm::frontend

@@ -1,0 +1,72 @@
+// Gate-level intermediate representation of the scale frontend.
+//
+// A GateNetlist is a structural netlist over a small static-CMOS gate
+// library (inverter, NAND2-4, NOR2-4): named nets, primary inputs and
+// outputs, and gate instances with an optional drive-strength multiplier.
+// Both frontend sources produce it — the BLIF-style reader (blif.h) and
+// the synthetic mega-circuit generators (generate.h) — and elaborate.h
+// lowers it onto transistor-level LogicStages through the builders.h
+// gate library, yielding the same PartitionedDesign the SPICE path
+// produces via partition_netlist.
+//
+// The IR is deliberately tiny: timing analysis treats every stage as an
+// inverting worst-case structure, so logic polarity beyond the library
+// types carries no timing information worth modelling here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qwm::frontend {
+
+enum class GateType : int {
+  inv = 0,
+  nand2,
+  nand3,
+  nand4,
+  nor2,
+  nor3,
+  nor4,
+};
+inline constexpr int kGateTypeCount = 7;
+
+/// Number of logical inputs of a gate type (1 for inv, 2-4 otherwise).
+int gate_fanin(GateType type);
+/// Stable lower-case library name ("inv", "nand3", ...).
+const char* gate_type_name(GateType type);
+/// Reverse lookup; nullopt for names outside the library.
+std::optional<GateType> gate_type_from_name(const std::string& name);
+/// Input pin name of position `index` ("a", "b", "c", "d").
+const char* gate_input_pin(int index);
+
+/// One gate instance. Inputs are stored in pin order (a, b, c, d); the
+/// output pin is always "y".
+struct GateInst {
+  GateType type = GateType::inv;
+  /// Drive-strength multiplier applied to the library's default device
+  /// widths (the BLIF reader's optional `x=` parameter). Must be > 0.
+  double strength = 1.0;
+  std::vector<std::string> inputs;  ///< size == gate_fanin(type)
+  std::string output;
+  /// Source line of the defining card (diagnostics); 0 for generated.
+  int line = 0;
+};
+
+struct GateNetlist {
+  std::string model = "design";
+  std::vector<std::string> inputs;   ///< declared primary inputs
+  std::vector<std::string> outputs;  ///< declared observed outputs
+  std::vector<GateInst> gates;
+};
+
+/// Deterministic structural hash of the whole gate graph: model name
+/// excluded, everything electrically meaningful (net names, port lists,
+/// gate types, strengths, connectivity order) included. Two netlists
+/// with equal hashes elaborate to identical designs; the BLIF
+/// round-trip test (write -> re-read -> equal hash) and the generator
+/// determinism test (same seed -> equal hash) both pivot on this.
+std::uint64_t netlist_hash(const GateNetlist& netlist);
+
+}  // namespace qwm::frontend

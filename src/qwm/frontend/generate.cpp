@@ -1,0 +1,246 @@
+#include "qwm/frontend/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace qwm::frontend {
+
+namespace {
+
+/// splitmix64 finalizer — stable across platforms, no global state.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-cell hash: a function of (seed, index) only, so any generation
+/// order (or partial generation) produces identical decisions.
+std::uint64_t cell_hash(std::uint64_t seed, std::uint64_t index) {
+  return splitmix64(seed ^ splitmix64(index + 1));
+}
+
+double pick_strength(std::uint64_t h) {
+  static constexpr double kStrengths[3] = {1.0, 2.0, 4.0};
+  return kStrengths[(h >> 8) % 3];
+}
+
+/// Declares every gate-output net nobody consumes (plus nothing else) as
+/// a primary output, in gate order, so no stage dangles unloaded.
+void declare_sink_outputs(GateNetlist* gn) {
+  std::unordered_set<std::string> consumed;
+  for (const GateInst& g : gn->gates)
+    for (const std::string& in : g.inputs) consumed.insert(in);
+  for (const GateInst& g : gn->gates)
+    if (!consumed.count(g.output)) gn->outputs.push_back(g.output);
+}
+
+GateNetlist generate_grid(const GenSpec& spec) {
+  GateNetlist gn;
+  gn.model = "grid";
+  const std::size_t n = spec.stages;
+  const std::size_t cols =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  std::unordered_set<std::string> declared_pis;
+  const auto use_pi = [&](const std::string& name) {
+    if (declared_pis.insert(name).second) gn.inputs.push_back(name);
+    return name;
+  };
+  gn.gates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = i / cols, c = i % cols;
+    const std::uint64_t h = cell_hash(spec.seed, i);
+    // Up and left neighbours; boundary cells fall back to edge PIs.
+    const std::string up = r > 0 ? "n" + std::to_string(i - cols)
+                                 : use_pi("pi_c" + std::to_string(c));
+    const std::string left = c > 0 ? "n" + std::to_string(i - 1)
+                                   : use_pi("pi_r" + std::to_string(r));
+    GateInst g;
+    g.strength = pick_strength(h);
+    g.output = "n" + std::to_string(i);
+    switch (h % 3) {
+      case 0:
+        g.type = GateType::inv;
+        g.inputs = {(h >> 16) & 1 ? left : up};
+        break;
+      case 1:
+        g.type = GateType::nand2;
+        g.inputs = {up, left};
+        break;
+      default:
+        g.type = GateType::nor2;
+        g.inputs = {up, left};
+        break;
+    }
+    gn.gates.push_back(std::move(g));
+  }
+  declare_sink_outputs(&gn);
+  return gn;
+}
+
+GateNetlist generate_tree(const GenSpec& spec) {
+  GateNetlist gn;
+  gn.model = "tree";
+  // stages+1 leaves pair-reduce to one root in exactly `stages` gates
+  // (every fanin-2 gate lowers the frontier count by one).
+  std::vector<std::string> frontier;
+  frontier.reserve(spec.stages + 1);
+  for (std::size_t j = 0; j <= spec.stages; ++j) {
+    frontier.push_back("pi" + std::to_string(j));
+    gn.inputs.push_back(frontier.back());
+  }
+  gn.gates.reserve(spec.stages);
+  std::size_t gate_index = 0;
+  while (frontier.size() > 1) {
+    std::vector<std::string> next;
+    next.reserve((frontier.size() + 1) / 2);
+    for (std::size_t k = 0; k + 1 < frontier.size(); k += 2) {
+      const std::uint64_t h = cell_hash(spec.seed, gate_index);
+      GateInst g;
+      g.type = h & 1 ? GateType::nand2 : GateType::nor2;
+      g.strength = pick_strength(h);
+      g.inputs = {frontier[k], frontier[k + 1]};
+      g.output = "t" + std::to_string(gate_index++);
+      next.push_back(g.output);
+      gn.gates.push_back(std::move(g));
+    }
+    if (frontier.size() & 1) next.push_back(frontier.back());  // odd carry
+    frontier = std::move(next);
+  }
+  declare_sink_outputs(&gn);
+  return gn;
+}
+
+GateNetlist generate_dag(const GenSpec& spec) {
+  GateNetlist gn;
+  gn.model = "dag";
+  const std::size_t window = spec.width > 0 ? spec.width : 1;
+  const std::size_t npis =
+      std::max<std::size_t>(2, std::min<std::size_t>(window, 16));
+  std::vector<std::string> nets;  // PIs then gate outputs, in order
+  nets.reserve(npis + spec.stages);
+  for (std::size_t j = 0; j < npis; ++j) {
+    nets.push_back("pi" + std::to_string(j));
+    gn.inputs.push_back(nets.back());
+  }
+  static constexpr GateType kByFanin[2][4] = {
+      {GateType::inv, GateType::nand2, GateType::nand3, GateType::nand4},
+      {GateType::inv, GateType::nor2, GateType::nor3, GateType::nor4},
+  };
+  gn.gates.reserve(spec.stages);
+  for (std::size_t i = 0; i < spec.stages; ++i) {
+    const std::uint64_t h = cell_hash(spec.seed, i);
+    const std::size_t reach = std::min(window, nets.size());
+    std::size_t fanin = 1 + h % 4;
+    if (fanin > reach) fanin = reach;
+    GateInst g;
+    g.type = kByFanin[(h >> 2) & 1][fanin - 1];
+    g.strength = pick_strength(h);
+    const std::size_t base = nets.size() - reach;
+    // Distinct predecessors from the last `reach` nets; linear probing
+    // keeps the draw deterministic without per-gate allocation.
+    std::vector<std::size_t> picks;
+    for (std::size_t j = 0; j < fanin; ++j) {
+      std::size_t idx = (h >> (16 + 8 * j)) % reach;
+      while (true) {
+        bool taken = false;
+        for (std::size_t p : picks) taken = taken || p == idx;
+        if (!taken) break;
+        idx = (idx + 1) % reach;
+      }
+      picks.push_back(idx);
+      g.inputs.push_back(nets[base + idx]);
+    }
+    g.output = "n" + std::to_string(i);
+    nets.push_back(g.output);
+    gn.gates.push_back(std::move(g));
+  }
+  declare_sink_outputs(&gn);
+  return gn;
+}
+
+}  // namespace
+
+bool is_gen_spec(const std::string& source) {
+  return source.rfind("gen:", 0) == 0;
+}
+
+std::optional<GenSpec> parse_gen_spec(const std::string& source,
+                                      std::string* error) {
+  const auto fail = [error](const std::string& msg) {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  if (!is_gen_spec(source))
+    return fail("generator spec must start with 'gen:'");
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= source.size()) {
+    const auto colon = source.find(':', begin);
+    if (colon == std::string::npos) {
+      parts.push_back(source.substr(begin));
+      break;
+    }
+    parts.push_back(source.substr(begin, colon - begin));
+    begin = colon + 1;
+  }
+  if (parts.size() < 3)
+    return fail("expected gen:<topo>:<stages>[:seed=<s>][:width=<w>]");
+  GenSpec spec;
+  if (parts[1] == "grid") {
+    spec.topology = GenTopology::grid;
+  } else if (parts[1] == "tree") {
+    spec.topology = GenTopology::tree;
+  } else if (parts[1] == "dag") {
+    spec.topology = GenTopology::dag;
+  } else {
+    return fail("unknown topology '" + parts[1] +
+                "' (expected grid, tree, or dag)");
+  }
+  {
+    char* end = nullptr;
+    const double v = std::strtod(parts[2].c_str(), &end);
+    if (end == parts[2].c_str() || *end != '\0' || !(v >= 1.0) ||
+        v != std::floor(v))
+      return fail("bad stage count '" + parts[2] + "'");
+    if (v > 1e7) return fail("stage count above the 1e7 sanity cap");
+    spec.stages = static_cast<std::size_t>(v);
+  }
+  for (std::size_t p = 3; p < parts.size(); ++p) {
+    const auto eq = parts[p].find('=');
+    const std::string key =
+        eq == std::string::npos ? parts[p] : parts[p].substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : parts[p].substr(eq + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    const bool numeric =
+        !value.empty() && end != value.c_str() && *end == '\0';
+    if (key == "seed" && numeric && v >= 0 && v == std::floor(v)) {
+      spec.seed = static_cast<std::uint64_t>(v);
+    } else if (key == "width" && numeric && v >= 1 && v == std::floor(v) &&
+               v <= 1e6) {
+      spec.width = static_cast<std::size_t>(v);
+    } else {
+      return fail("bad generator option '" + parts[p] + "'");
+    }
+  }
+  return spec;
+}
+
+GateNetlist generate_netlist(const GenSpec& spec) {
+  switch (spec.topology) {
+    case GenTopology::tree:
+      return generate_tree(spec);
+    case GenTopology::dag:
+      return generate_dag(spec);
+    case GenTopology::grid:
+      break;
+  }
+  return generate_grid(spec);
+}
+
+}  // namespace qwm::frontend

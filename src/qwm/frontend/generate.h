@@ -1,0 +1,58 @@
+// Deterministic synthetic mega-circuit generators.
+//
+// Three topology families, each parameterised by a stage count and a
+// seed, each emitting a GateNetlist (so a generated design can be
+// analysed in-memory or written out as .blif and re-read bit-identically):
+//
+//   grid  — 2D mesh of cells, each fed by its up and left neighbours
+//           (boundary cells by primary inputs). Wide and shallow:
+//           ~sqrt(n) levels with ~sqrt(n) stages per level. The
+//           level-scheduler-friendly shape.
+//   tree  — log-depth pairing reduction over stages+1 primary inputs.
+//           Narrow near the root; stresses level imbalance.
+//   dag   — random DAG with a sliding dependency window: each gate draws
+//           1-4 distinct predecessors from the last `width` nets.
+//           Irregular fan-in/fan-out; the dependency-scheduler shape.
+//
+// Gate type and drive strength per cell come from a splitmix64 hash of
+// (seed, index), so generation is order-independent and reproducible:
+// the same GenSpec always produces the same netlist_hash on every
+// platform, which the determinism tests pin.
+//
+// Specs are spelled "gen:<topo>:<stages>[:seed=<s>][:width=<w>]", e.g.
+// "gen:grid:100000:seed=7". The stage count accepts scientific notation
+// ("gen:dag:1e5"). The spec string is the LOAD / qwm_sim interface for
+// generated designs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "qwm/frontend/gate_netlist.h"
+
+namespace qwm::frontend {
+
+enum class GenTopology { grid, tree, dag };
+
+struct GenSpec {
+  GenTopology topology = GenTopology::grid;
+  std::size_t stages = 0;
+  std::uint64_t seed = 1;
+  /// dag only: dependency window (how far back predecessors may reach).
+  std::size_t width = 64;
+};
+
+/// True if `source` has the "gen:" spec prefix (vs a file path).
+bool is_gen_spec(const std::string& source);
+
+/// Parses "gen:<topo>:<stages>[:seed=<s>][:width=<w>]"; on failure
+/// returns nullopt and, if `error` is non-null, a one-line reason.
+std::optional<GenSpec> parse_gen_spec(const std::string& source,
+                                      std::string* error = nullptr);
+
+/// Generates the netlist for a spec. The result has exactly spec.stages
+/// gate instances for every topology.
+GateNetlist generate_netlist(const GenSpec& spec);
+
+}  // namespace qwm::frontend

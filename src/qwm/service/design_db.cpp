@@ -2,6 +2,8 @@
 
 #include "qwm/circuit/partition.h"
 #include "qwm/device/tabular_model.h"
+#include "qwm/frontend/elaborate.h"
+#include "qwm/frontend/frontend.h"
 #include "qwm/netlist/apply_models.h"
 #include "qwm/netlist/parser.h"
 
@@ -54,6 +56,7 @@ std::unique_lock<std::shared_mutex> DesignDb::writer_lock() {
 }
 
 LoadReply DesignDb::load_file(const std::string& path) {
+  if (frontend::is_frontend_source(path)) return load_frontend(path);
   return load_parsed(path, /*is_file=*/true, path);
 }
 
@@ -101,6 +104,43 @@ LoadReply DesignDb::load_parsed(const std::string& text_or_path, bool is_file,
   }
   circuit::PartitionedDesign design =
       circuit::partition_netlist(session->nl, models);
+  return finish_load(std::move(session), std::move(design), models,
+                     std::move(reply), name);
+}
+
+LoadReply DesignDb::load_frontend(const std::string& source) {
+  LoadReply reply;
+  // Like load_parsed, all heavy work (generation / parsing, model
+  // characterization, elaboration, full analysis) runs outside the lock.
+  frontend::BlifResult loaded = frontend::load_gate_netlist(source);
+  for (auto& w : loaded.warnings) reply.warnings.push_back(std::move(w));
+  if (!loaded.ok()) {
+    reply.status = fail("LOAD", loaded.errors.front());
+    return reply;
+  }
+  auto session = std::make_unique<Session>();
+  device::ModelSet models;
+  if (opt_.corners) {
+    session->corners = std::make_unique<device::CornerLibrary>(session->proc);
+    models = session->corners->set(device::Corner::typical);
+  } else {
+    session->nmos = std::make_unique<device::TabularDeviceModel>(
+        device::MosType::nmos, session->proc);
+    session->pmos = std::make_unique<device::TabularDeviceModel>(
+        device::MosType::pmos, session->proc);
+    models = device::ModelSet{session->nmos.get(), session->pmos.get(),
+                              &session->proc};
+  }
+  frontend::ElaboratedDesign elab = frontend::elaborate(loaded.netlist, models);
+  session->nl = std::move(elab.nl);
+  return finish_load(std::move(session), std::move(elab.design), models,
+                     std::move(reply), source);
+}
+
+LoadReply DesignDb::finish_load(std::unique_ptr<Session> session,
+                                circuit::PartitionedDesign design,
+                                const device::ModelSet& models,
+                                LoadReply reply, const std::string& name) {
   for (auto& w : design.warnings) reply.warnings.push_back(std::move(w));
   if (design.stages.empty()) {
     reply.status = fail("LOAD", name + ": deck contains no logic stages");
@@ -291,11 +331,13 @@ DbStats DesignDb::stats() const {
   s.epoch = epoch_;
   s.session = session_id_;
   s.loaded = session_ != nullptr;
+  s.schedule = opt_.sta.schedule;
   if (session_) {
     s.stages = session_->engine->design().stages.size();
     s.cache = session_->engine->cache_stats();
     s.qwm = session_->engine->qwm_stats();
     s.workspace = session_->engine->workspace_stats();
+    s.sched = session_->engine->schedule_stats();
   }
   std::lock_guard slack_lock(slack_mu_);
   s.slack_cache_hits = slack_hits_;

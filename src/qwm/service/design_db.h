@@ -130,6 +130,11 @@ struct DbStats {
   std::uint64_t slack_cache_misses = 0;
   core::QwmStats qwm;                 ///< aggregate QWM work counters
   core::WorkspaceStats workspace;     ///< scratch-arena footprint (all lanes)
+  /// Active stage-schedule mode (from the engine options) and its work
+  /// counters — the deps-vs-levels observables, ready-queue high-water
+  /// mark included.
+  sta::Schedule schedule = sta::Schedule::levels;
+  sta::ScheduleStats sched;
 };
 
 class DesignDb {
@@ -141,6 +146,9 @@ class DesignDb {
   DesignDb& operator=(const DesignDb&) = delete;
 
   /// Parse + partition + full analysis; replaces any current session.
+  /// Accepts SPICE decks, `.blif` structural netlists, and generator
+  /// specs ("gen:<topo>:<stages>[:seed=<s>][:width=<w>]") — the latter
+  /// two elaborate through the gate-library frontend.
   LoadReply load_file(const std::string& path);
   /// Same from an in-memory deck (diagnostics labelled `<name>`).
   LoadReply load_text(const std::string& text, const std::string& name);
@@ -166,6 +174,14 @@ class DesignDb {
   struct Session;
 
   LoadReply load_parsed(const std::string& text_or_path, bool is_file,
+                        const std::string& name);
+  /// LOAD path for gate-level sources (.blif files and gen: specs).
+  LoadReply load_frontend(const std::string& source);
+  /// Shared LOAD tail: build the engine over a partitioned design, run
+  /// the full analysis, and swap the session in under the writer lock.
+  LoadReply finish_load(std::unique_ptr<Session> session,
+                        circuit::PartitionedDesign design,
+                        const device::ModelSet& models, LoadReply reply,
                         const std::string& name);
 
   /// Readers pass through gate_ before taking mu_ shared; writers hold

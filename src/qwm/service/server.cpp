@@ -269,7 +269,14 @@ std::string Server::handle_line(const std::string& line) {
          << " warm_starts=" << db.qwm.warm_starts
          << " warm_retries=" << db.qwm.warm_retries
          << " ws_bytes=" << db.workspace.high_water_bytes
-         << " ws_grows=" << db.workspace.grow_events;
+         << " ws_grows=" << db.workspace.grow_events
+         << " sched=" << (db.schedule == sta::Schedule::deps ? "deps"
+                                                             : "levels")
+         << " sched_levels=" << db.sched.levels
+         << " barrier_syncs=" << db.sched.barrier_syncs
+         << " tasks_enqueued=" << db.sched.tasks_enqueued
+         << " ready_hwm=" << db.sched.ready_hwm
+         << " chain_edges=" << db.sched.chain_edges;
       for (int i = 0; i < kVerbCount; ++i) {
         const VerbStats& v = sv.verb[i];
         if (v.requests == 0) continue;

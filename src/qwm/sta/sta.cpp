@@ -144,6 +144,7 @@ void StaEngine::build_schedule() {
   // predecessor chain has length k, which makes every wave an
   // independent, parallel-evaluable level.
   levels_.clear();
+  level_of_.assign(n, -1);
   std::vector<int> frontier;
   for (int i = 0; i < n; ++i)
     if (indeg[i] == 0) frontier.push_back(i);
@@ -151,6 +152,7 @@ void StaEngine::build_schedule() {
   while (!frontier.empty()) {
     std::sort(frontier.begin(), frontier.end());
     placed += frontier.size();
+    for (int s : frontier) level_of_[s] = static_cast<int>(levels_.size());
     std::vector<int> next;
     for (int a : frontier)
       for (int b : consumers_[a])
@@ -159,6 +161,7 @@ void StaEngine::build_schedule() {
     frontier = std::move(next);
   }
   cyclic_ = placed != static_cast<std::size_t>(n);  // cyclic stages absent
+  sched_stats_.levels = levels_.size();
 }
 
 std::uint64_t StaEngine::stage_key(int stage_index) {
@@ -309,6 +312,9 @@ bool StaEngine::apply_record(int stage_index, const OutputRecord& rec) {
 }
 
 std::vector<char> StaEngine::evaluate_level(const std::vector<int>& stages) {
+  // Every batch ends in an implicit barrier (the merge below runs only
+  // after all owners finished) — the wait the deps scheduler eliminates.
+  ++sched_stats_.barrier_syncs;
   // Phase 1 (serial): trigger selection + classification against the
   // cache state frozen at level entry. Records that duplicate an earlier
   // record's key within this same level become followers of the first
@@ -493,9 +499,12 @@ std::vector<char> StaEngine::evaluate_level(const std::vector<int>& stages) {
 }
 
 std::size_t StaEngine::run() {
-  const std::size_t before = evals_;
   if (cyclic_)
     warnings_.push_back("combinational cycle detected; cyclic stages skipped");
+  // The deps schedule needs the complete acyclic graph; a cyclic design
+  // falls back to the level schedule (which skips the cyclic stages).
+  if (opt_.schedule == Schedule::deps && !cyclic_) return run_deps();
+  const std::size_t before = evals_;
   for (const auto& level : levels_) {
     evaluate_level(level);
     for (int s : level) dirty_[s] = 0;

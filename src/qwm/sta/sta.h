@@ -69,6 +69,23 @@ struct NetTiming {
   Arrival fall;
 };
 
+/// Stage-graph scheduling policy for run().
+///
+/// `levels` — the classic topological-level schedule: every stage of a
+/// level evaluates across the pool, then a barrier, then the next level.
+/// `deps` — dependency-counting asynchronous schedule: each stage holds
+/// an outstanding-predecessor counter and enqueues the moment its last
+/// predecessor retires; no level barriers. Both produce bit-identical
+/// arrivals (including corner lanes, memo-cache contents, and sticky
+/// degraded flags) as long as the memo cache never evicts mid-run —
+/// the deps mode serializes memo-twin stages on a per-class chain and
+/// routes intra-level sharing through a per-run key table so every
+/// record makes exactly the classification the frozen-cache level
+/// schedule would have made. update() always uses the level schedule
+/// (its dirty-cone walk is level-structured); a cyclic design falls
+/// back to levels as well.
+enum class Schedule { levels, deps };
+
 struct StaOptions {
   double input_slew = 30e-12;  ///< default primary-input transition [s]
   core::QwmOptions qwm;
@@ -79,6 +96,19 @@ struct StaOptions {
   /// configurations.
   bool use_cache = true;
   core::EvalCacheOptions cache;
+  Schedule schedule = Schedule::levels;
+};
+
+/// Scheduler work counters, cumulative since engine construction. The
+/// deps-vs-levels observables: a deps-mode run never executes a level
+/// barrier (barrier_syncs stays 0), and its ready-queue high-water mark
+/// shows how much independent work the barrier-free schedule exposes.
+struct ScheduleStats {
+  std::size_t levels = 0;          ///< topological levels in the schedule
+  std::size_t barrier_syncs = 0;   ///< level batches executed (levels mode)
+  std::size_t tasks_enqueued = 0;  ///< stages pushed on the ready queue (deps)
+  std::size_t ready_hwm = 0;       ///< ready-queue high-water mark (deps)
+  std::size_t chain_edges = 0;     ///< memo-twin serialization edges (deps)
 };
 
 struct CriticalPathStep {
@@ -219,6 +249,11 @@ class StaEngine {
   /// observable proof the hot path has stopped allocating.
   core::WorkspaceStats workspace_stats() const;
 
+  /// Scheduler work counters (see ScheduleStats). Levels-mode runs grow
+  /// barrier_syncs; deps-mode runs grow the queue counters and leave
+  /// barrier_syncs untouched.
+  const ScheduleStats& schedule_stats() const { return sched_stats_; }
+
  private:
   /// One (output net, direction) evaluation inside a level batch.
   struct OutputRecord {
@@ -276,6 +311,9 @@ class StaEngine {
                       core::EvalWorkspace& ws) const;
   /// Applies a record's result to the timing map; true if it changed.
   bool apply_record(int stage_index, const OutputRecord& rec);
+  /// Full analysis under the dependency-counting schedule (sta_deps.cpp).
+  /// Precondition: !cyclic_. Bit-identical to the level schedule.
+  std::size_t run_deps();
 
   /// Memo identity of a stage: structural hash + quantized load
   /// signature, computed lazily and invalidated by resize_transistor.
@@ -296,9 +334,15 @@ class StaEngine {
 
   /// Topological levels; within a level stages are mutually independent.
   std::vector<std::vector<int>> levels_;
+  /// Topological level of each stage (-1 for cyclic stages). The deps
+  /// scheduler's per-run key table stores the claiming stage's level so
+  /// classification can distinguish "same level — share the in-flight
+  /// result" from "earlier level — the frozen cache would have served it".
+  std::vector<int> level_of_;
   /// Stage adjacency: consumers_[a] = stages reading an output net of a.
   std::vector<std::vector<int>> consumers_;
   bool cyclic_ = false;
+  ScheduleStats sched_stats_;
 
   core::StageEvalCache cache_;
   std::vector<std::optional<std::uint64_t>> stage_keys_;

@@ -1,0 +1,287 @@
+// Dependency-counting asynchronous schedule (StaOptions::Schedule::deps).
+//
+// Instead of peeling the stage graph level by level with a barrier after
+// each batch, every stage carries an outstanding-predecessor counter and
+// joins a ready queue the moment its last predecessor retires. Workers
+// pull stages off the queue, classify and merge under one mutex, and run
+// the QWM owner evaluations outside it — so the only serial sections are
+// the (cheap) classification and merge, and no worker ever idles at a
+// level boundary waiting for the batch straggler.
+//
+// Bit-identity with the level schedule is the contract, and it is earned
+// rather than assumed. The level schedule derives two behaviours from
+// its batch structure that a barrier-free schedule must reproduce
+// exactly:
+//
+//  1. Intra-level sharing. Records duplicating an earlier record's memo
+//     key *within one level* become followers and copy the owner's
+//     un-stripped result; across levels the (frozen) cache serves them
+//     instead. Here, only stages with equal memo identity (stage_key:
+//     structural hash + load signature) can ever collide on a full key,
+//     so every memo-twin class is serialized on a chain that follows the
+//     canonical (level, stage-index) order, and owners publish their
+//     results in a per-run key table tagged with the owner's level.
+//     Classification checks the table *before* the cache: an entry from
+//     my own level means "same-batch twin — copy its in-flight value"
+//     (the cache may already hold the stripped commit, which the frozen
+//     cache of the level schedule would not have shown me); an entry
+//     from an earlier level means its commit — if any — is legitimately
+//     visible, so the normal cache probe decides.
+//
+//  2. Frozen-cache warm probes. Near-miss warm seeds (adjacent slew
+//     buckets) must not see entries committed by same-level twins, since
+//     the level schedule probes a cache frozen at level entry. A probe
+//     therefore skips any near key the table claims at my own level —
+//     such a key was provably absent from the cache when its owner
+//     classified, so whatever the cache holds now was committed inside
+//     "my" level.
+//
+// A degraded or fault-bypassed owner fills the table (so same-level
+// twins still share its value, exactly like level-mode followers) but
+// commits nothing to the cache, which lets a later-level twin become
+// owner again — the level schedule's re-own behaviour. The remaining
+// caveat is mid-run cache eviction: once the cache evicts, victim order
+// differs between schedules, so bit-identity holds while the distinct
+// key count stays under EvalCacheOptions::max_entries (the scale tests
+// size the cache accordingly). Count/period-based fault-injection rules
+// fire by global occurrence order and are likewise schedule-dependent;
+// always-fire rules are not.
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "qwm/sta/sta.h"
+
+namespace qwm::sta {
+
+namespace {
+
+/// Result a deps-mode owner publishes for its memo key: the owner's
+/// topological level plus the un-stripped value same-level twins copy.
+struct RunTableEntry {
+  int level = -1;
+  core::CachedStageResult value;
+};
+
+}  // namespace
+
+std::size_t StaEngine::run_deps() {
+  const std::size_t before = evals_;
+  const int n = static_cast<int>(design_.stages.size());
+  if (n == 0) return 0;
+
+  // Outstanding-predecessor counters, mirroring build_schedule's edge
+  // derivation (duplicate edges counted the same way on both sides).
+  std::vector<int> remaining(static_cast<std::size_t>(n), 0);
+  for (int b = 0; b < n; ++b) {
+    for (netlist::NetId in : design_.stages[b].input_nets) {
+      const auto it = design_.driver_of.find(in);
+      if (it == design_.driver_of.end() || it->second.first == b) continue;
+      ++remaining[b];
+    }
+  }
+
+  // Memo-twin chains in canonical (level, stage-index) order — the order
+  // levels_ iterates. Each chain edge is one extra scheduler dependency;
+  // both edge kinds strictly increase (level, index) lexicographically,
+  // so the graph stays acyclic. With the cache off no record ever owns a
+  // key, so no serialization is needed and twins run fully parallel.
+  std::vector<int> chain_next(static_cast<std::size_t>(n), -1);
+  if (opt_.use_cache) {
+    std::unordered_map<std::uint64_t, int> last_member;
+    for (const auto& level : levels_) {
+      for (int s : level) {
+        const auto [it, inserted] = last_member.try_emplace(stage_key(s), s);
+        if (!inserted) {
+          chain_next[it->second] = s;
+          ++remaining[s];
+          ++sched_stats_.chain_edges;
+          it->second = s;
+        }
+      }
+    }
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> ready;
+  int merged = 0;
+  std::unordered_map<core::StageEvalKey, RunTableEntry, core::StageEvalKeyHash>
+      table;
+  for (int i = 0; i < n; ++i)
+    if (remaining[i] == 0) ready.push_back(i);
+  sched_stats_.tasks_enqueued += ready.size();
+  sched_stats_.ready_hwm = std::max(sched_stats_.ready_hwm, ready.size());
+
+  const int lanes = std::max(1, std::min(thread_count(), n));
+  if (static_cast<int>(lane_ws_.size()) < lanes)
+    lane_ws_.resize(static_cast<std::size_t>(lanes));
+
+  const std::size_t corner_count = models_.count();
+  const auto work = [&](int lane) {
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      cv.wait(lock, [&] { return !ready.empty() || merged == n; });
+      if (ready.empty()) return;  // merged == n: drained
+      const int s = ready.front();
+      ready.pop_front();
+
+      // --- Classify (serial, under the lock): trigger selection plus
+      // the table-then-cache decision described in the file comment.
+      const circuit::StageInfo& info = design_.stages[s];
+      const int my_level = level_of_[s];
+      StageTask task;
+      task.stage = s;
+      std::vector<int> owners;        // record indices that must run QWM
+      std::vector<int> claimed;       // record indices holding table keys
+      for (std::size_t oi = 0; oi < info.output_nets.size(); ++oi) {
+        for (const bool rising : {true, false}) {
+          int primary_rec = -1;
+          for (std::size_t cs = 0; cs < corner_count; ++cs) {
+            OutputRecord rec;
+            rec.output_index = static_cast<int>(oi);
+            rec.rising = rising;
+            rec.net = info.output_nets[oi];
+            rec.corner_slot = static_cast<int>(cs);
+            if (cs == 0)
+              rec.keep_trace = corner_count > 1;
+            else
+              rec.primary_index = primary_rec;
+            prepare_record(s, &rec);
+            const int ri = static_cast<int>(task.records.size());
+            if (cs == 0) primary_rec = ri;
+            if (rec.kind == OutputRecord::Kind::owner && rec.cacheable) {
+              const auto tit = table.find(rec.key);
+              if (tit != table.end() && tit->second.level == my_level) {
+                rec.kind = OutputRecord::Kind::follower;
+                rec.value = tit->second.value;  // un-stripped twin share
+              } else if (const auto cached = cache_.peek(rec.key)) {
+                rec.kind = OutputRecord::Kind::hit;
+                rec.value = *cached;
+              } else {
+                table[rec.key] = RunTableEntry{my_level, {}};
+                claimed.push_back(ri);
+                if (cache_.options().max_trace_values > 0) {
+                  core::StageEvalKey near = rec.key;
+                  for (const int d : {-1, 1}) {
+                    near.slew_bucket = rec.key.slew_bucket + d;
+                    const auto nt = table.find(near);
+                    // Claimed at my level => committed inside "my"
+                    // batch => invisible to the frozen-cache probe.
+                    if (nt != table.end() && nt->second.level == my_level)
+                      continue;
+                    const auto c = cache_.peek(near);
+                    if (c && c->ok && c->trace != nullptr) {
+                      rec.warm = c->trace;
+                      break;
+                    }
+                  }
+                }
+              }
+            }
+            if (rec.kind == OutputRecord::Kind::owner) owners.push_back(ri);
+            task.records.push_back(std::move(rec));
+          }
+        }
+      }
+
+      // --- Evaluate (parallel region: lock released). Primary-lane
+      // owners first; then sibling lanes pick up the typical lane's
+      // converged trace as a cross-corner warm seed, exactly as the
+      // level schedule's wave 2a/2b — followers and hits already carry
+      // their values, so the seed source is always resolved by now.
+      if (!owners.empty()) {
+        lock.unlock();
+        core::EvalWorkspace& ws = lane_ws_[static_cast<std::size_t>(lane)];
+        for (const int ri : owners) {
+          OutputRecord& rec = task.records[static_cast<std::size_t>(ri)];
+          if (rec.corner_slot == 0) evaluate_owner(s, &rec, ws);
+        }
+        for (const int ri : owners) {
+          OutputRecord& rec = task.records[static_cast<std::size_t>(ri)];
+          if (rec.corner_slot == 0) continue;
+          if (!rec.warm && rec.primary_index >= 0) {
+            const OutputRecord& prim =
+                task.records[static_cast<std::size_t>(rec.primary_index)];
+            if (prim.value.ok && !prim.value.degraded && prim.value.trace) {
+              rec.warm = prim.value.trace;
+              rec.warm_scale = corner_warm_scale_[static_cast<std::size_t>(
+                  rec.corner_slot)];
+            }
+          }
+          evaluate_owner(s, &rec, ws);
+        }
+        lock.lock();
+      }
+
+      // --- Merge (serial, under the lock): identical bookkeeping to the
+      // level schedule's phase 3, followed by table publication.
+      for (OutputRecord& rec : task.records) {
+        if (rec.sw_input >= 0) ++evals_;
+        switch (rec.kind) {
+          case OutputRecord::Kind::skip:
+            break;
+          case OutputRecord::Kind::hit:
+          case OutputRecord::Kind::follower:
+            cache_.note_hit();  // follower values were copied at classify
+            break;
+          case OutputRecord::Kind::owner:
+            qwm_stats_ += rec.stats;
+            qwm_stats_slot_[static_cast<std::size_t>(rec.corner_slot)] +=
+                rec.stats;
+            if (rec.cacheable) {
+              cache_.note_miss();
+              const std::size_t cap = cache_.options().max_trace_values;
+              if (rec.value.trace != nullptr &&
+                  (cap == 0 || rec.value.trace->value_count() > cap)) {
+                core::CachedStageResult v = rec.value;
+                v.trace = nullptr;
+                cache_.insert(rec.key, v);
+              } else {
+                cache_.insert(rec.key, rec.value);
+              }
+            }
+            break;
+        }
+        apply_record(s, rec);
+      }
+      // Publish un-stripped values for every key this stage claimed —
+      // including degraded/failed owners (rec.cacheable may have been
+      // cleared after evaluation), so same-level twins share the value
+      // while later-level twins legitimately re-own the key.
+      for (const int ri : claimed) {
+        const OutputRecord& rec = task.records[static_cast<std::size_t>(ri)];
+        table[rec.key].value = rec.value;
+      }
+      dirty_[s] = 0;
+      ++merged;
+
+      // --- Retire: release consumers and the memo-twin chain successor.
+      std::size_t newly = 0;
+      const auto release = [&](int b) {
+        if (--remaining[b] == 0) {
+          ready.push_back(b);
+          ++newly;
+        }
+      };
+      for (const int b : consumers_[s]) release(b);
+      if (chain_next[s] >= 0) release(chain_next[s]);
+      sched_stats_.tasks_enqueued += newly;
+      sched_stats_.ready_hwm = std::max(sched_stats_.ready_hwm, ready.size());
+      if (newly > 0 || merged == n) cv.notify_all();
+    }
+  };
+
+  // Dedicated workers (not the shared-cursor pool: one queue consumer
+  // per lane must stay pinned to its lane workspace).
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int t = 1; t < lanes; ++t) workers.emplace_back(work, t);
+  work(0);
+  for (std::thread& w : workers) w.join();
+  return evals_ - before;
+}
+
+}  // namespace qwm::sta

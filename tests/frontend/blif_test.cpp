@@ -1,0 +1,232 @@
+// BLIF-style reader/writer: grammar acceptance (continuations, comments,
+// case-insensitivity, drive strengths), the write -> re-read round-trip
+// invariant on netlist_hash, "file:line:" diagnostics on every malformed
+// deck the reader documents rejecting, and elaboration onto the
+// transistor-level stage graph.
+#include "qwm/frontend/blif.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "../common/test_models.h"
+#include "qwm/circuit/builders.h"
+#include "qwm/frontend/elaborate.h"
+
+namespace qwm::frontend {
+namespace {
+
+bool has_diag(const std::vector<std::string>& diags, const std::string& sub) {
+  for (const auto& d : diags)
+    if (d.find(sub) != std::string::npos) return true;
+  return false;
+}
+
+constexpr const char* kGoodDeck = R"(# two-stage sliver of a design
+.model sliver
+.inputs a b
+.outputs z
+.gate inv a=a y=ab
+.gate nand2 x=2 a=ab \
+      b=b y=z
+.end
+this trailing junk is ignored after .end
+)";
+
+TEST(Blif, ParsesStructuralSubset) {
+  const BlifResult r = parse_blif(kGoodDeck);
+  ASSERT_TRUE(r.ok()) << r.errors.front();
+  EXPECT_TRUE(r.warnings.empty());
+  const GateNetlist& gn = r.netlist;
+  EXPECT_EQ(gn.model, "sliver");
+  ASSERT_EQ(gn.inputs.size(), 2u);
+  ASSERT_EQ(gn.outputs.size(), 1u);
+  ASSERT_EQ(gn.gates.size(), 2u);
+  EXPECT_EQ(gn.gates[0].type, GateType::inv);
+  EXPECT_EQ(gn.gates[0].inputs, std::vector<std::string>{"a"});
+  EXPECT_EQ(gn.gates[0].output, "ab");
+  EXPECT_EQ(gn.gates[0].strength, 1.0);
+  // The continuation card is numbered by its first physical line.
+  EXPECT_EQ(gn.gates[1].line, 6);
+  EXPECT_EQ(gn.gates[1].type, GateType::nand2);
+  EXPECT_EQ(gn.gates[1].strength, 2.0);
+  EXPECT_EQ(gn.gates[1].inputs, (std::vector<std::string>{"ab", "b"}));
+  EXPECT_EQ(gn.gates[1].output, "z");
+}
+
+TEST(Blif, NetNamesAreCaseInsensitive) {
+  // The repo's net interner lowercases; the reader must agree so BLIF
+  // from case-happy tools lands on one canonical graph.
+  const BlifResult lower = parse_blif(kGoodDeck);
+  std::string upper = kGoodDeck;
+  for (char& c : upper)
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  const BlifResult r = parse_blif(upper);
+  ASSERT_TRUE(r.ok()) << r.errors.front();
+  EXPECT_EQ(netlist_hash(r.netlist), netlist_hash(lower.netlist));
+}
+
+TEST(Blif, RoundTripPreservesNetlistHash) {
+  const BlifResult first = parse_blif(kGoodDeck);
+  ASSERT_TRUE(first.ok());
+  const std::string text = write_blif(first.netlist);
+  const BlifResult again = parse_blif(text, "<round-trip>");
+  ASSERT_TRUE(again.ok()) << again.errors.front();
+  EXPECT_TRUE(again.warnings.empty());
+  EXPECT_EQ(netlist_hash(again.netlist), netlist_hash(first.netlist));
+  // Idempotent canonical form: writing the re-read netlist is a no-op.
+  EXPECT_EQ(write_blif(again.netlist), text);
+}
+
+TEST(Blif, FileRoundTrip) {
+  const BlifResult first = parse_blif(kGoodDeck);
+  ASSERT_TRUE(first.ok());
+  const std::string path = ::testing::TempDir() + "qwm_blif_roundtrip.blif";
+  std::string error;
+  ASSERT_TRUE(write_blif_file(first.netlist, path, &error)) << error;
+  const BlifResult again = parse_blif_file(path);
+  ASSERT_TRUE(again.ok()) << again.errors.front();
+  EXPECT_EQ(netlist_hash(again.netlist), netlist_hash(first.netlist));
+  std::remove(path.c_str());
+}
+
+TEST(Blif, UnreadableFileIsLineZeroDiagnostic) {
+  const BlifResult r = parse_blif_file("/nonexistent/x.blif");
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(r.errors[0], "/nonexistent/x.blif:0: cannot open file");
+}
+
+TEST(Blif, UnknownGateTypeDiagnostic) {
+  const BlifResult r = parse_blif(
+      ".inputs a b\n"
+      ".outputs z\n"
+      ".gate xor2 a=a b=b y=z\n",
+      "deck.blif");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r.errors,
+                       "deck.blif:3: unknown gate type: xor2 "
+                       "(library: inv, nand2-4, nor2-4)"))
+      << r.errors.front();
+}
+
+TEST(Blif, DanglingNetDiagnostic) {
+  const BlifResult r = parse_blif(
+      ".inputs a\n"
+      ".gate nand2 a=a b=ghost y=z\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(
+      r.errors,
+      "<blif>:2: dangling net 'ghost' (not a primary input or gate output)"))
+      << r.errors.front();
+}
+
+TEST(Blif, DuplicateModelDiagnostic) {
+  const BlifResult r = parse_blif(
+      ".model one\n"
+      ".inputs a\n"
+      ".model two\n"
+      ".gate inv a=a y=z\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r.errors,
+                       "<blif>:3: duplicate .model card (first at line 1; "
+                       "one model per file)"))
+      << r.errors.front();
+  EXPECT_EQ(r.netlist.model, "one");  // the first card wins
+}
+
+TEST(Blif, DuplicateDriverDiagnostic) {
+  const BlifResult r = parse_blif(
+      ".inputs a b\n"
+      ".gate inv a=a y=z\n"
+      ".gate inv a=b y=z\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(
+      r.errors, "<blif>:3: duplicate driver for net 'z' (first driven at "
+                "line 2)"))
+      << r.errors.front();
+}
+
+TEST(Blif, UndrivenOutputAndInputCollisionDiagnostics) {
+  const BlifResult r = parse_blif(
+      ".inputs a\n"
+      ".outputs nowhere\n"
+      ".gate inv a=a y=a\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r.errors,
+                       "<blif>:2: output net 'nowhere' is never driven"));
+  EXPECT_TRUE(has_diag(r.errors,
+                       "<blif>:3: net 'a' is driven but declared .inputs"));
+}
+
+TEST(Blif, MalformedGateCards) {
+  const BlifResult r = parse_blif(
+      ".inputs a b\n"
+      ".gate nand2 a=a y=u\n"          // missing pin b
+      ".gate inv a=a q=b y=v\n"        // pin q does not exist on inv
+      ".gate inv a=a a=b y=w\n"        // duplicate pin a
+      ".gate inv x=-1 a=a y=x1\n"      // non-positive strength
+      ".gate nand2 a=a b=b\n"          // no output pin
+      ".latch a b\n"                   // sequential card
+      "garbage line\n");
+  EXPECT_TRUE(has_diag(r.errors, "<blif>:2: nand2 is missing input pin b"));
+  EXPECT_TRUE(has_diag(r.errors, "<blif>:3: unknown pin 'q' on inv"));
+  EXPECT_TRUE(has_diag(r.errors, "<blif>:4: duplicate pin 'a'"));
+  EXPECT_TRUE(has_diag(r.errors, "<blif>:5: bad drive strength: x=-1"));
+  EXPECT_TRUE(has_diag(r.errors, "<blif>:6: nand2 is missing its output pin y"));
+  EXPECT_TRUE(has_diag(r.errors, "<blif>:7: unsupported card .latch"));
+  EXPECT_TRUE(has_diag(r.errors, "<blif>:8: expected a dot-card"));
+  // Malformed gates are dropped, not half-kept.
+  EXPECT_TRUE(r.netlist.gates.empty());
+}
+
+TEST(Blif, DuplicateOutputDeclarationWarnsAndDedupes) {
+  const BlifResult r = parse_blif(
+      ".inputs a\n"
+      ".outputs z z\n"
+      ".gate inv a=a y=z\n");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(has_diag(r.warnings,
+                       "<blif>:2: duplicate output declaration: z"));
+  EXPECT_EQ(r.netlist.outputs, std::vector<std::string>{"z"});
+}
+
+TEST(Blif, ElaboratesOntoStageGraph) {
+  const BlifResult r = parse_blif(kGoodDeck);
+  ASSERT_TRUE(r.ok());
+  const device::ModelSet ms = test::models().tabular_set();
+  ElaboratedDesign elab = elaborate(r.netlist, ms);
+  const circuit::PartitionedDesign& d = elab.design;
+
+  // Stage i is gate i; pins map to input_nets in a..d order.
+  ASSERT_EQ(d.stages.size(), 2u);
+  EXPECT_EQ(d.vdd, test::models().proc.vdd);
+  EXPECT_EQ(d.stages[0].stage.input_count(), 1u);
+  EXPECT_EQ(d.stages[1].stage.input_count(), 2u);
+  const auto net = [&](const char* name) {
+    const auto id = elab.nl.find_net(name);
+    EXPECT_TRUE(id.has_value()) << name;
+    return *id;
+  };
+  EXPECT_EQ(d.stages[0].input_nets, std::vector<netlist::NetId>{net("a")});
+  EXPECT_EQ(d.stages[1].input_nets,
+            (std::vector<netlist::NetId>{net("ab"), net("b")}));
+  EXPECT_EQ(d.driver_of.at(net("ab")), std::make_pair(0, 0));
+  EXPECT_EQ(d.driver_of.at(net("z")), std::make_pair(1, 0));
+  ASSERT_EQ(d.primary_inputs.size(), 2u);
+
+  // The internal net ab drives only the NAND's pin cap; the declared
+  // output z additionally carries the standard FO4 load.
+  const double fo4 = circuit::fanout_load_cap(*ms.process);
+  EXPECT_GT(fo4, 0.0);
+  const auto output_load = [](const circuit::StageInfo& info) {
+    return info.stage.node(info.stage.outputs()[0]).load_cap;
+  };
+  EXPECT_GT(output_load(d.stages[0]), 0.0);
+  EXPECT_GE(output_load(d.stages[1]), fo4);
+}
+
+}  // namespace
+}  // namespace qwm::frontend

@@ -1,0 +1,162 @@
+// Synthetic mega-circuit generators: spec-string parsing, exact stage
+// counts for every topology, seed determinism (same seed -> identical
+// netlist_hash and identical elaborated structural-hash multiset), and
+// the generated-netlist -> BLIF -> re-read round trip.
+#include "qwm/frontend/generate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "../common/test_models.h"
+#include "qwm/circuit/stage_hash.h"
+#include "qwm/frontend/blif.h"
+#include "qwm/frontend/elaborate.h"
+#include "qwm/frontend/frontend.h"
+
+namespace qwm::frontend {
+namespace {
+
+TEST(GenSpecParse, AcceptsDocumentedForms) {
+  const auto grid = parse_gen_spec("gen:grid:100");
+  ASSERT_TRUE(grid.has_value());
+  EXPECT_EQ(grid->topology, GenTopology::grid);
+  EXPECT_EQ(grid->stages, 100u);
+  EXPECT_EQ(grid->seed, 1u);   // defaults
+  EXPECT_EQ(grid->width, 64u);
+
+  const auto sci = parse_gen_spec("gen:tree:1e3:seed=42");
+  ASSERT_TRUE(sci.has_value());
+  EXPECT_EQ(sci->topology, GenTopology::tree);
+  EXPECT_EQ(sci->stages, 1000u);
+  EXPECT_EQ(sci->seed, 42u);
+
+  const auto dag = parse_gen_spec("gen:dag:50:seed=7:width=8");
+  ASSERT_TRUE(dag.has_value());
+  EXPECT_EQ(dag->topology, GenTopology::dag);
+  EXPECT_EQ(dag->width, 8u);
+}
+
+TEST(GenSpecParse, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "grid:100",            // missing gen: prefix
+      "gen:torus:100",       // unknown topology
+      "gen:grid",            // no stage count
+      "gen:grid:0",          // below 1
+      "gen:grid:2.5",        // fractional
+      "gen:grid:1e9",        // above the 1e7 sanity cap
+      "gen:grid:10:bogus=1", // unknown option
+      "gen:grid:10:width=0", // out-of-range option
+      "gen:grid:ten",        // non-numeric count
+  };
+  for (const char* spec : bad) {
+    SCOPED_TRACE(spec);
+    std::string error;
+    EXPECT_FALSE(parse_gen_spec(spec, &error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(GenSpecParse, FrontendSourceDetection) {
+  EXPECT_TRUE(is_gen_spec("gen:grid:10"));
+  EXPECT_FALSE(is_gen_spec("design.blif"));
+  EXPECT_TRUE(is_frontend_source("gen:dag:100"));
+  EXPECT_TRUE(is_frontend_source("design.blif"));
+  EXPECT_TRUE(is_frontend_source("DESIGN.BLIF"));
+  EXPECT_FALSE(is_frontend_source("deck.sp"));
+}
+
+TEST(Generate, ExactStageCountsAndWellFormedGates) {
+  for (const char* topo : {"grid", "tree", "dag"}) {
+    for (const std::size_t n : {1u, 2u, 7u, 100u}) {
+      SCOPED_TRACE(std::string(topo) + ":" + std::to_string(n));
+      const auto spec =
+          parse_gen_spec("gen:" + std::string(topo) + ":" + std::to_string(n));
+      ASSERT_TRUE(spec.has_value());
+      const GateNetlist gn = generate_netlist(*spec);
+      EXPECT_EQ(gn.gates.size(), n);
+      EXPECT_FALSE(gn.inputs.empty());
+      EXPECT_FALSE(gn.outputs.empty());
+      std::unordered_set<std::string> declared(gn.inputs.begin(),
+                                               gn.inputs.end());
+      for (const GateInst& g : gn.gates) {
+        EXPECT_EQ(static_cast<int>(g.inputs.size()), gate_fanin(g.type));
+        EXPECT_FALSE(g.output.empty());
+        // Every input is a PI or an earlier gate's output, and the fanin
+        // nets of one gate are distinct.
+        std::unordered_set<std::string> fanin;
+        for (const std::string& in : g.inputs) {
+          EXPECT_TRUE(declared.count(in)) << in;
+          EXPECT_TRUE(fanin.insert(in).second) << in;
+        }
+        declared.insert(g.output);
+      }
+    }
+  }
+}
+
+std::vector<std::uint64_t> elaborated_stage_hashes(const GateNetlist& gn) {
+  const device::ModelSet ms = test::models().tabular_set();
+  const ElaboratedDesign elab = elaborate(gn, ms);
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(elab.design.stages.size());
+  for (const auto& info : elab.design.stages)
+    hashes.push_back(circuit::structural_hash(info.stage));
+  std::sort(hashes.begin(), hashes.end());
+  return hashes;
+}
+
+TEST(Generate, SameSeedIsBitReproducible) {
+  for (const char* spec_str :
+       {"gen:grid:300:seed=11", "gen:tree:200:seed=11",
+        "gen:dag:250:seed=11:width=16"}) {
+    SCOPED_TRACE(spec_str);
+    const auto spec = parse_gen_spec(spec_str);
+    ASSERT_TRUE(spec.has_value());
+    const GateNetlist a = generate_netlist(*spec);
+    const GateNetlist b = generate_netlist(*spec);
+    EXPECT_EQ(netlist_hash(a), netlist_hash(b));
+    // Same seed -> the same multiset of elaborated stage hashes (the
+    // memo-cache identity the STA engine keys on).
+    EXPECT_EQ(elaborated_stage_hashes(a), elaborated_stage_hashes(b));
+  }
+}
+
+TEST(Generate, DifferentSeedsDiverge) {
+  const auto s1 = parse_gen_spec("gen:grid:300:seed=1");
+  const auto s2 = parse_gen_spec("gen:grid:300:seed=2");
+  ASSERT_TRUE(s1.has_value() && s2.has_value());
+  EXPECT_NE(netlist_hash(generate_netlist(*s1)),
+            netlist_hash(generate_netlist(*s2)));
+}
+
+TEST(Generate, RoundTripsThroughBlif) {
+  for (const char* spec_str :
+       {"gen:grid:60:seed=3", "gen:tree:40:seed=3", "gen:dag:50:seed=3"}) {
+    SCOPED_TRACE(spec_str);
+    const auto spec = parse_gen_spec(spec_str);
+    ASSERT_TRUE(spec.has_value());
+    const GateNetlist gn = generate_netlist(*spec);
+    const BlifResult back = parse_blif(write_blif(gn), "<generated>");
+    ASSERT_TRUE(back.ok()) << back.errors.front();
+    EXPECT_TRUE(back.warnings.empty());
+    EXPECT_EQ(netlist_hash(back.netlist), netlist_hash(gn));
+  }
+}
+
+TEST(Generate, LoadGateNetlistHandlesSpecsAndBadSpecs) {
+  const BlifResult good = load_gate_netlist("gen:tree:30:seed=2");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.netlist.gates.size(), 30u);
+
+  const BlifResult bad = load_gate_netlist("gen:torus:30");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("unknown topology"), std::string::npos)
+      << bad.errors.front();
+}
+
+}  // namespace
+}  // namespace qwm::frontend

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs every --json-capable benchmark harness and consolidates the
-# results into one machine-readable document (BENCH_PR3.json by
+# results into one machine-readable document (BENCH_PR7.json by
 # default). Usage:
 #   tools/bench_all.sh [OUT.json]
 # Environment:
@@ -9,10 +9,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD:-build}
-OUT=${1:-BENCH_PR3.json}
+OUT=${1:-BENCH_PR7.json}
 
 for b in bench_micro_kernels bench_table1_gates bench_incremental_sta \
-         bench_service_qps; do
+         bench_service_qps bench_scale_sta; do
   if [[ ! -x "$BUILD/bench/$b" ]]; then
     echo "missing $BUILD/bench/$b — build the repo first" >&2
     exit 1
@@ -33,6 +33,8 @@ echo "== bench_incremental_sta --corners (3-corner sweep) =="
     --json "$tmp/incremental_sta_corners.json"
 echo "== bench_service_qps =="
 "$BUILD/bench/bench_service_qps" --json "$tmp/service_qps.json"
+echo "== bench_scale_sta (10^4 + 10^5 stages, both schedulers) =="
+"$BUILD/bench/bench_scale_sta" --threads "$(nproc)" --json "$tmp/scale_sta.json"
 
 python3 - "$OUT" "$tmp" <<'EOF'
 import json, os, sys
@@ -40,7 +42,7 @@ import json, os, sys
 out, tmp = sys.argv[1], sys.argv[2]
 doc = {"generated_by": "tools/bench_all.sh"}
 for name in ("micro_kernels", "table1_gates", "incremental_sta",
-             "incremental_sta_corners", "service_qps"):
+             "incremental_sta_corners", "service_qps", "scale_sta"):
     with open(os.path.join(tmp, name + ".json")) as f:
         doc[name] = json.load(f)
 with open(out, "w") as f:

@@ -2,12 +2,16 @@
 # Tier-1 CI gate: the labelled test suites, run twice —
 #   1. plain (RelWithDebInfo, preset `default`), and
 #   2. under ThreadSanitizer (preset `tsan`) to catch data races in the
-#      parallel level-synchronous scheduler, the shared memo cache, and
-#      the qwm_serve dispatch layer —
+#      parallel level-synchronous scheduler, the dependency-counting
+#      async scheduler (the tier1-labelled deps stress test runs under
+#      both presets), the shared memo cache, and the qwm_serve dispatch
+#      layer —
 # plus a service smoke stage driving the qwm_serve daemon over both
 # transports (scripted stdio exchange; TCP round with qwm_load), a
 # deterministic perf-regression smoke comparing the pinned counter
-# workload of bench_micro_kernels against tools/perf_budget.json, and an
+# workloads of bench_micro_kernels and bench_scale_sta against
+# tools/perf_budget.json, a scale smoke (full STA of a 10^5-stage
+# generated design under wall-clock and RSS caps), and an
 # ASan+UBSan stage (preset `asan`) that re-runs tier1 and then sweeps the
 # differential QWM-vs-SPICE fuzz harness at 2000 samples with the pinned
 # seed.
@@ -73,7 +77,30 @@ echo "== perf smoke (work-counter budget) =="
 # wall-clock timing is not; --counters-only skips the timed medians.
 ./build/bench/bench_micro_kernels --json "$smoke_dir/perf.json" \
     --counters-only --budget tools/perf_budget.json
+# Scheduler counters of the 10^4-stage generated design (exact structural
+# pins; also re-checks levels-vs-deps bitwise equivalence end to end).
+./build/bench/bench_scale_sta --smoke --counters-only \
+    --budget tools/perf_budget.json
 echo "perf smoke passed"
+
+echo "== scale smoke (10^5-stage generated design, deps schedule) =="
+# Full STA over a 10^5-stage grid through the gate-level frontend: must
+# finish inside the wall-clock cap (~7 s on an idle 8-core host) and
+# inside a 512 MB peak-RSS ceiling (~190 MB measured) — the guard against
+# accidental per-stage memory or quadratic scheduling regressions.
+scale_rss_kb=$(python3 - <<'EOF'
+import resource, subprocess, sys
+p = subprocess.run(["./build/tools/qwm_sim", "gen:grid:100000:seed=7",
+                    "--sta", "--threads", "8", "--schedule", "deps"],
+                   stdout=subprocess.DEVNULL, timeout=120)
+if p.returncode != 0:
+    sys.exit(p.returncode)
+print(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+EOF
+) || { echo "scale smoke: qwm_sim failed or exceeded the 120 s cap"; exit 1; }
+[[ "$scale_rss_kb" -le $((512 * 1024)) ]] \
+    || { echo "scale smoke: peak RSS ${scale_rss_kb} kB > 512 MB cap"; exit 1; }
+echo "scale smoke passed (peak RSS ${scale_rss_kb} kB)"
 
 if [[ "$skip_asan" == 1 ]]; then
   echo "== tier1 + fuzz under ASan/UBSan: SKIPPED (--skip-asan) =="

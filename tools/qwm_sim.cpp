@@ -1,20 +1,30 @@
 // qwm_sim — command-line front end over the whole stack.
 //
-//   qwm_sim <deck.sp> [options]
+//   qwm_sim <source> [options]
+//
+// <source> is a SPICE deck, a structural .blif netlist, or a generator
+// spec ("gen:<topo>:<stages>[:seed=<s>][:width=<w>]", topologies grid /
+// tree / dag). BLIF and generated designs elaborate through the gate
+// library and support --sta only.
 //
 //   --tran            run the baseline transient engine (uses the deck's
-//                     .tran directive, or --tstep/--tstop)
+//                     .tran directive, or --tstep/--tstop; SPICE only)
 //   --tstep <s>       override step size       (default: deck or 1p)
 //   --tstop <s>       override stop time       (default: deck or 1n)
-//   --sta [period]    partition the deck and run QWM-based static timing
+//   --sta [period]    partition the source and run QWM-based static timing
 //                     analysis; with a period, also report slacks
 //   --threads N       STA worker lanes (same flag as the benches;
 //                     results are bit-identical for any N)
+//   --schedule M      STA stage schedule: levels (default) or deps (the
+//                     barrier-free dependency-counting scheduler;
+//                     bit-identical results)
 //   --corners         with --sta: characterize fast/slow corner models and
 //                     report per-corner worst arrivals plus setup/hold
 //                     slack at the given period
 //   --no-cache        disable the STA stage-evaluation memo cache
 //   --write           echo the elaborated flat netlist as a SPICE deck
+//                     (SPICE only)
+//   --emit-blif <p>   write the gate netlist of a .blif/gen: source to <p>
 //
 // The deck may carry .model cards (applied onto the CMOSP35-class process
 // defaults), .ic initial conditions, and .print card node selections.
@@ -26,6 +36,8 @@
 
 #include "qwm/circuit/partition.h"
 #include "qwm/device/tabular_model.h"
+#include "qwm/frontend/elaborate.h"
+#include "qwm/frontend/frontend.h"
 #include "qwm/netlist/apply_models.h"
 #include "qwm/netlist/parser.h"
 #include "qwm/netlist/writer.h"
@@ -37,9 +49,10 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: qwm_sim <deck.sp> [--tran] [--tstep s] [--tstop s] "
-               "[--sta [period]] [--threads N] [--corners] [--no-cache] "
-               "[--write]\n");
+               "usage: qwm_sim <deck.sp|netlist.blif|gen:spec> [--tran] "
+               "[--tstep s] [--tstop s] [--sta [period]] [--threads N] "
+               "[--schedule levels|deps] [--corners] [--no-cache] [--write] "
+               "[--emit-blif path]\n");
   return 2;
 }
 
@@ -82,21 +95,30 @@ void run_transient(const qwm::netlist::FlatNetlist& nl,
               res.stats.device_evals);
 }
 
-void run_sta(const qwm::netlist::FlatNetlist& nl,
+void run_sta(qwm::circuit::PartitionedDesign design,
+             const qwm::netlist::FlatNetlist& nl,
              const qwm::device::ModelSet& models, double period, int threads,
-             bool use_cache, const qwm::device::CornerLibrary* corner_lib) {
+             qwm::sta::Schedule schedule, bool use_cache,
+             const qwm::device::CornerLibrary* corner_lib) {
   using namespace qwm;
-  auto design = circuit::partition_netlist(nl, models);
   for (const auto& w : design.warnings)
     std::fprintf(stderr, "warning: %s\n", w.c_str());
+  // Mega-circuits have thousands of primary inputs; cap the listing.
   std::printf("%zu logic stages; primary inputs:", design.stages.size());
-  for (auto n : design.primary_inputs)
+  std::size_t shown = 0;
+  for (auto n : design.primary_inputs) {
+    if (++shown > 16) {
+      std::printf(" ... (%zu total)", design.primary_inputs.size());
+      break;
+    }
     std::printf(" %s", nl.net_name(n).c_str());
+  }
   std::printf("\n");
 
   sta::StaOptions opt;
   opt.threads = threads;
   opt.use_cache = use_cache;
+  opt.schedule = schedule;
   sta::StaEngine sta =
       corner_lib ? sta::StaEngine(std::move(design), corner_lib->sets(), opt)
                  : sta::StaEngine(std::move(design), models, opt);
@@ -105,6 +127,12 @@ void run_sta(const qwm::netlist::FlatNetlist& nl,
     std::fprintf(stderr, "warning: %s\n", w.c_str());
   std::printf("%zu QWM stage evaluations; worst arrival %.2f ps\n", evals,
               sta.worst_arrival() * 1e12);
+  const sta::ScheduleStats& ss = sta.schedule_stats();
+  std::printf("schedule=%s levels=%zu barrier_syncs=%zu tasks_enqueued=%zu "
+              "ready_hwm=%zu chain_edges=%zu\n",
+              schedule == sta::Schedule::deps ? "deps" : "levels", ss.levels,
+              ss.barrier_syncs, ss.tasks_enqueued, ss.ready_hwm,
+              ss.chain_edges);
 
   std::printf("\ncritical path:\n");
   for (const auto& step : sta.critical_path())
@@ -154,9 +182,11 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
 
   std::string deck_path;
+  std::string emit_blif;
   bool do_tran = false, do_sta = false, do_write = false;
   bool use_cache = true, do_corners = false;
   int threads = 1;
+  sta::Schedule schedule = sta::Schedule::levels;
   double tstep = -1.0, tstop = -1.0, period = -1.0;
   // CLI values accept SPICE suffixes ("1p", "500p", "2n").
   const auto num_arg = [&](const char* s, double* out) {
@@ -182,12 +212,24 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --threads value: %s\n", argv[i]);
         return 2;
       }
+    } else if (arg == "--schedule" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "levels") {
+        schedule = sta::Schedule::levels;
+      } else if (mode == "deps") {
+        schedule = sta::Schedule::deps;
+      } else {
+        std::fprintf(stderr, "bad --schedule value: %s\n", mode.c_str());
+        return 2;
+      }
     } else if (arg == "--corners") {
       do_corners = true;
     } else if (arg == "--no-cache") {
       use_cache = false;
     } else if (arg == "--write") {
       do_write = true;
+    } else if (arg == "--emit-blif" && i + 1 < argc) {
+      emit_blif = argv[++i];
     } else if (arg[0] == '-') {
       return usage();
     } else {
@@ -195,6 +237,50 @@ int main(int argc, char** argv) {
     }
   }
   if (deck_path.empty()) return usage();
+
+  // Gate-level sources (.blif / gen:) skip the SPICE pipeline entirely.
+  if (frontend::is_frontend_source(deck_path)) {
+    if (do_tran || do_write) {
+      std::fprintf(stderr,
+                   "error: --tran/--write need a SPICE deck; %s is a "
+                   "gate-level source\n",
+                   deck_path.c_str());
+      return 2;
+    }
+    const frontend::BlifResult loaded =
+        frontend::load_gate_netlist(deck_path);
+    for (const auto& w : loaded.warnings)
+      std::fprintf(stderr, "warning: %s\n", w.c_str());
+    if (!loaded.ok()) {
+      for (const auto& e : loaded.errors)
+        std::fprintf(stderr, "error: %s\n", e.c_str());
+      return 1;
+    }
+    std::printf("%s: %zu gates, %zu inputs, %zu outputs\n", deck_path.c_str(),
+                loaded.netlist.gates.size(), loaded.netlist.inputs.size(),
+                loaded.netlist.outputs.size());
+    if (!emit_blif.empty()) {
+      std::string error;
+      if (!frontend::write_blif_file(loaded.netlist, emit_blif, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", emit_blif.c_str());
+    }
+    if (!do_sta) return 0;
+
+    device::Process proc = device::Process::cmosp35();
+    const device::TabularDeviceModel nmos(device::MosType::nmos, proc);
+    const device::TabularDeviceModel pmos(device::MosType::pmos, proc);
+    const device::ModelSet models{&nmos, &pmos, &proc};
+    std::unique_ptr<device::CornerLibrary> corner_lib;
+    if (do_corners) corner_lib = std::make_unique<device::CornerLibrary>(proc);
+    frontend::ElaboratedDesign elab =
+        frontend::elaborate(loaded.netlist, models);
+    run_sta(std::move(elab.design), elab.nl, models, period, threads,
+            schedule, use_cache, corner_lib.get());
+    return 0;
+  }
 
   const netlist::ParseResult parsed = netlist::parse_spice_file(deck_path);
   for (const auto& w : parsed.warnings)
@@ -232,8 +318,9 @@ int main(int argc, char** argv) {
     std::unique_ptr<device::CornerLibrary> corner_lib;
     if (do_corners)
       corner_lib = std::make_unique<device::CornerLibrary>(proc);
-    run_sta(parsed.netlist, models, period, threads, use_cache,
-            corner_lib.get());
+    auto design = circuit::partition_netlist(parsed.netlist, models);
+    run_sta(std::move(design), parsed.netlist, models, period, threads,
+            schedule, use_cache, corner_lib.get());
   }
   if (!do_tran && !do_sta && !do_write && !parsed.netlist.tran.present) {
     std::fprintf(stderr, "deck parsed OK (%zu mosfets, %zu nets); nothing "
