@@ -278,6 +278,11 @@ int run_counter_mode(const KernelFlags& kf) {
       {"stack_device_evals_total", stack_devev},
       {"decoder_newton_iters", qs.newton_iterations},
       {"decoder_device_evals", qs.device_evals},
+      // Batched-kernel occupancy: ceil-width group count and useful lanes
+      // per batch call. Computed from batch sizes with the fixed logical
+      // width, so identical on the scalar and AVX2 backends alike.
+      {"decoder_simd_batches", qs.simd_batches},
+      {"decoder_simd_lanes_filled", qs.simd_lanes_filled},
       {"decoder_qwm_runs", cache.misses},
       {"corners3_newton_iters", cqs.newton_iterations},
       {"corners3_device_evals", cqs.device_evals},
@@ -386,6 +391,8 @@ int run_counter_mode(const KernelFlags& kf) {
         .integer("qwm_runs", cache.misses)
         .integer("newton_iters", qs.newton_iterations)
         .integer("device_evals", qs.device_evals)
+        .integer("simd_batches", qs.simd_batches)
+        .integer("simd_lanes_filled", qs.simd_lanes_filled)
         .integer("warm_starts", qs.warm_starts)
         .integer("warm_retries", qs.warm_retries)
         .integer("lu_fallbacks", qs.lu_fallbacks)

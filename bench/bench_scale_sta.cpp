@@ -7,9 +7,15 @@
 // mark, memo-twin chain edges), which are machine-deterministic and
 // budget-pinned for the CI perf smoke.
 //
-//   bench_scale_sta [--threads N] [--smoke] [--counters-only]
-//                   [--json FILE] [--budget FILE]
+//   bench_scale_sta [--threads N | --threads N1,N2,...] [--smoke]
+//                   [--counters-only] [--json FILE] [--budget FILE]
 //
+//   --threads N,...  comma list = thread-scaling sweep: after the normal
+//                    comparison, the 10^4-stage design is re-analysed
+//                    under the deps schedule at every listed lane count,
+//                    emitting one JSON row per point (wall, steal_count,
+//                    ready_hwm, classify_lock_waits) and checking every
+//                    point's arrivals bitwise against the first
 //   --smoke          run the 10^4-stage design only (CI-sized)
 //   --counters-only  skip the timed medians; counters and the bitwise
 //                    equivalence check still run
@@ -18,8 +24,10 @@
 //
 // Exit status is non-zero if any design's arrivals differ between the
 // schedulers — the harness doubles as an end-to-end equivalence check.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +42,7 @@ using namespace qwm;
 
 struct ScaleFlags {
   int threads = 4;
+  std::vector<int> sweep;  ///< non-empty = thread-scaling sweep mode
   bool smoke = false;
   bool counters_only = false;
   std::string json_path;
@@ -43,9 +52,24 @@ struct ScaleFlags {
 ScaleFlags parse_flags(int argc, char** argv) {
   ScaleFlags f;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-      f.threads = std::atoi(argv[++i]);
-    else if (std::strcmp(argv[i], "--smoke") == 0)
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      if (std::strchr(arg, ',')) {
+        // Comma list: sweep mode. The headline comparison runs at the
+        // widest lane count of the list.
+        f.sweep.clear();
+        f.threads = 1;
+        for (const char* p = arg; *p != '\0';) {
+          const int t = std::atoi(p);
+          f.sweep.push_back(t < 1 ? 1 : t);
+          f.threads = std::max(f.threads, f.sweep.back());
+          while (*p != '\0' && *p != ',') ++p;
+          if (*p == ',') ++p;
+        }
+      } else {
+        f.threads = std::atoi(arg);
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0)
       f.smoke = true;
     else if (std::strcmp(argv[i], "--counters-only") == 0)
       f.counters_only = true;
@@ -139,6 +163,60 @@ ScaleResult run_size(std::size_t stages, const ScaleFlags& f) {
   return r;
 }
 
+/// Thread-scaling sweep: the 10^4-stage design under the deps schedule at
+/// every requested lane count. The curve's observables are the wall clock
+/// plus the sharded-queue counters (steals, ready high-water, contended
+/// classification locks); every point's arrivals are checked bitwise
+/// against the first point's — lane count must never change a result.
+int run_sweep(const ScaleFlags& f, std::vector<std::string>* rows) {
+  constexpr std::size_t kSweepStages = 10000;
+  const auto gs =
+      frontend::parse_gen_spec("gen:grid:" + std::to_string(kSweepStages) +
+                               ":seed=7");
+  const auto ms = bench::models().set();
+  frontend::ElaboratedDesign elab =
+      frontend::elaborate(frontend::generate_netlist(*gs), ms);
+
+  sta::StaOptions opt;
+  opt.schedule = sta::Schedule::deps;
+  opt.cache.max_entries = std::size_t{1} << 21;
+
+  std::printf("\nthread sweep: %zu-stage grid, deps schedule\n", kSweepStages);
+  std::printf("%-8s %11s %9s %9s %12s %5s\n", "threads", "wall", "steals",
+              "hwm", "lock_waits", "ident");
+  std::unique_ptr<sta::StaEngine> ref;
+  int rc = 0;
+  for (const int t : f.sweep) {
+    opt.threads = t;
+    auto engine = std::make_unique<sta::StaEngine>(elab.design, ms, opt);
+    double wall = 0.0;
+    if (!f.counters_only)
+      wall = bench::time_seconds([&] { engine->run(); }, 0.0, 1);
+    else
+      engine->run();
+    const sta::ScheduleStats st = engine->schedule_stats();
+    const bool ident = !ref || arrivals_identical(*ref, *engine);
+    if (!ident) {
+      std::fprintf(stderr, "FAIL: %d-lane sweep point disagrees\n", t);
+      rc = 1;
+    }
+    std::printf("%-8d %10.3fs %9zu %9zu %12zu %5s\n", t, wall,
+                st.steal_count, st.ready_hwm, st.classify_lock_waits,
+                ident ? "yes" : "NO");
+    rows->push_back(bench::JsonObject()
+                        .integer("sweep_stages", kSweepStages)
+                        .integer("threads", t)
+                        .num("deps_run_s", wall)
+                        .integer("steal_count", st.steal_count)
+                        .integer("ready_hwm", st.ready_hwm)
+                        .integer("classify_lock_waits", st.classify_lock_waits)
+                        .integer("bit_identical", ident ? 1 : 0)
+                        .str());
+    if (!ref) ref = std::move(engine);
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,9 +259,13 @@ int main(int argc, char** argv) {
             .integer("tasks_enqueued", r.deps_stats.tasks_enqueued)
             .integer("ready_hwm", r.deps_stats.ready_hwm)
             .integer("chain_edges", r.deps_stats.chain_edges)
+            .integer("steal_count", r.deps_stats.steal_count)
+            .integer("classify_lock_waits", r.deps_stats.classify_lock_waits)
             .integer("bit_identical", r.identical ? 1 : 0)
             .str());
   }
+
+  if (!f.sweep.empty() && run_sweep(f, &rows) != 0) rc = 1;
 
   if (!f.budget_path.empty()) {
     // The 10^4-stage counters are machine-deterministic: same design,
@@ -197,6 +279,11 @@ int main(int argc, char** argv) {
         {"scale10k_deps_barrier_syncs", ten_k.deps_stats.barrier_syncs},
         {"scale10k_tasks_enqueued", ten_k.deps_stats.tasks_enqueued},
         {"scale10k_chain_edges", ten_k.deps_stats.chain_edges},
+        // Scheduling-dependent (zero on single-lane hosts): budgeted as
+        // generous upper bounds, not exact pins — an excess means the
+        // sharded queues or the claim table degenerated to a serial lock.
+        {"scale10k_steal_count", ten_k.deps_stats.steal_count},
+        {"scale10k_classify_lock_waits", ten_k.deps_stats.classify_lock_waits},
     };
     std::string text;
     if (!bench::read_text_file(f.budget_path, &text)) return 1;

@@ -80,6 +80,12 @@ class Engine {
   /// The single concrete tabular model shared by every transistor element
   /// (resolved once per run), or nullptr -> scalar per-device path.
   const device::TabularDeviceModel* batch_model_ = nullptr;
+  /// Frame-mirror constants hoisted out of the batched gather/scatter:
+  /// the model is uniform, so the PMOS mirror applies to every lane or
+  /// none. batch_pm_ is the back-map current sign (-1 for PMOS, else +1).
+  bool batch_pmos_ = false;
+  double batch_pm_ = 1.0;
+  double batch_vdd_ = 0.0;
 
   // Warm-start state: replay cursor into opt_.warm and the previous tail
   // region's converged solution (stored in ws_.prev_tail).
@@ -255,58 +261,84 @@ void Engine::eval_element_currents(int active, const std::vector<double>& vv,
     for (int e = 0; e <= e_max; ++e) jc[e + 1] = current(e, vv, t);
     return;
   }
-  // Batched SoA path: gather every transistor's frame coordinates, run
-  // one eval_frames over the shared table, then map each result back to
-  // the element orientation. Resistors are evaluated inline during the
-  // gather (same arithmetic as the scalar path).
-  auto& fg = ws_.frame_g;
-  auto& flo = ws_.frame_lo;
-  auto& fhi = ws_.frame_hi;
-  auto& fe = ws_.frame_eval;
-  auto& fidx = ws_.frame_elem;
-  auto& fswap = ws_.frame_swap;
-  fg.clear();
-  flo.clear();
-  fhi.clear();
-  fidx.clear();
-  fswap.clear();
+  // Batched SoA path: gather every transistor's frame coordinates (the
+  // to_frame() arithmetic inlined, with the PMOS mirror hoisted out of the
+  // per-lane branch since the model is uniform), run one eval_frames over
+  // the shared table, then scatter each result straight into jc with the
+  // fused from_frame()+map_iv() back-map. The per-element sign and
+  // geometry-scale coefficients come from the precomputed element plan;
+  // every lane's arithmetic is bit-identical to the scalar path (sign
+  // factors are exact ±1 multiplies, the scale product uses the same
+  // operand association).
+  double* fg = ws_.frame_g.data();
+  double* flo = ws_.frame_lo.data();
+  double* fhi = ws_.frame_hi.data();
+  device::TabularDeviceModel::FrameEval* fe = ws_.frame_eval.data();
+  int* fidx = ws_.frame_elem.data();
+  char* fswap = ws_.frame_swap.data();
+  const ElementPlan* plan = ws_.elem_plan.data();
+  std::size_t nb = 0;
   for (int e = 0; e <= e_max; ++e) {
-    const Element& el = prob_.elements[e];
-    if (el.kind == Element::Kind::resistor) {
-      const double g = 1.0 / el.resistance;
-      const double dir = prob_.discharge ? 1.0 : -1.0;
+    const ElementPlan& p = plan[e];
+    if (p.is_resistor) {
       ElementCurrent out;
-      out.j = dir * g * (vv[e + 1] - vv[e]);
-      out.d_far = dir * g;
-      out.d_near = -dir * g;
+      out.j = p.g_dir * (vv[e + 1] - vv[e]);
+      out.d_far = p.g_dir;
+      out.d_near = -p.g_dir;
       jc[e + 1] = out;
       continue;
     }
-    device::TerminalVoltages tv;
-    tv.input = gate_voltage(el, t);
-    if (el.src_is_far) {
-      tv.src = vv[e + 1];
-      tv.snk = vv[e];
+    double g = gate_voltage(prob_.elements[e], t);
+    double fa, fb;
+    if (p.src_is_far) {
+      fa = vv[e + 1];
+      fb = vv[e];
     } else {
-      tv.src = vv[e];
-      tv.snk = vv[e + 1];
+      fa = vv[e];
+      fb = vv[e + 1];
     }
-    const auto fm = batch_model_->to_frame(tv);
-    fg.push_back(fm.fg);
-    flo.push_back(fm.flo);
-    fhi.push_back(fm.fhi);
-    fidx.push_back(e);
-    fswap.push_back(fm.swapped ? 1 : 0);
+    if (batch_pmos_) {
+      g = batch_vdd_ - g;
+      fa = batch_vdd_ - fa;
+      fb = batch_vdd_ - fb;
+    }
+    fg[nb] = g;
+    if (fa >= fb) {
+      flo[nb] = fb;
+      fhi[nb] = fa;
+      fswap[nb] = 0;
+    } else {
+      flo[nb] = fa;
+      fhi[nb] = fb;
+      fswap[nb] = 1;
+    }
+    fidx[nb] = e;
+    ++nb;
   }
-  const std::size_t nb = fidx.size();
   res_.stats.device_evals += nb;
-  fe.resize(nb);
-  batch_model_->eval_frames(nb, fg.data(), flo.data(), fhi.data(), fe.data());
+  res_.stats.simd_batches += (nb + device::kernel::kSimdWidth - 1) /
+                             device::kernel::kSimdWidth;
+  res_.stats.simd_lanes_filled += nb;
+  batch_model_->eval_frames(nb, fg, flo, fhi, fe);
   for (std::size_t b = 0; b < nb; ++b) {
-    const Element& el = prob_.elements[fidx[b]];
-    const device::IvEval iv =
-        batch_model_->from_frame(fe[b], fswap[b] != 0, el.w, el.l);
-    jc[fidx[b] + 1] = map_iv(el, prob_.discharge, iv);
+    const int e = fidx[b];
+    const ElementPlan& p = plan[e];
+    // Swapped terminals flip every component's sign and exchange which
+    // frame derivative feeds the far node; both fold into one ±sgn
+    // coefficient and one routing flag (see map_iv for the case table).
+    const bool sw = fswap[b] != 0;
+    const double csw = sw ? -p.sgn : p.sgn;
+    const double i = fe[b].i * p.scale;
+    const double dg = fe[b].d_vg * p.scale;
+    const double ds = fe[b].d_vs * p.scale;
+    const double dd = fe[b].d_vd * p.scale;
+    const bool far_from_vd = (p.src_is_far != 0) != sw;
+    ElementCurrent out;
+    out.j = batch_pm_ * (csw * i);
+    out.d_gate = csw * dg;
+    out.d_far = csw * (far_from_vd ? dd : ds);
+    out.d_near = csw * (far_from_vd ? ds : dd);
+    jc[e + 1] = out;
   }
 }
 
@@ -491,12 +523,12 @@ void Engine::node_voltages(const numeric::Vector& xx,
                            std::vector<double>& out) {
   const double dt = std::max(xx[rc_.active], kMinRegionDt);
   out = v_;
+  const double* ic = ws_.inv_caps.data();
   for (int k = 1; k <= rc_.active; ++k) {
-    const double c = prob_.node_caps[k - 1];
     if (rc_.quad)
-      out[k] += (i_[k] * dt + 0.5 * xx[k - 1] * dt * dt) / c;
+      out[k] += (i_[k] * dt + 0.5 * xx[k - 1] * dt * dt) * ic[k - 1];
     else
-      out[k] += xx[k - 1] * dt / c;
+      out[k] += xx[k - 1] * dt * ic[k - 1];
   }
 }
 
@@ -519,7 +551,7 @@ bool Engine::region_residual(const numeric::Vector& xx, numeric::Vector& f) {
   const double t1 = tau_ + dt;
   const int n = rc_.n;
   const std::vector<ElementCurrent>& jc = ws_.jc;
-  f.assign(n, 0.0);
+  f.resize(n);  // rows 0..active-1 and the boundary row are all written
   for (int k = 1; k <= rc_.active; ++k) {
     const double i_end = rc_.quad ? i_[k] + xx[k - 1] * dt : xx[k - 1];
     const double kcl = prob_.discharge ? (jc[k + 1].j - jc[k].j)
@@ -556,26 +588,34 @@ void Engine::region_assemble(const numeric::Vector& xx) {
   std::vector<double>& u = ws_.u_col;
   std::vector<double>& v_col = ws_.v_col;
   const std::vector<ElementCurrent>& jc = ws_.jc;
-  a.resize(n);
-  u.assign(n, 0.0);
-  v_col.assign(n, 0.0);
-  v_col[n - 1] = 1.0;
+  // Every band/column entry is written below (zeros explicitly), so the
+  // scratch only needs sizing — no clearing pass per Newton iteration.
+  a.lower.resize(n);
+  a.diag.resize(n);
+  a.upper.resize(n);
+  u.resize(n);
+  if (v_col.size() != static_cast<std::size_t>(n)) {
+    v_col.assign(n, 0.0);  // rank-one selector e_n, constant per size
+    v_col[n - 1] = 1.0;
+  }
 
-  // dV_k(t1)/d x_{k-1} and /d Delta.
+  // dV_k(t1)/d x_{k-1} and /d Delta. Index 0 is never read (guards below).
   std::vector<double>& dv_dx = ws_.dv_dx;
   std::vector<double>& dv_ddt = ws_.dv_ddt;
-  dv_dx.assign(active + 1, 0.0);
-  dv_ddt.assign(active + 1, 0.0);
+  dv_dx.resize(active + 1);
+  dv_ddt.resize(active + 1);
+  const double* ic = ws_.inv_caps.data();
   for (int k = 1; k <= active; ++k) {
-    const double c = prob_.node_caps[k - 1];
-    dv_dx[k] = rc_.quad ? 0.5 * dt * dt / c : dt / c;
-    dv_ddt[k] = rc_.quad ? (i_[k] + xx[k - 1] * dt) / c : xx[k - 1] / c;
+    const double c_inv = ic[k - 1];
+    dv_dx[k] = rc_.quad ? 0.5 * dt * dt * c_inv : dt * c_inv;
+    dv_ddt[k] =
+        rc_.quad ? (i_[k] + xx[k - 1] * dt) * c_inv : xx[k - 1] * c_inv;
   }
 
   for (int k = 1; k <= active; ++k) {
     const int r = k - 1;
     // d i_end / d x and / d Delta.
-    a.diag[r] += rc_.quad ? dt : 1.0;
+    const double diag_own = rc_.quad ? dt : 1.0;
     double du = rc_.quad ? xx[k - 1] : 0.0;
 
     // d kcl / ... : kcl = dsgn * (J_{k+1} - J_k) * -1 ... expand:
@@ -613,9 +653,11 @@ void Engine::region_assemble(const numeric::Vector& xx) {
     }
 
     // Chain through dV/dx (only active positions move).
-    if (k - 1 >= 1) a.lower[r] -= dkcl_dvm1 * dv_dx[k - 1];
-    a.diag[r] -= dkcl_dv * dv_dx[k];
-    if (k + 1 <= active) a.upper[r] -= dkcl_dvp1 * dv_dx[k + 1];
+    // Full-overwrite form of the zero-initialized `+=`/`-=` assembly; the
+    // `0.0 - x` spelling keeps the exact bits of the accumulated version.
+    a.lower[r] = (k - 1 >= 1) ? 0.0 - dkcl_dvm1 * dv_dx[k - 1] : 0.0;
+    a.diag[r] = diag_own - dkcl_dv * dv_dx[k];
+    a.upper[r] = (k + 1 <= active) ? 0.0 - dkcl_dvp1 * dv_dx[k + 1] : 0.0;
     // Delta column.
     du -= dkcl_dvm1 * (k - 1 >= 1 ? dv_ddt[k - 1] : 0.0);
     du -= dkcl_dv * dv_ddt[k];
@@ -641,12 +683,15 @@ void Engine::region_assemble(const numeric::Vector& xx) {
     }
     rc_.boundary_offband = 0.0;
     if (kb == active) {
-      if (active >= 1) a.lower[r] = kBoundaryScale * db_dv * dv_dx[active];
+      a.lower[r] =
+          (active >= 1) ? kBoundaryScale * db_dv * dv_dx[active] : 0.0;
     } else {
       // Off-band coupling (split sub-regions); consumed by the dense
       // assembly below.
+      a.lower[r] = 0.0;
       rc_.boundary_offband = kBoundaryScale * db_dv * dv_dx[kb];
     }
+    a.upper[r] = 0.0;  // unused band slot; keep it defined
     a.diag[r] = kBoundaryScale * (db_dv * dv_ddt[kb] + db_ddt_extra);
     // The Delta-column entry for this row lives in A's diagonal; u[r]
     // stays 0 so that A + u e_n^T reproduces the full matrix.
@@ -660,7 +705,7 @@ bool Engine::region_step(const numeric::Vector& xx, const numeric::Vector& f,
   ++res_.stats.linear_solves;
   const int n = rc_.n;
   numeric::Vector& rhs = ws_.rhs;
-  rhs.assign(n, 0.0);
+  rhs.resize(n);
   for (int i2 = 0; i2 < n; ++i2) rhs[i2] = -f[i2];
   bool solved = false;
   if (opt_.solver == RegionSolver::tridiagonal && !rc_.off_band) {
@@ -1429,6 +1474,14 @@ QwmResult Engine::run() {
   i_.assign(m_ + 1, 0.0);
   on_.assign(prob_.elements.size(), 0);
 
+  // Node-capacitance reciprocals: the region solve divides by C once per
+  // node per Newton evaluation; multiplying by the hoisted reciprocal
+  // shifts results by at most one ulp (well inside the Newton tolerance)
+  // and removes the divide chain from the hot loop.
+  ws_.inv_caps.resize(prob_.node_caps.size());
+  for (std::size_t k = 0; k < prob_.node_caps.size(); ++k)
+    ws_.inv_caps[k] = 1.0 / prob_.node_caps[k];
+
   // Batched device path: every transistor must share one concrete tabular
   // model (a path conducts one event polarity, so this is the common
   // case); mixed or analytic models fall back to the scalar path.
@@ -1446,6 +1499,36 @@ QwmResult Engine::run() {
       common = el.tabular;
     }
     if (uniform) batch_model_ = common;
+  }
+  if (batch_model_ != nullptr) {
+    batch_pmos_ = batch_model_->mos_type() == device::MosType::pmos;
+    batch_pm_ = batch_pmos_ ? -1.0 : 1.0;
+    batch_vdd_ = batch_model_->vdd();
+    const device::CharacterizationGrid& grid = batch_model_->grid();
+    ws_.elem_plan.assign(prob_.elements.size(), ElementPlan{});
+    for (std::size_t e = 0; e < prob_.elements.size(); ++e) {
+      const Element& el = prob_.elements[e];
+      ElementPlan& p = ws_.elem_plan[e];
+      if (el.kind == Element::Kind::resistor) {
+        p.is_resistor = 1;
+        // dir * g with the same association as the scalar path:
+        // (dir * (1/R)) is the exact product the inline path computes.
+        p.g_dir = (prob_.discharge ? 1.0 : -1.0) * (1.0 / el.resistance);
+      } else {
+        p.sgn = (el.src_is_far == prob_.discharge) ? 1.0 : -1.0;
+        p.scale = (el.w / grid.w_ref) * (grid.l_ref / el.l);
+        p.src_is_far = el.src_is_far ? 1 : 0;
+      }
+    }
+    // Pre-size the SoA staging arrays so the per-iteration gather writes
+    // through raw pointers with no push_back bookkeeping.
+    const std::size_t ne = prob_.elements.size();
+    ws_.frame_g.resize(ne);
+    ws_.frame_lo.resize(ne);
+    ws_.frame_hi.resize(ne);
+    ws_.frame_eval.resize(ne);
+    ws_.frame_elem.resize(ne);
+    ws_.frame_swap.resize(ne);
   }
 
   // Worst-case precharge: nodes below the switching element sit at the

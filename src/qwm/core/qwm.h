@@ -127,6 +127,13 @@ struct QwmStats {
   std::size_t lu_fallbacks = 0;   ///< tridiagonal path bailed to dense LU
   std::size_t warm_starts = 0;    ///< region solves seeded warm
   std::size_t warm_retries = 0;   ///< warm seeds that fell back to cold
+  /// Batched device-eval groups issued to the frame kernel, counted in
+  /// kernel::kSimdWidth-lane groups (ceil(n / width) per batch call), and
+  /// the useful lanes inside them. Both are computed from batch sizes with
+  /// the fixed logical width, so the values are identical on every backend
+  /// and host — lanes_filled / (width * batches) is the occupancy.
+  std::size_t simd_batches = 0;
+  std::size_t simd_lanes_filled = 0;
   /// Ladder outcome per top-level region objective: [0] resolved by the
   /// nominal machinery, [1] by the damped NR rung, [2] by the bisection
   /// rung. [3] counts whole-path SPICE evaluations (the rung that replaces
@@ -147,6 +154,8 @@ struct QwmStats {
     lu_fallbacks += o.lu_fallbacks;
     warm_starts += o.warm_starts;
     warm_retries += o.warm_retries;
+    simd_batches += o.simd_batches;
+    simd_lanes_filled += o.simd_lanes_filled;
     for (int r = 0; r < kFallbackRungs; ++r)
       fallback_counts[r] += o.fallback_counts[r];
     return *this;

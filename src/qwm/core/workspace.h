@@ -49,6 +49,21 @@ struct ElementCurrent {
   double d_gate = 0.0;  ///< dJ/dG
 };
 
+/// Static per-element coefficients for the batched device path, built once
+/// per evaluation from the path topology and the shared tabular model: the
+/// map_iv() sign, the geometry scale (two divides hoisted out of every
+/// Newton iteration), and the resistor conductance folded with the event
+/// direction. All values reproduce the scalar path's arithmetic exactly —
+/// ±1 sign factors and precomputed products of the same operands preserve
+/// bit-identity.
+struct ElementPlan {
+  double sgn = 0.0;    ///< transistor: map_iv event-direction sign (±1)
+  double scale = 0.0;  ///< transistor: (w / w_ref) * (l_ref / l)
+  double g_dir = 0.0;  ///< resistor: event-direction conductance dir / R
+  char is_resistor = 0;
+  char src_is_far = 0;
+};
+
 struct WorkspaceStats {
   std::size_t bytes = 0;             ///< current footprint (capacities)
   std::size_t high_water_bytes = 0;  ///< max footprint at any checkpoint
@@ -76,6 +91,8 @@ class EvalWorkspace {
   std::vector<device::TabularDeviceModel::FrameEval> frame_eval;
   std::vector<int> frame_elem;   ///< element index per batched device
   std::vector<char> frame_swap;  ///< source/drain exchanged in-frame
+  std::vector<ElementPlan> elem_plan;  ///< static per-element coefficients
+  std::vector<double> inv_caps;        ///< 1 / node_caps, hoisted per run
 
   // --- r = 1 region solve. ---
   std::vector<double> vv;       ///< node voltages at the region end
@@ -111,7 +128,8 @@ class EvalWorkspace {
     std::size_t b = cap(v_node) + cap(i_node) + cap(on_flags) + cap(targets) +
                     cap(jc) + cap(vp) + cap(i_probe) + cap(frame_g) +
                     cap(frame_lo) + cap(frame_hi) + cap(frame_eval) +
-                    cap(frame_elem) + cap(frame_swap) + cap(vv) +
+                    cap(frame_elem) + cap(frame_swap) + cap(elem_plan) +
+                    cap(inv_caps) + cap(vv) +
                     cap(cache_x) + cap(u_col) + cap(v_col) + cap(dv_dx) +
                     cap(dv_ddt) + cap(rhs) + cap(xv) + cap(accel) +
                     cap(slope) + cap(vm) + cap(ve) + cap(jm) + cap(je) +

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 namespace qwm::device {
 
@@ -38,83 +39,22 @@ TabularDeviceModel::TabularDeviceModel(MosType type, const Process& proc,
       bulk_(type == MosType::nmos ? 0.0 : proc.vdd),
       grid_(std::move(grid)) {}
 
-namespace {
-
-/// The located half of frame_lookup: blend arithmetic at an already
-/// resolved grid cell. Split out so the corner-lane batched path can
-/// locate once and blend per lane.
-inline TabularDeviceModel::FrameEval frame_blend(const CharacterizationGrid& g,
-                                                 std::size_t i0, double f0,
-                                                 std::size_t i1, double f1,
-                                                 double u);
-
-/// One interpolated lookup in the NMOS frame with vd >= vs. The single
-/// kernel behind both the scalar eval_frame and the batched eval_frames,
-/// so the two are bit-identical by construction.
-inline TabularDeviceModel::FrameEval frame_lookup(
-    const CharacterizationGrid& g, double vg, double vs, double vd) {
-  assert(vd >= vs);
-  const double u = vd - vs;
-  std::size_t i0, i1;
-  double f0, f1;
-  g.vs_axis.locate(vs, i0, f0);
-  g.vg_axis.locate(vg, i1, f1);
-  return frame_blend(g, i0, f0, i1, f1, u);
-}
-
-inline TabularDeviceModel::FrameEval frame_blend(const CharacterizationGrid& g,
-                                                 std::size_t i0, double f0,
-                                                 std::size_t i1, double f1,
-                                                 double u) {
-  // Corner evaluations, computed once and reused for the value and both
-  // table-axis derivatives (hot path: called per device per Newton
-  // iteration in both engines).
-  const double e00 = g.at(i0, i1).eval(u);
-  const double e01 = g.at(i0, i1 + 1).eval(u);
-  const double e10 = g.at(i0 + 1, i1).eval(u);
-  const double e11 = g.at(i0 + 1, i1 + 1).eval(u);
-  const double i = e00 * (1 - f0) * (1 - f1) + e01 * (1 - f0) * f1 +
-                   e10 * f0 * (1 - f1) + e11 * f0 * f1;
-  const double di_du =
-      blend(g, i0, i1, f0, f1,
-            [u](const CharacterizedPoint& p) { return p.deriv(u); });
-
-  // Interpolant derivative along the vs table axis (u held fixed).
-  const double lo_vs = e00 * (1 - f1) + e01 * f1;
-  const double hi_vs = e10 * (1 - f1) + e11 * f1;
-  const double di_dvs_axis = (hi_vs - lo_vs) / g.vs_axis.dx;
-
-  // Interpolant derivative along the vg table axis.
-  const double lo_vg = e00 * (1 - f0) + e10 * f0;
-  const double hi_vg = e01 * (1 - f0) + e11 * f0;
-  const double di_dvg_axis = (hi_vg - lo_vg) / g.vg_axis.dx;
-
-  TabularDeviceModel::FrameEval out;
-  out.i = i;
-  out.d_vd = di_du;
-  // vs enters both the table axis and u = vd - vs.
-  out.d_vs = di_dvs_axis - di_du;
-  out.d_vg = di_dvg_axis;
-  return out;
-}
-
-}  // namespace
-
 TabularDeviceModel::FrameEval TabularDeviceModel::eval_frame(double vg,
                                                              double vs,
                                                              double vd) const {
-  return frame_lookup(grid_, vg, vs, vd);
+  // Single-frame lookups route through the batched kernel dispatch so the
+  // scalar engine path, the batched SoA path, and every SIMD backend all
+  // share one arithmetic implementation (see frame_kernel.h).
+  FrameEval out;
+  kernel::eval_frames(grid_, 1, &vg, &vs, &vd, &out);
+  return out;
 }
 
 void TabularDeviceModel::eval_frames(std::size_t n, const double* vg,
                                      const double* vs, const double* vd,
                                      FrameEval* out) const {
   query_count_.fetch_add(n, std::memory_order_relaxed);
-  // One atomic bump and one grid indirection for the whole batch; the
-  // per-element loop touches only the hoisted grid reference.
-  const CharacterizationGrid& g = grid_;
-  for (std::size_t k = 0; k < n; ++k)
-    out[k] = frame_lookup(g, vg[k], vs[k], vd[k]);
+  kernel::eval_frames(grid_, n, vg, vs, vd, out);
 }
 
 namespace {
@@ -142,18 +82,18 @@ void TabularDeviceModel::eval_frames_corners(
       return;
     }
   }
-  for (std::size_t m = 0; m < model_count; ++m)
-    models[m]->query_count_.fetch_add(n, std::memory_order_relaxed);
-  for (std::size_t k = 0; k < n; ++k) {
-    // Located once on the shared axes, blended per corner lane.
-    const double u = vd[k] - vs[k];
-    std::size_t i0, i1;
-    double f0, f1;
-    g0.vs_axis.locate(vs[k], i0, f0);
-    g0.vg_axis.locate(vg[k], i1, f1);
-    for (std::size_t m = 0; m < model_count; ++m)
-      out[m][k] = frame_blend(models[m]->grid_, i0, f0, i1, f1, u);
+  const CharacterizationGrid* grids[8];
+  std::vector<const CharacterizationGrid*> grids_heap;
+  const CharacterizationGrid** gp = grids;
+  if (model_count > 8) {
+    grids_heap.resize(model_count);
+    gp = grids_heap.data();
   }
+  for (std::size_t m = 0; m < model_count; ++m) {
+    models[m]->query_count_.fetch_add(n, std::memory_order_relaxed);
+    gp[m] = &models[m]->grid_;
+  }
+  kernel::eval_frames_multi(gp, model_count, n, vg, vs, vd, out);
 }
 
 IvEval TabularDeviceModel::iv_eval(double w, double l,

@@ -16,6 +16,7 @@
 
 #include "qwm/device/characterize.h"
 #include "qwm/device/device_model.h"
+#include "qwm/device/frame_kernel.h"
 
 namespace qwm::device {
 
@@ -40,20 +41,18 @@ class TabularDeviceModel : public DeviceModel {
   const TabularDeviceModel* tabular() const override { return this; }
 
   /// Table lookup result in the NMOS-normalized frame at the reference
-  /// geometry (drain -> source channel current and its partials).
-  struct FrameEval {
-    double i = 0.0;      ///< channel current drain -> source, ref geometry
-    double d_vg = 0.0;   ///< partials w.r.t. gate, source, drain voltage
-    double d_vs = 0.0;
-    double d_vd = 0.0;
-  };
+  /// geometry (drain -> source channel current and its partials). Lives in
+  /// kernel:: so the runtime-dispatched scalar/AVX2 backends (see
+  /// frame_kernel.h) can produce it without a layering cycle.
+  using FrameEval = kernel::FrameEval;
   /// Interpolated table lookup in the NMOS frame with vd >= vs.
   FrameEval eval_frame(double vg, double vs, double vd) const;
 
   /// Batched SoA form of eval_frame: n independent frame lookups with the
   /// grid/axis state hoisted out of the loop. Bit-identical to calling
   /// eval_frame(vg[k], vs[k], vd[k]) for each k — the scalar path is
-  /// implemented on the same kernel — and counts n table queries.
+  /// implemented on the same kernel, and every SIMD backend reproduces the
+  /// scalar kernel's bits — and counts n table queries.
   void eval_frames(std::size_t n, const double* vg, const double* vs,
                    const double* vd, FrameEval* out) const;
 
@@ -141,6 +140,9 @@ class TabularDeviceModel : public DeviceModel {
   }
 
   const CharacterizationGrid& grid() const { return grid_; }
+  /// Supply rail used by the PMOS frame mirror (callers that inline
+  /// to_frame()'s arithmetic, e.g. the engine's batched gather).
+  double vdd() const { return vdd_; }
   /// Number of iv()/iv_eval() queries served (table usage accounting).
   std::size_t query_count() const {
     return query_count_.load(std::memory_order_relaxed);

@@ -25,8 +25,10 @@ bool sherman_morrison_solve(const Tridiagonal& a, const std::vector<double>& u,
 
   std::vector<double>& y = scratch.y;
   std::vector<double>& z = scratch.z;
-  if (!thomas_solve(a, b, y, scratch.cp)) return false;
-  if (!thomas_solve(a, u, z, scratch.cp)) return false;
+  // Fused two-RHS pass: one forward elimination serves A y = b and
+  // A z = u, bit-identical to two independent Thomas solves (the two
+  // always shared the same pivot chain).
+  if (!thomas_solve2(a, b, u, y, z, scratch.cp)) return false;
 
   double vy = 0.0, vz = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -40,7 +42,7 @@ bool sherman_morrison_solve(const Tridiagonal& a, const std::vector<double>& u,
     return false;
   const double scale = vy / denom;
 
-  x.assign(n, 0.0);
+  x.resize(n);
   for (std::size_t i = 0; i < n; ++i) x[i] = y[i] - scale * z[i];
   return true;
 }

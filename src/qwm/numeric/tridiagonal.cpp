@@ -51,15 +51,21 @@ bool thomas_solve(const Tridiagonal& t, const std::vector<double>& b,
   cp.assign(n, 0.0);  // modified super-diagonal
   x.assign(n, 0.0);
 
+  // One divide per row: the pivot reciprocal is reused by the modified
+  // super-diagonal and the RHS sweep (ulp-level shift vs. dividing twice,
+  // inside the callers' Newton tolerance). Singularity is still detected
+  // on the pivot itself.
   double piv = t.diag[0];
   if (piv == 0.0 || !std::isfinite(piv)) return false;
-  cp[0] = t.upper[0] / piv;
-  x[0] = b[0] / piv;
+  double inv = 1.0 / piv;
+  cp[0] = t.upper[0] * inv;
+  x[0] = b[0] * inv;
   for (std::size_t i = 1; i < n; ++i) {
     piv = t.diag[i] - t.lower[i] * cp[i - 1];
     if (piv == 0.0 || !std::isfinite(piv)) return false;
-    cp[i] = t.upper[i] / piv;
-    x[i] = (b[i] - t.lower[i] * x[i - 1]) / piv;
+    inv = 1.0 / piv;
+    cp[i] = t.upper[i] * inv;
+    x[i] = (b[i] - t.lower[i] * x[i - 1]) * inv;
   }
   for (std::size_t i = n - 1; i-- > 0;) x[i] -= cp[i] * x[i + 1];
   return true;
@@ -70,6 +76,47 @@ std::vector<double> thomas_solve(const Tridiagonal& t,
   std::vector<double> x;
   if (!thomas_solve(t, b, x)) return {};
   return x;
+}
+
+bool thomas_solve2(const Tridiagonal& t, const std::vector<double>& b1,
+                   const std::vector<double>& b2, std::vector<double>& x1,
+                   std::vector<double>& x2, std::vector<double>& cp) {
+  const std::size_t n = t.size();
+  assert(b1.size() == n && b2.size() == n);
+  if (n == 0) {
+    x1.clear();
+    x2.clear();
+    return true;
+  }
+  if (support::fire_fault(support::FaultSite::kSingularPivot)) return false;
+  cp.resize(n);  // fully overwritten below — no clearing pass
+  x1.resize(n);
+  x2.resize(n);
+
+  // Forward elimination once; each RHS sweep applies the same per-row
+  // operations (subtract, scale by the shared pivot reciprocal) in the
+  // same order as its standalone thomas_solve, so the results match that
+  // routine bit for bit.
+  double piv = t.diag[0];
+  if (piv == 0.0 || !std::isfinite(piv)) return false;
+  double inv = 1.0 / piv;
+  cp[0] = t.upper[0] * inv;
+  x1[0] = b1[0] * inv;
+  x2[0] = b2[0] * inv;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double l = t.lower[i];
+    piv = t.diag[i] - l * cp[i - 1];
+    if (piv == 0.0 || !std::isfinite(piv)) return false;
+    inv = 1.0 / piv;
+    cp[i] = t.upper[i] * inv;
+    x1[i] = (b1[i] - l * x1[i - 1]) * inv;
+    x2[i] = (b2[i] - l * x2[i - 1]) * inv;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x1[i] -= cp[i] * x1[i + 1];
+    x2[i] -= cp[i] * x2[i + 1];
+  }
+  return true;
 }
 
 }  // namespace qwm::numeric

@@ -53,4 +53,14 @@ bool thomas_solve(const Tridiagonal& t, const std::vector<double>& b,
 std::vector<double> thomas_solve(const Tridiagonal& t,
                                  const std::vector<double>& b);
 
+/// Fused two-RHS Thomas solve: T x1 = b1 and T x2 = b2 in one
+/// cache-resident pass. The forward elimination (pivot chain and modified
+/// super-diagonal `cp`) is computed once and shared; each RHS sees exactly
+/// the arithmetic sequence of its own thomas_solve call, so x1/x2 are
+/// bit-identical to two independent solves at roughly two thirds of the
+/// work. Fires the singular-pivot fault site once per factorization.
+bool thomas_solve2(const Tridiagonal& t, const std::vector<double>& b1,
+                   const std::vector<double>& b2, std::vector<double>& x1,
+                   std::vector<double>& x2, std::vector<double>& cp);
+
 }  // namespace qwm::numeric

@@ -276,7 +276,9 @@ std::string Server::handle_line(const std::string& line) {
          << " barrier_syncs=" << db.sched.barrier_syncs
          << " tasks_enqueued=" << db.sched.tasks_enqueued
          << " ready_hwm=" << db.sched.ready_hwm
-         << " chain_edges=" << db.sched.chain_edges;
+         << " chain_edges=" << db.sched.chain_edges
+         << " steal_count=" << db.sched.steal_count
+         << " classify_lock_waits=" << db.sched.classify_lock_waits;
       for (int i = 0; i < kVerbCount; ++i) {
         const VerbStats& v = sv.verb[i];
         if (v.requests == 0) continue;

@@ -109,6 +109,16 @@ struct ScheduleStats {
   std::size_t tasks_enqueued = 0;  ///< stages pushed on the ready queue (deps)
   std::size_t ready_hwm = 0;       ///< ready-queue high-water mark (deps)
   std::size_t chain_edges = 0;     ///< memo-twin serialization edges (deps)
+  /// Stages a worker lane took from another lane's ready shard because its
+  /// own shard was empty (deps). Zero on single-lane runs; the
+  /// load-imbalance observable on multi-lane runs.
+  std::size_t steal_count = 0;
+  /// Contended lock acquisitions during record classification (claim-table
+  /// shard or cache mutex already held by another lane). The observable
+  /// that classification left the global lock: under the old design every
+  /// classification serialized; now only genuine same-shard collisions
+  /// wait. Zero on single-lane runs.
+  std::size_t classify_lock_waits = 0;
 };
 
 struct CriticalPathStep {

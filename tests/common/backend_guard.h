@@ -1,0 +1,31 @@
+// RAII guard for the process-global frame-kernel SIMD backend. The
+// dispatch pointer is process state (set once at startup from
+// QWM_SIMD_BACKEND / CPU detection), so any test that forces a backend
+// must restore the previous one on every exit path — including assertion
+// failures — or it would silently change which backend the rest of the
+// suite runs under.
+#pragma once
+
+#include "qwm/device/frame_kernel.h"
+
+namespace qwm::test {
+
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(device::kernel::Backend b)
+      : saved_(device::kernel::active_backend()),
+        ok_(device::kernel::set_backend(b)) {}
+  ~ScopedBackend() { device::kernel::set_backend(saved_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+  /// False when the requested backend is unsupported on this host (the
+  /// dispatch was left unchanged).
+  bool ok() const { return ok_; }
+
+ private:
+  device::kernel::Backend saved_;
+  bool ok_;
+};
+
+}  // namespace qwm::test

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs every --json-capable benchmark harness and consolidates the
-# results into one machine-readable document (BENCH_PR7.json by
+# results into one machine-readable document (BENCH_PR8.json by
 # default). Usage:
 #   tools/bench_all.sh [OUT.json]
 # Environment:
@@ -9,7 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD:-build}
-OUT=${1:-BENCH_PR7.json}
+OUT=${1:-BENCH_PR8.json}
 
 for b in bench_micro_kernels bench_table1_gates bench_incremental_sta \
          bench_service_qps bench_scale_sta; do
@@ -33,8 +33,9 @@ echo "== bench_incremental_sta --corners (3-corner sweep) =="
     --json "$tmp/incremental_sta_corners.json"
 echo "== bench_service_qps =="
 "$BUILD/bench/bench_service_qps" --json "$tmp/service_qps.json"
-echo "== bench_scale_sta (10^4 + 10^5 stages, both schedulers) =="
-"$BUILD/bench/bench_scale_sta" --threads "$(nproc)" --json "$tmp/scale_sta.json"
+echo "== bench_scale_sta (10^4 + 10^5 stages, both schedulers, thread sweep) =="
+"$BUILD/bench/bench_scale_sta" --threads "1,2,4,$(nproc)" \
+    --json "$tmp/scale_sta.json"
 
 python3 - "$OUT" "$tmp" <<'EOF'
 import json, os, sys

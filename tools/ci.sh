@@ -36,6 +36,22 @@ cmake --build --preset default -j"$(nproc)"
 echo "== tier1 tests (plain) =="
 ctest --preset tier1
 
+echo "== tier1 bit-exactness suites (forced scalar frame kernel) =="
+# The frame-kernel dispatch picks the best backend at startup (AVX2 on
+# capable hosts), so the plain run above covered that side. This pass
+# pins QWM_SIMD_BACKEND=scalar and re-runs the arithmetic-contract
+# suites so the portable backend's results gate CI on every host. On
+# AVX2 hosts the SimdBackend/SimdSched suites additionally compare the
+# two backends bitwise; on others they skip and this pass is the
+# scalar coverage.
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  echo "host has AVX2: plain tier1 ran the AVX2 backend"
+else
+  echo "host has no AVX2: dispatch already scalar; re-run is a pin check"
+fi
+QWM_SIMD_BACKEND=scalar ctest --preset tier1 \
+    -R 'SimdBackend|SimdSched|BatchFrame|FaultLadder|DepsSta|Golden'
+
 echo "== service smoke (stdio) =="
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -79,7 +95,10 @@ echo "== perf smoke (work-counter budget) =="
     --counters-only --budget tools/perf_budget.json
 # Scheduler counters of the 10^4-stage generated design (exact structural
 # pins; also re-checks levels-vs-deps bitwise equivalence end to end).
-./build/bench/bench_scale_sta --smoke --counters-only \
+# The 1,4 thread sweep additionally checks the work-stealing scheduler's
+# bit-identity across lane counts and budgets its steal/lock-wait
+# counters (upper bounds: scheduling-dependent, not exact).
+./build/bench/bench_scale_sta --smoke --counters-only --threads 1,4 \
     --budget tools/perf_budget.json
 echo "perf smoke passed"
 

@@ -129,10 +129,11 @@ void run_sta(qwm::circuit::PartitionedDesign design,
               sta.worst_arrival() * 1e12);
   const sta::ScheduleStats& ss = sta.schedule_stats();
   std::printf("schedule=%s levels=%zu barrier_syncs=%zu tasks_enqueued=%zu "
-              "ready_hwm=%zu chain_edges=%zu\n",
+              "ready_hwm=%zu chain_edges=%zu steals=%zu "
+              "classify_lock_waits=%zu\n",
               schedule == sta::Schedule::deps ? "deps" : "levels", ss.levels,
               ss.barrier_syncs, ss.tasks_enqueued, ss.ready_hwm,
-              ss.chain_edges);
+              ss.chain_edges, ss.steal_count, ss.classify_lock_waits);
 
   std::printf("\ncritical path:\n");
   for (const auto& step : sta.critical_path())
