@@ -1,0 +1,214 @@
+// Fleet — the shard router's control plane and data plane.
+//
+// A Fleet fronts N shard endpoints (each a qwm_serve --shard k/N
+// process or an in-process Server) plus optional full-design read
+// replicas, and speaks the same newline protocol as a single server:
+//
+//  * LOAD fans out to every shard and replica, then runs the one-pass
+//    boundary-arrival exchange: shards are swept in shard order, each
+//    shard's BOUNDARY exports injected into its consumers via SETARR
+//    (text passed through verbatim — %.17g survives bit-exactly) and
+//    re-propagated with UPDATE. Level-major sharding makes every
+//    cross-shard edge point forward, so one sweep converges.
+//  * ARRIVAL routes to the owning shard (per the deterministic
+//    ShardMap); a slow owner is hedged against a replica after
+//    hedge_ms; a down owner's nets are answered from a replica with the
+//    reply re-tagged OK DEGRADED — exact values, honestly labelled.
+//  * SLACK / CORNERS need whole-graph context and route to replicas.
+//  * CRITPATH is scatter-gather: every healthy shard reports its local
+//    worst path; the global worst is stitched across shard boundaries
+//    by re-querying `CRITPATH <net> <edge>` on each upstream owner.
+//  * RESIZE / UPDATE run under the fleet-wide epoch and are
+//    consistent-or-refused: while any shard is down, mutations answer
+//    ERR SHARD_DOWN instead of tearing the fleet's state.
+//
+// Failover ladder (driven by supervise(), which the router calls
+// periodically and tests call deterministically): HEALTH probes with
+// liveness deadlines mark silent shards suspect then down; a newly-down
+// shard's last-known boundary arrivals are re-injected into its
+// consumers with degraded=1, so every downstream net answers through
+// the engine's sticky Arrival::degraded path; the restart hook brings
+// the process back; re-warm replays LOAD + the owned slice of the
+// mutation log + a fresh boundary sweep (degraded flags clear), and the
+// shard returns to healthy with bit-identical answers at the same
+// fleet epoch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "qwm/service/health.h"
+#include "qwm/service/protocol.h"
+#include "qwm/service/shard_client.h"
+#include "qwm/support/retry.h"
+
+namespace qwm::service {
+
+struct FleetOptions {
+  /// Per-call deadline for queries and boundary-exchange traffic.
+  double call_timeout_ms = 5000.0;
+  /// Deadline for the heavy verbs (LOAD, UPDATE) — full analyses.
+  double load_timeout_ms = 600000.0;
+  /// > 0: a read that hasn't answered within this is declared slow and
+  /// hedged against a replica (bounded: one hedge per request).
+  double hedge_ms = 0.0;
+  /// Transient-error retry (BUSY/DEADLINE + transport failures),
+  /// jittered exponential backoff from support/retry.h.
+  support::RetryPolicy retry;
+  HealthPolicy health;
+  /// Seed of the backoff-jitter stream (decorrelates concurrent fleets).
+  std::uint64_t seed = 0x5eedf1ee7ULL;
+};
+
+struct FleetStats {
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t hedged_reads = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t degraded_replies = 0;
+  std::uint64_t refused_mutations = 0;
+  std::uint64_t failovers = 0;         ///< healthy->down transitions
+  std::uint64_t restarts = 0;          ///< successful re-warms
+  std::uint64_t refused_restarts = 0;  ///< restart hook returned nothing
+  std::uint64_t supervise_passes = 0;
+};
+
+class Fleet {
+ public:
+  /// Brings shard `shard` back after a crash (fork/exec a new process,
+  /// or construct a fresh in-process server) and returns its endpoint;
+  /// nullptr = restart refused/failed (retried on the next supervise).
+  using RestartFn = std::function<std::unique_ptr<ShardEndpoint>(int shard)>;
+
+  Fleet(FleetOptions opt, std::vector<std::unique_ptr<ShardEndpoint>> shards,
+        std::vector<std::unique_ptr<ShardEndpoint>> replicas);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  void set_restart_fn(RestartFn fn) { restart_ = std::move(fn); }
+
+  /// Routes one request line and returns the one-line reply, with the
+  /// epoch field rewritten to the fleet epoch. Thread-safe.
+  std::string handle_line(const std::string& line);
+
+  /// Router HEALTH reply (fast path — short tracker lock only, never
+  /// the fleet lock).
+  std::string health_line() const;
+
+  /// One supervision pass: probe every shard, degrade the cones of
+  /// newly-down shards, restart + re-warm down shards. Returns a
+  /// summary line for logs. Serialized with mutations.
+  std::string supervise();
+
+  /// Broadcasts SHUTDOWN to every shard and replica (best effort).
+  void broadcast_shutdown();
+
+  bool loaded() const;
+  std::uint64_t epoch() const;
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int replica_count() const { return static_cast<int>(replicas_.size()); }
+  ShardState shard_state(int shard) const { return health_.state(shard); }
+  FleetStats stats() const;
+
+  struct Routing;  ///< full-design name/ownership tables (fleet.cpp)
+
+ private:
+  struct CallResult {
+    bool ok = false;       ///< transport round trip completed sanely
+    std::string response;  ///< only meaningful when ok
+  };
+
+  // Endpoint plumbing. Shard indices [0, shards); replica index r is
+  // addressed separately. All honor per-call timeouts; shard calls feed
+  // the health tracker.
+  CallResult call_shard(int shard, const std::string& line, double timeout_ms);
+  CallResult call_replica(int replica, const std::string& line,
+                          double timeout_ms);
+  /// Retry wrapper: transport failures and retryable codes retry with
+  /// jittered backoff per opt_.retry.
+  CallResult call_shard_retry(int shard, const std::string& line,
+                              double timeout_ms);
+  /// First live replica that answers; !ok when none do.
+  CallResult any_replica(const std::string& line, double timeout_ms);
+  /// Health-ladder bookkeeping for one failed shard call (queues the
+  /// failover-marking work when the shard just went down).
+  void on_shard_failure(int shard);
+
+  // Verb handlers (shared or exclusive lock noted in fleet.cpp).
+  std::string do_load(const std::string& path);
+  std::string do_arrival(const std::string& line, const std::string& net);
+  std::string do_replica_read(const std::string& line);
+  std::string do_critpath(const Request& r);
+  std::string do_resize(const std::string& line, int stage);
+  std::string do_update(const std::string& line);
+  std::string do_stats();
+
+  /// The one-pass forward boundary exchange (see header comment). Sums
+  /// the shards' UPDATE evals and keeps the raw text of the maximum
+  /// worst= field. Returns false when a required shard call failed.
+  bool sweep_boundaries(std::uint64_t* evals, std::string* worst_raw,
+                        std::string* error);
+  /// Parses one BOUNDARY reply, refreshes the boundary cache, and
+  /// SETARRs every entry into its consumer shards (degraded flags forced
+  /// on when `force_degraded`).
+  bool inject_entries(const std::string& boundary_resp, bool force_degraded,
+                      std::string* error);
+  /// Re-injects shard k's last-known exports into its consumers with
+  /// degraded=1 and re-propagates — the detect->degrade rung.
+  void inject_degraded(int shard);
+  /// LOAD + owned-mutation replay for a restarted shard; the caller's
+  /// fleet-wide sweep then resyncs boundaries and clears degradation.
+  bool rewarm(int shard, std::string* error);
+
+  /// Stamps the fleet epoch into an OK reply and counts degradation.
+  std::string stamp(std::string response);
+
+  double jittered_backoff(int attempt);
+
+  /// Readers pass through gate_ before taking mu_ shared; writers hold
+  /// gate_ while waiting (same writer-fairness idiom as DesignDb).
+  std::shared_lock<std::shared_mutex> reader_lock() const;
+  std::unique_lock<std::shared_mutex> writer_lock();
+
+  FleetOptions opt_;
+  RestartFn restart_;
+
+  mutable std::mutex gate_;
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<ShardEndpoint>> shards_;
+  std::vector<std::unique_ptr<ShardEndpoint>> replicas_;
+  /// Replica still serving (a replica that misses a mutation is dropped
+  /// from rotation rather than left to answer from a stale design).
+  std::vector<char> replica_live_;
+  std::unique_ptr<Routing> routing_;
+  std::string deck_;                       ///< last LOAD source (re-warm)
+  std::vector<std::string> mutation_log_;  ///< RESIZE/UPDATE since LOAD
+  std::uint64_t epoch_ = 0;
+
+  HealthTracker health_;
+  /// Newly-down shards whose consumers still need degraded marking.
+  std::mutex pending_mu_;
+  std::set<int> pending_failover_;
+  /// Shards whose cones carry the degraded tag (cleared on re-warm);
+  /// guarded by the writer lock (supervise-only).
+  std::set<int> degraded_marked_;
+
+  /// Lock-free mirrors for the HEALTH fast path.
+  std::atomic<std::uint64_t> epoch_mirror_{0};
+  std::atomic<bool> loaded_mirror_{false};
+
+  mutable std::mutex stats_mu_;
+  FleetStats stats_;
+  std::uint64_t rng_;
+};
+
+}  // namespace qwm::service

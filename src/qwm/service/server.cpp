@@ -1,15 +1,7 @@
 #include "qwm/service/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <cctype>
-#include <cerrno>
 #include <chrono>
-#include <cstring>
-#include <future>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -27,68 +19,43 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Lines the protocol ignores: empty/whitespace or '#' comments.
-bool ignorable(const std::string& line) {
-  for (char c : line) {
-    if (c == '#') return true;
-    if (!std::isspace(static_cast<unsigned char>(c))) return false;
-  }
-  return true;
+/// Appends one boundary/arrival edge as the compact colon format used in
+/// BOUNDARY entries: v:time:slew:degraded.
+void append_edge(std::ostringstream& os, const sta::Arrival& a) {
+  os << (a.valid() ? 1 : 0) << ":" << format_double(a.time) << ":"
+     << format_double(a.slew) << ":" << (a.degraded ? 1 : 0);
 }
 
 }  // namespace
 
-/// One client session: either a connected socket (fd >= 0) or a stream
-/// pair. write_line is serialized per connection; with the strict
-/// request/response discipline there is at most one response in flight.
-struct Server::Conn {
-  int fd = -1;
-  std::ostream* out = nullptr;
-  std::mutex write_mu;
-
-  ~Conn() {
-    if (fd >= 0) ::close(fd);
-  }
-
-  void write_line(const std::string& s) {
-    std::lock_guard lock(write_mu);
-    if (out) {
-      (*out) << s << '\n';
-      out->flush();
-      return;
+Server::Server(ServerOptions opt)
+    : opt_(opt),
+      db_(opt.db),
+      transport_(TransportOptions{opt.threads, opt.queue_capacity,
+                                  opt.deadline_ms}) {
+  transport_.set_handler([this](const std::string& line) {
+    return handle_line(line);
+  });
+  // HEALTH bypasses the admission queue: a saturated shard must still
+  // prove liveness so the router can tell "slow" from "dead".
+  transport_.set_fast_handler([this](const std::string& line,
+                                     std::string* response) {
+    std::string word;
+    for (char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!word.empty()) break;
+        continue;
+      }
+      word.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
     }
-    std::string msg = s;
-    msg += '\n';
-    std::size_t off = 0;
-    while (off < msg.size()) {
-      const ssize_t n =
-          ::send(fd, msg.data() + off, msg.size() - off, MSG_NOSIGNAL);
-      if (n <= 0) return;  // peer went away; drop the response
-      off += static_cast<std::size_t>(n);
-    }
-  }
-
-  /// Unblocks a reader parked in recv() on this connection.
-  void shutdown_io() {
-    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-  }
-};
-
-/// One admitted request. The transport's reader thread blocks on `done`
-/// until a worker has written the response, which keeps responses in
-/// request order per connection.
-struct Server::Job {
-  std::shared_ptr<Conn> conn;
-  std::string line;
-  Clock::time_point enqueued;
-  std::promise<void> done;
-};
-
-Server::Server(ServerOptions opt) : opt_(opt), db_(opt.db), pool_(opt.threads) {}
-
-Server::~Server() {
-  request_shutdown();
+    if (word != "health") return false;
+    *response = health_line();
+    return true;
+  });
 }
+
+Server::~Server() { request_shutdown(); }
 
 void Server::note_result(Verb v, double ms, bool ok) {
   std::lock_guard lock(stats_mu_);
@@ -97,6 +64,22 @@ void Server::note_result(Verb v, double ms, bool ok) {
   if (!ok) ++s.errors;
   s.total_ms += ms;
   if (ms > s.max_ms) s.max_ms = ms;
+}
+
+void Server::refresh_mirrors(std::uint64_t epoch, bool loaded) {
+  epoch_mirror_.store(epoch, std::memory_order_relaxed);
+  loaded_mirror_.store(loaded, std::memory_order_relaxed);
+}
+
+std::string Server::health_line() {
+  health_probes_.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream os;
+  os << "health=1 loaded=" << (loaded_mirror_.load(std::memory_order_relaxed)
+                                   ? 1
+                                   : 0)
+     << " epoch=" << epoch_mirror_.load(std::memory_order_relaxed)
+     << " shard=" << db_.shard_index() << " shards=" << db_.shard_count();
+  return ok_line(os.str());
 }
 
 std::string Server::handle_line(const std::string& line) {
@@ -137,10 +120,17 @@ std::string Server::handle_line(const std::string& line) {
         resp = err_line(reply.status.code, reply.status.message);
         break;
       }
+      refresh_mirrors(reply.epoch, true);
       os << "epoch=" << reply.epoch << " session=" << reply.session
          << " stages=" << reply.stages << " nets=" << reply.nets
          << " evals=" << reply.evals << " warnings=" << reply.warnings.size()
          << " worst=" << format_double(reply.worst);
+      if (reply.shards > 1) {
+        os << " shard=" << reply.shard << " shards=" << reply.shards
+           << " total_stages=" << reply.total_stages
+           << " boundary_in=" << reply.boundary_in
+           << " boundary_out=" << reply.boundary_out;
+      }
       resp = ok_line(os.str());
       break;
     }
@@ -205,7 +195,9 @@ std::string Server::handle_line(const std::string& line) {
       break;
     }
     case Verb::kCritPath: {
-      const CritPathReply reply = db_.critical_path();
+      const CritPathReply reply =
+          r.net.empty() ? db_.critical_path()
+                        : db_.critical_path(r.net, r.path_edge);
       if (!reply.status.ok) {
         resp = err_line(reply.status.code, reply.status.message);
         break;
@@ -227,6 +219,7 @@ std::string Server::handle_line(const std::string& line) {
         resp = err_line(reply.status.code, reply.status.message);
         break;
       }
+      refresh_mirrors(reply.epoch, true);
       os << "epoch=" << reply.epoch << " stage=" << r.stage
          << " edge=" << r.edge << " width=" << format_double(r.width)
          << " staged=1";
@@ -239,6 +232,7 @@ std::string Server::handle_line(const std::string& line) {
         resp = err_line(reply.status.code, reply.status.message);
         break;
       }
+      refresh_mirrors(reply.epoch, true);
       os << "epoch=" << reply.epoch << " evals=" << reply.evals
          << " worst=" << format_double(reply.worst);
       resp = ok_line(os.str());
@@ -249,13 +243,20 @@ std::string Server::handle_line(const std::string& line) {
       ServerStats sv = stats();
       std::uint64_t total = 0;
       for (const auto& v : sv.verb) total += v.requests;
+      const TransportStats ts = transport_.stats();
       os << "epoch=" << db.epoch << " session=" << db.session
          << " loaded=" << (db.loaded ? 1 : 0) << " stages=" << db.stages
+         << " shard=" << db.shard << " shards=" << db.shards
+         << " boundary_out=" << db.boundary_out
          << " requests=" << total << " malformed=" << sv.malformed
          << " busy=" << sv.busy_rejections
          << " deadline=" << sv.deadline_expirations
          << " solve_deadline=" << sv.solve_deadline_expirations
          << " degraded=" << sv.degraded_replies
+         << " health_probes=" << sv.health_probes
+         << " dropped_conns=" << ts.dropped_connections
+         << " stalled_replies=" << ts.stalled_replies
+         << " corrupted_replies=" << ts.corrupted_replies
          << " fallback_nominal=" << db.qwm.fallback_counts[core::kRungNominal]
          << " fallback_damped=" << db.qwm.fallback_counts[core::kRungDamped]
          << " fallback_bisect=" << db.qwm.fallback_counts[core::kRungBisect]
@@ -291,6 +292,53 @@ std::string Server::handle_line(const std::string& line) {
       resp = ok_line(os.str());
       break;
     }
+    case Verb::kHealth: {
+      // Normally intercepted by the transport fast path; answered here
+      // too so direct handle_line() callers get the same reply.
+      resp = health_line();
+      break;
+    }
+    case Verb::kBoundary: {
+      const BoundaryReply reply = db_.boundary();
+      if (!reply.status.ok) {
+        resp = err_line(reply.status.code, reply.status.message);
+        break;
+      }
+      os << "epoch=" << reply.epoch << " count=" << reply.entries.size()
+         << " nets=";
+      for (std::size_t i = 0; i < reply.entries.size(); ++i) {
+        const auto& e = reply.entries[i];
+        if (i) os << ";";
+        os << e.net << ":";
+        append_edge(os, e.timing.rise);
+        os << ":";
+        append_edge(os, e.timing.fall);
+      }
+      resp = ok_line(os.str());
+      break;
+    }
+    case Verb::kSetArr: {
+      sta::NetTiming t;
+      if (r.rise.valid) {
+        t.rise.time = r.rise.time;
+        t.rise.slew = r.rise.slew;
+        t.rise.degraded = r.rise.degraded;
+      }
+      if (r.fall.valid) {
+        t.fall.time = r.fall.time;
+        t.fall.slew = r.fall.slew;
+        t.fall.degraded = r.fall.degraded;
+      }
+      const MutateReply reply = db_.set_arrival(r.net, t);
+      if (!reply.status.ok) {
+        resp = err_line(reply.status.code, reply.status.message);
+        break;
+      }
+      refresh_mirrors(reply.epoch, true);
+      os << "epoch=" << reply.epoch << " net=" << r.net << " staged=1";
+      resp = ok_line(os.str());
+      break;
+    }
     case Verb::kShutdown: {
       request_shutdown();
       resp = ok_line("bye");
@@ -318,183 +366,25 @@ std::string Server::handle_line(const std::string& line) {
   return resp;
 }
 
-void Server::submit_and_wait(const std::shared_ptr<Conn>& conn,
-                             const std::string& line) {
-  auto job = std::make_shared<Job>();
-  job->conn = conn;
-  job->line = line;
-  job->enqueued = Clock::now();
-  std::future<void> done = job->done.get_future();
-  bool shed_busy = false;
-  {
-    std::lock_guard lock(queue_mu_);
-    if (queue_closed_) {
-      conn->write_line(err_line("SHUTDOWN", "server stopping"));
-      return;
-    }
-    if (static_cast<int>(queue_.size()) >= opt_.queue_capacity) {
-      shed_busy = true;
-    } else {
-      queue_.push_back(std::move(job));
-    }
-  }
-  if (shed_busy) {
-    {
-      std::lock_guard lock(stats_mu_);
-      ++stats_.busy_rejections;
-    }
-    conn->write_line(err_line("BUSY", "admission queue full"));
-    return;
-  }
-  queue_cv_.notify_one();
-  done.wait();
-}
-
-void Server::worker_loop() {
-  for (;;) {
-    std::shared_ptr<Job> job;
-    {
-      std::unique_lock lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return queue_closed_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // closed and fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    const double waited_ms = ms_between(job->enqueued, Clock::now());
-    std::string resp;
-    if (opt_.deadline_ms > 0.0 && waited_ms > opt_.deadline_ms) {
-      {
-        std::lock_guard lock(stats_mu_);
-        ++stats_.deadline_expirations;
-      }
-      resp = err_line("DEADLINE", "request waited " + format_double(waited_ms) +
-                                      " ms in queue");
-    } else {
-      resp = handle_line(job->line);
-    }
-    if (!resp.empty()) job->conn->write_line(resp);
-    job->done.set_value();
-  }
-}
-
-void Server::run_workers() {
-  const std::size_t lanes = static_cast<std::size_t>(pool_.thread_count());
-  pool_.parallel_for(lanes, [this](std::size_t) { worker_loop(); });
-}
-
 int Server::serve_stream(std::istream& in, std::ostream& out) {
-  auto conn = std::make_shared<Conn>();
-  conn->out = &out;
-  // The worker lanes run on the pool (pumped from this helper thread);
-  // the calling thread is the transport reader.
-  std::thread pump([this] { run_workers(); });
-  std::string line;
-  while (!shutdown_requested() && std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (ignorable(line)) continue;
-    submit_and_wait(conn, line);
-  }
-  request_shutdown();
-  pump.join();
-  return 0;
+  return transport_.serve_stream(in, out);
 }
 
-bool Server::listen(int port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return false;
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) < 0 ||
-      ::listen(listen_fd_, 64) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  socklen_t len = sizeof addr;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  return true;
-}
+bool Server::listen(int port) { return transport_.listen(port); }
 
-void Server::serve() {
-  std::thread accept_thread([this] {
-    for (;;) {
-      const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd < 0) {
-        if (errno == EINTR) continue;
-        return;  // listener shut down (or hard error): stop accepting
-      }
-      if (shutdown_requested()) {
-        ::close(fd);
-        return;
-      }
-      auto conn = std::make_shared<Conn>();
-      conn->fd = fd;
-      std::lock_guard lock(conns_mu_);
-      conns_.push_back(conn);
-      readers_.emplace_back([this, conn] { reader_loop(conn); });
-    }
-  });
-  run_workers();  // blocks until SHUTDOWN closes and drains the queue
-  // All responses are written; now unblock readers parked in recv().
-  {
-    std::lock_guard lock(conns_mu_);
-    for (auto& w : conns_)
-      if (auto c = w.lock()) c->shutdown_io();
-  }
-  accept_thread.join();
-  // The accept thread (sole mutator of readers_) has exited.
-  for (auto& t : readers_) t.join();
-  readers_.clear();
-  {
-    std::lock_guard lock(conns_mu_);
-    conns_.clear();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-}
-
-void Server::reader_loop(std::shared_ptr<Conn> conn) {
-  std::string buf;
-  char chunk[4096];
-  for (;;) {
-    std::size_t nl;
-    while ((nl = buf.find('\n')) != std::string::npos) {
-      std::string line = buf.substr(0, nl);
-      buf.erase(0, nl + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (ignorable(line)) continue;
-      submit_and_wait(conn, line);
-      if (shutdown_requested()) return;
-    }
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
-    if (n <= 0) return;  // EOF, error, or shutdown_io()
-    buf.append(chunk, static_cast<std::size_t>(n));
-  }
-}
-
-void Server::request_shutdown() {
-  stop_.store(true, std::memory_order_release);
-  {
-    std::lock_guard lock(queue_mu_);
-    queue_closed_ = true;
-  }
-  queue_cv_.notify_all();
-  // Unblock accept(); connection fds are shut down by serve() after the
-  // workers have drained every pending response.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-}
+void Server::serve() { transport_.serve(); }
 
 ServerStats Server::stats() const {
-  std::lock_guard lock(stats_mu_);
-  return stats_;
+  ServerStats s;
+  {
+    std::lock_guard lock(stats_mu_);
+    s = stats_;
+  }
+  const TransportStats ts = transport_.stats();
+  s.busy_rejections = ts.busy_rejections;
+  s.deadline_expirations = ts.deadline_expirations;
+  s.health_probes = health_probes_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace qwm::service

@@ -1,42 +1,31 @@
-// qwm_serve transport + dispatch layer.
+// qwm_serve dispatch layer.
 //
-// A Server owns one DesignDb and serves the newline protocol over two
-// transports:
+// A Server owns one DesignDb and a LineTransport (see transport.h for
+// the admission queue, worker lanes, stdio/TCP plumbing, and the
+// reply-path fault hooks). The Server contributes the protocol logic:
+// parse a request line, execute it against the db, format the one-line
+// reply, and keep per-verb request/error/latency counters.
 //
-//  * stdio  — serve_stream(): one client session on an istream/ostream
-//    pair, requests answered in order (the scripted-CI mode).
-//  * TCP    — listen() + serve(): POSIX sockets on 127.0.0.1, one reader
-//    thread per connection, strict request/response per connection,
-//    concurrency across connections.
+// Queries run under the DesignDb's shared lock; RESIZE/UPDATE/LOAD/
+// SETARR transactions serialize on its exclusive lock and bump the
+// epoch (see design_db.h). HEALTH is answered on the transport's fast
+// path from lock-free mirrors — a saturated or write-locked server
+// still proves liveness, which is how the fleet's health tracker tells
+// "slow" from "dead".
 //
-// Both transports funnel requests through the same machinery: a *bounded
-// admission queue* drained by worker lanes running on the existing
-// support::ThreadPool (each lane is one long-lived parallel_for index).
-// A full queue rejects immediately with "ERR BUSY" — overload sheds load
-// instead of stalling the readers — and a request that waited in the
-// queue past the configured deadline is answered "ERR DEADLINE" without
-// touching the engine. Queries run under the DesignDb's shared lock;
-// RESIZE/UPDATE/LOAD transactions serialize on its exclusive lock and
-// bump the epoch (see design_db.h).
-//
-// Per-verb request/error/latency counters plus the busy/deadline
-// shed counts are surfaced through the STATS verb.
+// Per-verb counters plus the busy/deadline shed counts are surfaced
+// through the STATS verb.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
-#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "qwm/service/design_db.h"
 #include "qwm/service/protocol.h"
-#include "qwm/support/thread_pool.h"
+#include "qwm/service/transport.h"
 
 namespace qwm::service {
 
@@ -75,6 +64,8 @@ struct ServerStats {
   std::uint64_t solve_deadline_expirations = 0;
   /// "OK DEGRADED" replies served (fallback-ladder results delivered).
   std::uint64_t degraded_replies = 0;
+  /// HEALTH probes answered on the transport fast path.
+  std::uint64_t health_probes = 0;
 };
 
 class Server {
@@ -88,6 +79,10 @@ class Server {
   DesignDb& db() { return db_; }
   const ServerOptions& options() const { return opt_; }
 
+  /// Per-instance reply-path fault hook (drop/stall/corrupt — see
+  /// transport.h). Configure before serving.
+  support::FaultHook& fault_hook() { return transport_.fault_hook(); }
+
   /// Parses and executes one request line, returning the one-line
   /// response. Thread-safe; every transport funnels through this, and
   /// tests / in-process benches may call it directly (no admission
@@ -99,56 +94,42 @@ class Server {
   /// clean session.
   int serve_stream(std::istream& in, std::ostream& out);
 
-  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()). False on failure.
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) with
+  /// SO_REUSEADDR. False on failure; listen_error() says why.
   bool listen(int port);
-  int port() const { return port_; }
+  const std::string& listen_error() const { return transport_.listen_error(); }
+  int port() const { return transport_.port(); }
   /// Accept loop + worker lanes; blocks until SHUTDOWN (verb or
   /// request_shutdown()). Requires a successful listen().
   void serve();
 
   /// Thread-safe: stops accepting, drains in-flight requests, unblocks
   /// every transport.
-  void request_shutdown();
-  bool shutdown_requested() const {
-    return stop_.load(std::memory_order_acquire);
-  }
+  void request_shutdown() { transport_.request_shutdown(); }
+  bool shutdown_requested() const { return transport_.shutdown_requested(); }
 
   ServerStats stats() const;
 
  private:
-  struct Conn;
-  struct Job;
-
-  /// Admission + execution for one request line read by a transport:
-  /// enqueue (or shed with BUSY), wait for the worker's response write.
-  void submit_and_wait(const std::shared_ptr<Conn>& conn,
-                       const std::string& line);
-  void worker_loop();
-  void run_workers();   ///< parallel_for the worker lanes (blocks)
-  void reader_loop(std::shared_ptr<Conn> conn);
   void note_result(Verb v, double ms, bool ok);
+  /// Lock-free HEALTH reply from the epoch/loaded mirrors (fast path —
+  /// must never touch the db locks).
+  std::string health_line();
+  /// Refresh the mirrors after a mutation (called with no locks held;
+  /// the mirrors are advisory, exact values come from the reply itself).
+  void refresh_mirrors(std::uint64_t epoch, bool loaded);
 
   ServerOptions opt_;
   DesignDb db_;
-  support::ThreadPool pool_;
-  std::atomic<bool> stop_{false};
+  LineTransport transport_;
 
-  // Bounded admission queue.
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Job>> queue_;
-  bool queue_closed_ = false;
+  // Lock-free state mirrors feeding health_line().
+  std::atomic<std::uint64_t> epoch_mirror_{0};
+  std::atomic<bool> loaded_mirror_{false};
+  std::atomic<std::uint64_t> health_probes_{0};
 
-  // Stats.
   mutable std::mutex stats_mu_;
   ServerStats stats_;
-
-  // TCP state.
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::mutex conns_mu_;
-  std::vector<std::weak_ptr<Conn>> conns_;
-  std::vector<std::thread> readers_;
 };
 
 }  // namespace qwm::service

@@ -1,0 +1,104 @@
+#include "qwm/service/shard_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qwm::service {
+
+namespace {
+
+timeval to_timeval(double ms) {
+  if (ms <= 0.0) ms = 1.0;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>((ms - 1000.0 * tv.tv_sec) * 1000.0);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;
+  return tv;
+}
+
+}  // namespace
+
+TcpEndpoint::TcpEndpoint(int port) : port_(port) {}
+
+TcpEndpoint::~TcpEndpoint() { disconnect(); }
+
+void TcpEndpoint::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+bool TcpEndpoint::ensure_connected(double timeout_ms) {
+  if (fd_ >= 0) return true;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  const timeval tv = to_timeval(timeout_ms);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+bool TcpEndpoint::call(const std::string& line, double timeout_ms,
+                       std::string* response) {
+  std::lock_guard lock(mu_);
+  if (!ensure_connected(timeout_ms)) return false;
+  // Refresh the per-call deadline (calls may use different budgets, e.g.
+  // a short HEALTH probe on a connection otherwise used for queries).
+  const timeval tv = to_timeval(timeout_ms);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  std::string msg = line;
+  msg += '\n';
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const ssize_t n =
+        ::send(fd_, msg.data() + off, msg.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      disconnect();
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string out = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      *response = std::move(out);
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      // EOF, error, or deadline expiry — protocol state unknown, drop
+      // the connection so the next call starts clean.
+      disconnect();
+      return false;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace qwm::service

@@ -1,0 +1,95 @@
+#include "qwm/service/shard_map.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qwm::service {
+
+ShardMap build_shard_map(const circuit::PartitionedDesign& design,
+                         int shard_count) {
+  const int n = static_cast<int>(design.stages.size());
+  ShardMap map;
+  map.shard_count = std::max(1, std::min(shard_count, std::max(1, n)));
+  map.shard_of.assign(static_cast<std::size_t>(n), 0);
+  map.stages_of.resize(static_cast<std::size_t>(map.shard_count));
+  map.boundary_of.resize(static_cast<std::size_t>(map.shard_count));
+  if (n == 0) return map;
+
+  // Stage predecessors through the driver map (dedup'd).
+  std::vector<std::vector<int>> preds(static_cast<std::size_t>(n));
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (int si = 0; si < n; ++si) {
+    std::set<int> p;
+    for (const netlist::NetId in :
+         design.stages[static_cast<std::size_t>(si)].input_nets) {
+      const auto it = design.driver_of.find(in);
+      if (it != design.driver_of.end() && it->second.first != si)
+        p.insert(it->second.first);
+    }
+    preds[static_cast<std::size_t>(si)].assign(p.begin(), p.end());
+    indeg[static_cast<std::size_t>(si)] = static_cast<int>(p.size());
+  }
+  std::vector<std::vector<int>> succs(static_cast<std::size_t>(n));
+  for (int si = 0; si < n; ++si)
+    for (const int p : preds[static_cast<std::size_t>(si)])
+      succs[static_cast<std::size_t>(p)].push_back(si);
+
+  // Kahn levelization; within a level, ascending stage index.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<int> frontier;
+  for (int si = 0; si < n; ++si)
+    if (indeg[static_cast<std::size_t>(si)] == 0) frontier.push_back(si);
+  while (!frontier.empty()) {
+    std::sort(frontier.begin(), frontier.end());
+    std::vector<int> next;
+    for (const int si : frontier) {
+      order.push_back(si);
+      for (const int c : succs[static_cast<std::size_t>(si)])
+        if (--indeg[static_cast<std::size_t>(c)] == 0) next.push_back(c);
+    }
+    frontier = std::move(next);
+  }
+  if (static_cast<int>(order.size()) != n) {
+    // Cycle: level-major order is undefined; everything lands on shard 0
+    // and the caller checks acyclic before fanning out.
+    map.acyclic = false;
+    map.stages_of[0].resize(static_cast<std::size_t>(n));
+    for (int si = 0; si < n; ++si) map.stages_of[0][si] = si;
+    return map;
+  }
+
+  // Contiguous blocks of near-equal size, remainder to the front.
+  const int base = n / map.shard_count;
+  const int extra = n % map.shard_count;
+  std::size_t pos = 0;
+  for (int s = 0; s < map.shard_count; ++s) {
+    const int take = base + (s < extra ? 1 : 0);
+    for (int k = 0; k < take; ++k) {
+      const int si = order[pos++];
+      map.shard_of[static_cast<std::size_t>(si)] = s;
+      map.stages_of[static_cast<std::size_t>(s)].push_back(si);
+    }
+  }
+
+  // Boundary exports: nets driven in shard s and read by a later shard.
+  std::vector<std::set<netlist::NetId>> boundary(
+      static_cast<std::size_t>(map.shard_count));
+  for (int si = 0; si < n; ++si) {
+    const int s = map.shard_of[static_cast<std::size_t>(si)];
+    for (const netlist::NetId in :
+         design.stages[static_cast<std::size_t>(si)].input_nets) {
+      const auto it = design.driver_of.find(in);
+      if (it == design.driver_of.end()) continue;
+      const int owner = map.shard_of[static_cast<std::size_t>(it->second.first)];
+      if (owner != s) boundary[static_cast<std::size_t>(owner)].insert(in);
+    }
+  }
+  for (int s = 0; s < map.shard_count; ++s)
+    map.boundary_of[static_cast<std::size_t>(s)].assign(
+        boundary[static_cast<std::size_t>(s)].begin(),
+        boundary[static_cast<std::size_t>(s)].end());
+  return map;
+}
+
+}  // namespace qwm::service

@@ -1,0 +1,49 @@
+// Deterministic stage-graph sharding for the serving fleet.
+//
+// A ShardMap assigns every stage of a partitioned design to one of N
+// shards by cutting the *level-major* stage order (topological level
+// ascending, stage index ascending within a level) into N contiguous
+// blocks of near-equal stage count. Because every stage-graph edge goes
+// from a strictly lower level to a higher one, contiguous blocks over
+// that order make every cross-shard edge point forward (lower shard ->
+// higher shard): the fleet can satisfy all boundary dependencies with a
+// single sweep — query shard 0's BOUNDARY, inject into shard 1 via
+// SETARR, and so on — no iteration, no cycles between shards.
+//
+// The map is a pure function of (design, shard_count). The router and
+// every shard parse the same deck, partition it identically (the parse
+// and partition are deterministic), and each call build_shard_map — so
+// they agree on stage ownership and boundary nets without exchanging
+// any metadata. NetIds are never renumbered (see extract_stages), so a
+// net name means the same NetId in every process of the fleet.
+#pragma once
+
+#include <vector>
+
+#include "qwm/circuit/partition.h"
+
+namespace qwm::service {
+
+struct ShardMap {
+  int shard_count = 1;
+  /// False when the stage graph has a cycle (latch loops): levels are
+  /// then undefined, cross-shard edges could point backward, and the
+  /// fleet refuses to shard the design (single-shard serving still works).
+  bool acyclic = true;
+  /// Global stage index -> owning shard.
+  std::vector<int> shard_of;
+  /// Shard -> its global stage indices, in level-major order. This is
+  /// the `keep` list each shard passes to circuit::extract_stages.
+  std::vector<std::vector<int>> stages_of;
+  /// Shard -> nets it drives that stages of *later* shards consume,
+  /// sorted by NetId: exactly the arrivals the shard must export
+  /// (BOUNDARY) and its consumers must ingest (SETARR).
+  std::vector<std::vector<netlist::NetId>> boundary_of;
+};
+
+/// Builds the level-major contiguous-block assignment described above.
+/// `shard_count` is clamped to [1, stage count].
+ShardMap build_shard_map(const circuit::PartitionedDesign& design,
+                         int shard_count);
+
+}  // namespace qwm::service

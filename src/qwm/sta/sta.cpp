@@ -76,6 +76,18 @@ void StaEngine::set_input_arrival(netlist::NetId net, double rise_time,
   for (auto& lane : timing_) lane[net] = t;
 }
 
+void StaEngine::set_input_timing(netlist::NetId net, const NetTiming& t) {
+  for (auto& lane : timing_) lane[net] = t;
+  for (std::size_t i = 0; i < design_.stages.size(); ++i) {
+    for (netlist::NetId in : design_.stages[i].input_nets) {
+      if (in == net) {
+        dirty_[i] = 1;
+        break;
+      }
+    }
+  }
+}
+
 const NetTiming& StaEngine::timing_in(std::size_t slot,
                                       netlist::NetId net) const {
   const auto& lane = timing_[slot];
@@ -704,7 +716,13 @@ std::vector<CriticalPathStep> StaEngine::critical_path() const {
       }
     }
   }
+  return critical_path(net, rising);
+}
+
+std::vector<CriticalPathStep> StaEngine::critical_path(netlist::NetId endpoint,
+                                                       bool rising) const {
   std::vector<CriticalPathStep> path;
+  netlist::NetId net = endpoint;
   int guard = 0;
   while (net >= 0 && guard++ < 1000) {
     const NetTiming& t = timing(net);

@@ -1,0 +1,168 @@
+// The failover ladder, end to end and deterministically: kill a shard,
+// watch the fleet detect it, serve its cone OK DEGRADED (exact
+// elsewhere), refuse mutations while torn, honor a refused restart,
+// then restart + re-warm and reconverge bit-identically at the same
+// fleet epoch. Also the torn-reply detector and the process-level
+// fault-plan grammar the CI smoke drives qwm_serve with.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fleet_test_util.h"
+#include "qwm/service/protocol.h"
+#include "qwm/support/fault_injection.h"
+
+namespace qwm::service {
+namespace {
+
+constexpr int kStages = 8;
+
+std::vector<std::string> all_nets() {
+  std::vector<std::string> nets;
+  for (int i = 1; i < kStages; ++i) nets.push_back("s" + std::to_string(i));
+  nets.push_back("out");
+  nets.push_back("in");
+  return nets;
+}
+
+class FleetFailoverTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    deck_path_ =
+        write_fleet_deck("fleet_failover.sp", fleet_chain_deck(kStages));
+  }
+  std::string deck_path_;
+};
+
+TEST_F(FleetFailoverTest, LadderDetectDegradeRestartReconverge) {
+  TestFleet tf(3);
+  ASSERT_TRUE(is_ok(tf.ask("LOAD " + deck_path_)));
+
+  std::map<std::string, std::string> before;
+  for (const auto& net : all_nets()) {
+    before[net] = tf.ask("ARRIVAL " + net);
+    ASSERT_TRUE(is_ok(before[net])) << net;
+  }
+  const std::uint64_t epoch_before = tf.fleet->epoch();
+
+  // Detect: kill the last shard; hold restarts closed so the degraded
+  // window is observable.
+  tf.allow_restart.store(false);
+  tf.kill(2);
+  tf.fleet->supervise();
+  EXPECT_EQ(tf.fleet->shard_state(2), ShardState::down);
+  FleetStats s = tf.fleet->stats();
+  EXPECT_EQ(s.failovers, 1u);
+  EXPECT_GE(s.refused_restarts, 1u);
+
+  // Degrade: the dead shard's cone answers OK DEGRADED from a replica;
+  // nets owned by live shards stay exact and untagged.
+  std::uint64_t degraded = 0, exact = 0;
+  for (const auto& net : all_nets()) {
+    const std::string resp = tf.ask("ARRIVAL " + net);
+    ASSERT_TRUE(is_ok(resp)) << net << ": " << resp;
+    if (is_degraded(resp)) {
+      ++degraded;
+    } else {
+      EXPECT_EQ(resp, before[net]) << net;
+      ++exact;
+    }
+  }
+  EXPECT_GT(degraded, 0u);
+  EXPECT_GT(exact, 0u);
+
+  // Consistent-or-refused: no torn mutations while a shard is down.
+  EXPECT_EQ(err_code(tf.ask("RESIZE 0 0 2.5u")), "SHARD_DOWN");
+  EXPECT_EQ(err_code(tf.ask("UPDATE")), "SHARD_DOWN");
+  EXPECT_EQ(tf.fleet->epoch(), epoch_before);
+
+  // Recover: open the gate; one supervise pass restarts, re-warms, and
+  // reconverges. Same epoch, bit-identical answers, no degraded tags.
+  tf.allow_restart.store(true);
+  tf.fleet->supervise();
+  EXPECT_EQ(tf.fleet->shard_state(2), ShardState::healthy);
+  EXPECT_EQ(tf.restarts_built.load(), 1);
+  EXPECT_EQ(tf.fleet->epoch(), epoch_before);
+  for (const auto& net : all_nets())
+    EXPECT_EQ(tf.ask("ARRIVAL " + net), before[net]) << net;
+  s = tf.fleet->stats();
+  EXPECT_EQ(s.restarts, 1u);
+  EXPECT_GT(s.degraded_replies, 0u);
+}
+
+TEST_F(FleetFailoverTest, MutationsReplayAfterRestartAtSameEpoch) {
+  TestFleet tf(2);
+  ASSERT_TRUE(is_ok(tf.ask("LOAD " + deck_path_)));
+  ASSERT_TRUE(is_ok(tf.ask("RESIZE 0 0 2.5u")));
+  ASSERT_TRUE(is_ok(tf.ask("UPDATE")));
+
+  std::map<std::string, std::string> want;
+  for (const auto& net : all_nets()) want[net] = tf.ask("ARRIVAL " + net);
+  const std::uint64_t epoch = tf.fleet->epoch();
+
+  // Kill the shard owning stage 0 so the re-warm must replay the RESIZE.
+  tf.kill(0);
+  tf.fleet->supervise();
+  EXPECT_EQ(tf.fleet->shard_state(0), ShardState::healthy);
+  EXPECT_EQ(tf.fleet->epoch(), epoch);
+  for (const auto& net : all_nets())
+    EXPECT_EQ(tf.ask("ARRIVAL " + net), want[net]) << net;
+}
+
+TEST_F(FleetFailoverTest, TornReplyCountsAsTransportFailure) {
+  TestFleet tf(2);
+  ASSERT_TRUE(is_ok(tf.ask("LOAD " + deck_path_)));
+  // Shard 1 starts answering corrupted frames (an "OK" prefix broken by
+  // a control byte — the kCorruptReply shape). The fleet's reply sanity
+  // check must treat that as a transport failure, never forward the
+  // torn line to a client, and walk the shard down the health ladder.
+  tf.torn[1]->store(true);
+  const std::string resp = tf.ask("ARRIVAL out");  // owned by shard 1
+  ASSERT_TRUE(is_ok(resp)) << resp;
+  for (const char c : resp) EXPECT_GE(c, 0x20) << "control byte leaked";
+  EXPECT_TRUE(is_degraded(resp)) << resp;  // answered around the owner
+  EXPECT_EQ(tf.fleet->shard_state(1), ShardState::down);
+
+  // The supervisor's restart hook replaces the corrupting endpoint and
+  // the fleet reconverges to exact answers.
+  tf.fleet->supervise();
+  EXPECT_EQ(tf.fleet->shard_state(1), ShardState::healthy);
+  EXPECT_FALSE(is_degraded(tf.ask("ARRIVAL out")));
+}
+
+TEST(FaultPlanGrammar, ParsesProcessLevelSites) {
+  support::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(support::parse_fault_plan(
+      "seed=7,drop_connection:start=5:count=1,stall_reply:magnitude=50,"
+      "corrupt_reply:period=3,refuse_restart:count=2",
+      &plan, &error))
+      << error;
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.rules.size(), 4u);
+  EXPECT_EQ(plan.rules[0].site, support::FaultSite::kDropConnection);
+  EXPECT_EQ(plan.rules[0].start, 5u);
+  EXPECT_EQ(plan.rules[0].count, 1u);
+  EXPECT_EQ(plan.rules[1].site, support::FaultSite::kStallReply);
+  EXPECT_EQ(plan.rules[1].magnitude, 50.0);
+  EXPECT_EQ(plan.rules[2].site, support::FaultSite::kCorruptReply);
+  EXPECT_EQ(plan.rules[2].period, 3u);
+  EXPECT_EQ(plan.rules[3].site, support::FaultSite::kRefuseRestart);
+
+  EXPECT_FALSE(support::parse_fault_plan("no_such_site", &plan, &error));
+  EXPECT_FALSE(support::parse_fault_plan("stall_reply:bogus=1", &plan, &error));
+}
+
+TEST(FaultPlanGrammar, RefuseRestartSiteGatesTheHook) {
+  support::FaultPlan plan;
+  plan.add(support::FaultRule{.site = support::FaultSite::kRefuseRestart,
+                              .count = 1});
+  support::ScopedFaultPlan armed{plan};
+  EXPECT_TRUE(support::fire_fault(support::FaultSite::kRefuseRestart));
+  EXPECT_FALSE(support::fire_fault(support::FaultSite::kRefuseRestart));
+}
+
+}  // namespace
+}  // namespace qwm::service

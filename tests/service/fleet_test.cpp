@@ -1,0 +1,137 @@
+// Fleet data plane against a single-process reference: a sharded fleet
+// must be an implementation detail — every answer bit-identical to the
+// one server Server gives for the same deck, across LOAD, point reads,
+// replica reads, scatter-gather CRITPATH, and epoch-carrying mutations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet_test_util.h"
+#include "qwm/service/protocol.h"
+
+namespace qwm::service {
+namespace {
+
+constexpr int kStages = 9;
+
+std::vector<std::string> chain_nets(int n) {
+  std::vector<std::string> nets;
+  for (int i = 1; i < n; ++i) nets.push_back("s" + std::to_string(i));
+  nets.push_back("out");
+  nets.push_back("in");
+  return nets;
+}
+
+ServerOptions reference_options() {
+  // Bit-identity across shard counts requires history-independent stage
+  // evaluations: the memo cache's bucketed reuse depends on what was
+  // evaluated before, which sharding changes. Cache off on both sides
+  // makes every answer a pure function of the design.
+  ServerOptions opt;
+  opt.db.sta.threads = 1;
+  opt.db.sta.use_cache = false;
+  return opt;
+}
+
+class FleetTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    deck_path_ = write_fleet_deck("fleet_chain.sp", fleet_chain_deck(kStages));
+    ASSERT_TRUE(is_ok(reference_.handle_line("LOAD " + deck_path_)));
+  }
+
+  Server reference_{reference_options()};
+  std::string deck_path_;
+};
+
+TEST_F(FleetTest, LoadFansOutAndReportsFleetShape) {
+  TestFleet tf(3, TestFleet::tight_health(), /*use_cache=*/false);
+  const std::string resp = tf.ask("LOAD " + deck_path_);
+  ASSERT_TRUE(is_ok(resp)) << resp;
+  EXPECT_EQ(response_field(resp, "shards"), "3");
+  EXPECT_EQ(response_field(resp, "replicas"), "1");
+  EXPECT_EQ(response_field(resp, "epoch"), "1");
+  EXPECT_EQ(response_field(resp, "stages"), std::to_string(kStages));
+  EXPECT_TRUE(tf.fleet->loaded());
+}
+
+TEST_F(FleetTest, ArrivalsBitIdenticalAcrossShardCounts) {
+  for (const int n : {1, 2, 3, 4}) {
+    TestFleet tf(n, TestFleet::tight_health(), /*use_cache=*/false);
+    ASSERT_TRUE(is_ok(tf.ask("LOAD " + deck_path_)));
+    for (const auto& net : chain_nets(kStages)) {
+      const std::string want = reference_.handle_line("ARRIVAL " + net);
+      const std::string got = tf.ask("ARRIVAL " + net);
+      EXPECT_EQ(got, want) << "net " << net << " shards " << n;
+      EXPECT_FALSE(is_degraded(got));
+    }
+  }
+}
+
+TEST_F(FleetTest, ReplicaReadsMatchReference) {
+  TestFleet tf(3, TestFleet::tight_health(), /*use_cache=*/false);
+  ASSERT_TRUE(is_ok(tf.ask("LOAD " + deck_path_)));
+  for (const auto& net : chain_nets(kStages)) {
+    const std::string req = "SLACK " + net + " 2n";
+    EXPECT_EQ(tf.ask(req), reference_.handle_line(req)) << net;
+  }
+}
+
+TEST_F(FleetTest, CritpathStitchesToReferencePath) {
+  for (const int n : {2, 3, 4}) {
+    TestFleet tf(n, TestFleet::tight_health(), /*use_cache=*/false);
+    ASSERT_TRUE(is_ok(tf.ask("LOAD " + deck_path_)));
+    EXPECT_EQ(tf.ask("CRITPATH"), reference_.handle_line("CRITPATH"))
+        << "shards " << n;
+  }
+}
+
+TEST_F(FleetTest, MutationsAdvanceTheFleetEpochConsistently) {
+  TestFleet tf(3, TestFleet::tight_health(), /*use_cache=*/false);
+  ASSERT_TRUE(is_ok(tf.ask("LOAD " + deck_path_)));
+
+  const std::string resize = "RESIZE 0 0 2.5u";
+  ASSERT_TRUE(is_ok(reference_.handle_line(resize)));
+  ASSERT_TRUE(is_ok(reference_.handle_line("UPDATE")));
+  const std::string fr = tf.ask(resize);
+  ASSERT_TRUE(is_ok(fr)) << fr;
+  const std::string fu = tf.ask("UPDATE");
+  ASSERT_TRUE(is_ok(fu)) << fu;
+  EXPECT_EQ(response_field(fu, "epoch"), "3");  // LOAD, RESIZE, UPDATE
+
+  // Post-mutation arrivals still match the reference bit for bit (the
+  // epoch stamp differs by design: the fleet counts every mutation).
+  for (const auto& net : chain_nets(kStages)) {
+    const std::string want = reference_.handle_line("ARRIVAL " + net);
+    const std::string got = tf.ask("ARRIVAL " + net);
+    EXPECT_EQ(with_field(got, "epoch", "x"), with_field(want, "epoch", "x"))
+        << net;
+  }
+}
+
+TEST_F(FleetTest, UnknownNetAndBadVerbsProduceStructuredErrors) {
+  TestFleet tf(2, TestFleet::tight_health(), /*use_cache=*/false);
+  ASSERT_TRUE(is_ok(tf.ask("LOAD " + deck_path_)));
+  EXPECT_EQ(err_code(tf.ask("ARRIVAL no_such_net")), "NOTFOUND");
+  EXPECT_EQ(err_code(tf.ask("FROBNICATE")), "BADCMD");
+  EXPECT_EQ(err_code(tf.ask("ARRIVAL")), "ARG");
+}
+
+TEST_F(FleetTest, QueriesBeforeLoadAreRefused) {
+  TestFleet tf(2, TestFleet::tight_health(), /*use_cache=*/false);
+  EXPECT_EQ(err_code(tf.ask("ARRIVAL out")), "NODESIGN");
+}
+
+TEST_F(FleetTest, HealthLineReportsShardStates) {
+  TestFleet tf(2, TestFleet::tight_health(), /*use_cache=*/false);
+  ASSERT_TRUE(is_ok(tf.ask("LOAD " + deck_path_)));
+  const std::string h = tf.fleet->health_line();
+  ASSERT_TRUE(is_ok(h)) << h;
+  EXPECT_EQ(response_field(h, "shards"), "2");
+  EXPECT_EQ(response_field(h, "loaded"), "1");
+  EXPECT_EQ(response_field(h, "states"), "healthy,healthy");
+}
+
+}  // namespace
+}  // namespace qwm::service

@@ -1,0 +1,167 @@
+// ShardMap: the deterministic level-major contiguous-block partitioner
+// every process of a fleet computes independently. The properties the
+// fleet's one-pass boundary exchange rests on: identical maps from
+// identical inputs, every cross-shard edge pointing forward, and
+// boundary sets that are exactly the forward-consumed driven nets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qwm/circuit/partition.h"
+#include "qwm/device/tabular_model.h"
+#include "qwm/netlist/apply_models.h"
+#include "qwm/netlist/parser.h"
+#include "qwm/service/shard_map.h"
+
+namespace qwm::service {
+namespace {
+
+std::string chain_deck(int n) {
+  std::string deck = "inverter chain\nvdd vdd 0 3.3\nvin in 0 0\n";
+  std::string prev = "in";
+  for (int i = 0; i < n; ++i) {
+    const std::string out = i + 1 == n ? "out" : "s" + std::to_string(i + 1);
+    const std::string tag = std::to_string(i);
+    deck += "mn" + tag + " " + out + " " + prev + " 0 0 nmos W=1.5u L=0.35u\n";
+    deck += "mp" + tag + " " + out + " " + prev +
+            " vdd vdd pmos W=3u L=0.35u\n";
+    prev = out;
+  }
+  deck += "cl out 0 20f\n.end\n";
+  return deck;
+}
+
+/// A chain with a fan-out split and re-join, so levels hold multiple
+/// stages and boundary sets carry more than one net.
+std::string diamond_deck() {
+  std::string deck = "diamond\nvdd vdd 0 3.3\nvin in 0 0\n";
+  const auto inv = [&](const std::string& tag, const std::string& out,
+                       const std::string& in) {
+    deck += "mn" + tag + " " + out + " " + in + " 0 0 nmos W=1.5u L=0.35u\n";
+    deck += "mp" + tag + " " + out + " " + in + " vdd vdd pmos W=3u L=0.35u\n";
+  };
+  inv("0", "a", "in");
+  inv("1", "b1", "a");
+  inv("2", "b2", "a");
+  // NAND join of the two branches.
+  deck += "mnj1 j b1 x 0 nmos W=3u L=0.35u\n";
+  deck += "mnj2 x b2 0 0 nmos W=3u L=0.35u\n";
+  deck += "mpj1 j b1 vdd vdd pmos W=3u L=0.35u\n";
+  deck += "mpj2 j b2 vdd vdd pmos W=3u L=0.35u\n";
+  inv("3", "out", "j");
+  deck += "cl out 0 20f\n.end\n";
+  return deck;
+}
+
+circuit::PartitionedDesign make_design(const std::string& deck,
+                                       netlist::ParseResult* parsed_out) {
+  *parsed_out = netlist::parse_spice(deck);
+  EXPECT_TRUE(parsed_out->ok());
+  static device::Process proc = device::Process::cmosp35();
+  netlist::apply_model_cards(parsed_out->netlist, &proc);
+  static const device::TabularDeviceModel nmos(device::MosType::nmos, proc);
+  static const device::TabularDeviceModel pmos(device::MosType::pmos, proc);
+  const device::ModelSet models{&nmos, &pmos, &proc};
+  return circuit::partition_netlist(parsed_out->netlist, models);
+}
+
+TEST(ShardMap, DeterministicAndCompletePartition) {
+  netlist::ParseResult parsed;
+  const auto design = make_design(chain_deck(8), &parsed);
+  ASSERT_EQ(design.stages.size(), 8u);
+
+  const ShardMap a = build_shard_map(design, 3);
+  const ShardMap b = build_shard_map(design, 3);
+  EXPECT_TRUE(a.acyclic);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.stages_of, b.stages_of);
+  EXPECT_EQ(a.boundary_of, b.boundary_of);
+
+  // Every stage owned exactly once; stages_of and shard_of agree.
+  std::set<int> seen;
+  for (int s = 0; s < a.shard_count; ++s)
+    for (const int g : a.stages_of[static_cast<std::size_t>(s)]) {
+      EXPECT_TRUE(seen.insert(g).second) << "stage " << g << " owned twice";
+      EXPECT_EQ(a.shard_of[static_cast<std::size_t>(g)], s);
+    }
+  EXPECT_EQ(seen.size(), design.stages.size());
+}
+
+TEST(ShardMap, ClampsShardCountToStageCount) {
+  netlist::ParseResult parsed;
+  const auto design = make_design(chain_deck(3), &parsed);
+  const ShardMap m = build_shard_map(design, 16);
+  EXPECT_EQ(m.shard_count, 3);
+  for (int s = 0; s < m.shard_count; ++s)
+    EXPECT_EQ(m.stages_of[static_cast<std::size_t>(s)].size(), 1u);
+}
+
+TEST(ShardMap, AllCrossShardEdgesPointForward) {
+  netlist::ParseResult parsed;
+  const auto design = make_design(diamond_deck(), &parsed);
+  for (const int n : {2, 3, 4}) {
+    const ShardMap m = build_shard_map(design, n);
+    ASSERT_TRUE(m.acyclic);
+    // Driver table: net -> owning shard of its driving stage.
+    std::map<netlist::NetId, int> driver_shard;
+    for (std::size_t g = 0; g < design.stages.size(); ++g)
+      for (const netlist::NetId out : design.stages[g].output_nets)
+        driver_shard[out] = m.shard_of[g];
+    for (std::size_t g = 0; g < design.stages.size(); ++g)
+      for (const netlist::NetId in : design.stages[g].input_nets) {
+        const auto it = driver_shard.find(in);
+        if (it == driver_shard.end()) continue;  // primary input / rail
+        EXPECT_LE(it->second, m.shard_of[g])
+            << "backward cross-shard edge at n=" << n;
+      }
+  }
+}
+
+TEST(ShardMap, BoundarySetsAreExactlyForwardConsumedNets) {
+  netlist::ParseResult parsed;
+  const auto design = make_design(diamond_deck(), &parsed);
+  const ShardMap m = build_shard_map(design, 3);
+  ASSERT_TRUE(m.acyclic);
+
+  std::map<netlist::NetId, int> driver_shard;
+  for (std::size_t g = 0; g < design.stages.size(); ++g)
+    for (const netlist::NetId out : design.stages[g].output_nets)
+      driver_shard[out] = m.shard_of[g];
+
+  // Expected boundary set per shard, derived independently.
+  std::vector<std::set<netlist::NetId>> expect(
+      static_cast<std::size_t>(m.shard_count));
+  for (std::size_t g = 0; g < design.stages.size(); ++g)
+    for (const netlist::NetId in : design.stages[g].input_nets) {
+      const auto it = driver_shard.find(in);
+      if (it != driver_shard.end() && it->second < m.shard_of[g])
+        expect[static_cast<std::size_t>(it->second)].insert(in);
+    }
+  for (int s = 0; s < m.shard_count; ++s) {
+    const auto& got = m.boundary_of[static_cast<std::size_t>(s)];
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_EQ(std::set<netlist::NetId>(got.begin(), got.end()),
+              expect[static_cast<std::size_t>(s)])
+        << "shard " << s;
+  }
+  // A 3-way split of the diamond must cut at least one edge.
+  std::size_t total_boundary = 0;
+  for (const auto& b : m.boundary_of) total_boundary += b.size();
+  EXPECT_GT(total_boundary, 0u);
+}
+
+TEST(ShardMap, SingleShardHasNoBoundary) {
+  netlist::ParseResult parsed;
+  const auto design = make_design(chain_deck(4), &parsed);
+  const ShardMap m = build_shard_map(design, 1);
+  EXPECT_EQ(m.shard_count, 1);
+  EXPECT_TRUE(m.boundary_of[0].empty());
+  EXPECT_EQ(m.stages_of[0].size(), design.stages.size());
+}
+
+}  // namespace
+}  // namespace qwm::service

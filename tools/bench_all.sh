@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs every --json-capable benchmark harness and consolidates the
-# results into one machine-readable document (BENCH_PR8.json by
+# results into one machine-readable document (BENCH_PR9.json by
 # default). Usage:
 #   tools/bench_all.sh [OUT.json]
 # Environment:
@@ -9,7 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD:-build}
-OUT=${1:-BENCH_PR8.json}
+OUT=${1:-BENCH_PR9.json}
 
 for b in bench_micro_kernels bench_table1_gates bench_incremental_sta \
          bench_service_qps bench_scale_sta; do

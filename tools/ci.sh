@@ -87,6 +87,94 @@ wait "$serve_pid" || { echo "qwm_serve exited non-zero"; exit 1; }
 grep -q "clean shutdown" "$smoke_dir/serve.log" || { echo "qwm_serve: no clean shutdown"; exit 1; }
 echo "service smoke passed"
 
+echo "== sharded service smoke (qwm_router: degrade + reconverge) =="
+# A 12-stage chain so every shard of a 3-way level-major split owns a
+# real cone; qwm_load --verify --no-cache re-times every answered net in
+# a single-process engine, so "mismatches: 0" is the bit-exactness gate
+# for the scatter-gather data plane.
+{
+  echo "ci sharded smoke chain"
+  echo "vdd vdd 0 3.3"
+  echo "vin in 0 0"
+  prev=in
+  for i in $(seq 0 11); do
+    out="s$((i + 1))"; [[ "$i" == 11 ]] && out=out
+    echo "mn$i $out $prev 0 0 nmos W=1.5u L=0.35u"
+    echo "mp$i $out $prev vdd vdd pmos W=3u L=0.35u"
+    prev=$out
+  done
+  echo "cl out 0 20f"
+  echo ".end"
+} > "$smoke_dir/shard_chain.sp"
+json_field() {  # json_field <file> <key> -> value (integers only)
+  python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))[sys.argv[2]])' "$1" "$2"
+}
+
+# Phase A: restarts disabled -- killing a shard must degrade its cone
+# (OK DEGRADED from the replica), never produce hard errors.
+./build/tools/qwm_router --shards 3 --port 0 --port-file "$smoke_dir/router_a.port" \
+    --run-dir "$smoke_dir/run_a" --deck "$smoke_dir/shard_chain.sp" \
+    --no-restart --supervise-ms 100 --suspect-after 1 --down-after 1 \
+    2> "$smoke_dir/router_a.log" &
+router_a=$!
+for _ in $(seq 100); do [[ -s "$smoke_dir/router_a.port" ]] && break; sleep 0.1; done
+[[ -s "$smoke_dir/router_a.port" ]] || { echo "qwm_router (A) did not write its port"; exit 1; }
+./build/tools/qwm_load --port "$(cat "$smoke_dir/router_a.port")" \
+    --deck "$smoke_dir/shard_chain.sp" --no-load --clients 2 --requests 40 \
+    --retries 2 --verify --no-cache --json > "$smoke_dir/shard_base.json"
+[[ $(json_field "$smoke_dir/shard_base.json" mismatches) == 0 ]] \
+    || { echo "sharded smoke: baseline fleet answers diverge from the engine"; exit 1; }
+kill -9 "$(cat "$smoke_dir/run_a/shard1.pid")"
+sleep 0.5  # let a supervisor probe pass see the corpse
+./build/tools/qwm_load --port "$(cat "$smoke_dir/router_a.port")" \
+    --deck "$smoke_dir/shard_chain.sp" --no-load --clients 2 --requests 40 \
+    --retries 2 --json > "$smoke_dir/shard_kill.json"
+[[ $(json_field "$smoke_dir/shard_kill.json" degraded_ok) -gt 0 ]] \
+    || { echo "sharded smoke: no degraded answers after killing shard 1"; exit 1; }
+[[ $(json_field "$smoke_dir/shard_kill.json" hard_err) == 0 ]] \
+    || { echo "sharded smoke: hard errors during degraded operation"; exit 1; }
+./build/tools/qwm_load --port "$(cat "$smoke_dir/router_a.port")" \
+    --deck "$smoke_dir/shard_chain.sp" --no-load --requests 1 --shutdown \
+    --json > /dev/null
+wait "$router_a" || { echo "qwm_router (A) exited non-zero"; exit 1; }
+
+# Phase B: supervision on -- the restarted shard re-warms from the
+# mutation log and the fleet reconverges bit-identically.
+./build/tools/qwm_router --shards 3 --port 0 --port-file "$smoke_dir/router_b.port" \
+    --run-dir "$smoke_dir/run_b" --deck "$smoke_dir/shard_chain.sp" \
+    --supervise-ms 100 --suspect-after 1 --down-after 1 \
+    2> "$smoke_dir/router_b.log" &
+router_b=$!
+for _ in $(seq 100); do [[ -s "$smoke_dir/router_b.port" ]] && break; sleep 0.1; done
+[[ -s "$smoke_dir/router_b.port" ]] || { echo "qwm_router (B) did not write its port"; exit 1; }
+kill -9 "$(cat "$smoke_dir/run_b/shard2.pid")"
+python3 - "$smoke_dir/router_b.port" <<'EOF' \
+    || { echo "sharded smoke: fleet did not reconverge to healthy"; exit 1; }
+import socket, sys, time
+port = int(open(sys.argv[1]).read())
+deadline = time.time() + 20
+while time.time() < deadline:
+    with socket.create_connection(("127.0.0.1", port), timeout=5) as s:
+        f = s.makefile("rw")
+        f.write("HEALTH\n"); f.flush()
+        line = f.readline()
+    if "states=healthy,healthy,healthy" in line:
+        sys.exit(0)
+    time.sleep(0.2)
+sys.exit(1)
+EOF
+./build/tools/qwm_load --port "$(cat "$smoke_dir/router_b.port")" \
+    --deck "$smoke_dir/shard_chain.sp" --no-load --clients 2 --requests 40 \
+    --retries 2 --verify --no-cache --shutdown --json > "$smoke_dir/shard_heal.json"
+[[ $(json_field "$smoke_dir/shard_heal.json" mismatches) == 0 ]] \
+    || { echo "sharded smoke: post-restart answers diverge from the engine"; exit 1; }
+[[ $(json_field "$smoke_dir/shard_heal.json" degraded_ok) == 0 ]] \
+    || { echo "sharded smoke: degraded answers after reconvergence"; exit 1; }
+wait "$router_b" || { echo "qwm_router (B) exited non-zero"; exit 1; }
+grep -q "clean shutdown" "$smoke_dir/router_b.log" \
+    || { echo "qwm_router (B): no clean shutdown"; exit 1; }
+echo "sharded service smoke passed"
+
 echo "== perf smoke (work-counter budget) =="
 # Counters (Newton iterations, device evaluations, workspace growth) are
 # machine-deterministic, so this gate is stable on loaded CI hosts where

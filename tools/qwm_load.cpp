@@ -10,23 +10,36 @@
 //   --verify         parse + analyze the deck locally (single-threaded
 //                    engine) and require every base-epoch ARRIVAL/SLACK
 //                    response to be bit-identical to the local answer
+//   --no-cache       run the --verify reference engine with the
+//                    stage-eval memo cache off — required when verifying
+//                    against a sharded qwm_router fleet, whose shards run
+//                    cache-off so answers are slice-invariant
 //   --no-load        skip sending LOAD (daemon already has the deck)
 //   --shutdown       send SHUTDOWN when done
 //   --seed S         workload RNG seed                    (default 1)
-//   --retries N      bounded retries on shed/degraded errors (BUSY,
-//                    DEADLINE, DEGRADED) with jittered exponential
-//                    backoff                              (default 0)
+//   --retries N      bounded retries on transient error codes (the
+//                    protocol's retryable set: BUSY, DEADLINE, DEGRADED,
+//                    SHARD_DOWN) with jittered exponential backoff from
+//                    support/retry.h                      (default 0)
 //   --backoff-ms X   base backoff; attempt k sleeps
 //                    X * 2^k * [0.5, 1.5) ms              (default 5)
+//   --hedge-ms X     client-side bounded hedging: an ARRIVAL/SLACK read
+//                    not answered within X ms is re-sent on a second
+//                    connection (one hedge per request) and the primary
+//                    connection is resynced              (default off)
+//   --json           print the summary as one JSON object on stdout
+//                    (attempts, retries by error code, hedge wins,
+//                    latency percentiles) instead of the text report
 //
 // Workload mix per reader: 70% ARRIVAL, 15% SLACK, 10% CRITPATH,
 // 5% STATS, over the design's stage-output and primary-input nets.
 // Reports total QPS, per-verb counts, and p50/p99/max latency.
 // Exit status: nonzero on connect failures, hard ERR responses
-// (anything but BUSY/DEADLINE), or verification mismatches.
+// (anything outside the retryable set), or verification mismatches.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -35,6 +48,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -46,6 +60,7 @@
 #include "qwm/netlist/parser.h"
 #include "qwm/service/protocol.h"
 #include "qwm/sta/sta.h"
+#include "qwm/support/retry.h"
 
 namespace {
 
@@ -58,16 +73,19 @@ int usage() {
                "[--requests M] [--period v]\n"
                "                [--what-if K] [--verify] [--no-load] "
                "[--shutdown] [--seed S]\n"
-               "                [--retries N] [--backoff-ms X]\n");
+               "                [--retries N] [--backoff-ms X] "
+               "[--hedge-ms X] [--json]\n");
   return 2;
 }
 
 /// Minimal line-oriented TCP client.
 struct Client {
   int fd = -1;
+  int connected_port = -1;
   std::string buf;
 
   bool connect_to(int port) {
+    connected_port = port;
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return false;
     sockaddr_in addr{};
@@ -81,6 +99,25 @@ struct Client {
       return false;
     }
     return true;
+  }
+
+  /// Bound how long recv_line may block (0 restores blocking reads).
+  void set_recv_timeout_ms(double ms) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+    tv.tv_usec =
+        static_cast<suseconds_t>((ms - 1000.0 * static_cast<double>(tv.tv_sec)) *
+                                 1000.0);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+
+  /// Drop the connection (abandoning any in-flight request — the strict
+  /// request/response protocol has no way to cancel) and dial again.
+  bool reconnect() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    buf.clear();
+    return connect_to(connected_port);
   }
 
   bool send_line(const std::string& line) {
@@ -141,39 +178,54 @@ struct Expected {
 struct ReaderResult {
   std::vector<double> latencies_us;
   std::uint64_t sent = 0, ok = 0, busy = 0, deadline = 0, hard_err = 0;
+  std::uint64_t shard_down = 0;    ///< ERR SHARD_DOWN left after retries
   std::uint64_t degraded_ok = 0;   ///< "OK DEGRADED" answers accepted
   std::uint64_t degraded_err = 0;  ///< ERR DEGRADED left after retries
   std::uint64_t retries = 0;       ///< backoff retries performed
+  /// Retries classified by the error code that triggered them.
+  std::map<std::string, std::uint64_t> retries_by_code;
+  std::uint64_t hedged = 0;      ///< hedge connections fired
+  std::uint64_t hedge_wins = 0;  ///< hedge answered before the primary
   std::uint64_t verified = 0, mismatches = 0;
   bool transport_ok = true;
 };
 
-/// True for responses worth retrying: load shedding (BUSY), queue-wait
-/// expiry (DEADLINE), and degraded service (ERR DEGRADED) — all transient
-/// by contract; everything else is a definitive answer.
-bool retryable(const std::string& resp) {
-  return service::is_err(resp, "BUSY") || service::is_err(resp, "DEADLINE") ||
-         service::is_err(resp, "DEGRADED");
-}
-
-/// Round trip with bounded retries and jittered exponential backoff
-/// (seeded jitter: attempt k sleeps backoff_ms * 2^min(k,10) * [0.5, 1.5)
-/// so retrying clients decorrelate instead of re-stampeding the queue).
-std::string round_trip_retry(Client* c, const std::string& req, int retries,
-                             double backoff_ms, std::uint64_t* rng,
-                             std::uint64_t* retry_count) {
+/// Round trip with bounded retries and jittered exponential backoff from
+/// support/retry.h; retryability comes from the protocol's shared
+/// err_code() classifier (BUSY / DEADLINE / DEGRADED / SHARD_DOWN), the
+/// same set the router retries internally.
+std::string round_trip_retry(Client* c, const std::string& req,
+                             const support::RetryPolicy& policy,
+                             std::uint64_t* rng, ReaderResult* r) {
   std::string resp = c->round_trip(req);
-  for (int attempt = 0; attempt < retries; ++attempt) {
-    if (resp.empty() || !retryable(resp)) return resp;
-    const double jitter =
-        0.5 + static_cast<double>(next_rand(rng) % 1024) / 1024.0;
-    const double sleep_ms =
-        backoff_ms * static_cast<double>(1u << std::min(attempt, 10)) * jitter;
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(sleep_ms));
-    ++*retry_count;
+  for (int attempt = 0; attempt < policy.retries; ++attempt) {
+    if (resp.empty()) return resp;
+    const std::string code = service::err_code(resp);
+    if (!service::retryable_code(code)) return resp;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        support::retry_backoff_ms(policy, attempt, rng)));
+    ++r->retries;
+    ++r->retries_by_code[code];
     resp = c->round_trip(req);
   }
+  return resp;
+}
+
+/// One hedged read: give the primary connection hedge_ms to answer; on
+/// expiry fire the same request once on the hedge connection (bounded —
+/// one hedge per request, never a cascade) and resync the primary, whose
+/// abandoned in-flight reply would otherwise desequence the stream.
+std::string round_trip_hedged(Client* primary, Client* hedge,
+                              const std::string& req, double hedge_ms,
+                              ReaderResult* r) {
+  primary->set_recv_timeout_ms(hedge_ms);
+  std::string resp = primary->round_trip(req);
+  primary->set_recv_timeout_ms(0);
+  if (!resp.empty()) return resp;
+  ++r->hedged;
+  if (!primary->reconnect()) return "";
+  resp = hedge->round_trip(req);
+  if (!resp.empty()) ++r->hedge_wins;
   return resp;
 }
 
@@ -193,11 +245,13 @@ std::string arrival_fields_of(const sta::NetTiming& t) {
 
 int main(int argc, char** argv) {
   int port = -1, clients = 8, requests = 200, what_if = 0;
-  int retries = 0;
-  double backoff_ms = 5.0;
+  support::RetryPolicy retry_policy;
+  double hedge_ms = 0.0;
+  bool json = false;
   std::uint64_t seed = 1;
   double period = 2e-9;
-  bool verify = false, do_load = true, do_shutdown = false;
+  bool verify = false, verify_cache = true, do_load = true,
+       do_shutdown = false;
   std::string deck;
 
   for (int i = 1; i < argc; ++i) {
@@ -212,17 +266,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--what-if" && i + 1 < argc)
       what_if = std::atoi(argv[++i]);
     else if (arg == "--verify") verify = true;
+    else if (arg == "--no-cache") verify_cache = false;
     else if (arg == "--no-load") do_load = false;
     else if (arg == "--shutdown") do_shutdown = true;
     else if (arg == "--seed" && i + 1 < argc)
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     else if (arg == "--retries" && i + 1 < argc)
-      retries = std::atoi(argv[++i]);
+      retry_policy.retries = std::atoi(argv[++i]);
     else if (arg == "--backoff-ms" && i + 1 < argc)
-      backoff_ms = std::atof(argv[++i]);
+      retry_policy.backoff_ms = std::atof(argv[++i]);
+    else if (arg == "--hedge-ms" && i + 1 < argc)
+      hedge_ms = std::atof(argv[++i]);
+    else if (arg == "--json") json = true;
     else return usage();
   }
-  if (retries < 0 || backoff_ms < 0.0) return usage();
+  if (retry_policy.retries < 0 || retry_policy.backoff_ms < 0.0 ||
+      hedge_ms < 0.0)
+    return usage();
   if (port < 0 || deck.empty() || clients < 1 || requests < 1) return usage();
 
   // Local parse: the query-net universe, and (with --verify) the
@@ -270,6 +330,7 @@ int main(int argc, char** argv) {
   if (verify) {
     sta::StaOptions opt;
     opt.threads = 1;
+    opt.use_cache = verify_cache;
     sta::StaEngine ref(design, models, opt);
     ref.run();
     const auto slacks = ref.compute_slacks(period);
@@ -320,8 +381,8 @@ int main(int argc, char** argv) {
   for (int ci = 0; ci < clients; ++ci) {
     threads.emplace_back([&, ci] {
       ReaderResult& r = results[static_cast<std::size_t>(ci)];
-      Client c;
-      if (!c.connect_to(port)) {
+      Client c, hedge;
+      if (!c.connect_to(port) || (hedge_ms > 0.0 && !hedge.connect_to(port))) {
         r.transport_ok = false;
         return;
       }
@@ -334,9 +395,14 @@ int main(int argc, char** argv) {
         else if (dice < 85) req = "SLACK " + net + " " + period_str;
         else if (dice < 95) req = "CRITPATH";
         else req = "STATS";
+        // Hedge only the point reads (ARRIVAL/SLACK): they are cheap to
+        // duplicate and dominate the mix; hedged requests skip the retry
+        // ladder (the hedge already is the second attempt).
+        const bool hedgeable = hedge_ms > 0.0 && dice < 85;
         const auto t0 = Clock::now();
-        const std::string resp = round_trip_retry(&c, req, retries, backoff_ms,
-                                                  &rng, &r.retries);
+        const std::string resp =
+            hedgeable ? round_trip_hedged(&c, &hedge, req, hedge_ms, &r)
+                      : round_trip_retry(&c, req, retry_policy, &rng, &r);
         const auto t1 = Clock::now();
         if (resp.empty()) {
           r.transport_ok = false;
@@ -348,10 +414,14 @@ int main(int argc, char** argv) {
         if (service::is_ok(resp)) {
           ++r.ok;
           if (service::is_degraded(resp)) ++r.degraded_ok;
-        } else if (service::is_err(resp, "BUSY")) ++r.busy;
-        else if (service::is_err(resp, "DEADLINE")) ++r.deadline;
-        else if (service::is_err(resp, "DEGRADED")) ++r.degraded_err;
-        else ++r.hard_err;
+        } else {
+          const std::string code = service::err_code(resp);
+          if (code == "BUSY") ++r.busy;
+          else if (code == "DEADLINE") ++r.deadline;
+          else if (code == "DEGRADED") ++r.degraded_err;
+          else if (code == "SHARD_DOWN") ++r.shard_down;
+          else ++r.hard_err;
+        }
 
         // Degraded answers are within-tolerance, not bit-exact: only
         // nominal responses participate in bit-identity verification.
@@ -402,17 +472,16 @@ int main(int argc, char** argv) {
       // always has comparable responses even with a busy writer.
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       std::uint64_t wrng = seed * 7777777u + 99u;
-      std::uint64_t wretries = 0;
+      ReaderResult wr_scratch;
       for (int k = 0; k < what_if; ++k) {
         const double w = (k % 2 == 0) ? 2.5e-6 : 3.0e-6;
         const std::string resize = round_trip_retry(
             &c,
             "RESIZE " + std::to_string(wr_stage) + " " +
                 std::to_string(wr_edge) + " " + service::format_double(w),
-            retries, backoff_ms, &wrng, &wretries);
+            retry_policy, &wrng, &wr_scratch);
         const std::string update =
-            round_trip_retry(&c, "UPDATE", retries, backoff_ms, &wrng,
-                             &wretries);
+            round_trip_retry(&c, "UPDATE", retry_policy, &wrng, &wr_scratch);
         if (!service::is_ok(resize) || !service::is_ok(update)) {
           // BUSY under overload is load shedding, not failure.
           if (!service::is_err(resize, "BUSY") &&
@@ -441,9 +510,14 @@ int main(int argc, char** argv) {
     total.busy += r.busy;
     total.deadline += r.deadline;
     total.hard_err += r.hard_err;
+    total.shard_down += r.shard_down;
     total.degraded_ok += r.degraded_ok;
     total.degraded_err += r.degraded_err;
     total.retries += r.retries;
+    for (const auto& [code, n] : r.retries_by_code)
+      total.retries_by_code[code] += n;
+    total.hedged += r.hedged;
+    total.hedge_wins += r.hedge_wins;
     total.verified += r.verified;
     total.mismatches += r.mismatches;
     transport_ok = transport_ok && r.transport_ok;
@@ -457,29 +531,79 @@ int main(int argc, char** argv) {
     return lat[i];
   };
 
-  std::printf("qwm_load: %d clients x %d requests against 127.0.0.1:%d\n",
-              clients, requests, port);
-  std::printf("  sent=%llu ok=%llu busy=%llu deadline=%llu hard_err=%llu\n",
-              (unsigned long long)total.sent, (unsigned long long)total.ok,
-              (unsigned long long)total.busy,
-              (unsigned long long)total.deadline,
-              (unsigned long long)total.hard_err);
-  if (retries > 0 || total.degraded_ok > 0 || total.degraded_err > 0)
-    std::printf("  degraded_ok=%llu degraded_err=%llu retries=%llu\n",
-                (unsigned long long)total.degraded_ok,
-                (unsigned long long)total.degraded_err,
-                (unsigned long long)total.retries);
-  std::printf("  wall %.3f s -> %.0f QPS\n", wall_s,
-              static_cast<double>(total.sent) / wall_s);
-  std::printf("  latency us: p50 %.1f  p99 %.1f  max %.1f\n", pct(0.50),
-              pct(0.99), lat.empty() ? 0.0 : lat.back());
-  if (what_if > 0)
-    std::printf("  what-if transactions committed: %llu/%d\n",
-                (unsigned long long)writer_done.load(), what_if);
-  if (verify)
-    std::printf("  verified=%llu mismatches=%llu\n",
+  if (json) {
+    // One-object machine-readable summary: the retry/backoff/hedge
+    // observability feed for scripts and the CI failover smoke.
+    std::string codes;
+    for (const auto& [code, n] : total.retries_by_code) {
+      if (!codes.empty()) codes += ", ";
+      codes += "\"" + code + "\": " + std::to_string(n);
+    }
+    std::printf("{\n");
+    std::printf("  \"clients\": %d, \"requests_per_client\": %d,\n", clients,
+                requests);
+    std::printf("  \"sent\": %llu, \"ok\": %llu, \"degraded_ok\": %llu,\n",
+                (unsigned long long)total.sent, (unsigned long long)total.ok,
+                (unsigned long long)total.degraded_ok);
+    std::printf(
+        "  \"busy\": %llu, \"deadline\": %llu, \"degraded_err\": %llu, "
+        "\"shard_down\": %llu, \"hard_err\": %llu,\n",
+        (unsigned long long)total.busy, (unsigned long long)total.deadline,
+        (unsigned long long)total.degraded_err,
+        (unsigned long long)total.shard_down,
+        (unsigned long long)total.hard_err);
+    std::printf("  \"retries\": %llu, \"retries_by_code\": {%s},\n",
+                (unsigned long long)total.retries, codes.c_str());
+    std::printf("  \"hedged\": %llu, \"hedge_wins\": %llu,\n",
+                (unsigned long long)total.hedged,
+                (unsigned long long)total.hedge_wins);
+    std::printf("  \"wall_s\": %.6f, \"qps\": %.1f,\n", wall_s,
+                static_cast<double>(total.sent) / wall_s);
+    std::printf(
+        "  \"latency_us\": {\"p50\": %.1f, \"p99\": %.1f, \"max\": %.1f},\n",
+        pct(0.50), pct(0.99), lat.empty() ? 0.0 : lat.back());
+    std::printf("  \"what_if_committed\": %llu,\n",
+                (unsigned long long)writer_done.load());
+    std::printf("  \"verified\": %llu, \"mismatches\": %llu\n",
                 (unsigned long long)total.verified,
                 (unsigned long long)total.mismatches);
+    std::printf("}\n");
+  } else {
+    std::printf("qwm_load: %d clients x %d requests against 127.0.0.1:%d\n",
+                clients, requests, port);
+    std::printf("  sent=%llu ok=%llu busy=%llu deadline=%llu hard_err=%llu\n",
+                (unsigned long long)total.sent, (unsigned long long)total.ok,
+                (unsigned long long)total.busy,
+                (unsigned long long)total.deadline,
+                (unsigned long long)total.hard_err);
+    if (retry_policy.retries > 0 || total.degraded_ok > 0 ||
+        total.degraded_err > 0 || total.shard_down > 0) {
+      std::printf(
+          "  degraded_ok=%llu degraded_err=%llu shard_down=%llu retries=%llu",
+          (unsigned long long)total.degraded_ok,
+          (unsigned long long)total.degraded_err,
+          (unsigned long long)total.shard_down,
+          (unsigned long long)total.retries);
+      for (const auto& [code, n] : total.retries_by_code)
+        std::printf(" retry_%s=%llu", code.c_str(), (unsigned long long)n);
+      std::printf("\n");
+    }
+    if (total.hedged > 0)
+      std::printf("  hedged=%llu hedge_wins=%llu\n",
+                  (unsigned long long)total.hedged,
+                  (unsigned long long)total.hedge_wins);
+    std::printf("  wall %.3f s -> %.0f QPS\n", wall_s,
+                static_cast<double>(total.sent) / wall_s);
+    std::printf("  latency us: p50 %.1f  p99 %.1f  max %.1f\n", pct(0.50),
+                pct(0.99), lat.empty() ? 0.0 : lat.back());
+    if (what_if > 0)
+      std::printf("  what-if transactions committed: %llu/%d\n",
+                  (unsigned long long)writer_done.load(), what_if);
+    if (verify)
+      std::printf("  verified=%llu mismatches=%llu\n",
+                  (unsigned long long)total.verified,
+                  (unsigned long long)total.mismatches);
+  }
 
   if (do_shutdown) {
     Client c;

@@ -1,0 +1,389 @@
+// qwm_router — fault-tolerant front end for a sharded qwm_serve fleet.
+//
+//   qwm_router --shards N [--replicas R] [--stdio | --port P] [options]
+//
+// The router fork/execs N qwm_serve shard processes (--shard k/N) plus R
+// full-design replicas on ephemeral loopback ports, then serves the
+// standard newline protocol itself: LOAD fans out and runs the
+// boundary-arrival exchange, reads route to the owning shard (hedged
+// against a replica when slow, failed over with OK DEGRADED when the
+// owner is down), SLACK/CORNERS route to replicas, RESIZE/UPDATE are
+// consistent-or-refused under the fleet epoch. A supervisor thread
+// HEALTH-probes every shard each --supervise-ms, degrades the cones of
+// dead shards, and restarts + re-warms them (LOAD replay + mutation log
+// + boundary resync) back to bit-identical service.
+//
+//   --shards N            shard process count (required, >= 1)
+//   --replicas R          full-design read replicas          (default 1)
+//   --stdio               serve one session on stdin/stdout (default)
+//   --port P              serve TCP on 127.0.0.1:P (0 = ephemeral)
+//   --port-file <path>    write the router's bound port to <path>
+//   --run-dir <dir>       port/pid files of the children
+//                         (default /tmp/qwm_router.<pid>)
+//   --serve-bin <path>    qwm_serve binary (default: alongside qwm_router)
+//   --deck <path>         preload: run LOAD through the fleet first
+//   --threads N           router worker lanes                (default 4)
+//   --queue N             router admission queue             (default 64)
+//   --deadline-ms X       router queue-wait deadline         (default off)
+//   --call-timeout-ms X   per-shard-call deadline            (default 5000)
+//   --hedge-ms X          hedge reads to a replica after X ms (default off)
+//   --retries N           per-call retry budget              (default 2)
+//   --backoff-ms X        retry backoff base                 (default 5)
+//   --probe-timeout-ms X  HEALTH probe deadline              (default 250)
+//   --suspect-after N     consecutive failures -> suspect    (default 1)
+//   --down-after N        consecutive failures -> down       (default 2)
+//   --supervise-ms X      supervisor pass period, 0 = off    (default 500)
+//   --no-restart          never restart dead shards (degrade only)
+//   --shard-fault K SPEC  pass --fault-spec SPEC to shard K at spawn
+//   --fault-spec SPEC     arm a plan in the router itself (e.g.
+//                         refuse_restart:count=1)
+//   --shard-threads N     worker lanes per child process     (default 2)
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qwm/service/fleet.h"
+#include "qwm/service/router.h"
+#include "qwm/support/fault_injection.h"
+
+namespace {
+
+using namespace qwm;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: qwm_router --shards N [--replicas R] [--stdio | "
+               "--port P] [--port-file path]\n"
+               "                  [--run-dir dir] [--serve-bin path] [--deck "
+               "path] [--threads N]\n"
+               "                  [--queue N] [--deadline-ms X] "
+               "[--call-timeout-ms X] [--hedge-ms X]\n"
+               "                  [--retries N] [--backoff-ms X] "
+               "[--probe-timeout-ms X]\n"
+               "                  [--suspect-after N] [--down-after N] "
+               "[--supervise-ms X]\n"
+               "                  [--no-restart] [--shard-fault K SPEC] "
+               "[--fault-spec SPEC]\n");
+  return 2;
+}
+
+struct SpawnConfig {
+  std::string serve_bin;
+  std::string run_dir;
+  int shard_count = 1;
+  int shard_threads = 2;
+  std::vector<std::string> shard_fault;  ///< per shard, "" = none
+};
+
+/// Children of this router, indexed shard 0..N-1 then replicas.
+struct Child {
+  pid_t pid = -1;
+  int port = 0;
+};
+
+/// Fork/execs one qwm_serve child ("--shard k/N" when shard >= 0, a
+/// full-design replica otherwise) on an ephemeral port and waits for its
+/// port file. Returns pid -1 on failure.
+Child spawn_child(const SpawnConfig& cfg, int shard, int replica) {
+  Child child;
+  const std::string tag =
+      shard >= 0 ? "shard" + std::to_string(shard)
+                 : "replica" + std::to_string(replica);
+  const std::string port_file = cfg.run_dir + "/" + tag + ".port";
+  std::remove(port_file.c_str());
+
+  // Every child runs with the stage-eval memo cache off: the cache's
+  // bucketed reuse depends on per-process evaluation history, which
+  // sharding changes, and the fleet's contract is that answers are
+  // bit-identical regardless of shard count (and match a cache-off
+  // single process / `qwm_load --verify --no-cache` reference).
+  std::vector<std::string> args = {cfg.serve_bin,
+                                   "--port",
+                                   "0",
+                                   "--port-file",
+                                   port_file,
+                                   "--no-cache",
+                                   "--threads",
+                                   std::to_string(cfg.shard_threads)};
+  if (shard >= 0) {
+    args.push_back("--shard");
+    args.push_back(std::to_string(shard) + "/" +
+                   std::to_string(cfg.shard_count));
+    if (!cfg.shard_fault[static_cast<std::size_t>(shard)].empty()) {
+      args.push_back("--fault-spec");
+      args.push_back(cfg.shard_fault[static_cast<std::size_t>(shard)]);
+    }
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return child;
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "execv %s: %s\n", argv[0], std::strerror(errno));
+    ::_exit(127);
+  }
+  // Wait for the child to report its port (it may be slow under load, but
+  // an execv failure exits quickly — poll both).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return child;  // died
+    std::ifstream pf(port_file);
+    int port = 0;
+    if (pf >> port && port > 0) {
+      child.pid = pid;
+      child.port = port;
+      std::ofstream(cfg.run_dir + "/" + tag + ".pid") << pid << "\n";
+      return child;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  return child;
+}
+
+qwm::support::FaultPlan& fault_plan() {
+  static qwm::support::FaultPlan plan;
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::FleetOptions fopt;
+  fopt.retry.retries = 2;
+  service::RouterOptions ropt;
+  SpawnConfig cfg;
+  int shards = 0, replicas = 1;
+  bool tcp = false, no_restart = false;
+  int port = 0;
+  double supervise_ms = 500.0;
+  std::string port_file, deck;
+
+  const auto int_arg = [&](int* i, int* out) {
+    if (*i + 1 >= argc) std::exit(usage());
+    *out = std::atoi(argv[++*i]);
+  };
+  const auto dbl_arg = [&](int* i, double* out) {
+    if (*i + 1 >= argc) std::exit(usage());
+    *out = std::atof(argv[++*i]);
+  };
+  std::vector<std::pair<int, std::string>> shard_faults;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards") {
+      int_arg(&i, &shards);
+    } else if (arg == "--replicas") {
+      int_arg(&i, &replicas);
+    } else if (arg == "--stdio") {
+      tcp = false;
+    } else if (arg == "--port") {
+      tcp = true;
+      int_arg(&i, &port);
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (arg == "--run-dir" && i + 1 < argc) {
+      cfg.run_dir = argv[++i];
+    } else if (arg == "--serve-bin" && i + 1 < argc) {
+      cfg.serve_bin = argv[++i];
+    } else if (arg == "--deck" && i + 1 < argc) {
+      deck = argv[++i];
+    } else if (arg == "--threads") {
+      int_arg(&i, &ropt.threads);
+    } else if (arg == "--queue") {
+      int_arg(&i, &ropt.queue_capacity);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      dbl_arg(&i, &ropt.deadline_ms);
+    } else if (arg == "--call-timeout-ms" && i + 1 < argc) {
+      dbl_arg(&i, &fopt.call_timeout_ms);
+    } else if (arg == "--hedge-ms" && i + 1 < argc) {
+      dbl_arg(&i, &fopt.hedge_ms);
+    } else if (arg == "--retries") {
+      int_arg(&i, &fopt.retry.retries);
+    } else if (arg == "--backoff-ms" && i + 1 < argc) {
+      dbl_arg(&i, &fopt.retry.backoff_ms);
+    } else if (arg == "--probe-timeout-ms" && i + 1 < argc) {
+      dbl_arg(&i, &fopt.health.probe_timeout_ms);
+    } else if (arg == "--suspect-after") {
+      int_arg(&i, &fopt.health.suspect_after);
+    } else if (arg == "--down-after") {
+      int_arg(&i, &fopt.health.down_after);
+    } else if (arg == "--supervise-ms" && i + 1 < argc) {
+      dbl_arg(&i, &supervise_ms);
+    } else if (arg == "--no-restart") {
+      no_restart = true;
+    } else if (arg == "--shard-fault" && i + 2 < argc) {
+      const int k = std::atoi(argv[++i]);
+      shard_faults.emplace_back(k, argv[++i]);
+    } else if (arg == "--fault-spec" && i + 1 < argc) {
+      std::string error;
+      if (!support::parse_fault_plan(argv[++i], &fault_plan(), &error)) {
+        std::fprintf(stderr, "bad --fault-spec: %s\n", error.c_str());
+        return 2;
+      }
+    } else if (arg == "--shard-threads") {
+      int_arg(&i, &cfg.shard_threads);
+    } else {
+      return usage();
+    }
+  }
+  if (shards < 1 || replicas < 0) return usage();
+  if (!fault_plan().empty()) support::arm_fault_plan(&fault_plan());
+
+  cfg.shard_count = shards;
+  cfg.shard_fault.assign(static_cast<std::size_t>(shards), "");
+  for (const auto& [k, spec] : shard_faults) {
+    if (k < 0 || k >= shards) {
+      std::fprintf(stderr, "--shard-fault index out of range: %d\n", k);
+      return 2;
+    }
+    cfg.shard_fault[static_cast<std::size_t>(k)] = spec;
+  }
+  if (cfg.serve_bin.empty()) {
+    // Default: qwm_serve next to this binary.
+    std::string self = argv[0];
+    const std::size_t slash = self.rfind('/');
+    cfg.serve_bin =
+        (slash == std::string::npos ? std::string() : self.substr(0, slash + 1)) +
+        "qwm_serve";
+  }
+  if (cfg.run_dir.empty())
+    cfg.run_dir = "/tmp/qwm_router." + std::to_string(::getpid());
+  std::string mkdir_cmd = "mkdir -p '" + cfg.run_dir + "'";
+  if (std::system(mkdir_cmd.c_str()) != 0) {
+    std::fprintf(stderr, "cannot create run dir %s\n", cfg.run_dir.c_str());
+    return 1;
+  }
+
+  // Spawn the fleet.
+  std::vector<Child> shard_children(static_cast<std::size_t>(shards));
+  std::vector<Child> replica_children(static_cast<std::size_t>(replicas));
+  std::vector<std::unique_ptr<service::ShardEndpoint>> shard_eps, replica_eps;
+  for (int s = 0; s < shards; ++s) {
+    shard_children[static_cast<std::size_t>(s)] = spawn_child(cfg, s, -1);
+    if (shard_children[static_cast<std::size_t>(s)].pid < 0) {
+      std::fprintf(stderr, "failed to spawn shard %d\n", s);
+      return 1;
+    }
+    shard_eps.push_back(std::make_unique<service::TcpEndpoint>(
+        shard_children[static_cast<std::size_t>(s)].port));
+    std::fprintf(stderr, "qwm_router: shard %d pid %d port %d\n", s,
+                 shard_children[static_cast<std::size_t>(s)].pid,
+                 shard_children[static_cast<std::size_t>(s)].port);
+  }
+  for (int r = 0; r < replicas; ++r) {
+    replica_children[static_cast<std::size_t>(r)] = spawn_child(cfg, -1, r);
+    if (replica_children[static_cast<std::size_t>(r)].pid < 0) {
+      std::fprintf(stderr, "failed to spawn replica %d\n", r);
+      return 1;
+    }
+    replica_eps.push_back(std::make_unique<service::TcpEndpoint>(
+        replica_children[static_cast<std::size_t>(r)].port));
+    std::fprintf(stderr, "qwm_router: replica %d pid %d port %d\n", r,
+                 replica_children[static_cast<std::size_t>(r)].pid,
+                 replica_children[static_cast<std::size_t>(r)].port);
+  }
+
+  service::Fleet fleet(fopt, std::move(shard_eps), std::move(replica_eps));
+  if (!no_restart) {
+    fleet.set_restart_fn(
+        [&cfg, &shard_children](int shard)
+            -> std::unique_ptr<service::ShardEndpoint> {
+          // The refuse-restart fault site models an orchestrator that
+          // cannot bring the process back (quota, node loss) — the
+          // supervisor must keep degrading and retry later.
+          if (support::fire_fault(support::FaultSite::kRefuseRestart)) {
+            std::fprintf(stderr,
+                         "qwm_router: restart of shard %d refused "
+                         "(injected)\n", shard);
+            return nullptr;
+          }
+          Child& old = shard_children[static_cast<std::size_t>(shard)];
+          if (old.pid > 0) {
+            ::kill(old.pid, SIGKILL);
+            ::waitpid(old.pid, nullptr, 0);
+          }
+          const Child fresh = spawn_child(cfg, shard, -1);
+          if (fresh.pid < 0) return nullptr;
+          old = fresh;
+          std::fprintf(stderr,
+                       "qwm_router: restarted shard %d pid %d port %d\n",
+                       shard, fresh.pid, fresh.port);
+          return std::make_unique<service::TcpEndpoint>(fresh.port);
+        });
+  }
+
+  service::Router router(&fleet, ropt);
+
+  if (!deck.empty()) {
+    const std::string resp = fleet.handle_line("LOAD " + deck);
+    std::fprintf(stderr, "qwm_router: preload: %s\n", resp.c_str());
+    if (!service::is_ok(resp)) return 1;
+  }
+
+  // Supervisor: periodic probe + failover + restart passes, plus child
+  // zombie reaping (a crashed shard must not linger undead).
+  std::atomic<bool> stop_supervisor{false};
+  std::thread supervisor;
+  if (supervise_ms > 0.0) {
+    supervisor = std::thread([&] {
+      while (!stop_supervisor.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(supervise_ms));
+        if (stop_supervisor.load(std::memory_order_acquire)) break;
+        while (::waitpid(-1, nullptr, WNOHANG) > 0) {
+        }
+        fleet.supervise();
+      }
+    });
+  }
+
+  int rc = 0;
+  if (!tcp) {
+    rc = router.serve_stream(std::cin, std::cout);
+  } else {
+    if (!router.listen(port)) {
+      std::fprintf(stderr, "cannot bind 127.0.0.1:%d: %s\n", port,
+                   router.listen_error().c_str());
+      rc = 1;
+    } else {
+      if (!port_file.empty()) {
+        std::ofstream pf(port_file);
+        pf << router.port() << "\n";
+      }
+      std::fprintf(stderr, "qwm_router: listening on 127.0.0.1:%d (%d "
+                           "shards, %d replicas)\n",
+                   router.port(), shards, replicas);
+      router.serve();
+    }
+  }
+
+  stop_supervisor.store(true, std::memory_order_release);
+  if (supervisor.joinable()) supervisor.join();
+  fleet.broadcast_shutdown();
+  for (const auto& c : shard_children)
+    if (c.pid > 0) ::waitpid(c.pid, nullptr, 0);
+  for (const auto& c : replica_children)
+    if (c.pid > 0) ::waitpid(c.pid, nullptr, 0);
+  std::fprintf(stderr, "qwm_router: clean shutdown\n");
+  return rc;
+}

@@ -21,6 +21,14 @@
 //   --corners           characterize fast/slow corner models at LOAD and
 //                       propagate per-corner arrival lanes (enables the
 //                       CORNERS verb)
+//   --shard K/N         serve shard K of an N-shard fleet: LOAD analyzes
+//                       only the owned slice of the stage graph, exports
+//                       BOUNDARY arrivals, ingests SETARR injections;
+//                       SLACK/CORNERS are refused (ask a replica)
+//   --fault-spec SPEC   arm a deterministic fault plan in this process
+//                       (see support/fault_injection.h parse_fault_plan);
+//                       e.g. "drop_connection:start=5:count=1" — the
+//                       crash-injection knob for fleet failover tests
 //
 // Protocol (one line per request/response — see src/qwm/service/protocol.h):
 //   LOAD <deck.sp> | ARRIVAL <net> | CORNERS <net> [period] |
@@ -34,6 +42,7 @@
 #include <string>
 
 #include "qwm/service/server.h"
+#include "qwm/support/fault_injection.h"
 
 namespace {
 
@@ -44,8 +53,16 @@ int usage() {
                "                 [--threads N] [--queue N] [--deadline-ms X] "
                "[--solve-deadline-ms X]\n"
                "                 [--sta-threads N] [--schedule levels|deps] "
-               "[--no-cache] [--corners]\n");
+               "[--no-cache] [--corners]\n"
+               "                 [--shard K/N] [--fault-spec SPEC]\n");
   return 2;
+}
+
+// The armed plan must outlive every request (arm_fault_plan keeps the
+// pointer); a function-local static does.
+qwm::support::FaultPlan& fault_plan() {
+  static qwm::support::FaultPlan plan;
+  return plan;
 }
 
 }  // namespace
@@ -98,6 +115,28 @@ int main(int argc, char** argv) {
       opt.db.sta.use_cache = false;
     } else if (arg == "--corners") {
       opt.db.corners = true;
+    } else if (arg == "--shard" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t slash = spec.find('/');
+      if (slash == std::string::npos) {
+        std::fprintf(stderr, "bad --shard value (want K/N): %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      opt.db.shard_index = std::atoi(spec.substr(0, slash).c_str());
+      opt.db.shard_count = std::atoi(spec.substr(slash + 1).c_str());
+      if (opt.db.shard_count < 1 || opt.db.shard_index < 0 ||
+          opt.db.shard_index >= opt.db.shard_count) {
+        std::fprintf(stderr, "bad --shard value (want 0<=K<N): %s\n",
+                     spec.c_str());
+        return 2;
+      }
+    } else if (arg == "--fault-spec" && i + 1 < argc) {
+      std::string error;
+      if (!support::parse_fault_plan(argv[++i], &fault_plan(), &error)) {
+        std::fprintf(stderr, "bad --fault-spec: %s\n", error.c_str());
+        return 2;
+      }
     } else {
       return usage();
     }
@@ -105,6 +144,14 @@ int main(int argc, char** argv) {
   if (opt.threads < 1 || opt.queue_capacity < 0) return usage();
 
   service::Server server(opt);
+  if (!fault_plan().empty()) {
+    // Request-level sites fire through the global plan; the reply-path
+    // sites (drop/stall/corrupt) live in the transport's own hook.
+    support::arm_fault_plan(&fault_plan());
+    server.fault_hook().set_plan(fault_plan());
+    std::fprintf(stderr, "qwm_serve: fault plan armed (%zu rules)\n",
+                 fault_plan().rules.size());
+  }
   if (!deck.empty()) {
     const service::LoadReply r = server.db().load_file(deck);
     if (!r.status.ok) {
@@ -118,7 +165,8 @@ int main(int argc, char** argv) {
   if (!tcp) return server.serve_stream(std::cin, std::cout);
 
   if (!server.listen(port)) {
-    std::fprintf(stderr, "cannot bind 127.0.0.1:%d\n", port);
+    std::fprintf(stderr, "cannot bind 127.0.0.1:%d: %s\n", port,
+                 server.listen_error().c_str());
     return 1;
   }
   if (!port_file.empty()) {
